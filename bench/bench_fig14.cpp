@@ -1,0 +1,106 @@
+//===- bench/bench_fig14.cpp - Fig. 14 accuracy & speedup histograms ------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 14: injected regressions over the Rhino-style base
+/// program (root causes per the [13] distribution), each differenced with
+/// both semantics; reports
+///
+///   accuracy = (total - viewsDiffs) / (total - lcsDiffs)   [Fig. 14a]
+///   speedup  = lcsCompareOps / viewsCompareOps             [Fig. 14b]
+///
+/// The paper's histogram covers 14 usable iBugs cases; this harness
+/// produces 14 injected cases (seeds 1..14 over four input pairs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "diff/Lcs.h"
+#include "diff/ViewsDiff.h"
+#include "support/Histogram.h"
+#include "support/TablePrinter.h"
+#include "workload/Mutator.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rprism;
+
+int main() {
+  std::printf("== Fig. 14: RPrism vs optimized LCS on injected "
+              "regressions ==\n\n");
+
+  constexpr unsigned NumCases = 14;
+  Histogram Accuracy = makeAccuracyHistogram();
+  Histogram Speedup = makeSpeedupHistogram();
+  TablePrinter Table;
+  Table.setHeader({"case", "root cause", "entries", "lcs diffs",
+                   "views diffs", "accuracy", "lcs ops", "views ops",
+                   "speedup"});
+
+  unsigned Produced = 0;
+  unsigned Under50Seqs = 0;
+  unsigned MaxSeqs = 0;
+  for (unsigned Index = 0; Index != NumCases; ++Index) {
+    RunOptions RegrRun, OkRun;
+    rhinoInputs(Index, RegrRun, OkRun);
+    Expected<InjectedCase> Case =
+        injectRegression(rhinoBaseSource(), RegrRun, OkRun,
+                         /*Seed=*/1000 + 7919 * Index);
+    if (!Case) {
+      std::printf("case %u: %s (skipped)\n", Index,
+                  Case.error().render().c_str());
+      continue;
+    }
+    ++Produced;
+
+    const Trace &L = Case->Prepared.OrigRegr;
+    const Trace &R = Case->Prepared.NewRegr;
+    DiffResult Lcs = lcsDiff(L, R);
+    DiffResult Views = viewsDiff(L, R);
+
+    Under50Seqs += Views.Sequences.size() < 50;
+    MaxSeqs = std::max(MaxSeqs,
+                       static_cast<unsigned>(Views.Sequences.size()));
+
+    double Total = static_cast<double>(L.size() + R.size());
+    double AccuracyValue =
+        (Total - static_cast<double>(Views.numDiffs())) /
+        (Total - static_cast<double>(Lcs.numDiffs()));
+    double SpeedupValue =
+        Views.Stats.CompareOps == 0
+            ? 1.0
+            : static_cast<double>(Lcs.Stats.CompareOps) /
+                  static_cast<double>(Views.Stats.CompareOps);
+    Accuracy.add(AccuracyValue);
+    Speedup.add(SpeedupValue);
+
+    Table.addRow({"#" + std::to_string(Index),
+                  mutationKindName(Case->Mutation.Kind),
+                  TablePrinter::fmtInt(L.size() + R.size()),
+                  TablePrinter::fmtInt(Lcs.numDiffs()),
+                  TablePrinter::fmtInt(Views.numDiffs()),
+                  TablePrinter::fmt(AccuracyValue * 100, 1) + "%",
+                  TablePrinter::fmtInt(Lcs.Stats.CompareOps),
+                  TablePrinter::fmtInt(Views.Stats.CompareOps),
+                  TablePrinter::fmt(SpeedupValue, 2) + "x"});
+  }
+
+  Table.print(std::cout);
+  std::printf("\n%u of %u cases usable; %u of %u with fewer than 50 "
+              "difference sequences (max %u) — the paper: \"more than "
+              "two-thirds of the bugs produced less than 50 difference "
+              "sequences, with the remainder ranging from 50 to 130\"\n\n",
+              Produced, NumCases, Under50Seqs, Produced, MaxSeqs);
+
+  Accuracy.print(std::cout, "Fig. 14(a) Accuracy (RPrism vs LCS)");
+  std::printf("\n");
+  Speedup.print(std::cout, "Fig. 14(b) Speedup (RPrism vs LCS)");
+  std::printf("\npaper reference: accuracy > 100%% in all but 3 of 14 "
+              "cases (those 3 above 99%%); speedups up to >100x, below 1x "
+              "only for two very small traces\n");
+  return 0;
+}

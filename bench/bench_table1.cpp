@@ -1,0 +1,132 @@
+//===- bench/bench_table1.cpp - Table 1: benchmark & analysis matrix ------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1: per benchmark, the workload characteristics (LOC,
+/// trace entries, tracing seconds) and, for both the LCS-based and the
+/// views-based differencing, the regression-analysis results: number of
+/// differences, difference sequences, regression-related sequences, false
+/// positives/negatives, analysis time, memory, and the wall-clock speedup
+/// of views over LCS. The LCS engine runs against a memory cap (the
+/// scaled-down stand-in for the paper's 32 GB server) and fails on the
+/// Derby-style benchmark exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Regression.h"
+#include "workload/Corpus.h"
+
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rprism;
+
+namespace {
+
+/// The scaled-down stand-in for the paper's 32 GB memory budget. The
+/// corpus traces are ~10-20x shorter than the paper's, so the cap shrinks
+/// quadratically with them.
+constexpr uint64_t LcsMemCap = 2ull << 30;
+
+struct EngineRow {
+  std::string Diffs = "-";
+  std::string Seqs = "-";
+  std::string RegrSeqs = "-";
+  std::string FalsePos = "-";
+  std::string FalseNeg = "-";
+  std::string Seconds = "-";
+  std::string MemGiB = "-";
+  double WallSeconds = 0;
+};
+
+EngineRow runEngine(const PreparedCase &Prepared,
+                    const std::vector<GroundTruthChange> &Truth,
+                    DiffEngineKind Engine) {
+  RegressionOptions Options;
+  Options.Engine = Engine;
+  Options.Lcs.MemCapBytes = LcsMemCap;
+  RegressionReport Report = analyzeRegression(Prepared.inputs(), Options);
+
+  EngineRow Row;
+  Row.WallSeconds = Report.Stats.Seconds;
+  if (Report.OutOfMemory) {
+    Row.Diffs = "(out of memory";
+    Row.Seqs = "failure at";
+    Row.RegrSeqs = TablePrinter::fmt(
+                       static_cast<double>(LcsMemCap) / (1u << 30), 0) +
+                   " GiB)";
+    return Row;
+  }
+  RegressionScore Score = scoreReport(Report, Truth);
+  Row.Diffs = TablePrinter::fmtInt(Report.sizeA);
+  Row.Seqs = TablePrinter::fmtInt(Report.A.Sequences.size());
+  Row.RegrSeqs = TablePrinter::fmtInt(Score.regressionRelated());
+  Row.FalsePos = std::to_string(Score.FalsePositives);
+  Row.FalseNeg = std::to_string(Score.FalseNegatives);
+  Row.Seconds = TablePrinter::fmt(Report.Stats.Seconds, 2);
+  Row.MemGiB = TablePrinter::fmt(
+      static_cast<double>(Report.Stats.PeakBytes) / (1u << 30), 3);
+  return Row;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Table 1: benchmark and analysis characteristics ==\n\n");
+
+  TablePrinter Table;
+  Table.setHeader({"benchmark", "LOC", "entries", "trace s",
+                   // LCS columns.
+                   "L.diffs", "L.seqs", "L.regr", "L.FP", "L.FN", "L.sec",
+                   "L.GiB",
+                   // Views columns.
+                   "V.diffs", "V.seqs", "V.regr", "V.FP", "V.FN", "V.sec",
+                   "V.GiB", "speedup"});
+
+  for (const BenchmarkCase &Case : benchmarkCorpus()) {
+    Expected<PreparedCase> Prepared = prepareCase(Case);
+    if (!Prepared) {
+      std::fprintf(stderr, "%s: %s\n", Case.Name.c_str(),
+                   Prepared.error().render().c_str());
+      continue;
+    }
+    if (!Prepared->exhibitsRegression())
+      std::fprintf(stderr, "warning: %s does not exhibit a regression\n",
+                   Case.Name.c_str());
+
+    EngineRow Lcs = runEngine(*Prepared, Case.Truth, DiffEngineKind::Lcs);
+    EngineRow Views =
+        runEngine(*Prepared, Case.Truth, DiffEngineKind::Views);
+    std::string Speedup =
+        Lcs.Seconds == "-" || Lcs.Diffs.front() == '('
+            ? "-"
+            : TablePrinter::fmt(Lcs.WallSeconds /
+                                    std::max(Views.WallSeconds, 1e-9),
+                                1) +
+                  "x";
+
+    Table.addRow({Case.Name,
+                  TablePrinter::fmtInt(Case.linesOfCode()),
+                  TablePrinter::fmtInt(Prepared->OrigRegr.size()),
+                  TablePrinter::fmt(Prepared->TracingSeconds, 2),
+                  Lcs.Diffs, Lcs.Seqs, Lcs.RegrSeqs, Lcs.FalsePos,
+                  Lcs.FalseNeg, Lcs.Seconds, Lcs.MemGiB,
+                  Views.Diffs, Views.Seqs, Views.RegrSeqs, Views.FalsePos,
+                  Views.FalseNeg, Views.Seconds, Views.MemGiB, Speedup});
+  }
+
+  Table.print(std::cout);
+  std::printf("\npaper reference (shape): views-based differencing "
+              "succeeds everywhere with MBs of memory and seconds of "
+              "runtime; the LCS baseline needs orders of magnitude more "
+              "memory/time and fails outright on the largest "
+              "(multithreaded) benchmark; FP/FN stay in low single "
+              "digits.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- examples/quickstart.cpp - RPrism/C++ in ~60 lines ------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest end-to-end use of the library: compile two versions of a
+/// tiny program, run them to collect execution traces, and print their
+/// semantic diff. Build and run:
+///
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "diff/ViewsDiff.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rprism;
+
+/// Version 1: the accumulator applies a 10% bonus above the threshold.
+static const char *VersionOne = R"(
+  class Account {
+    Int balance;
+    Account(Int opening) { this.balance = opening; }
+    Unit deposit(Int amount) {
+      this.balance = this.balance + amount;
+      if (amount > 100) {
+        this.balance = this.balance + amount / 10;
+      }
+      return unit;
+    }
+  }
+  main {
+    var acct = new Account(50);
+    acct.deposit(40);
+    acct.deposit(200);
+    print(acct.balance);
+  }
+)";
+
+/// Version 2: a refactor accidentally changed the bonus threshold.
+static const char *VersionTwo = R"(
+  class Account {
+    Int balance;
+    Account(Int opening) { this.balance = opening; }
+    Unit deposit(Int amount) {
+      this.balance = this.balance + amount;
+      if (amount > 1000) {
+        this.balance = this.balance + amount / 10;
+      }
+      return unit;
+    }
+  }
+  main {
+    var acct = new Account(50);
+    acct.deposit(40);
+    acct.deposit(200);
+    print(acct.balance);
+  }
+)";
+
+int main() {
+  // One interner shared by both versions: symbols compare across traces.
+  auto Strings = std::make_shared<StringInterner>();
+
+  Expected<CompiledProgram> Old = compileSource(VersionOne, Strings);
+  Expected<CompiledProgram> New = compileSource(VersionTwo, Strings);
+  if (!Old || !New) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 (!Old ? Old.error() : New.error()).render().c_str());
+    return 1;
+  }
+
+  // Running a program yields its observable output and the execution
+  // trace (the entry stream of the paper's Fig. 4 grammar).
+  RunResult OldRun = runProgram(*Old);
+  RunResult NewRun = runProgram(*New);
+  std::printf("old output: %s", OldRun.Output.c_str());
+  std::printf("new output: %s", NewRun.Output.c_str());
+  std::printf("old trace: %zu entries; new trace: %zu entries\n\n",
+               OldRun.ExecTrace.size(), NewRun.ExecTrace.size());
+
+  // The views-based semantic diff.
+  DiffResult Diff = viewsDiff(OldRun.ExecTrace, NewRun.ExecTrace);
+  std::cout << Diff.render();
+
+  std::printf("\n(the diff pinpoints the balance updates the missing "
+              "bonus caused, with full dynamic state)\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+//===- analysis/HtmlReport.cpp ------------------------------------------------===//
+
+#include "analysis/HtmlReport.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace rprism;
+
+namespace {
+
+std::string escapeHtml(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '&': Out += "&amp;"; break;
+    case '<': Out += "&lt;"; break;
+    case '>': Out += "&gt;"; break;
+    case '"': Out += "&quot;"; break;
+    default: Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+const char *PageHead = R"(<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%TITLE%</title><style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         font-size: 13px; margin: 1.5em; background: #fafafa; }
+  h1 { font-size: 18px; } h2 { font-size: 14px; margin-bottom: 4px; }
+  .summary { background: #fff; border: 1px solid #ddd; padding: 8px 12px;
+             border-radius: 6px; display: inline-block; }
+  table.seq { border-collapse: collapse; margin: 8px 0 18px;
+              background: #fff; border: 1px solid #ddd; width: 100%; }
+  table.seq td { padding: 2px 8px; vertical-align: top; width: 50%;
+                 white-space: pre-wrap; }
+  td.old { background: #ffecec; } td.new { background: #eaffea; }
+  td.empty { background: #f4f4f4; }
+  .eid { color: #999; margin-right: 6px; }
+  .dmark { background: #ffd54d; border-radius: 3px; padding: 0 4px;
+           margin-left: 6px; font-weight: bold; }
+  .meta { color: #666; }
+</style></head><body>
+)";
+
+void openPage(std::ostringstream &OS, const std::string &Title) {
+  std::string Head = PageHead;
+  std::string Escaped = escapeHtml(Title);
+  size_t Pos = Head.find("%TITLE%");
+  Head.replace(Pos, 7, Escaped);
+  OS << Head << "<h1>" << Escaped << "</h1>\n";
+}
+
+void renderEntryCell(std::ostringstream &OS, const Trace &T, uint32_t Eid,
+                     bool IsD) {
+  OS << "<span class=\"eid\">[" << Eid << "]</span>"
+     << escapeHtml(T.renderEntry(T.Entries[Eid]));
+  if (IsD)
+    OS << "<span class=\"dmark\">D</span>";
+  OS << "\n";
+}
+
+/// One sequence as a two-column table row block.
+void renderSequence(std::ostringstream &OS, const Trace &Left,
+                    const Trace &Right, const DiffSequence &Seq,
+                    const std::vector<bool> *DLeft,
+                    const std::vector<bool> *DRight, size_t MaxEntries) {
+  OS << "<table class=\"seq\"><tr>";
+  auto Side = [&](const Trace &T, const std::vector<uint32_t> &Eids,
+                  const std::vector<bool> *DFlags, const char *Class) {
+    if (Eids.empty()) {
+      OS << "<td class=\"empty\"></td>";
+      return;
+    }
+    OS << "<td class=\"" << Class << "\">";
+    size_t Shown = 0;
+    for (uint32_t Eid : Eids) {
+      if (Shown++ == MaxEntries) {
+        OS << "&hellip; (" << (Eids.size() - MaxEntries) << " more)\n";
+        break;
+      }
+      renderEntryCell(OS, T, Eid, DFlags && (*DFlags)[Eid]);
+    }
+    OS << "</td>";
+  };
+  Side(Left, Seq.LeftEids, DLeft, "old");
+  Side(Right, Seq.RightEids, DRight, "new");
+  OS << "</tr></table>\n";
+}
+
+} // namespace
+
+std::string rprism::renderHtmlDiff(const DiffResult &Result,
+                                   const HtmlReportOptions &Options) {
+  std::ostringstream OS;
+  openPage(OS, Options.Title);
+  OS << "<div class=\"summary\">" << Result.numDiffs()
+     << " semantic differences in " << Result.Sequences.size()
+     << " sequence(s) &middot; " << Result.Stats.CompareOps
+     << " compare ops</div>\n";
+
+  size_t Shown = 0;
+  for (const DiffSequence &Seq : Result.Sequences) {
+    if (Shown++ == Options.MaxSequences) {
+      OS << "<p class=\"meta\">&hellip; "
+         << (Result.Sequences.size() - Options.MaxSequences)
+         << " more sequences</p>\n";
+      break;
+    }
+    OS << "<h2>sequence #" << Shown - 1 << " <span class=\"meta\">(thread "
+       << Seq.LeftTid << ", -" << Seq.LeftEids.size() << " / +"
+       << Seq.RightEids.size() << ")</span></h2>\n";
+    renderSequence(OS, *Result.Left, *Result.Right, Seq, nullptr, nullptr,
+                   Options.MaxEntriesPerSide);
+  }
+  OS << "</body></html>\n";
+  return OS.str();
+}
+
+std::string rprism::renderHtmlReport(const RegressionReport &Report,
+                                     const HtmlReportOptions &Options) {
+  std::ostringstream OS;
+  openPage(OS, Options.Title);
+  OS << "<div class=\"summary\">|A|=" << Report.sizeA << " |B|="
+     << Report.sizeB << " |C|=" << Report.sizeC << " |D|=" << Report.sizeD
+     << " &middot; " << Report.RegressionSequences.size()
+     << " regression-related sequence(s) of " << Report.A.Sequences.size()
+     << "</div>\n";
+  if (Report.OutOfMemory) {
+    OS << "<p>differencing ran out of memory; no candidate set</p>"
+       << "</body></html>\n";
+    return OS.str();
+  }
+
+  size_t Shown = 0;
+  for (uint32_t Index : Report.RegressionSequences) {
+    if (Shown++ == Options.MaxSequences)
+      break;
+    const DiffSequence &Seq = Report.A.Sequences[Index];
+    OS << "<h2>regression sequence (A-sequence #" << Index
+       << ") <span class=\"meta\">(thread " << Seq.LeftTid << ")</span>"
+       << "</h2>\n";
+    renderSequence(OS, *Report.A.Left, *Report.A.Right, Seq, &Report.DLeft,
+                   &Report.DRight, Options.MaxEntriesPerSide);
+  }
+  OS << "</body></html>\n";
+  return OS.str();
+}
+
+bool rprism::writeHtmlFile(const std::string &Html,
+                           const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Html;
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,96 @@
+//===- analysis/Protocol.h - Object protocol inference over views ---------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One of the dynamic analyses §4 envisions on top of the views trace
+/// abstraction: *object protocol inference* and typestate-style checking.
+/// For every class, the target-object views of a trace give each
+/// instance's lifetime event sequence; projecting those to method calls
+/// yields a per-class protocol automaton (states = last method called,
+/// transitions observed with multiplicities). A second trace can then be
+/// checked against the mined automaton: transitions never observed in the
+/// reference trace are protocol violations — drift detection across
+/// versions for free, because views correlate the objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_ANALYSIS_PROTOCOL_H
+#define RPRISM_ANALYSIS_PROTOCOL_H
+
+#include "views/Views.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// A mined per-class protocol: the observed method-call transition
+/// relation over all instances of the class.
+struct ProtocolAutomaton {
+  Symbol ClassName;
+  unsigned NumObjects = 0; ///< Instances the protocol was mined from.
+
+  /// Start symbol of every object's life (object creation).
+  static constexpr uint32_t StartState = 0; // Symbol 0 = "".
+
+  /// (from method symbol, to method symbol) -> observation count. The
+  /// start state uses symbol 0.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Transitions;
+
+  /// Methods observed as the last call on some instance.
+  std::set<uint32_t> FinalMethods;
+
+  /// True when the (From -> To) transition was ever observed.
+  bool allows(Symbol From, Symbol To) const {
+    return Transitions.count({From.Id, To.Id}) != 0;
+  }
+
+  /// Renders the automaton ("<start> -> push x12", ...).
+  std::string render(const StringInterner &Strings) const;
+};
+
+/// Options for protocol mining.
+struct ProtocolOptions {
+  /// Minimum instances of a class before a protocol is mined for it
+  /// (single-instance protocols overfit).
+  unsigned MinObjects = 1;
+  /// Include constructor "<init>" calls as protocol steps.
+  bool IncludeCtor = false;
+};
+
+/// Mines one automaton per class from the target-object views of \p Web.
+std::vector<ProtocolAutomaton>
+inferProtocols(const ViewWeb &Web,
+               const ProtocolOptions &Options = ProtocolOptions());
+
+/// A transition in \p Subject absent from the mined reference protocol.
+struct ProtocolViolation {
+  Symbol ClassName;
+  Symbol FromMethod; ///< Symbol 0 for "object creation".
+  Symbol ToMethod;
+  uint32_t Eid = 0;    ///< Entry of the violating call in the subject.
+  uint32_t Count = 0;  ///< Occurrences of this transition.
+};
+
+/// Checks \p Subject against protocols mined from a reference trace.
+/// Classes unknown to the reference are skipped (new classes are version
+/// evolution, not protocol violations). Both traces must share an
+/// interner.
+std::vector<ProtocolViolation>
+checkProtocols(const std::vector<ProtocolAutomaton> &Reference,
+               const ViewWeb &Subject,
+               const ProtocolOptions &Options = ProtocolOptions());
+
+/// Renders violations for reports.
+std::string renderViolations(const std::vector<ProtocolViolation> &Violations,
+                             const Trace &Subject);
+
+} // namespace rprism
+
+#endif // RPRISM_ANALYSIS_PROTOCOL_H

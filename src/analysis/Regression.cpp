@@ -1,0 +1,264 @@
+//===- analysis/Regression.cpp --------------------------------------------===//
+
+#include "analysis/Regression.h"
+
+#include "support/Hashing.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace rprism;
+
+namespace {
+
+/// Version-stable content key of one differing trace entry. `SideTag`
+/// distinguishes original-version from new-version differences when
+/// matching A against B.
+uint64_t diffContentKey(const Trace &T, const TraceEntry &Entry,
+                        bool NewSide) {
+  const Event &Ev = Entry.Ev;
+  uint64_t H = hashCombine(static_cast<uint64_t>(Ev.Kind), Ev.Name.Id,
+                           NewSide ? 0x4eULL : 0x0aULL);
+  // Target object: class plus version-stable identity.
+  H = hashMix(H, Ev.Target.ClassName.Id);
+  H = hashMix(H, Ev.Target.HasRepr ? Ev.Target.ValueHash
+                                   : Ev.Target.CreationSeq);
+  H = hashMix(H, static_cast<uint64_t>(Ev.Value.Kind));
+  H = hashMix(H, Ev.Value.Hash);
+  for (const ValueRepr *Arg = T.argsBegin(Ev); Arg != T.argsEnd(Ev); ++Arg) {
+    H = hashMix(H, static_cast<uint64_t>(Arg->Kind));
+    H = hashMix(H, Arg->Hash);
+  }
+  // Context: the executing method (not the receiver object — too volatile).
+  H = hashMix(H, Entry.Method.Id);
+  return H;
+}
+
+/// Multiset of content keys of all differences in one diff result.
+std::unordered_map<uint64_t, uint32_t> diffKeyCounts(const DiffResult &D) {
+  std::unordered_map<uint64_t, uint32_t> Counts;
+  for (uint32_t Eid = 0; Eid != D.LeftSimilar.size(); ++Eid)
+    if (!D.LeftSimilar[Eid])
+      ++Counts[diffContentKey(*D.Left, D.Left->Entries[Eid],
+                              /*NewSide=*/false)];
+  for (uint32_t Eid = 0; Eid != D.RightSimilar.size(); ++Eid)
+    if (!D.RightSimilar[Eid])
+      ++Counts[diffContentKey(*D.Right, D.Right->Entries[Eid],
+                              /*NewSide=*/true)];
+  return Counts;
+}
+
+DiffResult runDiff(const Trace &Left, const Trace &Right,
+                   const RegressionOptions &Options) {
+  if (Options.Engine == DiffEngineKind::Lcs)
+    return lcsDiff(Left, Right, Options.Lcs);
+  return viewsDiff(Left, Right, Options.Views);
+}
+
+} // namespace
+
+RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
+                                           const RegressionOptions &Options) {
+  RegressionReport Report;
+  Report.A = runDiff(*Inputs.OrigRegr, *Inputs.NewRegr, Options);
+  Report.B = runDiff(*Inputs.OrigOk, *Inputs.NewOk, Options);
+  Report.C = runDiff(*Inputs.NewOk, *Inputs.NewRegr, Options);
+
+  Report.Stats.CompareOps = Report.A.Stats.CompareOps +
+                            Report.B.Stats.CompareOps +
+                            Report.C.Stats.CompareOps;
+  Report.Stats.Seconds =
+      Report.A.Stats.Seconds + Report.B.Stats.Seconds + Report.C.Stats.Seconds;
+  Report.Stats.PeakBytes =
+      std::max(std::max(Report.A.Stats.PeakBytes, Report.B.Stats.PeakBytes),
+               Report.C.Stats.PeakBytes);
+  Report.Stats.OutOfMemory = Report.A.Stats.OutOfMemory ||
+                             Report.B.Stats.OutOfMemory ||
+                             Report.C.Stats.OutOfMemory;
+  Report.OutOfMemory = Report.Stats.OutOfMemory;
+
+  Report.sizeA = Report.A.numDiffs();
+  Report.sizeB = Report.B.numDiffs();
+  Report.sizeC = Report.C.numDiffs();
+
+  Report.DLeft.assign(Inputs.OrigRegr->Entries.size(), false);
+  Report.DRight.assign(Inputs.NewRegr->Entries.size(), false);
+  if (Report.OutOfMemory)
+    return Report; // No candidate set computable.
+
+  // ---- A - B: subtract expected differences by content key (multiset). --
+  std::unordered_map<uint64_t, uint32_t> Expected = diffKeyCounts(Report.B);
+  auto SurvivesB = [&Expected](uint64_t Key) {
+    auto It = Expected.find(Key);
+    if (It == Expected.end() || It->second == 0)
+      return true;
+    --It->second; // Consume one expected occurrence.
+    return false;
+  };
+
+  // ---- ∩ C (or - C): C's differences on the new/regr run, as a content-
+  // key multiset. A and C flag the same *semantic* difference but not
+  // necessarily the same entry instance (the two diffs align the shared
+  // run against different partners), so membership is by content key, with
+  // an exact-entry-id fast path. Original-side differences cannot appear
+  // in C.
+  const bool Removal = Options.CodeRemoval;
+  std::unordered_map<uint64_t, uint32_t> RegrKeys;
+  for (uint32_t Eid = 0; Eid != Report.C.RightSimilar.size(); ++Eid)
+    if (!Report.C.RightSimilar[Eid])
+      ++RegrKeys[diffContentKey(*Report.C.Right,
+                                Report.C.Right->Entries[Eid],
+                                /*NewSide=*/true)];
+  auto InC = [&Report, &RegrKeys](uint32_t Eid, uint64_t Key) {
+    if (Eid < Report.C.RightSimilar.size() && !Report.C.RightSimilar[Eid])
+      return true; // Same entry of the shared new/regr run.
+    auto It = RegrKeys.find(Key);
+    if (It == RegrKeys.end() || It->second == 0)
+      return false;
+    --It->second; // Consume one matching C difference.
+    return true;
+  };
+
+  for (uint32_t Eid = 0; Eid != Report.DLeft.size(); ++Eid) {
+    if (Report.A.LeftSimilar[Eid])
+      continue;
+    uint64_t Key = diffContentKey(*Report.A.Left,
+                                  Report.A.Left->Entries[Eid],
+                                  /*NewSide=*/false);
+    if (!SurvivesB(Key))
+      continue;
+    // Orig-side differences: dropped by ∩C, kept by -C.
+    Report.DLeft[Eid] = Removal;
+  }
+  for (uint32_t Eid = 0; Eid != Report.DRight.size(); ++Eid) {
+    if (Report.A.RightSimilar[Eid])
+      continue;
+    uint64_t Key = diffContentKey(*Report.A.Right,
+                                  Report.A.Right->Entries[Eid],
+                                  /*NewSide=*/true);
+    if (!SurvivesB(Key))
+      continue;
+    Report.DRight[Eid] = Removal ? !InC(Eid, Key) : InC(Eid, Key);
+  }
+
+  for (bool Flag : Report.DLeft)
+    Report.sizeD += Flag;
+  for (bool Flag : Report.DRight)
+    Report.sizeD += Flag;
+
+  // ---- Regression-related difference sequences of A. ----
+  for (uint32_t I = 0; I != Report.A.Sequences.size(); ++I) {
+    const DiffSequence &Seq = Report.A.Sequences[I];
+    bool Related = false;
+    for (uint32_t Eid : Seq.LeftEids)
+      Related = Related || Report.DLeft[Eid];
+    for (uint32_t Eid : Seq.RightEids)
+      Related = Related || Report.DRight[Eid];
+    if (Related)
+      Report.RegressionSequences.push_back(I);
+  }
+  return Report;
+}
+
+std::string RegressionReport::render(size_t MaxSequences,
+                                     size_t MaxEntries) const {
+  std::ostringstream OS;
+  OS << "regression analysis: |A|=" << sizeA << " |B|=" << sizeB
+     << " |C|=" << sizeC << " |D|=" << sizeD << "\n"
+     << A.Sequences.size() << " difference sequence(s), "
+     << RegressionSequences.size() << " identified as regression-related\n";
+  if (OutOfMemory) {
+    OS << "(differencing ran out of memory; no candidate set)\n";
+    return OS.str();
+  }
+  size_t Shown = 0;
+  for (uint32_t Index : RegressionSequences) {
+    if (Shown++ == MaxSequences) {
+      OS << "  ...\n";
+      break;
+    }
+    const DiffSequence &Seq = A.Sequences[Index];
+    OS << "  regression sequence (thread " << Seq.LeftTid << "):\n";
+    size_t N = 0;
+    for (uint32_t Eid : Seq.LeftEids) {
+      if (N++ == MaxEntries) {
+        OS << "    - ...\n";
+        break;
+      }
+      OS << "    - " << A.Left->renderEntry(A.Left->Entries[Eid])
+         << (DLeft[Eid] ? "   [D]" : "") << '\n';
+    }
+    N = 0;
+    for (uint32_t Eid : Seq.RightEids) {
+      if (N++ == MaxEntries) {
+        OS << "    + ...\n";
+        break;
+      }
+      OS << "    + " << A.Right->renderEntry(A.Right->Entries[Eid])
+         << (DRight[Eid] ? "   [D]" : "") << '\n';
+    }
+  }
+  return OS.str();
+}
+
+RegressionScore
+rprism::scoreReport(const RegressionReport &Report,
+                    const std::vector<GroundTruthChange> &Truth) {
+  RegressionScore Score;
+  Score.ReportedSequences =
+      static_cast<unsigned>(Report.RegressionSequences.size());
+
+  auto EntryMatchesChange = [&](const Trace &T, const TraceEntry &Entry,
+                                bool NewSide,
+                                const GroundTruthChange &Change) {
+    const auto &Nodes = NewSide ? Change.NewNodes : Change.OrigNodes;
+    if (Nodes.count(Entry.Prov))
+      return true;
+    if (Change.Methods.count(T.Strings->text(Entry.Method)))
+      return true;
+    // A call/return naming the changed method also counts (the call site
+    // observes the change).
+    if ((Entry.Ev.Kind == EventKind::Call ||
+         Entry.Ev.Kind == EventKind::Return) &&
+        Change.Methods.count(T.Strings->text(Entry.Ev.Name)))
+      return true;
+    return false;
+  };
+
+  auto SequenceMatchesChange = [&](const DiffSequence &Seq,
+                                   const GroundTruthChange &Change) {
+    for (uint32_t Eid : Seq.LeftEids)
+      if (EntryMatchesChange(*Report.A.Left, Report.A.Left->Entries[Eid],
+                             /*NewSide=*/false, Change))
+        return true;
+    for (uint32_t Eid : Seq.RightEids)
+      if (EntryMatchesChange(*Report.A.Right, Report.A.Right->Entries[Eid],
+                             /*NewSide=*/true, Change))
+        return true;
+    return false;
+  };
+
+  std::vector<bool> ChangeCovered(Truth.size(), false);
+  for (uint32_t Index : Report.RegressionSequences) {
+    const DiffSequence &Seq = Report.A.Sequences[Index];
+    bool MatchedCause = false;
+    bool MatchedEffect = false;
+    for (size_t CI = 0; CI != Truth.size(); ++CI) {
+      if (!SequenceMatchesChange(Seq, Truth[CI]))
+        continue;
+      ChangeCovered[CI] = true;
+      MatchedCause = MatchedCause || Truth[CI].RegressionRelated;
+      MatchedEffect = MatchedEffect || Truth[CI].EffectRelated;
+    }
+    if (MatchedCause)
+      ++Score.TruePositives;
+    else if (MatchedEffect)
+      ++Score.EffectRelated;
+    else
+      ++Score.FalsePositives;
+  }
+  for (size_t CI = 0; CI != Truth.size(); ++CI)
+    if (Truth[CI].RegressionRelated && !ChangeCovered[CI])
+      ++Score.FalseNegatives;
+  return Score;
+}

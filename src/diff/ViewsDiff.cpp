@@ -1,0 +1,425 @@
+//===- diff/ViewsDiff.cpp -------------------------------------------------===//
+
+#include "diff/ViewsDiff.h"
+
+#include "diff/Lcs.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace rprism;
+
+namespace {
+
+class ViewsDiffer {
+public:
+  ViewsDiffer(const ViewWeb &Left, const ViewWeb &Right,
+              const ViewCorrelation &X, const ViewsDiffOptions &Options)
+      : LeftWeb(Left), RightWeb(Right), X(X), Options(Options),
+        LT(Left.trace()), RT(Right.trace()) {}
+
+  DiffResult run();
+
+private:
+  bool eq(uint32_t LeftEid, uint32_t RightEid) {
+    return eventEquals(LT, LT.Entries[LeftEid], RT, RT.Entries[RightEid],
+                       &Ops);
+  }
+
+  void markSimilar(uint32_t LeftEid, uint32_t RightEid) {
+    Result.LeftSimilar[LeftEid] = true;
+    Result.RightSimilar[RightEid] = true;
+    Anchors[LeftEid] = RightEid;
+  }
+
+  bool anchoredPair(uint32_t LeftEid, uint32_t RightEid) const {
+    auto It = Anchors.find(LeftEid);
+    return It != Anchors.end() && It->second == RightEid;
+  }
+
+  bool sameSite(uint32_t LeftEid, uint32_t RightEid) const;
+  void mergeAdjacentSequences(const View &LV, const View &RV,
+                              size_t FirstSequence);
+  void evalThreadPair(const View &LV, const View &RV);
+  void exploreSecondary(const View &LV, const View &RV, size_t I, size_t J);
+  void windowedLcs(const View &LSecondary, int64_t LPos,
+                   const View &RSecondary, int64_t RPos);
+  std::pair<size_t, size_t> findNextSync(const View &LV, const View &RV,
+                                         size_t I, size_t J);
+  void emitSequences(const View &LV, const View &RV, size_t LBegin,
+                     size_t LEnd, size_t RBegin, size_t REnd);
+  void emitWholeViewSequence(const View &V, bool IsLeft);
+
+  const ViewWeb &LeftWeb;
+  const ViewWeb &RightWeb;
+  const ViewCorrelation &X;
+  const ViewsDiffOptions &Options;
+  const Trace &LT;
+  const Trace &RT;
+
+  DiffResult Result;
+  CompareCounter Ops;
+  std::unordered_map<uint32_t, uint32_t> Anchors; ///< left eid -> right eid.
+  /// View pairs already explored at the current mismatch (dedup).
+  std::unordered_set<uint64_t> ExploredPairs;
+};
+
+} // namespace
+
+void ViewsDiffer::windowedLcs(const View &LSecondary, int64_t LPos,
+                              const View &RSecondary, int64_t RPos) {
+  // win(gamma, delta): a fixed window of the secondary view centered on the
+  // position of the linked entry.
+  auto Window = [this](const View &V, int64_t Pos) {
+    int64_t Begin = Pos - Options.Window;
+    int64_t End = Pos + Options.Window + 1;
+    if (Begin < 0)
+      Begin = 0;
+    if (End > static_cast<int64_t>(V.Entries.size()))
+      End = static_cast<int64_t>(V.Entries.size());
+    return EidSpan{V.Entries.data() + Begin,
+                   static_cast<size_t>(End - Begin)};
+  };
+  EidSpan LSpan = Window(LSecondary, LPos);
+  EidSpan RSpan = Window(RSecondary, RPos);
+  LcsResult Lcs = lcsMatch(LT, LSpan, RT, RSpan, &Ops, nullptr);
+
+  // Anchor only *runs* of consecutive matches (consecutive on both sides
+  // of the window). An isolated match is usually a commonly-occurring
+  // value pairing with an unrelated instance — precisely the
+  // blind-correlation failure mode §3.2 attributes to raw LCS — while
+  // moved blocks and gap bridges match as runs. Tiny windows cannot form
+  // runs, so they keep their single matches.
+  if (LSpan.Size <= 2 || RSpan.Size <= 2) {
+    for (auto [L, R] : Lcs.Matches)
+      markSimilar(L, R);
+    return;
+  }
+  auto IndexIn = [](EidSpan Span, uint32_t Eid) {
+    for (size_t K = 0; K != Span.Size; ++K)
+      if (Span[K] == Eid)
+        return static_cast<int64_t>(K);
+    return int64_t{-1};
+  };
+  for (size_t K = 0; K != Lcs.Matches.size(); ++K) {
+    auto [L, R] = Lcs.Matches[K];
+    int64_t LIdx = IndexIn(LSpan, L);
+    int64_t RIdx = IndexIn(RSpan, R);
+    auto Adjacent = [&](size_t Other) {
+      auto [OL, OR] = Lcs.Matches[Other];
+      int64_t DL = IndexIn(LSpan, OL) - LIdx;
+      int64_t DR = IndexIn(RSpan, OR) - RIdx;
+      return DL == DR && (DL == 1 || DL == -1);
+    };
+    bool InRun = (K > 0 && Adjacent(K - 1)) ||
+                 (K + 1 < Lcs.Matches.size() && Adjacent(K + 1));
+    if (InRun)
+      markSimilar(L, R);
+  }
+}
+
+void ViewsDiffer::exploreSecondary(const View &LV, const View &RV, size_t I,
+                                   size_t J) {
+  ExploredPairs.clear();
+  int64_t Delta = Options.Delta;
+
+  // Candidate entries within +-delta of each cursor (SIMILAR-FROM-LINKED-
+  // VIEWS constrains gamma5/gamma6 to a constant distance from the
+  // mismatching entries).
+  for (int64_t DL = -Delta; DL <= Delta; ++DL) {
+    int64_t LI = static_cast<int64_t>(I) + DL;
+    if (LI < 0 || LI >= static_cast<int64_t>(LV.Entries.size()))
+      continue;
+    uint32_t LeftEid = LV.Entries[LI];
+    std::vector<uint32_t> LeftViews = LeftWeb.viewsOf(LeftEid);
+
+    for (int64_t DR = -Delta; DR <= Delta; ++DR) {
+      int64_t RJ = static_cast<int64_t>(J) + DR;
+      if (RJ < 0 || RJ >= static_cast<int64_t>(RV.Entries.size()))
+        continue;
+      uint32_t RightEid = RV.Entries[RJ];
+      std::vector<uint32_t> RightViews = RightWeb.viewsOf(RightEid);
+
+      for (uint32_t LViewId : LeftViews) {
+        const View &LSecondary = LeftWeb.view(LViewId);
+        if (LSecondary.Type == ViewType::Thread)
+          continue; // The thread view is the primary view itself.
+        for (uint32_t RViewId : RightViews) {
+          const View &RSecondary = RightWeb.view(RViewId);
+          if (RSecondary.Type != LSecondary.Type)
+            continue;
+
+          // Matching views: correlated by X_nu, or — under the §5
+          // relaxation — at the same distance from the current
+          // known-correlated point (the cursors).
+          bool Correlated =
+              X.rightOf(LViewId) == static_cast<int32_t>(RViewId);
+          bool Relaxed = Options.RelaxedCorrelation && DL == DR;
+          if (!Correlated && !Relaxed)
+            continue;
+
+          uint64_t PairKey =
+              (static_cast<uint64_t>(LViewId) << 32) | RViewId;
+          if (!ExploredPairs.insert(PairKey).second)
+            continue;
+
+          int64_t LPos = ViewWeb::positionOf(LSecondary, LeftEid);
+          int64_t RPos = ViewWeb::positionOf(RSecondary, RightEid);
+          if (LPos < 0 || RPos < 0)
+            continue;
+          windowedLcs(LSecondary, LPos, RSecondary, RPos);
+        }
+      }
+    }
+  }
+}
+
+std::pair<size_t, size_t> ViewsDiffer::findNextSync(const View &LV,
+                                                    const View &RV, size_t I,
+                                                    size_t J) {
+  size_t N = LV.Entries.size();
+  size_t M = RV.Entries.size();
+  // Diagonal search: smallest total skip (A + B) such that the entries at
+  // (I+A, J+B) are similar — equal under =e or anchored as a pair by the
+  // secondary-view exploration. This realizes STEP-VIEW-NOMATCH's "skip up
+  // to the next pair of similar entries" with the minimal-skip choice.
+  for (size_t D = 1; D <= Options.ScanAhead; ++D) {
+    for (size_t A = 0; A <= D; ++A) {
+      size_t B = D - A;
+      size_t LI = I + A;
+      size_t RJ = J + B;
+      if (LI >= N || RJ >= M)
+        continue;
+      uint32_t LeftEid = LV.Entries[LI];
+      uint32_t RightEid = RV.Entries[RJ];
+      if (anchoredPair(LeftEid, RightEid) || eq(LeftEid, RightEid))
+        return {LI, RJ};
+    }
+    if (I + D >= N && J + D >= M)
+      break; // Both sides exhausted within this distance.
+  }
+
+  // Local scan failed: jump to the earliest *anchor* pair ahead of both
+  // cursors. Anchors come from secondary-view exploration and "could be
+  // thousands of entries away" (§3.4) — e.g. a short object view bridging
+  // a one-sided gap of tens of thousands of entries. Hash lookups only, so
+  // this stays linear in the skipped region.
+  for (size_t LI = I; LI < N; ++LI) {
+    auto It = Anchors.find(LV.Entries[LI]);
+    if (It == Anchors.end())
+      continue;
+    int64_t RPos = ViewWeb::positionOf(RV, It->second);
+    if (RPos >= 0 && static_cast<size_t>(RPos) >= J)
+      return {LI, static_cast<size_t>(RPos)};
+  }
+  return {N, M}; // No sync point: the rest is one big difference.
+}
+
+void ViewsDiffer::emitSequences(const View &LV, const View &RV,
+                                size_t LBegin, size_t LEnd, size_t RBegin,
+                                size_t REnd) {
+  // Split the skipped region into sequences, breaking at anchored
+  // (similar) entries on either side.
+  size_t LI = LBegin;
+  size_t RJ = RBegin;
+  while (LI < LEnd || RJ < REnd) {
+    while (LI < LEnd && Result.LeftSimilar[LV.Entries[LI]])
+      ++LI;
+    while (RJ < REnd && Result.RightSimilar[RV.Entries[RJ]])
+      ++RJ;
+    if (LI >= LEnd && RJ >= REnd)
+      break;
+    DiffSequence Seq;
+    Seq.LeftTid = LV.Tid;
+    while (LI < LEnd && !Result.LeftSimilar[LV.Entries[LI]])
+      Seq.LeftEids.push_back(LV.Entries[LI++]);
+    while (RJ < REnd && !Result.RightSimilar[RV.Entries[RJ]])
+      Seq.RightEids.push_back(RV.Entries[RJ++]);
+    Result.Sequences.push_back(std::move(Seq));
+  }
+}
+
+/// True when two entries are the same event *site* — same kind, name, and
+/// target object instance — so a mismatch between them is a value
+/// modification, not an insertion/deletion.
+bool ViewsDiffer::sameSite(uint32_t LeftEid, uint32_t RightEid) const {
+  const Event &A = LT.Entries[LeftEid].Ev;
+  const Event &B = RT.Entries[RightEid].Ev;
+  return A.Kind == B.Kind && A.Name == B.Name &&
+         A.Target.ClassName == B.Target.ClassName &&
+         A.Target.CreationSeq == B.Target.CreationSeq;
+}
+
+/// Fuses consecutive sequences with no matched entry between them (a
+/// modification run flowing directly into a skip region, or region splits
+/// at anchors that later turned out adjacent): difference sequences are
+/// *maximal* contiguous runs, matching the paper's sequence counting.
+void ViewsDiffer::mergeAdjacentSequences(const View &LV, const View &RV,
+                                         size_t FirstSequence) {
+  auto Adjacent = [](const View &V, const std::vector<uint32_t> &A,
+                     const std::vector<uint32_t> &B) {
+    if (A.empty() || B.empty())
+      return true; // No constraint from an empty side.
+    int64_t End = ViewWeb::positionOf(V, A.back());
+    int64_t Begin = ViewWeb::positionOf(V, B.front());
+    return End >= 0 && Begin == End + 1;
+  };
+
+  std::vector<DiffSequence> Merged;
+  for (size_t I = FirstSequence; I != Result.Sequences.size(); ++I) {
+    DiffSequence &Seq = Result.Sequences[I];
+    if (!Merged.empty() &&
+        Adjacent(LV, Merged.back().LeftEids, Seq.LeftEids) &&
+        Adjacent(RV, Merged.back().RightEids, Seq.RightEids)) {
+      DiffSequence &Prev = Merged.back();
+      Prev.LeftEids.insert(Prev.LeftEids.end(), Seq.LeftEids.begin(),
+                           Seq.LeftEids.end());
+      Prev.RightEids.insert(Prev.RightEids.end(), Seq.RightEids.begin(),
+                            Seq.RightEids.end());
+    } else {
+      Merged.push_back(std::move(Seq));
+    }
+  }
+  Result.Sequences.resize(FirstSequence);
+  for (DiffSequence &Seq : Merged)
+    Result.Sequences.push_back(std::move(Seq));
+}
+
+void ViewsDiffer::evalThreadPair(const View &LV, const View &RV) {
+  size_t FirstSequence = Result.Sequences.size();
+  size_t N = LV.Entries.size();
+  size_t M = RV.Entries.size();
+  size_t I = 0;
+  size_t J = 0;
+  while (I < N && J < M) {
+    uint32_t LeftEid = LV.Entries[I];
+    uint32_t RightEid = RV.Entries[J];
+
+    // STEP-VIEW-MATCH.
+    if (anchoredPair(LeftEid, RightEid) || eq(LeftEid, RightEid)) {
+      markSimilar(LeftEid, RightEid);
+      ++I;
+      ++J;
+      continue;
+    }
+
+    // Modification step: the same event site with different values is a
+    // paired value difference ("the LCS gravitates towards correlating
+    // identical values, identifying the new parameter as the one
+    // difference", §3.2). Consuming it pairwise keeps secondary-view
+    // anchoring from blurring genuine value differences into matches with
+    // unrelated instances of the same event.
+    if (sameSite(LeftEid, RightEid)) {
+      DiffSequence Seq;
+      Seq.LeftTid = LV.Tid;
+      while (I < N && J < M && !eq(LV.Entries[I], RV.Entries[J]) &&
+             sameSite(LV.Entries[I], RV.Entries[J])) {
+        Seq.LeftEids.push_back(LV.Entries[I++]);
+        Seq.RightEids.push_back(RV.Entries[J++]);
+      }
+      Result.Sequences.push_back(std::move(Seq));
+      continue;
+    }
+
+    // STEP-VIEW-NOMATCH.
+    if (Options.ExploreSecondaryViews)
+      exploreSecondary(LV, RV, I, J);
+    auto [NI, NJ] = findNextSync(LV, RV, I, J);
+    emitSequences(LV, RV, I, NI, J, NJ);
+    I = NI;
+    J = NJ;
+  }
+  // Tail: whatever remains on either side is a difference (the formal
+  // semantics pads the shorter trace with eof entries, §3.1).
+  emitSequences(LV, RV, I, N, J, M);
+  mergeAdjacentSequences(LV, RV, FirstSequence);
+}
+
+void ViewsDiffer::emitWholeViewSequence(const View &V, bool IsLeft) {
+  DiffSequence Seq;
+  Seq.LeftTid = V.Tid;
+  for (uint32_t Eid : V.Entries) {
+    if (IsLeft && !Result.LeftSimilar[Eid])
+      Seq.LeftEids.push_back(Eid);
+    if (!IsLeft && !Result.RightSimilar[Eid])
+      Seq.RightEids.push_back(Eid);
+  }
+  if (!Seq.LeftEids.empty() || !Seq.RightEids.empty())
+    Result.Sequences.push_back(std::move(Seq));
+}
+
+DiffResult ViewsDiffer::run() {
+  Timer Clock;
+  Result.Left = &LT;
+  Result.Right = &RT;
+  Result.LeftSimilar.assign(LT.Entries.size(), false);
+  Result.RightSimilar.assign(RT.Entries.size(), false);
+
+  // Evaluate each correlated thread-view pair; union of the per-pair Pi
+  // sets is the final similarity set.
+  std::unordered_set<uint32_t> PairedLeft;
+  std::unordered_set<uint32_t> PairedRight;
+  for (auto [LViewId, RViewId] : X.threadPairs()) {
+    PairedLeft.insert(LViewId);
+    PairedRight.insert(RViewId);
+    evalThreadPair(LeftWeb.view(LViewId), RightWeb.view(RViewId));
+  }
+
+  // Thread views with no correlated partner are differences wholesale.
+  for (const View &V : LeftWeb.views())
+    if (V.Type == ViewType::Thread && !PairedLeft.count(V.Id))
+      emitWholeViewSequence(V, /*IsLeft=*/true);
+  for (const View &V : RightWeb.views())
+    if (V.Type == ViewType::Thread && !PairedRight.count(V.Id))
+      emitWholeViewSequence(V, /*IsLeft=*/false);
+
+  // Anchors found late can mark entries similar after they were already
+  // emitted into an earlier sequence; re-filter so sequences contain only
+  // entries that are differences in the final Pi.
+  std::vector<DiffSequence> Filtered;
+  Filtered.reserve(Result.Sequences.size());
+  for (DiffSequence &Seq : Result.Sequences) {
+    DiffSequence Clean;
+    Clean.LeftTid = Seq.LeftTid;
+    for (uint32_t Eid : Seq.LeftEids)
+      if (!Result.LeftSimilar[Eid])
+        Clean.LeftEids.push_back(Eid);
+    for (uint32_t Eid : Seq.RightEids)
+      if (!Result.RightSimilar[Eid])
+        Clean.RightEids.push_back(Eid);
+    if (!Clean.LeftEids.empty() || !Clean.RightEids.empty())
+      Filtered.push_back(std::move(Clean));
+  }
+  Result.Sequences = std::move(Filtered);
+
+  Result.Stats.CompareOps = Ops.Count;
+  Result.Stats.Seconds = Clock.seconds();
+  // Views-based memory: the similarity bitsets, the anchor map, and the
+  // view webs' entry indices — all linear in the trace sizes.
+  uint64_t WebBytes = 0;
+  for (const View &V : LeftWeb.views())
+    WebBytes += V.Entries.size() * sizeof(uint32_t);
+  for (const View &V : RightWeb.views())
+    WebBytes += V.Entries.size() * sizeof(uint32_t);
+  Result.Stats.PeakBytes = WebBytes +
+                           (LT.Entries.size() + RT.Entries.size()) / 8 +
+                           Anchors.size() * 16;
+  return Result;
+}
+
+DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
+                             const ViewCorrelation &X,
+                             const ViewsDiffOptions &Options) {
+  ViewsDiffer Differ(Left, Right, X, Options);
+  return Differ.run();
+}
+
+DiffResult rprism::viewsDiff(const Trace &Left, const Trace &Right,
+                             const ViewsDiffOptions &Options) {
+  ViewWeb LeftWeb(Left);
+  ViewWeb RightWeb(Right);
+  ViewCorrelation X(LeftWeb, RightWeb);
+  return viewsDiff(LeftWeb, RightWeb, X, Options);
+}

@@ -1,0 +1,61 @@
+//===- diff/ViewsDiff.h - Views-based trace differencing (§3.3) -----------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The views-based differencing semantics. Each pair of correlated thread
+/// views is evaluated with two alternating rules:
+///
+///   STEP-VIEW-MATCH    — equal heads (by =e) enter the similarity set Pi
+///                        and both cursors advance (lock-step scanning);
+///   STEP-VIEW-NOMATCH  — at a mismatch, secondary views linked to entries
+///                        near the cursors are explored: views correlated
+///                        by X_nu (or by the §5 *relaxed* context-sensitive
+///                        rule: same offset from the last known-correlated
+///                        point) are compared via LCS over fixed-size
+///                        windows, and the matches become *anchors* added
+///                        to Pi (LinkedSimilarEntries). The cursors then
+///                        skip to the next pair of similar entries.
+///
+/// Anchors can mark entries far from the cursors as similar, which is what
+/// makes the technique resilient to reorderings that plain LCS reports as
+/// differences (§3.4) — and what makes difference sequences finer-grained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_DIFF_VIEWSDIFF_H
+#define RPRISM_DIFF_VIEWSDIFF_H
+
+#include "correlate/Correlate.h"
+#include "diff/DiffResult.h"
+
+namespace rprism {
+
+/// Tunables of the views-based semantics. Delta and Window are the paper's
+/// two fixed constants (entry neighborhood and LCS window); ScanAhead
+/// bounds the re-synchronization search so overall work stays linear.
+struct ViewsDiffOptions {
+  unsigned Delta = 6;     ///< +-delta entries around a mismatch explored.
+  unsigned Window = 12;   ///< Half-window for secondary-view LCS.
+  unsigned ScanAhead = 4096; ///< Max skip to the next sync point.
+  bool ExploreSecondaryViews = true; ///< Ablation: off = pure lock-step.
+  bool RelaxedCorrelation = true;    ///< §5 refactoring tolerance.
+};
+
+/// Runs the views-based differencing over two view webs whose traces share
+/// a string interner. \p X supplies the view correlation (including the
+/// X_TH thread pairs that seed the evaluation).
+DiffResult viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
+                     const ViewCorrelation &X,
+                     const ViewsDiffOptions &Options = ViewsDiffOptions());
+
+/// Convenience: builds webs + correlation internally.
+DiffResult viewsDiff(const Trace &Left, const Trace &Right,
+                     const ViewsDiffOptions &Options = ViewsDiffOptions());
+
+} // namespace rprism
+
+#endif // RPRISM_DIFF_VIEWSDIFF_H

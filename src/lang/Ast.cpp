@@ -1,0 +1,89 @@
+//===- lang/Ast.cpp -------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace rprism;
+
+// Out-of-line virtual anchors.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+std::string TypeRef::name() const {
+  switch (Kind) {
+  case TypeKind::Unit:  return "Unit";
+  case TypeKind::Int:   return "Int";
+  case TypeKind::Bool:  return "Bool";
+  case TypeKind::Float: return "Float";
+  case TypeKind::Str:   return "Str";
+  case TypeKind::Class: return ClassName;
+  }
+  return "?";
+}
+
+const char *rprism::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:   return "+";
+  case BinOp::Sub:   return "-";
+  case BinOp::Mul:   return "*";
+  case BinOp::Div:   return "/";
+  case BinOp::Rem:   return "%";
+  case BinOp::Lt:    return "<";
+  case BinOp::LtEq:  return "<=";
+  case BinOp::Gt:    return ">";
+  case BinOp::GtEq:  return ">=";
+  case BinOp::Eq:    return "==";
+  case BinOp::NotEq: return "!=";
+  case BinOp::And:   return "&&";
+  case BinOp::Or:    return "||";
+  }
+  return "?";
+}
+
+namespace {
+struct BuiltinInfo {
+  BuiltinKind Kind;
+  const char *Name;
+  unsigned Arity;
+};
+
+constexpr BuiltinInfo Builtins[] = {
+    {BuiltinKind::Input, "input", 1},
+    {BuiltinKind::InputInt, "inputInt", 1},
+    {BuiltinKind::Len, "len", 1},
+    {BuiltinKind::CharAt, "charAt", 2},
+    {BuiltinKind::Substr, "substr", 3},
+    {BuiltinKind::Chr, "chr", 1},
+    {BuiltinKind::Ord, "ord", 1},
+    {BuiltinKind::StrOfInt, "strOfInt", 1},
+    {BuiltinKind::StrOfFloat, "strOfFloat", 1},
+    {BuiltinKind::ParseInt, "parseInt", 1},
+    {BuiltinKind::Contains, "contains", 2},
+    {BuiltinKind::IndexOf, "indexOf", 2},
+    {BuiltinKind::IntOfFloat, "intOfFloat", 1},
+    {BuiltinKind::FloatOfInt, "floatOfInt", 1},
+};
+} // namespace
+
+const char *rprism::builtinName(BuiltinKind Kind) {
+  for (const auto &Info : Builtins)
+    if (Info.Kind == Kind)
+      return Info.Name;
+  return "?";
+}
+
+bool rprism::lookupBuiltin(const std::string &Name, BuiltinKind &KindOut) {
+  for (const auto &Info : Builtins) {
+    if (Name == Info.Name) {
+      KindOut = Info.Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+unsigned rprism::builtinArity(BuiltinKind Kind) {
+  for (const auto &Info : Builtins)
+    if (Info.Kind == Kind)
+      return Info.Arity;
+  return 0;
+}

@@ -1,0 +1,411 @@
+//===- lang/Ast.h - AST for the core language ------------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the paper's core language (Fig. 3): classes with
+/// fields, constructors and methods, object creation, field access and
+/// assignment, method invocation, sequences of terms, value objects
+/// (Int/Bool/Float/Str), and thread terms (spawn). The surface language adds
+/// local variables, `if`/`while`, builtin calls, and `print` (observable
+/// output, used to define regressions); none of these extend the paper's
+/// trace grammar.
+///
+/// Every node carries a NodeId unique within its Program. Trace entries keep
+/// the NodeId of the construct that emitted them as *provenance*, used only
+/// to score the analysis against injected ground truth (never read by the
+/// analysis itself).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_LANG_AST_H
+#define RPRISM_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// Unique id of an AST node within one Program.
+using NodeId = uint32_t;
+
+/// Invalid / "no node" sentinel.
+inline constexpr NodeId NoNode = 0;
+
+/// Builtin value categories plus user classes.
+enum class TypeKind : uint8_t { Unit, Int, Bool, Float, Str, Class };
+
+/// A syntactic type reference; ClassId is filled in by the Checker for
+/// TypeKind::Class.
+struct TypeRef {
+  TypeKind Kind = TypeKind::Unit;
+  std::string ClassName;          ///< Only for TypeKind::Class.
+  uint32_t ClassId = ~0u;         ///< Resolved by the Checker.
+
+  static TypeRef unitTy() { return {TypeKind::Unit, "", ~0u}; }
+  static TypeRef intTy() { return {TypeKind::Int, "", ~0u}; }
+  static TypeRef boolTy() { return {TypeKind::Bool, "", ~0u}; }
+  static TypeRef floatTy() { return {TypeKind::Float, "", ~0u}; }
+  static TypeRef strTy() { return {TypeKind::Str, "", ~0u}; }
+  static TypeRef classTy(std::string Name) {
+    return {TypeKind::Class, std::move(Name), ~0u};
+  }
+
+  bool isClass() const { return Kind == TypeKind::Class; }
+  /// Human-readable name ("Int", "Str", or the class name).
+  std::string name() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  StrLit,
+  NullLit,
+  UnitLit,
+  VarRef,
+  ThisRef,
+  FieldGet,   // e.f
+  FieldSet,   // e.f = e   (a term per Fig. 3)
+  VarSet,     // x = e
+  MethodCall, // e.m(args)
+  New,        // new C(args)
+  Binary,
+  Unary,
+  Builtin,    // name(args) — library functions excluded from tracing
+};
+
+/// Base of all expressions.
+struct Expr {
+  const ExprKind Kind;
+  NodeId Id = NoNode;
+  int Line = 0;
+  int Col = 0;
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+  virtual ~Expr();
+
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value = 0;
+  IntLitExpr() : Expr(ExprKind::IntLit) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::IntLit; }
+};
+
+struct FloatLitExpr : Expr {
+  double Value = 0;
+  FloatLitExpr() : Expr(ExprKind::FloatLit) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::FloatLit; }
+};
+
+struct BoolLitExpr : Expr {
+  bool Value = false;
+  BoolLitExpr() : Expr(ExprKind::BoolLit) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::BoolLit; }
+};
+
+struct StrLitExpr : Expr {
+  std::string Value;
+  StrLitExpr() : Expr(ExprKind::StrLit) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::StrLit; }
+};
+
+struct NullLitExpr : Expr {
+  NullLitExpr() : Expr(ExprKind::NullLit) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::NullLit; }
+};
+
+struct UnitLitExpr : Expr {
+  UnitLitExpr() : Expr(ExprKind::UnitLit) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::UnitLit; }
+};
+
+struct VarRefExpr : Expr {
+  std::string Name;
+  int Slot = -1; ///< Local slot, resolved by the Checker.
+  VarRefExpr() : Expr(ExprKind::VarRef) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::VarRef; }
+};
+
+struct ThisRefExpr : Expr {
+  ThisRefExpr() : Expr(ExprKind::ThisRef) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::ThisRef; }
+};
+
+struct FieldGetExpr : Expr {
+  ExprPtr Object;
+  std::string FieldName;
+  int FieldSlot = -1; ///< Field slot in the object layout (Checker).
+  FieldGetExpr() : Expr(ExprKind::FieldGet) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::FieldGet; }
+};
+
+struct FieldSetExpr : Expr {
+  ExprPtr Object;
+  std::string FieldName;
+  ExprPtr Value;
+  int FieldSlot = -1;
+  FieldSetExpr() : Expr(ExprKind::FieldSet) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::FieldSet; }
+};
+
+struct VarSetExpr : Expr {
+  std::string Name;
+  ExprPtr Value;
+  int Slot = -1;
+  VarSetExpr() : Expr(ExprKind::VarSet) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::VarSet; }
+};
+
+struct MethodCallExpr : Expr {
+  ExprPtr Receiver;
+  std::string MethodName;
+  std::vector<ExprPtr> Args;
+  MethodCallExpr() : Expr(ExprKind::MethodCall) {}
+  static bool classof(const Expr *E) {
+    return E->Kind == ExprKind::MethodCall;
+  }
+};
+
+struct NewExpr : Expr {
+  std::string ClassName;
+  std::vector<ExprPtr> Args;
+  uint32_t ClassId = ~0u; ///< Resolved by the Checker.
+  NewExpr() : Expr(ExprKind::New) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::New; }
+};
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Lt, LtEq, Gt, GtEq, Eq, NotEq,
+  And, Or,
+};
+
+const char *binOpName(BinOp Op);
+
+struct BinaryExpr : Expr {
+  BinOp Op = BinOp::Add;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+  BinaryExpr() : Expr(ExprKind::Binary) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Binary; }
+};
+
+enum class UnOp : uint8_t { Not, Neg };
+
+struct UnaryExpr : Expr {
+  UnOp Op = UnOp::Not;
+  ExprPtr Operand;
+  UnaryExpr() : Expr(ExprKind::Unary) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Unary; }
+};
+
+/// Builtin library functions. These model "library internals excluded from
+/// tracing via AspectJ pointcuts" (paper §5): they compute but emit no
+/// trace events.
+enum class BuiltinKind : uint8_t {
+  Input,      // input(Int) -> Str          harness-provided test input
+  InputInt,   // inputInt(Int) -> Int
+  Len,        // len(Str) -> Int
+  CharAt,     // charAt(Str, Int) -> Int    code unit value
+  Substr,     // substr(Str, Int, Int) -> Str   [start, start+len)
+  Chr,        // chr(Int) -> Str
+  Ord,        // ord(Str) -> Int            first code unit, -1 if empty
+  StrOfInt,   // strOfInt(Int) -> Str
+  StrOfFloat, // strOfFloat(Float) -> Str
+  ParseInt,   // parseInt(Str) -> Int       0 on malformed input
+  Contains,   // contains(Str, Str) -> Bool
+  IndexOf,    // indexOf(Str, Str) -> Int   -1 if absent
+  IntOfFloat, // intOfFloat(Float) -> Int   truncation
+  FloatOfInt, // floatOfInt(Int) -> Float
+};
+
+/// Returns the surface name ("substr") of a builtin.
+const char *builtinName(BuiltinKind Kind);
+
+/// Looks up a builtin by surface name; returns false if not one.
+bool lookupBuiltin(const std::string &Name, BuiltinKind &KindOut);
+
+/// Number of parameters of a builtin.
+unsigned builtinArity(BuiltinKind Kind);
+
+struct BuiltinExpr : Expr {
+  BuiltinKind Builtin = BuiltinKind::Len;
+  std::vector<ExprPtr> Args;
+  BuiltinExpr() : Expr(ExprKind::Builtin) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Builtin; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  VarDecl,
+  ExprStmt,
+  If,
+  While,
+  Return,
+  Print,
+  Spawn,
+  SuperCall, // super(args); — only as the first statement of a constructor
+};
+
+struct Stmt {
+  const StmtKind Kind;
+  NodeId Id = NoNode;
+  int Line = 0;
+  int Col = 0;
+
+  explicit Stmt(StmtKind K) : Kind(K) {}
+  virtual ~Stmt();
+
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Stmts;
+  BlockStmt() : Stmt(StmtKind::Block) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Block; }
+};
+
+struct VarDeclStmt : Stmt {
+  std::string Name;
+  ExprPtr Init;
+  int Slot = -1; ///< Resolved by the Checker.
+  VarDeclStmt() : Stmt(StmtKind::VarDecl) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::VarDecl; }
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  ExprStmt() : Stmt(StmtKind::ExprStmt) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::ExprStmt; }
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  std::unique_ptr<BlockStmt> Then;
+  StmtPtr Else; ///< BlockStmt or IfStmt; may be null.
+  IfStmt() : Stmt(StmtKind::If) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::If; }
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  std::unique_ptr<BlockStmt> Body;
+  WhileStmt() : Stmt(StmtKind::While) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::While; }
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< Null means `return;` == `return unit;`.
+  ReturnStmt() : Stmt(StmtKind::Return) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Return; }
+};
+
+struct PrintStmt : Stmt {
+  ExprPtr Value;
+  PrintStmt() : Stmt(StmtKind::Print) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Print; }
+};
+
+/// `spawn e.m(args);` — runs the call in a new thread (Fig. 3 thread term).
+/// Receiver and arguments are evaluated in the spawning thread.
+struct SpawnStmt : Stmt {
+  std::unique_ptr<MethodCallExpr> Call;
+  SpawnStmt() : Stmt(StmtKind::Spawn) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Spawn; }
+};
+
+struct SuperCallStmt : Stmt {
+  std::vector<ExprPtr> Args;
+  SuperCallStmt() : Stmt(StmtKind::SuperCall) {}
+  static bool classof(const Stmt *S) {
+    return S->Kind == StmtKind::SuperCall;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  TypeRef Type;
+  std::string Name;
+  int Line = 0;
+  int Col = 0;
+};
+
+struct MethodDecl {
+  NodeId Id = NoNode;
+  bool IsCtor = false;
+  TypeRef RetType;
+  std::string Name; ///< "<init>" for constructors.
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  int Line = 0;
+  int Col = 0;
+  unsigned NumLocals = 0; ///< Params + vars; filled in by the Checker.
+};
+
+struct FieldDecl {
+  NodeId Id = NoNode;
+  TypeRef Type;
+  std::string Name;
+  int Line = 0;
+  int Col = 0;
+};
+
+struct ClassDecl {
+  NodeId Id = NoNode;
+  std::string Name;
+  std::string SuperName; ///< "Object" when not written.
+  std::vector<FieldDecl> Fields;
+  std::vector<std::unique_ptr<MethodDecl>> Methods; ///< Ctor included.
+  int Line = 0;
+  int Col = 0;
+};
+
+/// A whole program: class declarations plus the `main { ... }` block (the
+/// program thread term of Fig. 3).
+struct Program {
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+  std::unique_ptr<MethodDecl> Main; ///< Body of `main`; Name == "main".
+  NodeId NumNodes = 1;              ///< Node ids are 1..NumNodes-1.
+};
+
+/// LLVM-style checked downcasts over the Kind tags (no RTTI).
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+
+template <typename To, typename From> To *cast(From *Node) {
+  return To::classof(Node) ? static_cast<To *>(Node) : nullptr;
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  return To::classof(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+} // namespace rprism
+
+#endif // RPRISM_LANG_AST_H

@@ -1,0 +1,851 @@
+//===- lang/Checker.cpp ---------------------------------------------------===//
+
+#include "lang/Checker.h"
+
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace rprism;
+
+bool CheckedProgram::isSubclassOf(uint32_t Sub, uint32_t Super) const {
+  for (uint32_t C = Sub; C != ~0u; C = Classes[C].SuperId)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Internal type representation during checking: a TypeRef plus a marker
+/// for the type of `null`, which is assignable to any class type.
+struct Ty {
+  TypeKind Kind = TypeKind::Unit;
+  uint32_t ClassId = ~0u;
+  bool IsNull = false;
+
+  static Ty unit() { return {TypeKind::Unit, ~0u, false}; }
+  static Ty ofInt() { return {TypeKind::Int, ~0u, false}; }
+  static Ty ofBool() { return {TypeKind::Bool, ~0u, false}; }
+  static Ty ofFloat() { return {TypeKind::Float, ~0u, false}; }
+  static Ty ofStr() { return {TypeKind::Str, ~0u, false}; }
+  static Ty ofClass(uint32_t Id) { return {TypeKind::Class, Id, false}; }
+  static Ty ofNull() { return {TypeKind::Class, ~0u, true}; }
+
+  bool isClass() const { return Kind == TypeKind::Class; }
+};
+
+/// Lexically scoped local-variable environment with slot allocation.
+class Scope {
+public:
+  void push() { Marks.push_back(Names.size()); }
+
+  void pop() {
+    size_t Mark = Marks.back();
+    Marks.pop_back();
+    Names.resize(Mark);
+  }
+
+  /// Declares a new local; returns its slot or -1 if the name is already
+  /// bound in the innermost scope.
+  int declare(const std::string &Name, Ty Type) {
+    size_t InnerStart = Marks.empty() ? 0 : Marks.back();
+    for (size_t I = InnerStart; I != Names.size(); ++I)
+      if (Names[I].Name == Name)
+        return -1;
+    int Slot = NextSlot++;
+    Names.push_back({Name, Type, Slot});
+    if (NextSlot > MaxSlots)
+      MaxSlots = NextSlot;
+    return Slot;
+  }
+
+  /// Looks up a name through all scopes; returns nullptr when unbound.
+  const Ty *lookup(const std::string &Name, int &SlotOut) const {
+    for (auto It = Names.rbegin(); It != Names.rend(); ++It) {
+      if (It->Name == Name) {
+        SlotOut = It->Slot;
+        return &It->Type;
+      }
+    }
+    return nullptr;
+  }
+
+  unsigned maxSlots() const { return static_cast<unsigned>(MaxSlots); }
+
+  void reset() {
+    Names.clear();
+    Marks.clear();
+    NextSlot = 0;
+    MaxSlots = 0;
+  }
+
+private:
+  struct Binding {
+    std::string Name;
+    Ty Type;
+    int Slot;
+  };
+  std::vector<Binding> Names;
+  std::vector<size_t> Marks;
+  int NextSlot = 0;
+  int MaxSlots = 0;
+};
+
+/// The checker proper. Phases: collect classes, resolve inheritance and
+/// layouts, then check each method body.
+class Checker {
+public:
+  explicit Checker(Program Ast) { Out.Ast = std::move(Ast); }
+
+  Expected<CheckedProgram> run();
+
+private:
+  bool fail(std::string Message, int Line, int Col) {
+    if (Failed)
+      return false;
+    Failed = true;
+    Failure = makeErr(std::move(Message), Line, Col);
+    return false;
+  }
+
+  bool collectClasses();
+  bool resolveClass(uint32_t Id, std::vector<uint8_t> &State);
+  bool resolveTypeRef(TypeRef &Type, int Line, int Col);
+  bool checkMethodBody(uint32_t ClassId, MethodDecl &Method);
+  bool checkBlock(BlockStmt &Block);
+  bool checkStmt(Stmt &S);
+  Ty typeofExpr(Expr &E);
+  bool assignable(const Ty &From, const Ty &To);
+  Ty tyOf(const TypeRef &Type) const;
+  std::string tyName(const Ty &Type) const;
+
+  CheckedProgram Out;
+  bool Failed = false;
+  Err Failure;
+
+  // Per-method state.
+  Scope Locals;
+  uint32_t CurClass = ~0u; ///< ~0u in `main`.
+  const MethodDecl *CurMethod = nullptr;
+};
+
+} // namespace
+
+Ty Checker::tyOf(const TypeRef &Type) const {
+  if (Type.Kind == TypeKind::Class)
+    return Ty::ofClass(Type.ClassId);
+  Ty T;
+  T.Kind = Type.Kind;
+  return T;
+}
+
+std::string Checker::tyName(const Ty &Type) const {
+  if (Type.IsNull)
+    return "null";
+  switch (Type.Kind) {
+  case TypeKind::Unit:  return "Unit";
+  case TypeKind::Int:   return "Int";
+  case TypeKind::Bool:  return "Bool";
+  case TypeKind::Float: return "Float";
+  case TypeKind::Str:   return "Str";
+  case TypeKind::Class: return Out.Classes[Type.ClassId].Name;
+  }
+  return "?";
+}
+
+bool Checker::assignable(const Ty &From, const Ty &To) {
+  if (To.Kind != TypeKind::Class)
+    return !From.IsNull && From.Kind == To.Kind;
+  if (From.IsNull)
+    return true;
+  if (From.Kind != TypeKind::Class)
+    return false;
+  return Out.isSubclassOf(From.ClassId, To.ClassId);
+}
+
+bool Checker::collectClasses() {
+  // Implicit root class Object.
+  ClassInfo Object;
+  Object.Name = "Object";
+  Object.Id = 0;
+  Out.Classes.push_back(std::move(Object));
+  Out.ClassIndex.emplace("Object", 0);
+
+  for (const auto &Class : Out.Ast.Classes) {
+    if (Out.ClassIndex.count(Class->Name))
+      return fail("duplicate class '" + Class->Name + "'", Class->Line,
+                  Class->Col);
+    ClassInfo Info;
+    Info.Name = Class->Name;
+    Info.Id = static_cast<uint32_t>(Out.Classes.size());
+    Info.Decl = Class.get();
+    Out.ClassIndex.emplace(Class->Name, Info.Id);
+    Out.Classes.push_back(std::move(Info));
+  }
+  return true;
+}
+
+bool Checker::resolveTypeRef(TypeRef &Type, int Line, int Col) {
+  if (Type.Kind != TypeKind::Class)
+    return true;
+  auto It = Out.ClassIndex.find(Type.ClassName);
+  if (It == Out.ClassIndex.end())
+    return fail("unknown class '" + Type.ClassName + "'", Line, Col);
+  Type.ClassId = It->second;
+  return true;
+}
+
+/// Resolves superclass links, field layouts, and method tables.
+/// \p State: 0 = unvisited, 1 = in progress (cycle!), 2 = done.
+bool Checker::resolveClass(uint32_t Id, std::vector<uint8_t> &State) {
+  if (State[Id] == 2)
+    return true;
+  ClassInfo &Info = Out.Classes[Id];
+  if (State[Id] == 1)
+    return fail("inheritance cycle through class '" + Info.Name + "'",
+                Info.Decl ? Info.Decl->Line : 0,
+                Info.Decl ? Info.Decl->Col : 0);
+  State[Id] = 1;
+
+  if (Info.Decl) {
+    auto SuperIt = Out.ClassIndex.find(Info.Decl->SuperName);
+    if (SuperIt == Out.ClassIndex.end())
+      return fail("unknown superclass '" + Info.Decl->SuperName + "'",
+                  Info.Decl->Line, Info.Decl->Col);
+    Info.SuperId = SuperIt->second;
+    if (!resolveClass(Info.SuperId, State))
+      return false;
+
+    // Inherit the superclass layout and dispatch table.
+    const ClassInfo &Super = Out.Classes[Info.SuperId];
+    Info.Fields = Super.Fields;
+    Info.FieldIndex = Super.FieldIndex;
+    Info.Methods = Super.Methods;
+    Info.MethodIndex = Super.MethodIndex;
+    Info.CtorIndex = -1; // Constructors are not inherited.
+    if (Super.CtorIndex >= 0) {
+      // Remove the inherited ctor entry from the dispatch table; it stays
+      // in Methods (index stability) but is unreachable via "<init>".
+      Info.MethodIndex.erase("<init>");
+    }
+
+    // Own fields.
+    for (FieldDecl &Field : Info.Decl->Fields) {
+      if (!resolveTypeRef(Field.Type, Field.Line, Field.Col))
+        return false;
+      if (Info.FieldIndex.count(Field.Name))
+        return fail("field '" + Field.Name + "' in class '" + Info.Name +
+                        "' clashes with an existing field",
+                    Field.Line, Field.Col);
+      uint32_t Slot = static_cast<uint32_t>(Info.Fields.size());
+      Info.FieldIndex.emplace(Field.Name, Slot);
+      Info.Fields.push_back({Field.Name, Field.Type, Id, Field.Id});
+    }
+
+    // Own methods (constructor included under "<init>").
+    for (auto &Method : Info.Decl->Methods) {
+      if (!resolveTypeRef(Method->RetType, Method->Line, Method->Col))
+        return false;
+      MethodInfo MInfo;
+      MInfo.Name = Method->Name;
+      MInfo.DeclClass = Id;
+      MInfo.Decl = Method.get();
+      MInfo.RetType = Method->RetType;
+      for (ParamDecl &Param : Method->Params) {
+        if (!resolveTypeRef(Param.Type, Param.Line, Param.Col))
+          return false;
+        MInfo.ParamTypes.push_back(Param.Type);
+      }
+
+      auto Existing = Info.MethodIndex.find(Method->Name);
+      if (Existing != Info.MethodIndex.end()) {
+        MethodInfo &Old = Info.Methods[Existing->second];
+        if (Old.DeclClass == Id)
+          return fail("duplicate method '" + Method->Name + "' in class '" +
+                          Info.Name + "'",
+                      Method->Line, Method->Col);
+        // Override: require an identical signature (FJ-style).
+        bool SameSig = Old.ParamTypes.size() == MInfo.ParamTypes.size() &&
+                       Old.RetType.Kind == MInfo.RetType.Kind &&
+                       (!Old.RetType.isClass() ||
+                        Old.RetType.ClassId == MInfo.RetType.ClassId);
+        for (size_t I = 0; SameSig && I != Old.ParamTypes.size(); ++I) {
+          const TypeRef &A = Old.ParamTypes[I];
+          const TypeRef &B = MInfo.ParamTypes[I];
+          SameSig = A.Kind == B.Kind &&
+                    (!A.isClass() || A.ClassId == B.ClassId);
+        }
+        if (!SameSig)
+          return fail("override of '" + Method->Name +
+                          "' changes the signature",
+                      Method->Line, Method->Col);
+        Info.Methods[Existing->second] = std::move(MInfo);
+        if (Method->IsCtor)
+          Info.CtorIndex = static_cast<int>(Existing->second);
+      } else {
+        uint32_t Index = static_cast<uint32_t>(Info.Methods.size());
+        Info.MethodIndex.emplace(Method->Name, Index);
+        Info.Methods.push_back(std::move(MInfo));
+        if (Method->IsCtor)
+          Info.CtorIndex = static_cast<int>(Index);
+      }
+    }
+  }
+
+  State[Id] = 2;
+  return true;
+}
+
+bool Checker::checkMethodBody(uint32_t ClassId, MethodDecl &Method) {
+  Locals.reset();
+  CurClass = ClassId;
+  CurMethod = &Method;
+
+  Locals.push();
+  for (ParamDecl &Param : Method.Params) {
+    if (Locals.declare(Param.Name, tyOf(Param.Type)) < 0)
+      return fail("duplicate parameter '" + Param.Name + "'", Param.Line,
+                  Param.Col);
+  }
+
+  // A constructor body may start with super(...); anywhere else SuperCall
+  // is rejected in checkStmt. Verify the implicit-super case here.
+  if (Method.IsCtor && ClassId != ~0u) {
+    const ClassInfo &Info = Out.Classes[ClassId];
+    bool HasExplicitSuper =
+        !Method.Body->Stmts.empty() &&
+        Method.Body->Stmts.front()->Kind == StmtKind::SuperCall;
+    if (!HasExplicitSuper && Info.SuperId != ~0u &&
+        Out.Classes[Info.SuperId].ctorArity() != 0)
+      return fail("constructor of '" + Info.Name +
+                      "' must call super(...) first: superclass "
+                      "constructor takes arguments",
+                  Method.Line, Method.Col);
+  }
+
+  if (!checkBlock(*Method.Body))
+    return false;
+  Locals.pop();
+  Method.NumLocals = Locals.maxSlots();
+  return true;
+}
+
+bool Checker::checkBlock(BlockStmt &Block) {
+  Locals.push();
+  for (StmtPtr &S : Block.Stmts)
+    if (!checkStmt(*S))
+      return false;
+  Locals.pop();
+  return true;
+}
+
+bool Checker::checkStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    return checkBlock(static_cast<BlockStmt &>(S));
+
+  case StmtKind::VarDecl: {
+    auto &Decl = static_cast<VarDeclStmt &>(S);
+    Ty Init = typeofExpr(*Decl.Init);
+    if (Failed)
+      return false;
+    if (Init.IsNull)
+      return fail("cannot infer a type for 'var " + Decl.Name +
+                      " = null'; initialize from a typed expression",
+                  Decl.Line, Decl.Col);
+    int Slot = Locals.declare(Decl.Name, Init);
+    if (Slot < 0)
+      return fail("redeclaration of '" + Decl.Name + "'", Decl.Line,
+                  Decl.Col);
+    Decl.Slot = Slot;
+    return true;
+  }
+
+  case StmtKind::ExprStmt:
+    typeofExpr(*static_cast<ExprStmt &>(S).E);
+    return !Failed;
+
+  case StmtKind::If: {
+    auto &If = static_cast<IfStmt &>(S);
+    Ty Cond = typeofExpr(*If.Cond);
+    if (Failed)
+      return false;
+    if (Cond.Kind != TypeKind::Bool)
+      return fail("if condition must be Bool, got " + tyName(Cond), If.Line,
+                  If.Col);
+    if (!checkBlock(*If.Then))
+      return false;
+    if (If.Else)
+      return checkStmt(*If.Else);
+    return true;
+  }
+
+  case StmtKind::While: {
+    auto &While = static_cast<WhileStmt &>(S);
+    Ty Cond = typeofExpr(*While.Cond);
+    if (Failed)
+      return false;
+    if (Cond.Kind != TypeKind::Bool)
+      return fail("while condition must be Bool, got " + tyName(Cond),
+                  While.Line, While.Col);
+    return checkBlock(*While.Body);
+  }
+
+  case StmtKind::Return: {
+    auto &Ret = static_cast<ReturnStmt &>(S);
+    Ty Value = Ty::unit();
+    if (Ret.Value) {
+      Value = typeofExpr(*Ret.Value);
+      if (Failed)
+        return false;
+    }
+    assert(CurMethod && "return outside any method");
+    Ty Want = tyOf(CurMethod->RetType);
+    if (CurMethod->IsCtor || CurMethod->Name == "main") {
+      if (Ret.Value && Value.Kind != TypeKind::Unit)
+        return fail("constructors and main return no value", Ret.Line,
+                    Ret.Col);
+      return true;
+    }
+    if (!assignable(Value, Want))
+      return fail("return type mismatch: expected " +
+                      CurMethod->RetType.name() + ", got " + tyName(Value),
+                  Ret.Line, Ret.Col);
+    return true;
+  }
+
+  case StmtKind::Print: {
+    auto &Print = static_cast<PrintStmt &>(S);
+    Ty Value = typeofExpr(*Print.Value);
+    if (Failed)
+      return false;
+    if (Value.Kind == TypeKind::Class || Value.IsNull)
+      return fail("print takes a value type (Int/Bool/Float/Str), got " +
+                      tyName(Value),
+                  Print.Line, Print.Col);
+    return true;
+  }
+
+  case StmtKind::Spawn: {
+    auto &Spawn = static_cast<SpawnStmt &>(S);
+    typeofExpr(*Spawn.Call);
+    return !Failed;
+  }
+
+  case StmtKind::SuperCall: {
+    auto &Super = static_cast<SuperCallStmt &>(S);
+    if (CurClass == ~0u || !CurMethod || !CurMethod->IsCtor)
+      return fail("super(...) is only allowed in a constructor", Super.Line,
+                  Super.Col);
+    const ClassInfo &Info = Out.Classes[CurClass];
+    // Only as the first statement.
+    if (CurMethod->Body->Stmts.empty() ||
+        CurMethod->Body->Stmts.front().get() != &S)
+      return fail("super(...) must be the first statement", Super.Line,
+                  Super.Col);
+    const ClassInfo &SuperInfo = Out.Classes[Info.SuperId];
+    if (Super.Args.size() != SuperInfo.ctorArity())
+      return fail("super(...) arity mismatch: '" + SuperInfo.Name +
+                      "' constructor takes " +
+                      std::to_string(SuperInfo.ctorArity()) + " arguments",
+                  Super.Line, Super.Col);
+    for (size_t I = 0; I != Super.Args.size(); ++I) {
+      Ty Arg = typeofExpr(*Super.Args[I]);
+      if (Failed)
+        return false;
+      Ty Want = tyOf(SuperInfo.Methods[SuperInfo.CtorIndex].ParamTypes[I]);
+      if (!assignable(Arg, Want))
+        return fail("super(...) argument " + std::to_string(I + 1) +
+                        " type mismatch",
+                    Super.Line, Super.Col);
+    }
+    return true;
+  }
+  }
+  return fail("unhandled statement kind", S.Line, S.Col);
+}
+
+Ty Checker::typeofExpr(Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:   return Ty::ofInt();
+  case ExprKind::FloatLit: return Ty::ofFloat();
+  case ExprKind::BoolLit:  return Ty::ofBool();
+  case ExprKind::StrLit:   return Ty::ofStr();
+  case ExprKind::UnitLit:  return Ty::unit();
+  case ExprKind::NullLit:  return Ty::ofNull();
+
+  case ExprKind::ThisRef:
+    if (CurClass == ~0u) {
+      fail("'this' cannot appear in main", E.Line, E.Col);
+      return Ty::unit();
+    }
+    return Ty::ofClass(CurClass);
+
+  case ExprKind::VarRef: {
+    auto &Ref = static_cast<VarRefExpr &>(E);
+    int Slot = -1;
+    const Ty *Type = Locals.lookup(Ref.Name, Slot);
+    if (!Type) {
+      fail("unknown variable '" + Ref.Name + "'", E.Line, E.Col);
+      return Ty::unit();
+    }
+    Ref.Slot = Slot;
+    return *Type;
+  }
+
+  case ExprKind::VarSet: {
+    auto &Set = static_cast<VarSetExpr &>(E);
+    int Slot = -1;
+    const Ty *Type = Locals.lookup(Set.Name, Slot);
+    if (!Type) {
+      fail("unknown variable '" + Set.Name + "'", E.Line, E.Col);
+      return Ty::unit();
+    }
+    Set.Slot = Slot;
+    Ty Value = typeofExpr(*Set.Value);
+    if (Failed)
+      return Ty::unit();
+    if (!assignable(Value, *Type)) {
+      fail("cannot assign " + tyName(Value) + " to '" + Set.Name +
+               "' of type " + tyName(*Type),
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    return *Type;
+  }
+
+  case ExprKind::FieldGet: {
+    auto &Get = static_cast<FieldGetExpr &>(E);
+    Ty Obj = typeofExpr(*Get.Object);
+    if (Failed)
+      return Ty::unit();
+    if (!Obj.isClass() || Obj.IsNull) {
+      fail("field access on non-object type " + tyName(Obj), E.Line, E.Col);
+      return Ty::unit();
+    }
+    const ClassInfo &Info = Out.Classes[Obj.ClassId];
+    auto It = Info.FieldIndex.find(Get.FieldName);
+    if (It == Info.FieldIndex.end()) {
+      fail("class '" + Info.Name + "' has no field '" + Get.FieldName + "'",
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    Get.FieldSlot = static_cast<int>(It->second);
+    return tyOf(Info.Fields[It->second].Type);
+  }
+
+  case ExprKind::FieldSet: {
+    auto &Set = static_cast<FieldSetExpr &>(E);
+    Ty Obj = typeofExpr(*Set.Object);
+    if (Failed)
+      return Ty::unit();
+    if (!Obj.isClass() || Obj.IsNull) {
+      fail("field assignment on non-object type " + tyName(Obj), E.Line,
+           E.Col);
+      return Ty::unit();
+    }
+    const ClassInfo &Info = Out.Classes[Obj.ClassId];
+    auto It = Info.FieldIndex.find(Set.FieldName);
+    if (It == Info.FieldIndex.end()) {
+      fail("class '" + Info.Name + "' has no field '" + Set.FieldName + "'",
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    Set.FieldSlot = static_cast<int>(It->second);
+    Ty Want = tyOf(Info.Fields[It->second].Type);
+    Ty Value = typeofExpr(*Set.Value);
+    if (Failed)
+      return Ty::unit();
+    if (!assignable(Value, Want)) {
+      fail("cannot assign " + tyName(Value) + " to field '" + Set.FieldName +
+               "' of type " + tyName(Want),
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    return Want;
+  }
+
+  case ExprKind::MethodCall: {
+    auto &Call = static_cast<MethodCallExpr &>(E);
+    Ty Obj = typeofExpr(*Call.Receiver);
+    if (Failed)
+      return Ty::unit();
+    if (!Obj.isClass() || Obj.IsNull) {
+      fail("method call on non-object type " + tyName(Obj), E.Line, E.Col);
+      return Ty::unit();
+    }
+    const ClassInfo &Info = Out.Classes[Obj.ClassId];
+    auto It = Info.MethodIndex.find(Call.MethodName);
+    if (It == Info.MethodIndex.end()) {
+      fail("class '" + Info.Name + "' has no method '" + Call.MethodName +
+               "'",
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    const MethodInfo &Method = Info.Methods[It->second];
+    if (Call.Args.size() != Method.ParamTypes.size()) {
+      fail("call to '" + Call.MethodName + "' passes " +
+               std::to_string(Call.Args.size()) + " arguments; expected " +
+               std::to_string(Method.ParamTypes.size()),
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    for (size_t I = 0; I != Call.Args.size(); ++I) {
+      Ty Arg = typeofExpr(*Call.Args[I]);
+      if (Failed)
+        return Ty::unit();
+      if (!assignable(Arg, tyOf(Method.ParamTypes[I]))) {
+        fail("argument " + std::to_string(I + 1) + " of '" +
+                 Call.MethodName + "' type mismatch: expected " +
+                 Method.ParamTypes[I].name() + ", got " + tyName(Arg),
+             E.Line, E.Col);
+        return Ty::unit();
+      }
+    }
+    return tyOf(Method.RetType);
+  }
+
+  case ExprKind::New: {
+    auto &New = static_cast<NewExpr &>(E);
+    auto It = Out.ClassIndex.find(New.ClassName);
+    if (It == Out.ClassIndex.end()) {
+      fail("unknown class '" + New.ClassName + "'", E.Line, E.Col);
+      return Ty::unit();
+    }
+    New.ClassId = It->second;
+    const ClassInfo &Info = Out.Classes[New.ClassId];
+    if (New.Args.size() != Info.ctorArity()) {
+      fail("new " + New.ClassName + "(...) passes " +
+               std::to_string(New.Args.size()) + " arguments; constructor "
+               "takes " + std::to_string(Info.ctorArity()),
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    for (size_t I = 0; I != New.Args.size(); ++I) {
+      Ty Arg = typeofExpr(*New.Args[I]);
+      if (Failed)
+        return Ty::unit();
+      Ty Want = tyOf(Info.Methods[Info.CtorIndex].ParamTypes[I]);
+      if (!assignable(Arg, Want)) {
+        fail("constructor argument " + std::to_string(I + 1) +
+                 " type mismatch: expected " +
+                 Info.Methods[Info.CtorIndex].ParamTypes[I].name() +
+                 ", got " + tyName(Arg),
+             E.Line, E.Col);
+        return Ty::unit();
+      }
+    }
+    return Ty::ofClass(New.ClassId);
+  }
+
+  case ExprKind::Binary: {
+    auto &Bin = static_cast<BinaryExpr &>(E);
+    Ty L = typeofExpr(*Bin.Lhs);
+    if (Failed)
+      return Ty::unit();
+    Ty R = typeofExpr(*Bin.Rhs);
+    if (Failed)
+      return Ty::unit();
+
+    auto Mismatch = [&]() {
+      fail(std::string("operator '") + binOpName(Bin.Op) +
+               "' cannot combine " + tyName(L) + " and " + tyName(R),
+           E.Line, E.Col);
+      return Ty::unit();
+    };
+
+    switch (Bin.Op) {
+    case BinOp::Add:
+      if (L.Kind == TypeKind::Int && R.Kind == TypeKind::Int)
+        return Ty::ofInt();
+      if (L.Kind == TypeKind::Float && R.Kind == TypeKind::Float)
+        return Ty::ofFloat();
+      if (L.Kind == TypeKind::Str && R.Kind == TypeKind::Str)
+        return Ty::ofStr();
+      return Mismatch();
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div:
+      if (L.Kind == TypeKind::Int && R.Kind == TypeKind::Int)
+        return Ty::ofInt();
+      if (L.Kind == TypeKind::Float && R.Kind == TypeKind::Float)
+        return Ty::ofFloat();
+      return Mismatch();
+    case BinOp::Rem:
+      if (L.Kind == TypeKind::Int && R.Kind == TypeKind::Int)
+        return Ty::ofInt();
+      return Mismatch();
+    case BinOp::Lt:
+    case BinOp::LtEq:
+    case BinOp::Gt:
+    case BinOp::GtEq:
+      if ((L.Kind == TypeKind::Int && R.Kind == TypeKind::Int) ||
+          (L.Kind == TypeKind::Float && R.Kind == TypeKind::Float) ||
+          (L.Kind == TypeKind::Str && R.Kind == TypeKind::Str))
+        return Ty::ofBool();
+      return Mismatch();
+    case BinOp::Eq:
+    case BinOp::NotEq:
+      // Value equality on matching value types; location equality on
+      // objects; null comparable with any object.
+      if (!L.isClass() && !R.isClass() && L.Kind == R.Kind &&
+          L.Kind != TypeKind::Unit)
+        return Ty::ofBool();
+      if ((L.isClass() || L.IsNull) && (R.isClass() || R.IsNull))
+        return Ty::ofBool();
+      return Mismatch();
+    case BinOp::And:
+    case BinOp::Or:
+      if (L.Kind == TypeKind::Bool && R.Kind == TypeKind::Bool)
+        return Ty::ofBool();
+      return Mismatch();
+    }
+    return Mismatch();
+  }
+
+  case ExprKind::Unary: {
+    auto &Un = static_cast<UnaryExpr &>(E);
+    Ty T = typeofExpr(*Un.Operand);
+    if (Failed)
+      return Ty::unit();
+    if (Un.Op == UnOp::Not) {
+      if (T.Kind == TypeKind::Bool)
+        return Ty::ofBool();
+      fail("'!' needs a Bool operand, got " + tyName(T), E.Line, E.Col);
+      return Ty::unit();
+    }
+    if (T.Kind == TypeKind::Int)
+      return Ty::ofInt();
+    if (T.Kind == TypeKind::Float)
+      return Ty::ofFloat();
+    fail("unary '-' needs Int or Float, got " + tyName(T), E.Line, E.Col);
+    return Ty::unit();
+  }
+
+  case ExprKind::Builtin: {
+    auto &Call = static_cast<BuiltinExpr &>(E);
+    unsigned Arity = builtinArity(Call.Builtin);
+    if (Call.Args.size() != Arity) {
+      fail(std::string("builtin '") + builtinName(Call.Builtin) +
+               "' takes " + std::to_string(Arity) + " arguments",
+           E.Line, E.Col);
+      return Ty::unit();
+    }
+    std::vector<Ty> Args;
+    for (ExprPtr &Arg : Call.Args) {
+      Args.push_back(typeofExpr(*Arg));
+      if (Failed)
+        return Ty::unit();
+    }
+    auto Want = [&](size_t I, TypeKind Kind) {
+      if (Args[I].Kind != Kind || Args[I].IsNull) {
+        fail(std::string("builtin '") + builtinName(Call.Builtin) +
+                 "' argument " + std::to_string(I + 1) + " type mismatch",
+             E.Line, E.Col);
+        return false;
+      }
+      return true;
+    };
+    switch (Call.Builtin) {
+    case BuiltinKind::Input:
+      return Want(0, TypeKind::Int) ? Ty::ofStr() : Ty::unit();
+    case BuiltinKind::InputInt:
+      return Want(0, TypeKind::Int) ? Ty::ofInt() : Ty::unit();
+    case BuiltinKind::Len:
+      return Want(0, TypeKind::Str) ? Ty::ofInt() : Ty::unit();
+    case BuiltinKind::CharAt:
+      return Want(0, TypeKind::Str) && Want(1, TypeKind::Int) ? Ty::ofInt()
+                                                              : Ty::unit();
+    case BuiltinKind::Substr:
+      return Want(0, TypeKind::Str) && Want(1, TypeKind::Int) &&
+                     Want(2, TypeKind::Int)
+                 ? Ty::ofStr()
+                 : Ty::unit();
+    case BuiltinKind::Chr:
+      return Want(0, TypeKind::Int) ? Ty::ofStr() : Ty::unit();
+    case BuiltinKind::Ord:
+      return Want(0, TypeKind::Str) ? Ty::ofInt() : Ty::unit();
+    case BuiltinKind::StrOfInt:
+      return Want(0, TypeKind::Int) ? Ty::ofStr() : Ty::unit();
+    case BuiltinKind::StrOfFloat:
+      return Want(0, TypeKind::Float) ? Ty::ofStr() : Ty::unit();
+    case BuiltinKind::ParseInt:
+      return Want(0, TypeKind::Str) ? Ty::ofInt() : Ty::unit();
+    case BuiltinKind::Contains:
+      return Want(0, TypeKind::Str) && Want(1, TypeKind::Str) ? Ty::ofBool()
+                                                              : Ty::unit();
+    case BuiltinKind::IndexOf:
+      return Want(0, TypeKind::Str) && Want(1, TypeKind::Str) ? Ty::ofInt()
+                                                              : Ty::unit();
+    case BuiltinKind::IntOfFloat:
+      return Want(0, TypeKind::Float) ? Ty::ofInt() : Ty::unit();
+    case BuiltinKind::FloatOfInt:
+      return Want(0, TypeKind::Int) ? Ty::ofFloat() : Ty::unit();
+    }
+    return Ty::unit();
+  }
+  }
+  fail("unhandled expression kind", E.Line, E.Col);
+  return Ty::unit();
+}
+
+Expected<CheckedProgram> Checker::run() {
+  if (!collectClasses())
+    return Failure;
+
+  std::vector<uint8_t> State(Out.Classes.size(), 0);
+  for (uint32_t Id = 0; Id != Out.Classes.size(); ++Id)
+    if (!resolveClass(Id, State))
+      return Failure;
+
+  // A class without an explicit constructor implicitly runs the nearest
+  // ancestor constructor on `new`; that only works if it takes no
+  // arguments.
+  for (const ClassInfo &Info : Out.Classes) {
+    if (!Info.Decl || Info.CtorIndex >= 0)
+      continue;
+    for (uint32_t C = Info.SuperId; C != ~0u; C = Out.Classes[C].SuperId) {
+      const ClassInfo &Ancestor = Out.Classes[C];
+      if (Ancestor.CtorIndex < 0)
+        continue;
+      if (Ancestor.Methods[Ancestor.CtorIndex].ParamTypes.empty())
+        break;
+      return makeErr("class '" + Info.Name + "' needs an explicit "
+                         "constructor: inherited constructor of '" +
+                         Ancestor.Name + "' takes arguments",
+                     Info.Decl->Line, Info.Decl->Col);
+    }
+  }
+
+  // Check method bodies.
+  for (uint32_t Id = 0; Id != Out.Classes.size(); ++Id) {
+    const ClassInfo &Info = Out.Classes[Id];
+    if (!Info.Decl)
+      continue;
+    for (auto &Method : Info.Decl->Methods)
+      if (!checkMethodBody(Id, *Method))
+        return Failure;
+  }
+
+  // Check main.
+  CurClass = ~0u;
+  if (!Out.Ast.Main)
+    return makeErr("program has no main block");
+  if (!checkMethodBody(~0u, *Out.Ast.Main))
+    return Failure;
+
+  return std::move(Out);
+}
+
+Expected<CheckedProgram> rprism::checkProgram(Program Ast) {
+  Checker C(std::move(Ast));
+  return C.run();
+}
+
+Expected<CheckedProgram> rprism::parseAndCheck(std::string_view Source) {
+  Expected<Program> Ast = parseProgram(Source);
+  if (!Ast)
+    return Ast.error();
+  return checkProgram(Ast.take());
+}

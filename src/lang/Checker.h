@@ -1,0 +1,103 @@
+//===- lang/Checker.h - Semantic analysis and class table -----------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: builds the class table (field layouts with inherited
+/// fields first, flattened virtual method tables), resolves names to slots,
+/// and type-checks every method body. The checked program is the input to
+/// the bytecode compiler (runtime/Compiler.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_LANG_CHECKER_H
+#define RPRISM_LANG_CHECKER_H
+
+#include "lang/Ast.h"
+#include "support/Expected.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rprism {
+
+/// A field in a class layout. Slot order: inherited fields first, then own
+/// fields in declaration order, so a field's slot is identical in every
+/// subclass.
+struct FieldInfo {
+  std::string Name;
+  TypeRef Type;
+  uint32_t DeclClass = 0; ///< Class that declared the field.
+  NodeId Decl = NoNode;
+};
+
+/// One resolved method implementation.
+struct MethodInfo {
+  std::string Name; ///< "<init>" for constructors.
+  uint32_t DeclClass = 0; ///< Class whose body this is.
+  /// Non-const: the checker and compiler annotate slots in place.
+  MethodDecl *Decl = nullptr;
+  TypeRef RetType;
+  std::vector<TypeRef> ParamTypes;
+
+  bool isCtor() const { return Name == "<init>"; }
+};
+
+/// A class in the resolved class table.
+struct ClassInfo {
+  std::string Name;
+  uint32_t Id = 0;
+  uint32_t SuperId = ~0u; ///< ~0u for Object.
+  ClassDecl *Decl = nullptr; ///< Null for the implicit Object.
+
+  std::vector<FieldInfo> Fields; ///< Full layout, inherited first.
+  std::unordered_map<std::string, uint32_t> FieldIndex;
+
+  /// Flattened dispatch table: an override occupies the same index as the
+  /// method it overrides, so method indices are stable down the hierarchy.
+  std::vector<MethodInfo> Methods;
+  std::unordered_map<std::string, uint32_t> MethodIndex;
+
+  int CtorIndex = -1; ///< Index of "<init>" in Methods, or -1 (implicit).
+
+  /// Number of constructor parameters (0 for the implicit constructor).
+  unsigned ctorArity() const {
+    return CtorIndex < 0
+               ? 0
+               : static_cast<unsigned>(Methods[CtorIndex].ParamTypes.size());
+  }
+};
+
+/// A fully checked program: the AST (with slots annotated in place) plus
+/// the resolved class table. Class 0 is always Object.
+struct CheckedProgram {
+  Program Ast;
+  std::vector<ClassInfo> Classes;
+  std::unordered_map<std::string, uint32_t> ClassIndex;
+
+  const ClassInfo &classOf(uint32_t Id) const { return Classes[Id]; }
+
+  /// True if \p Sub is \p Super or a transitive subclass of it.
+  bool isSubclassOf(uint32_t Sub, uint32_t Super) const;
+
+  /// Fully qualified method name "Class.method" used for method views.
+  std::string qualifiedMethodName(uint32_t ClassId,
+                                  const std::string &Method) const {
+    return Classes[ClassId].Name + "." + Method;
+  }
+};
+
+/// Runs semantic analysis. Consumes the AST; on success the returned
+/// CheckedProgram owns it (with Slot/FieldSlot/ClassId annotations filled).
+Expected<CheckedProgram> checkProgram(Program Ast);
+
+/// Convenience: parse + check in one step.
+Expected<CheckedProgram> parseAndCheck(std::string_view Source);
+
+} // namespace rprism
+
+#endif // RPRISM_LANG_CHECKER_H

@@ -1,0 +1,244 @@
+//===- lang/Lexer.cpp -----------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace rprism;
+
+const char *rprism::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:       return "end of input";
+  case TokKind::Error:     return "invalid token";
+  case TokKind::Ident:     return "identifier";
+  case TokKind::IntLit:    return "integer literal";
+  case TokKind::FloatLit:  return "float literal";
+  case TokKind::StrLit:    return "string literal";
+  case TokKind::KwClass:   return "'class'";
+  case TokKind::KwExtends: return "'extends'";
+  case TokKind::KwMain:    return "'main'";
+  case TokKind::KwVar:     return "'var'";
+  case TokKind::KwIf:      return "'if'";
+  case TokKind::KwElse:    return "'else'";
+  case TokKind::KwWhile:   return "'while'";
+  case TokKind::KwReturn:  return "'return'";
+  case TokKind::KwPrint:   return "'print'";
+  case TokKind::KwSpawn:   return "'spawn'";
+  case TokKind::KwNew:     return "'new'";
+  case TokKind::KwThis:    return "'this'";
+  case TokKind::KwSuper:   return "'super'";
+  case TokKind::KwTrue:    return "'true'";
+  case TokKind::KwFalse:   return "'false'";
+  case TokKind::KwNull:    return "'null'";
+  case TokKind::KwUnit:    return "'unit'";
+  case TokKind::LBrace:    return "'{'";
+  case TokKind::RBrace:    return "'}'";
+  case TokKind::LParen:    return "'('";
+  case TokKind::RParen:    return "')'";
+  case TokKind::Semi:      return "';'";
+  case TokKind::Comma:     return "','";
+  case TokKind::Dot:       return "'.'";
+  case TokKind::Assign:    return "'='";
+  case TokKind::EqEq:      return "'=='";
+  case TokKind::NotEq:     return "'!='";
+  case TokKind::Lt:        return "'<'";
+  case TokKind::LtEq:      return "'<='";
+  case TokKind::Gt:        return "'>'";
+  case TokKind::GtEq:      return "'>='";
+  case TokKind::Plus:      return "'+'";
+  case TokKind::Minus:     return "'-'";
+  case TokKind::Star:      return "'*'";
+  case TokKind::Slash:     return "'/'";
+  case TokKind::Percent:   return "'%'";
+  case TokKind::AmpAmp:    return "'&&'";
+  case TokKind::PipePipe:  return "'||'";
+  case TokKind::Bang:      return "'!'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view SourceIn) : Source(SourceIn) {}
+
+char Lexer::peek(int Ahead) const {
+  size_t P = Pos + static_cast<size_t>(Ahead);
+  return P < Source.size() ? Source[P] : '\0';
+}
+
+char Lexer::bump() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::eat(char C) {
+  if (peek() != C)
+    return false;
+  bump();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      bump();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        bump();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      bump();
+      bump();
+      while (!(peek() == '*' && peek(1) == '/') && peek() != '\0')
+        bump();
+      if (peek() != '\0') {
+        bump();
+        bump();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = TokLine;
+  T.Col = TokCol;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  std::string Text;
+  bool IsFloat = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Text.push_back(bump());
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text.push_back(bump());
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(bump());
+  }
+  return makeToken(IsFloat ? TokKind::FloatLit : TokKind::IntLit,
+                   std::move(Text));
+}
+
+Token Lexer::lexString() {
+  bump(); // Opening quote.
+  std::string Text;
+  for (;;) {
+    char C = peek();
+    if (C == '\0' || C == '\n')
+      return makeToken(TokKind::Error, "unterminated string literal");
+    if (C == '"') {
+      bump();
+      return makeToken(TokKind::StrLit, std::move(Text));
+    }
+    if (C == '\\') {
+      bump();
+      char Esc = bump();
+      switch (Esc) {
+      case 'n': Text.push_back('\n'); break;
+      case 't': Text.push_back('\t'); break;
+      case '\\': Text.push_back('\\'); break;
+      case '"': Text.push_back('"'); break;
+      default:
+        return makeToken(TokKind::Error,
+                         std::string("unknown escape '\\") + Esc + "'");
+      }
+      continue;
+    }
+    Text.push_back(bump());
+  }
+}
+
+Token Lexer::lexIdentOrKeyword() {
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text.push_back(bump());
+
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"class", TokKind::KwClass},   {"extends", TokKind::KwExtends},
+      {"main", TokKind::KwMain},     {"var", TokKind::KwVar},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},   {"return", TokKind::KwReturn},
+      {"print", TokKind::KwPrint},   {"spawn", TokKind::KwSpawn},
+      {"new", TokKind::KwNew},       {"this", TokKind::KwThis},
+      {"super", TokKind::KwSuper},   {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},   {"null", TokKind::KwNull},
+      {"unit", TokKind::KwUnit},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, std::move(Text));
+  return makeToken(TokKind::Ident, std::move(Text));
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokCol = Col;
+
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokKind::Eof, "");
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '"')
+    return lexString();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentOrKeyword();
+
+  bump();
+  switch (C) {
+  case '{': return makeToken(TokKind::LBrace, "{");
+  case '}': return makeToken(TokKind::RBrace, "}");
+  case '(': return makeToken(TokKind::LParen, "(");
+  case ')': return makeToken(TokKind::RParen, ")");
+  case ';': return makeToken(TokKind::Semi, ";");
+  case ',': return makeToken(TokKind::Comma, ",");
+  case '.': return makeToken(TokKind::Dot, ".");
+  case '+': return makeToken(TokKind::Plus, "+");
+  case '-': return makeToken(TokKind::Minus, "-");
+  case '*': return makeToken(TokKind::Star, "*");
+  case '/': return makeToken(TokKind::Slash, "/");
+  case '%': return makeToken(TokKind::Percent, "%");
+  case '=':
+    return eat('=') ? makeToken(TokKind::EqEq, "==")
+                    : makeToken(TokKind::Assign, "=");
+  case '!':
+    return eat('=') ? makeToken(TokKind::NotEq, "!=")
+                    : makeToken(TokKind::Bang, "!");
+  case '<':
+    return eat('=') ? makeToken(TokKind::LtEq, "<=")
+                    : makeToken(TokKind::Lt, "<");
+  case '>':
+    return eat('=') ? makeToken(TokKind::GtEq, ">=")
+                    : makeToken(TokKind::Gt, ">");
+  case '&':
+    if (eat('&'))
+      return makeToken(TokKind::AmpAmp, "&&");
+    return makeToken(TokKind::Error, "expected '&&'");
+  case '|':
+    if (eat('|'))
+      return makeToken(TokKind::PipePipe, "||");
+    return makeToken(TokKind::Error, "expected '||'");
+  default:
+    return makeToken(TokKind::Error,
+                     std::string("unexpected character '") + C + "'");
+  }
+}

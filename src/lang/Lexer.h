@@ -1,0 +1,48 @@
+//===- lang/Lexer.h - Lexer for the core language --------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_LANG_LEXER_H
+#define RPRISM_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+
+namespace rprism {
+
+/// Hand-written lexer. Comments: `//` to end of line and `/* ... */`
+/// (non-nesting). Strings use double quotes with \n \t \\ \" escapes.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source);
+
+  /// Lexes and returns the next token. After Eof, keeps returning Eof.
+  /// Lexical errors produce a Token with Kind == TokKind::Error whose Text
+  /// is the diagnostic message.
+  Token next();
+
+private:
+  char peek(int Ahead = 0) const;
+  char bump();
+  bool eat(char C);
+  void skipTrivia();
+  Token makeToken(TokKind Kind, std::string Text);
+  Token lexNumber();
+  Token lexString();
+  Token lexIdentOrKeyword();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  int TokLine = 1;
+  int TokCol = 1;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_LANG_LEXER_H

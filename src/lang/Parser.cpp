@@ -1,0 +1,602 @@
+//===- lang/Parser.cpp ----------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cstdlib>
+
+using namespace rprism;
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Error handling: the
+/// first error is captured in Failure and every production bails out early
+/// once it is set (checked via hadError()).
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Lex(Source) {
+    Tok = Lex.next();
+  }
+
+  Expected<Program> run();
+
+private:
+  // -- Token plumbing ----------------------------------------------------
+  bool hadError() const { return Failed; }
+
+  void fail(std::string Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    Failure = makeErr(std::move(Message), Tok.Line, Tok.Col);
+  }
+
+  void advance() {
+    if (Tok.is(TokKind::Eof))
+      return;
+    Tok = Lex.next();
+    if (Tok.is(TokKind::Error))
+      fail(Tok.Text);
+  }
+
+  bool check(TokKind Kind) const { return Tok.is(Kind); }
+
+  bool accept(TokKind Kind) {
+    if (!check(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  void expect(TokKind Kind) {
+    if (check(Kind)) {
+      advance();
+      return;
+    }
+    fail(std::string("expected ") + tokKindName(Kind) + " but found " +
+         tokKindName(Tok.Kind));
+  }
+
+  std::string expectIdent() {
+    if (!check(TokKind::Ident)) {
+      fail(std::string("expected identifier but found ") +
+           tokKindName(Tok.Kind));
+      return "";
+    }
+    std::string Name = Tok.Text;
+    advance();
+    return Name;
+  }
+
+  NodeId freshId() { return Prog.NumNodes++; }
+
+  template <typename T> std::unique_ptr<T> makeNode() {
+    auto Node = std::make_unique<T>();
+    Node->Id = freshId();
+    Node->Line = Tok.Line;
+    Node->Col = Tok.Col;
+    return Node;
+  }
+
+  // -- Productions ---------------------------------------------------------
+  void parseClass();
+  TypeRef parseType();
+  void parseMember(ClassDecl &Class);
+  std::unique_ptr<MethodDecl> parseMethodTail(TypeRef RetType,
+                                              std::string Name, bool IsCtor,
+                                              int Line, int Col);
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  Lexer Lex;
+  Token Tok;
+  Program Prog;
+  bool Failed = false;
+  Err Failure;
+};
+
+} // namespace
+
+Expected<Program> Parser::run() {
+  if (Tok.is(TokKind::Error))
+    fail(Tok.Text);
+
+  while (!hadError() && check(TokKind::KwClass))
+    parseClass();
+
+  if (!hadError()) {
+    if (!check(TokKind::KwMain)) {
+      fail(std::string("expected 'class' or 'main' but found ") +
+           tokKindName(Tok.Kind));
+    } else {
+      auto Main = std::make_unique<MethodDecl>();
+      Main->Id = freshId();
+      Main->Name = "main";
+      Main->RetType = TypeRef::unitTy();
+      Main->Line = Tok.Line;
+      Main->Col = Tok.Col;
+      advance();
+      Main->Body = parseBlock();
+      Prog.Main = std::move(Main);
+    }
+  }
+
+  if (!hadError() && !check(TokKind::Eof))
+    fail(std::string("expected end of input but found ") +
+         tokKindName(Tok.Kind));
+
+  if (hadError())
+    return Failure;
+  return std::move(Prog);
+}
+
+void Parser::parseClass() {
+  auto Class = std::make_unique<ClassDecl>();
+  Class->Id = freshId();
+  Class->Line = Tok.Line;
+  Class->Col = Tok.Col;
+  expect(TokKind::KwClass);
+  Class->Name = expectIdent();
+  Class->SuperName = "Object";
+  if (accept(TokKind::KwExtends))
+    Class->SuperName = expectIdent();
+  expect(TokKind::LBrace);
+  while (!hadError() && !check(TokKind::RBrace) && !check(TokKind::Eof))
+    parseMember(*Class);
+  expect(TokKind::RBrace);
+  if (!hadError())
+    Prog.Classes.push_back(std::move(Class));
+}
+
+TypeRef Parser::parseType() {
+  std::string Name = expectIdent();
+  if (Name == "Unit")
+    return TypeRef::unitTy();
+  if (Name == "Int")
+    return TypeRef::intTy();
+  if (Name == "Bool")
+    return TypeRef::boolTy();
+  if (Name == "Float")
+    return TypeRef::floatTy();
+  if (Name == "Str")
+    return TypeRef::strTy();
+  return TypeRef::classTy(std::move(Name));
+}
+
+void Parser::parseMember(ClassDecl &Class) {
+  int Line = Tok.Line;
+  int Col = Tok.Col;
+  std::string First = expectIdent();
+  if (hadError())
+    return;
+
+  // Constructor: `ClassName ( params ) { ... }`.
+  if (First == Class.Name && check(TokKind::LParen)) {
+    auto Ctor = parseMethodTail(TypeRef::unitTy(), "<init>", /*IsCtor=*/true,
+                                Line, Col);
+    if (!hadError())
+      Class.Methods.push_back(std::move(Ctor));
+    return;
+  }
+
+  // Otherwise `First` was a type name; re-derive the TypeRef.
+  TypeRef Type = TypeRef::classTy(First);
+  if (First == "Unit")
+    Type = TypeRef::unitTy();
+  else if (First == "Int")
+    Type = TypeRef::intTy();
+  else if (First == "Bool")
+    Type = TypeRef::boolTy();
+  else if (First == "Float")
+    Type = TypeRef::floatTy();
+  else if (First == "Str")
+    Type = TypeRef::strTy();
+
+  std::string Name = expectIdent();
+  if (hadError())
+    return;
+
+  if (check(TokKind::LParen)) {
+    auto Method = parseMethodTail(Type, std::move(Name), /*IsCtor=*/false,
+                                  Line, Col);
+    if (!hadError())
+      Class.Methods.push_back(std::move(Method));
+    return;
+  }
+
+  // Field declaration.
+  FieldDecl Field;
+  Field.Id = freshId();
+  Field.Type = std::move(Type);
+  Field.Name = std::move(Name);
+  Field.Line = Line;
+  Field.Col = Col;
+  expect(TokKind::Semi);
+  if (!hadError())
+    Class.Fields.push_back(std::move(Field));
+}
+
+std::unique_ptr<MethodDecl> Parser::parseMethodTail(TypeRef RetType,
+                                                    std::string Name,
+                                                    bool IsCtor, int Line,
+                                                    int Col) {
+  auto Method = std::make_unique<MethodDecl>();
+  Method->Id = freshId();
+  Method->IsCtor = IsCtor;
+  Method->RetType = std::move(RetType);
+  Method->Name = std::move(Name);
+  Method->Line = Line;
+  Method->Col = Col;
+
+  expect(TokKind::LParen);
+  if (!check(TokKind::RParen)) {
+    do {
+      ParamDecl Param;
+      Param.Line = Tok.Line;
+      Param.Col = Tok.Col;
+      Param.Type = parseType();
+      Param.Name = expectIdent();
+      if (hadError())
+        return Method;
+      Method->Params.push_back(std::move(Param));
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen);
+  Method->Body = parseBlock();
+  return Method;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  auto Block = makeNode<BlockStmt>();
+  expect(TokKind::LBrace);
+  while (!hadError() && !check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (!hadError())
+      Block->Stmts.push_back(std::move(S));
+  }
+  expect(TokKind::RBrace);
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (Tok.Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+
+  case TokKind::KwVar: {
+    auto Decl = makeNode<VarDeclStmt>();
+    advance();
+    Decl->Name = expectIdent();
+    expect(TokKind::Assign);
+    Decl->Init = parseExpr();
+    expect(TokKind::Semi);
+    return Decl;
+  }
+
+  case TokKind::KwIf: {
+    auto If = makeNode<IfStmt>();
+    advance();
+    expect(TokKind::LParen);
+    If->Cond = parseExpr();
+    expect(TokKind::RParen);
+    If->Then = parseBlock();
+    if (accept(TokKind::KwElse)) {
+      if (check(TokKind::KwIf))
+        If->Else = parseStmt();
+      else
+        If->Else = parseBlock();
+    }
+    return If;
+  }
+
+  case TokKind::KwWhile: {
+    auto While = makeNode<WhileStmt>();
+    advance();
+    expect(TokKind::LParen);
+    While->Cond = parseExpr();
+    expect(TokKind::RParen);
+    While->Body = parseBlock();
+    return While;
+  }
+
+  case TokKind::KwReturn: {
+    auto Ret = makeNode<ReturnStmt>();
+    advance();
+    if (!check(TokKind::Semi))
+      Ret->Value = parseExpr();
+    expect(TokKind::Semi);
+    return Ret;
+  }
+
+  case TokKind::KwPrint: {
+    auto Print = makeNode<PrintStmt>();
+    advance();
+    expect(TokKind::LParen);
+    Print->Value = parseExpr();
+    expect(TokKind::RParen);
+    expect(TokKind::Semi);
+    return Print;
+  }
+
+  case TokKind::KwSpawn: {
+    auto Spawn = makeNode<SpawnStmt>();
+    advance();
+    ExprPtr Call = parseExpr();
+    if (!hadError()) {
+      if (Call->Kind != ExprKind::MethodCall) {
+        fail("'spawn' requires a method call (spawn obj.m(...);)");
+      } else {
+        Spawn->Call.reset(static_cast<MethodCallExpr *>(Call.release()));
+      }
+    }
+    expect(TokKind::Semi);
+    return Spawn;
+  }
+
+  case TokKind::KwSuper: {
+    auto Super = makeNode<SuperCallStmt>();
+    advance();
+    expect(TokKind::LParen);
+    if (!check(TokKind::RParen))
+      Super->Args = parseArgs();
+    expect(TokKind::RParen);
+    expect(TokKind::Semi);
+    return Super;
+  }
+
+  default: {
+    auto S = makeNode<ExprStmt>();
+    S->E = parseExpr();
+    expect(TokKind::Semi);
+    return S;
+  }
+  }
+}
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseBinary(0);
+  if (hadError() || !check(TokKind::Assign))
+    return Lhs;
+
+  advance(); // '='
+  ExprPtr Rhs = parseAssignment();
+  if (hadError())
+    return Lhs;
+
+  if (Lhs->Kind == ExprKind::VarRef) {
+    auto Set = makeNode<VarSetExpr>();
+    Set->Line = Lhs->Line;
+    Set->Col = Lhs->Col;
+    Set->Name = static_cast<VarRefExpr *>(Lhs.get())->Name;
+    Set->Value = std::move(Rhs);
+    return Set;
+  }
+  if (Lhs->Kind == ExprKind::FieldGet) {
+    auto *Get = static_cast<FieldGetExpr *>(Lhs.get());
+    auto Set = makeNode<FieldSetExpr>();
+    Set->Line = Lhs->Line;
+    Set->Col = Lhs->Col;
+    Set->Object = std::move(Get->Object);
+    Set->FieldName = Get->FieldName;
+    Set->Value = std::move(Rhs);
+    return Set;
+  }
+  fail("left-hand side of '=' must be a variable or field");
+  return Lhs;
+}
+
+/// Precedence table for binary operators (higher binds tighter).
+static int binPrecedence(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::PipePipe: return 1;
+  case TokKind::AmpAmp:   return 2;
+  case TokKind::EqEq:
+  case TokKind::NotEq:    return 3;
+  case TokKind::Lt:
+  case TokKind::LtEq:
+  case TokKind::Gt:
+  case TokKind::GtEq:     return 4;
+  case TokKind::Plus:
+  case TokKind::Minus:    return 5;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:  return 6;
+  default:                return -1;
+  }
+}
+
+static BinOp binOpFor(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::PipePipe: return BinOp::Or;
+  case TokKind::AmpAmp:   return BinOp::And;
+  case TokKind::EqEq:     return BinOp::Eq;
+  case TokKind::NotEq:    return BinOp::NotEq;
+  case TokKind::Lt:       return BinOp::Lt;
+  case TokKind::LtEq:     return BinOp::LtEq;
+  case TokKind::Gt:       return BinOp::Gt;
+  case TokKind::GtEq:     return BinOp::GtEq;
+  case TokKind::Plus:     return BinOp::Add;
+  case TokKind::Minus:    return BinOp::Sub;
+  case TokKind::Star:     return BinOp::Mul;
+  case TokKind::Slash:    return BinOp::Div;
+  case TokKind::Percent:  return BinOp::Rem;
+  default:                return BinOp::Add;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  while (!hadError()) {
+    int Prec = binPrecedence(Tok.Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      break;
+    BinOp Op = binOpFor(Tok.Kind);
+    auto Bin = makeNode<BinaryExpr>();
+    Bin->Line = Lhs->Line;
+    Bin->Col = Lhs->Col;
+    advance();
+    Bin->Op = Op;
+    Bin->Rhs = parseBinary(Prec + 1);
+    Bin->Lhs = std::move(Lhs);
+    Lhs = std::move(Bin);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokKind::Bang) || check(TokKind::Minus)) {
+    auto Un = makeNode<UnaryExpr>();
+    Un->Op = check(TokKind::Bang) ? UnOp::Not : UnOp::Neg;
+    advance();
+    Un->Operand = parseUnary();
+    return Un;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (!hadError() && check(TokKind::Dot)) {
+    advance();
+    std::string Member = expectIdent();
+    if (hadError())
+      return E;
+    if (check(TokKind::LParen)) {
+      auto Call = makeNode<MethodCallExpr>();
+      Call->Line = E->Line;
+      Call->Col = E->Col;
+      Call->MethodName = std::move(Member);
+      advance(); // '('
+      if (!check(TokKind::RParen))
+        Call->Args = parseArgs();
+      expect(TokKind::RParen);
+      Call->Receiver = std::move(E);
+      E = std::move(Call);
+    } else {
+      auto Get = makeNode<FieldGetExpr>();
+      Get->Line = E->Line;
+      Get->Col = E->Col;
+      Get->FieldName = std::move(Member);
+      Get->Object = std::move(E);
+      E = std::move(Get);
+    }
+  }
+  return E;
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  do {
+    Args.push_back(parseExpr());
+  } while (!hadError() && accept(TokKind::Comma));
+  return Args;
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (Tok.Kind) {
+  case TokKind::IntLit: {
+    auto Lit = makeNode<IntLitExpr>();
+    Lit->Value = std::strtoll(Tok.Text.c_str(), nullptr, 10);
+    advance();
+    return Lit;
+  }
+  case TokKind::FloatLit: {
+    auto Lit = makeNode<FloatLitExpr>();
+    Lit->Value = std::strtod(Tok.Text.c_str(), nullptr);
+    advance();
+    return Lit;
+  }
+  case TokKind::StrLit: {
+    auto Lit = makeNode<StrLitExpr>();
+    Lit->Value = Tok.Text;
+    advance();
+    return Lit;
+  }
+  case TokKind::KwTrue:
+  case TokKind::KwFalse: {
+    auto Lit = makeNode<BoolLitExpr>();
+    Lit->Value = check(TokKind::KwTrue);
+    advance();
+    return Lit;
+  }
+  case TokKind::KwNull: {
+    auto Lit = makeNode<NullLitExpr>();
+    advance();
+    return Lit;
+  }
+  case TokKind::KwUnit: {
+    auto Lit = makeNode<UnitLitExpr>();
+    advance();
+    return Lit;
+  }
+  case TokKind::KwThis: {
+    auto This = makeNode<ThisRefExpr>();
+    advance();
+    return This;
+  }
+  case TokKind::KwNew: {
+    auto New = makeNode<NewExpr>();
+    advance();
+    New->ClassName = expectIdent();
+    expect(TokKind::LParen);
+    if (!check(TokKind::RParen))
+      New->Args = parseArgs();
+    expect(TokKind::RParen);
+    return New;
+  }
+  case TokKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen);
+    return E;
+  }
+  case TokKind::Ident: {
+    // Builtin call `name(args)` or a plain variable reference.
+    std::string Name = Tok.Text;
+    int Line = Tok.Line;
+    int Col = Tok.Col;
+    advance();
+    if (check(TokKind::LParen)) {
+      BuiltinKind Builtin;
+      if (!lookupBuiltin(Name, Builtin)) {
+        fail("unknown builtin function '" + Name +
+             "' (method calls need a receiver: obj." + Name + "(...))");
+        return std::make_unique<UnitLitExpr>();
+      }
+      auto Call = makeNode<BuiltinExpr>();
+      Call->Line = Line;
+      Call->Col = Col;
+      Call->Builtin = Builtin;
+      advance(); // '('
+      if (!check(TokKind::RParen))
+        Call->Args = parseArgs();
+      expect(TokKind::RParen);
+      return Call;
+    }
+    auto Ref = makeNode<VarRefExpr>();
+    Ref->Line = Line;
+    Ref->Col = Col;
+    Ref->Name = std::move(Name);
+    return Ref;
+  }
+  default:
+    fail(std::string("expected expression but found ") +
+         tokKindName(Tok.Kind));
+    return std::make_unique<UnitLitExpr>();
+  }
+}
+
+Expected<Program> rprism::parseProgram(std::string_view Source) {
+  Parser P(Source);
+  return P.run();
+}

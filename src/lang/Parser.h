@@ -1,0 +1,23 @@
+//===- lang/Parser.h - Recursive-descent parser ----------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_LANG_PARSER_H
+#define RPRISM_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "support/Expected.h"
+
+#include <string_view>
+
+namespace rprism {
+
+/// Parses a whole program. Stops at the first syntax error and returns it.
+Expected<Program> parseProgram(std::string_view Source);
+
+} // namespace rprism
+
+#endif // RPRISM_LANG_PARSER_H

@@ -1,0 +1,261 @@
+//===- lang/PrettyPrinter.cpp ---------------------------------------------===//
+
+#include "lang/PrettyPrinter.h"
+
+#include <sstream>
+
+using namespace rprism;
+
+namespace {
+
+/// Renders string literals with the lexer's escape set.
+std::string escapeString(const std::string &Raw) {
+  std::string Out = "\"";
+  for (char C : Raw) {
+    switch (C) {
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\\': Out += "\\\\"; break;
+    case '"': Out += "\\\""; break;
+    default: Out.push_back(C);
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+class Printer {
+public:
+  std::string expr(const Expr &E);
+  void stmt(const Stmt &S, int Indent);
+  void block(const BlockStmt &Block, int Indent);
+  void method(const MethodDecl &Method, const std::string &CtorName,
+              int Indent);
+  void program(const Program &Prog);
+
+  std::string str() const { return OS.str(); }
+
+private:
+  void pad(int Indent) { OS << std::string(Indent, ' '); }
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string Printer::expr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return std::to_string(static_cast<const IntLitExpr &>(E).Value);
+  case ExprKind::FloatLit: {
+    std::ostringstream SS;
+    double V = static_cast<const FloatLitExpr &>(E).Value;
+    SS << V;
+    std::string Text = SS.str();
+    if (Text.find('.') == std::string::npos &&
+        Text.find('e') == std::string::npos)
+      Text += ".0";
+    return Text;
+  }
+  case ExprKind::BoolLit:
+    return static_cast<const BoolLitExpr &>(E).Value ? "true" : "false";
+  case ExprKind::StrLit:
+    return escapeString(static_cast<const StrLitExpr &>(E).Value);
+  case ExprKind::NullLit:
+    return "null";
+  case ExprKind::UnitLit:
+    return "unit";
+  case ExprKind::VarRef:
+    return static_cast<const VarRefExpr &>(E).Name;
+  case ExprKind::ThisRef:
+    return "this";
+  case ExprKind::FieldGet: {
+    const auto &Get = static_cast<const FieldGetExpr &>(E);
+    return expr(*Get.Object) + "." + Get.FieldName;
+  }
+  case ExprKind::FieldSet: {
+    const auto &Set = static_cast<const FieldSetExpr &>(E);
+    return "(" + expr(*Set.Object) + "." + Set.FieldName + " = " +
+           expr(*Set.Value) + ")";
+  }
+  case ExprKind::VarSet: {
+    const auto &Set = static_cast<const VarSetExpr &>(E);
+    return "(" + Set.Name + " = " + expr(*Set.Value) + ")";
+  }
+  case ExprKind::MethodCall: {
+    const auto &Call = static_cast<const MethodCallExpr &>(E);
+    std::string Out = expr(*Call.Receiver) + "." + Call.MethodName + "(";
+    for (size_t I = 0; I != Call.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(*Call.Args[I]);
+    }
+    return Out + ")";
+  }
+  case ExprKind::New: {
+    const auto &New = static_cast<const NewExpr &>(E);
+    std::string Out = "new " + New.ClassName + "(";
+    for (size_t I = 0; I != New.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(*New.Args[I]);
+    }
+    return Out + ")";
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    return "(" + expr(*Bin.Lhs) + " " + binOpName(Bin.Op) + " " +
+           expr(*Bin.Rhs) + ")";
+  }
+  case ExprKind::Unary: {
+    const auto &Un = static_cast<const UnaryExpr &>(E);
+    return std::string(Un.Op == UnOp::Not ? "!" : "-") + "(" +
+           expr(*Un.Operand) + ")";
+  }
+  case ExprKind::Builtin: {
+    const auto &Call = static_cast<const BuiltinExpr &>(E);
+    std::string Out = std::string(builtinName(Call.Builtin)) + "(";
+    for (size_t I = 0; I != Call.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += expr(*Call.Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  return "?";
+}
+
+void Printer::block(const BlockStmt &Block, int Indent) {
+  OS << "{\n";
+  for (const StmtPtr &S : Block.Stmts)
+    stmt(*S, Indent + 2);
+  pad(Indent);
+  OS << "}";
+}
+
+void Printer::stmt(const Stmt &S, int Indent) {
+  pad(Indent);
+  switch (S.Kind) {
+  case StmtKind::Block:
+    block(static_cast<const BlockStmt &>(S), Indent);
+    OS << '\n';
+    return;
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    OS << "var " << Decl.Name << " = " << expr(*Decl.Init) << ";\n";
+    return;
+  }
+  case StmtKind::ExprStmt:
+    OS << expr(*static_cast<const ExprStmt &>(S).E) << ";\n";
+    return;
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    OS << "if (" << expr(*If.Cond) << ") ";
+    block(*If.Then, Indent);
+    if (If.Else) {
+      OS << " else ";
+      if (If.Else->Kind == StmtKind::If) {
+        // else-if chains print inline.
+        std::string Nested = printStmt(*If.Else, Indent);
+        // Strip the leading indentation the nested printer added.
+        size_t First = Nested.find_first_not_of(' ');
+        OS << Nested.substr(First);
+        return;
+      }
+      block(static_cast<const BlockStmt &>(*If.Else), Indent);
+    }
+    OS << '\n';
+    return;
+  }
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    OS << "while (" << expr(*While.Cond) << ") ";
+    block(*While.Body, Indent);
+    OS << '\n';
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &Ret = static_cast<const ReturnStmt &>(S);
+    OS << "return";
+    if (Ret.Value)
+      OS << ' ' << expr(*Ret.Value);
+    OS << ";\n";
+    return;
+  }
+  case StmtKind::Print:
+    OS << "print(" << expr(*static_cast<const PrintStmt &>(S).Value)
+       << ");\n";
+    return;
+  case StmtKind::Spawn:
+    OS << "spawn " << expr(*static_cast<const SpawnStmt &>(S).Call)
+       << ";\n";
+    return;
+  case StmtKind::SuperCall: {
+    const auto &Super = static_cast<const SuperCallStmt &>(S);
+    OS << "super(";
+    for (size_t I = 0; I != Super.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << expr(*Super.Args[I]);
+    }
+    OS << ");\n";
+    return;
+  }
+  }
+}
+
+void Printer::method(const MethodDecl &Method, const std::string &CtorName,
+                     int Indent) {
+  pad(Indent);
+  if (Method.IsCtor)
+    OS << CtorName;
+  else
+    OS << Method.RetType.name() << ' ' << Method.Name;
+  OS << '(';
+  for (size_t I = 0; I != Method.Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Method.Params[I].Type.name() << ' ' << Method.Params[I].Name;
+  }
+  OS << ") ";
+  block(*Method.Body, Indent);
+  OS << '\n';
+}
+
+void Printer::program(const Program &Prog) {
+  for (const auto &Class : Prog.Classes) {
+    OS << "class " << Class->Name;
+    if (Class->SuperName != "Object")
+      OS << " extends " << Class->SuperName;
+    OS << " {\n";
+    for (const FieldDecl &Field : Class->Fields) {
+      pad(2);
+      OS << Field.Type.name() << ' ' << Field.Name << ";\n";
+    }
+    for (const auto &Method : Class->Methods)
+      method(*Method, Class->Name, 2);
+    OS << "}\n\n";
+  }
+  if (Prog.Main) {
+    OS << "main ";
+    block(*Prog.Main->Body, 0);
+    OS << '\n';
+  }
+}
+
+std::string rprism::printProgram(const Program &Prog) {
+  Printer P;
+  P.program(Prog);
+  return P.str();
+}
+
+std::string rprism::printExpr(const Expr &E) {
+  Printer P;
+  return P.expr(E);
+}
+
+std::string rprism::printStmt(const Stmt &S, int Indent) {
+  Printer P;
+  P.stmt(S, Indent);
+  return P.str();
+}

@@ -1,0 +1,35 @@
+//===- lang/PrettyPrinter.h - AST back to surface syntax ------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to parseable surface syntax. Used by tests (parse →
+/// print → reparse round trips) and to display mutated programs in
+/// regression reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_LANG_PRETTYPRINTER_H
+#define RPRISM_LANG_PRETTYPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace rprism {
+
+/// Renders the whole program.
+std::string printProgram(const Program &Prog);
+
+/// Renders a single expression (no trailing newline).
+std::string printExpr(const Expr &E);
+
+/// Renders a single statement subtree with \p Indent leading spaces.
+std::string printStmt(const Stmt &S, int Indent = 0);
+
+} // namespace rprism
+
+#endif // RPRISM_LANG_PRETTYPRINTER_H

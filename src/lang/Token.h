@@ -1,0 +1,96 @@
+//===- lang/Token.h - Tokens for the core language ------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the concrete syntax of the paper's core language (Fig. 3:
+/// Featherweight Java plus locations, field assignment, sequences, value
+/// objects, and threads). The surface syntax adds the control flow and
+/// builtins the workload programs need; the trace grammar is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_LANG_TOKEN_H
+#define RPRISM_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace rprism {
+
+/// Kinds of lexical tokens.
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Ident,
+  IntLit,
+  FloatLit,
+  StrLit,
+
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwMain,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwPrint,
+  KwSpawn,
+  KwNew,
+  KwThis,
+  KwSuper,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwUnit,
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Dot,
+
+  // Operators.
+  Assign,    // =
+  EqEq,      // ==
+  NotEq,     // !=
+  Lt,        // <
+  LtEq,      // <=
+  Gt,        // >
+  GtEq,      // >=
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+  Slash,     // /
+  Percent,   // %
+  AmpAmp,    // &&
+  PipePipe,  // ||
+  Bang,      // !
+};
+
+/// Returns a printable name for diagnostics ("'=='", "identifier", ...).
+const char *tokKindName(TokKind Kind);
+
+/// A lexed token with its text and 1-based source position.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Literal/identifier text (unescaped for strings).
+  int Line = 0;
+  int Col = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace rprism
+
+#endif // RPRISM_LANG_TOKEN_H

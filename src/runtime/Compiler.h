@@ -1,0 +1,31 @@
+//===- runtime/Compiler.h - AST to bytecode --------------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_RUNTIME_COMPILER_H
+#define RPRISM_RUNTIME_COMPILER_H
+
+#include "lang/Checker.h"
+#include "runtime/Bytecode.h"
+#include "support/Expected.h"
+
+namespace rprism {
+
+/// Compiles a checked program to bytecode. \p Strings may be shared with
+/// other programs (e.g. the two versions being compared) so that symbols
+/// compare across them; pass null to create a fresh interner.
+Expected<CompiledProgram>
+compileProgram(const CheckedProgram &Checked,
+               std::shared_ptr<StringInterner> Strings = nullptr);
+
+/// Parse + check + compile in one step.
+Expected<CompiledProgram>
+compileSource(std::string_view Source,
+              std::shared_ptr<StringInterner> Strings = nullptr);
+
+} // namespace rprism
+
+#endif // RPRISM_RUNTIME_COMPILER_H

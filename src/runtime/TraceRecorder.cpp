@@ -1,0 +1,265 @@
+//===- runtime/TraceRecorder.cpp ------------------------------------------===//
+
+#include "runtime/TraceRecorder.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace rprism;
+
+namespace {
+
+/// Truncation limit for printable renderings, mirroring RPRISM's 128-char
+/// toString cap (§5).
+constexpr size_t MaxPrintable = 128;
+
+std::string truncated(std::string Text) {
+  if (Text.size() > MaxPrintable)
+    Text.resize(MaxPrintable);
+  return Text;
+}
+
+// Distinct seeds per value kind so e.g. Int 0 and Bool false don't collide.
+constexpr uint64_t SeedUnit = 0x11u;
+constexpr uint64_t SeedNull = 0x22u;
+constexpr uint64_t SeedInt = 0x33u;
+constexpr uint64_t SeedBool = 0x44u;
+constexpr uint64_t SeedFloat = 0x55u;
+constexpr uint64_t SeedStr = 0x66u;
+constexpr uint64_t SeedObj = 0x77u;
+
+} // namespace
+
+TraceRecorder::TraceRecorder(const CompiledProgram &ProgIn,
+                             const ObjectStore &StoreIn,
+                             const TraceOptions &OptionsIn,
+                             std::string TraceName)
+    : Prog(ProgIn), Store(StoreIn), Options(OptionsIn) {
+  Out.Name = std::move(TraceName);
+  Out.Strings = Prog.Strings;
+  ClassExcluded.resize(Prog.Classes.size(), false);
+  ClassNoRepr.resize(Prog.Classes.size(), false);
+  for (size_t I = 0; I != Prog.Classes.size(); ++I) {
+    const std::string &Name = Prog.Strings->text(Prog.Classes[I].Name);
+    ClassExcluded[I] = Options.ExcludeClasses.count(Name) != 0;
+    ClassNoRepr[I] = Options.NoReprClasses.count(Name) != 0;
+  }
+}
+
+uint64_t TraceRecorder::structuralHash(uint32_t Loc, unsigned Depth,
+                                       std::vector<uint32_t> &Visiting) const {
+  const HeapObj &Obj = Store.get(Loc);
+  uint64_t H = hashMix(SeedObj, Prog.Classes[Obj.ClassId].Name.Id);
+  if (Depth == 0)
+    return H;
+  // Cycle guard: a back-edge contributes only the class tag.
+  if (std::find(Visiting.begin(), Visiting.end(), Loc) != Visiting.end())
+    return H;
+  Visiting.push_back(Loc);
+  for (const Value &Field : Obj.Fields) {
+    if (Field.K == Value::Kind::Obj) {
+      uint32_t FieldLoc = Field.loc();
+      const HeapObj &FieldObj = Store.get(FieldLoc);
+      if (ClassNoRepr[FieldObj.ClassId])
+        H = hashMix(H, hashMix(SeedObj, FieldObj.CreationSeq));
+      else
+        H = hashMix(H, structuralHash(FieldLoc, Depth - 1, Visiting));
+    } else {
+      H = hashMix(H, valueRepr(Field).Hash);
+    }
+  }
+  Visiting.pop_back();
+  return H;
+}
+
+ObjRepr TraceRecorder::objRepr(uint32_t Loc) const {
+  ObjRepr Repr;
+  if (Loc == NoLoc)
+    return Repr;
+  const HeapObj &Obj = Store.get(Loc);
+  Repr.Loc = Loc;
+  Repr.ClassName = Prog.Classes[Obj.ClassId].Name;
+  Repr.CreationSeq = Obj.CreationSeq;
+  if (ClassNoRepr[Obj.ClassId]) {
+    // The paper's "empty representation" rule: correlation falls back to
+    // the class-specific creation sequence number.
+    Repr.HasRepr = false;
+    Repr.ValueHash = 0;
+  } else {
+    std::vector<uint32_t> Visiting;
+    Repr.HasRepr = true;
+    Repr.ValueHash = structuralHash(Loc, Options.ReprDepth, Visiting);
+  }
+  return Repr;
+}
+
+ValueRepr TraceRecorder::valueRepr(const Value &V) const {
+  ValueRepr Repr;
+  auto &Strings = *Out.Strings;
+  switch (V.K) {
+  case Value::Kind::Unit:
+    Repr.Kind = ReprKind::Unit;
+    Repr.Hash = SeedUnit;
+    Repr.Text = Strings.intern("unit");
+    break;
+  case Value::Kind::Null:
+    Repr.Kind = ReprKind::Null;
+    Repr.Hash = SeedNull;
+    Repr.Text = Strings.intern("null");
+    break;
+  case Value::Kind::Int:
+    Repr.Kind = ReprKind::Int;
+    Repr.Hash = hashMix(SeedInt, static_cast<uint64_t>(V.I));
+    Repr.Text = Strings.intern(std::to_string(V.I));
+    break;
+  case Value::Kind::Bool:
+    Repr.Kind = ReprKind::Bool;
+    Repr.Hash = hashMix(SeedBool, V.I != 0);
+    Repr.Text = Strings.intern(V.I != 0 ? "true" : "false");
+    break;
+  case Value::Kind::Float: {
+    Repr.Kind = ReprKind::Float;
+    Repr.Hash = hashDouble(V.F, SeedFloat);
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V.F);
+    Repr.Text = Strings.intern(Buf);
+    break;
+  }
+  case Value::Kind::Str:
+    Repr.Kind = ReprKind::Str;
+    Repr.Hash = hashString(V.S, SeedStr);
+    Repr.Text = Strings.intern(truncated(V.S));
+    break;
+  case Value::Kind::Obj: {
+    Repr.Kind = ReprKind::Obj;
+    ObjRepr Obj = objRepr(V.loc());
+    Repr.Hash = Obj.HasRepr
+                    ? Obj.ValueHash
+                    : hashCombine(Obj.ClassName.Id, Obj.CreationSeq);
+    Repr.Text = Strings.intern(Strings.text(Obj.ClassName) + "-" +
+                               std::to_string(Obj.CreationSeq));
+    break;
+  }
+  }
+  return Repr;
+}
+
+bool TraceRecorder::filtered(const RecordContext &Ctx,
+                             uint32_t TargetClassId) const {
+  if (!Options.Enabled)
+    return true;
+  if (Ctx.MethodClass != ~0u && ClassExcluded[Ctx.MethodClass])
+    return true;
+  if (TargetClassId != ~0u && ClassExcluded[TargetClassId])
+    return true;
+  return false;
+}
+
+TraceEntry &TraceRecorder::append(const RecordContext &Ctx, uint32_t Prov) {
+  TraceEntry Entry;
+  Entry.Eid = static_cast<uint32_t>(Out.Entries.size());
+  Entry.Tid = Ctx.Tid;
+  Entry.Method = Ctx.Method;
+  Entry.Self = objRepr(Ctx.SelfLoc);
+  Entry.Prov = Prov;
+  Out.Entries.push_back(Entry);
+  return Out.Entries.back();
+}
+
+uint32_t TraceRecorder::pushArgs(const Value *Args, size_t NumArgs) {
+  uint32_t Begin = static_cast<uint32_t>(Out.ArgPool.size());
+  for (size_t I = 0; I != NumArgs; ++I)
+    Out.ArgPool.push_back(valueRepr(Args[I]));
+  return Begin;
+}
+
+void TraceRecorder::recordCall(const RecordContext &Ctx, uint32_t TargetLoc,
+                               Symbol QualMethod, const Value *Args,
+                               size_t NumArgs, uint32_t Prov) {
+  uint32_t TargetClass =
+      TargetLoc == NoLoc ? ~0u : Store.get(TargetLoc).ClassId;
+  if (filtered(Ctx, TargetClass))
+    return;
+  uint32_t Begin = pushArgs(Args, NumArgs);
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::Call;
+  Entry.Ev.Name = QualMethod;
+  Entry.Ev.Target = objRepr(TargetLoc);
+  Entry.Ev.ArgsBegin = Begin;
+  Entry.Ev.ArgsEnd = static_cast<uint32_t>(Out.ArgPool.size());
+}
+
+void TraceRecorder::recordReturn(const RecordContext &Ctx,
+                                 uint32_t TargetLoc, Symbol QualMethod,
+                                 const Value &Ret, uint32_t Prov) {
+  uint32_t TargetClass =
+      TargetLoc == NoLoc ? ~0u : Store.get(TargetLoc).ClassId;
+  if (filtered(Ctx, TargetClass))
+    return;
+  ValueRepr RetRepr = valueRepr(Ret);
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::Return;
+  Entry.Ev.Name = QualMethod;
+  Entry.Ev.Target = objRepr(TargetLoc);
+  Entry.Ev.Value = RetRepr;
+}
+
+void TraceRecorder::recordGet(const RecordContext &Ctx, uint32_t TargetLoc,
+                              Symbol Field, const Value &V, uint32_t Prov) {
+  if (filtered(Ctx, Store.get(TargetLoc).ClassId))
+    return;
+  ValueRepr Repr = valueRepr(V);
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::FieldGet;
+  Entry.Ev.Name = Field;
+  Entry.Ev.Target = objRepr(TargetLoc);
+  Entry.Ev.Value = Repr;
+}
+
+void TraceRecorder::recordSet(const RecordContext &Ctx, uint32_t TargetLoc,
+                              Symbol Field, const Value &V, uint32_t Prov) {
+  if (filtered(Ctx, Store.get(TargetLoc).ClassId))
+    return;
+  ValueRepr Repr = valueRepr(V);
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::FieldSet;
+  Entry.Ev.Name = Field;
+  Entry.Ev.Target = objRepr(TargetLoc);
+  Entry.Ev.Value = Repr;
+}
+
+void TraceRecorder::recordInit(const RecordContext &Ctx, Symbol ClassName,
+                               uint32_t NewLoc, const Value *Args,
+                               size_t NumArgs, uint32_t Prov) {
+  if (filtered(Ctx, Store.get(NewLoc).ClassId))
+    return;
+  uint32_t Begin = pushArgs(Args, NumArgs);
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::Init;
+  Entry.Ev.Name = ClassName;
+  Entry.Ev.Target = objRepr(NewLoc);
+  Entry.Ev.ArgsBegin = Begin;
+  Entry.Ev.ArgsEnd = static_cast<uint32_t>(Out.ArgPool.size());
+}
+
+void TraceRecorder::recordFork(const RecordContext &Ctx, uint32_t ChildTid,
+                               uint32_t Prov) {
+  if (filtered(Ctx, ~0u))
+    return;
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::Fork;
+  Entry.Ev.ChildTid = ChildTid;
+  Entry.Ev.Name = Out.Threads[ChildTid].EntryMethod;
+}
+
+void TraceRecorder::recordEnd(const RecordContext &Ctx, uint32_t Tid,
+                              uint32_t Prov) {
+  if (filtered(Ctx, ~0u))
+    return;
+  TraceEntry &Entry = append(Ctx, Prov);
+  Entry.Ev.Kind = EventKind::End;
+  Entry.Ev.ChildTid = Tid;
+  Entry.Ev.Name = Out.Threads[Tid].EntryMethod;
+}

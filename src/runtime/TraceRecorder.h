@@ -1,0 +1,88 @@
+//===- runtime/TraceRecorder.h - Event recording (Fig. 6 -> Fig. 4) -------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the Trace during VM execution: computes the extended object and
+/// value representations of Fig. 8 (recursive, depth-limited serialization
+/// hashes; printable renderings truncated to 128 characters like the
+/// paper's toString approximation) and applies the pointcut-style class
+/// exclusion filter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_RUNTIME_TRACERECORDER_H
+#define RPRISM_RUNTIME_TRACERECORDER_H
+
+#include "runtime/Vm.h"
+
+namespace rprism {
+
+/// The execution context an event is recorded in: entry(eid, tid, m, rho, e).
+struct RecordContext {
+  uint32_t Tid = 0;
+  Symbol Method;            ///< Qualified executing method.
+  uint32_t MethodClass = ~0u; ///< Class of the executing method (~0u: main).
+  uint32_t SelfLoc = NoLoc; ///< Receiver location (NoLoc in main).
+};
+
+/// Accumulates trace entries for one run.
+class TraceRecorder {
+public:
+  TraceRecorder(const CompiledProgram &Prog, const ObjectStore &Store,
+                const TraceOptions &Options, std::string TraceName);
+
+  /// The finished trace; call once after the run.
+  Trace take() { return std::move(Out); }
+
+  // -- Representation builders -------------------------------------------
+  ObjRepr objRepr(uint32_t Loc) const;
+  ValueRepr valueRepr(const Value &V) const;
+
+  // -- Event recording (one per Fig. 6 rule) ------------------------------
+  void recordCall(const RecordContext &Ctx, uint32_t TargetLoc,
+                  Symbol QualMethod, const Value *Args, size_t NumArgs,
+                  uint32_t Prov);
+  void recordReturn(const RecordContext &Ctx, uint32_t TargetLoc,
+                    Symbol QualMethod, const Value &Ret, uint32_t Prov);
+  void recordGet(const RecordContext &Ctx, uint32_t TargetLoc, Symbol Field,
+                 const Value &V, uint32_t Prov);
+  void recordSet(const RecordContext &Ctx, uint32_t TargetLoc, Symbol Field,
+                 const Value &V, uint32_t Prov);
+  void recordInit(const RecordContext &Ctx, Symbol ClassName,
+                  uint32_t NewLoc, const Value *Args, size_t NumArgs,
+                  uint32_t Prov);
+  void recordFork(const RecordContext &Ctx, uint32_t ChildTid,
+                  uint32_t Prov);
+  void recordEnd(const RecordContext &Ctx, uint32_t Tid, uint32_t Prov);
+
+  /// Registers a thread in the trace's thread table.
+  void addThread(ThreadInfo Info) { Out.Threads.push_back(std::move(Info)); }
+
+  size_t numEntries() const { return Out.Entries.size(); }
+  StringInterner &strings() { return *Out.Strings; }
+
+private:
+  /// True when the event must be dropped (tracing disabled, excluded
+  /// context class, or excluded target class).
+  bool filtered(const RecordContext &Ctx, uint32_t TargetClassId) const;
+
+  TraceEntry &append(const RecordContext &Ctx, uint32_t Prov);
+  uint64_t structuralHash(uint32_t Loc, unsigned Depth,
+                          std::vector<uint32_t> &Visiting) const;
+  uint32_t pushArgs(const Value *Args, size_t NumArgs);
+
+  const CompiledProgram &Prog;
+  const ObjectStore &Store;
+  const TraceOptions &Options;
+  Trace Out;
+  std::vector<bool> ClassExcluded; ///< Per class id.
+  std::vector<bool> ClassNoRepr;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_RUNTIME_TRACERECORDER_H

@@ -1,0 +1,726 @@
+//===- runtime/Vm.cpp - Bytecode interpreter ------------------------------===//
+
+#include "runtime/Vm.h"
+
+#include "lang/Ast.h" // BinOp/UnOp/BuiltinKind enums.
+#include "runtime/TraceRecorder.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdio>
+#include <deque>
+
+using namespace rprism;
+
+namespace {
+
+constexpr size_t MaxFrameDepth = 4096;
+
+/// An activation record.
+struct Frame {
+  uint32_t Method = 0;
+  uint32_t Ip = 0;
+  uint32_t SelfLoc = NoLoc;
+  /// Constructor frames and thread roots discard their return value (the
+  /// `new` result was pushed by the caller before the frame started).
+  bool DiscardRet = false;
+  std::vector<Value> Locals;
+  std::vector<Value> Stack;
+};
+
+/// Execution state of one thread.
+struct ThreadExec {
+  uint32_t Tid = 0;
+  std::vector<Frame> Frames;
+  bool Done = false;
+};
+
+class Vm {
+public:
+  Vm(const CompiledProgram &ProgIn, const RunOptions &OptionsIn)
+      : Prog(ProgIn), Options(OptionsIn), Store(ProgIn.Classes.size()),
+        Recorder(ProgIn, Store, OptionsIn.Tracing, OptionsIn.TraceName) {}
+
+  RunResult run();
+
+private:
+  void fail(const std::string &Message) {
+    if (ErrorMsg.empty())
+      ErrorMsg = Message;
+  }
+
+  RecordContext ctxOf(const ThreadExec &T) const {
+    const Frame &F = T.Frames.back();
+    const CompiledMethod &M = Prog.Methods[F.Method];
+    return {T.Tid, M.QualName, M.ClassId, F.SelfLoc};
+  }
+
+  void pushFrame(ThreadExec &T, uint32_t MethodIndex, uint32_t SelfLoc,
+                 std::vector<Value> Args, bool DiscardRet) {
+    if (T.Frames.size() >= MaxFrameDepth) {
+      fail("call stack overflow");
+      return;
+    }
+    const CompiledMethod &M = Prog.Methods[MethodIndex];
+    Frame F;
+    F.Method = MethodIndex;
+    F.SelfLoc = SelfLoc;
+    F.DiscardRet = DiscardRet;
+    F.Locals.resize(M.NumLocals);
+    assert(Args.size() == M.NumParams && "argument count mismatch");
+    for (size_t I = 0; I != Args.size(); ++I)
+      F.Locals[I] = std::move(Args[I]);
+    T.Frames.push_back(std::move(F));
+  }
+
+  /// Pops \p Argc arguments (in declaration order) off the frame's stack.
+  std::vector<Value> popArgs(Frame &F, uint32_t Argc) {
+    std::vector<Value> Args(Argc);
+    for (uint32_t I = 0; I != Argc; ++I) {
+      Args[Argc - 1 - I] = std::move(F.Stack.back());
+      F.Stack.pop_back();
+    }
+    return Args;
+  }
+
+  Value defaultFieldValue(FieldDefaultKind Kind) {
+    switch (Kind) {
+    case FieldDefaultKind::Null:  return Value::null();
+    case FieldDefaultKind::Int:   return Value::ofInt(0);
+    case FieldDefaultKind::Bool:  return Value::ofBool(false);
+    case FieldDefaultKind::Float: return Value::ofFloat(0);
+    case FieldDefaultKind::Str:   return Value::ofStr("");
+    case FieldDefaultKind::Unit:  return Value::unit();
+    }
+    return Value::unit();
+  }
+
+  void doBinary(Frame &F, BinOp OpCode);
+  void doBuiltin(Frame &F, BuiltinKind Kind, uint32_t Argc);
+  void doCall(ThreadExec &T, Frame &F, const Instr &In);
+  void doSpawn(ThreadExec &T, Frame &F, const Instr &In);
+  void doNew(ThreadExec &T, Frame &F, const Instr &In);
+  void doSuperCtor(ThreadExec &T, Frame &F, const Instr &In);
+  void doRet(ThreadExec &T, const Instr &In);
+  void step(ThreadExec &T);
+  void renderForPrint(const Value &V);
+
+  const CompiledProgram &Prog;
+  const RunOptions &Options;
+  ObjectStore Store;
+  TraceRecorder Recorder;
+  std::deque<ThreadExec> Threads;
+  std::vector<uint64_t> AncestryHashes;
+  std::string Output;
+  std::string ErrorMsg;
+  uint64_t Steps = 0;
+};
+
+} // namespace
+
+void Vm::renderForPrint(const Value &V) {
+  switch (V.K) {
+  case Value::Kind::Unit:
+    Output += "unit";
+    break;
+  case Value::Kind::Null:
+    Output += "null";
+    break;
+  case Value::Kind::Int:
+    Output += std::to_string(V.I);
+    break;
+  case Value::Kind::Bool:
+    Output += V.I ? "true" : "false";
+    break;
+  case Value::Kind::Float: {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V.F);
+    Output += Buf;
+    break;
+  }
+  case Value::Kind::Str:
+    Output += V.S;
+    break;
+  case Value::Kind::Obj:
+    Output += "<object>";
+    break;
+  }
+  Output += '\n';
+}
+
+void Vm::doBinary(Frame &F, BinOp OpCode) {
+  Value R = std::move(F.Stack.back());
+  F.Stack.pop_back();
+  Value L = std::move(F.Stack.back());
+  F.Stack.pop_back();
+
+  auto BothInt = [&] {
+    return L.K == Value::Kind::Int && R.K == Value::Kind::Int;
+  };
+  auto BothFloat = [&] {
+    return L.K == Value::Kind::Float && R.K == Value::Kind::Float;
+  };
+  auto BothStr = [&] {
+    return L.K == Value::Kind::Str && R.K == Value::Kind::Str;
+  };
+  // Int arithmetic wraps (two's complement), like Java's: compute in
+  // unsigned space so extreme values (runaway mutants, adversarial
+  // workloads) stay defined behavior instead of UB.
+  auto WrapAdd = [](int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                static_cast<uint64_t>(B));
+  };
+  auto WrapSub = [](int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                static_cast<uint64_t>(B));
+  };
+  auto WrapMul = [](int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                static_cast<uint64_t>(B));
+  };
+
+  switch (OpCode) {
+  case BinOp::Add:
+    if (BothInt())
+      F.Stack.push_back(Value::ofInt(WrapAdd(L.I, R.I)));
+    else if (BothFloat())
+      F.Stack.push_back(Value::ofFloat(L.F + R.F));
+    else if (BothStr())
+      F.Stack.push_back(Value::ofStr(L.S + R.S));
+    else
+      fail("'+' on incompatible runtime values");
+    return;
+  case BinOp::Sub:
+    if (BothInt())
+      F.Stack.push_back(Value::ofInt(WrapSub(L.I, R.I)));
+    else if (BothFloat())
+      F.Stack.push_back(Value::ofFloat(L.F - R.F));
+    else
+      fail("'-' on incompatible runtime values");
+    return;
+  case BinOp::Mul:
+    if (BothInt())
+      F.Stack.push_back(Value::ofInt(WrapMul(L.I, R.I)));
+    else if (BothFloat())
+      F.Stack.push_back(Value::ofFloat(L.F * R.F));
+    else
+      fail("'*' on incompatible runtime values");
+    return;
+  case BinOp::Div:
+    if (BothInt()) {
+      if (R.I == 0)
+        return fail("division by zero");
+      // INT64_MIN / -1 overflows; wrap to INT64_MIN like Java.
+      if (R.I == -1)
+        F.Stack.push_back(Value::ofInt(WrapSub(0, L.I)));
+      else
+        F.Stack.push_back(Value::ofInt(L.I / R.I));
+    } else if (BothFloat()) {
+      F.Stack.push_back(Value::ofFloat(L.F / R.F));
+    } else {
+      fail("'/' on incompatible runtime values");
+    }
+    return;
+  case BinOp::Rem:
+    if (BothInt()) {
+      if (R.I == 0)
+        return fail("remainder by zero");
+      // INT64_MIN % -1 traps in hardware; the result is 0.
+      F.Stack.push_back(Value::ofInt(R.I == -1 ? 0 : L.I % R.I));
+    } else {
+      fail("'%' on incompatible runtime values");
+    }
+    return;
+  case BinOp::Lt:
+  case BinOp::LtEq:
+  case BinOp::Gt:
+  case BinOp::GtEq: {
+    int Cmp;
+    if (BothInt())
+      Cmp = L.I < R.I ? -1 : (L.I == R.I ? 0 : 1);
+    else if (BothFloat())
+      Cmp = L.F < R.F ? -1 : (L.F == R.F ? 0 : 1);
+    else if (BothStr())
+      Cmp = L.S < R.S ? -1 : (L.S == R.S ? 0 : 1);
+    else
+      return fail("comparison on incompatible runtime values");
+    bool Result = OpCode == BinOp::Lt     ? Cmp < 0
+                  : OpCode == BinOp::LtEq ? Cmp <= 0
+                  : OpCode == BinOp::Gt   ? Cmp > 0
+                                          : Cmp >= 0;
+    F.Stack.push_back(Value::ofBool(Result));
+    return;
+  }
+  case BinOp::Eq:
+  case BinOp::NotEq: {
+    bool Equal;
+    if (L.K != R.K) {
+      // Only null-vs-object crosses kinds after type checking.
+      Equal = false;
+    } else {
+      switch (L.K) {
+      case Value::Kind::Unit:  Equal = true; break;
+      case Value::Kind::Null:  Equal = true; break;
+      case Value::Kind::Int:
+      case Value::Kind::Bool:  Equal = L.I == R.I; break;
+      case Value::Kind::Float: Equal = L.F == R.F; break;
+      case Value::Kind::Str:   Equal = L.S == R.S; break;
+      case Value::Kind::Obj:   Equal = L.loc() == R.loc(); break;
+      default:                 Equal = false; break;
+      }
+    }
+    F.Stack.push_back(Value::ofBool(OpCode == BinOp::Eq ? Equal : !Equal));
+    return;
+  }
+  case BinOp::And:
+  case BinOp::Or:
+    // Compiled to short-circuit jumps; never reaches the Binary opcode.
+    fail("unexpected And/Or opcode");
+    return;
+  }
+}
+
+void Vm::doBuiltin(Frame &F, BuiltinKind Kind, uint32_t Argc) {
+  std::vector<Value> Args = popArgs(F, Argc);
+  auto ClampIndex = [](int64_t I, size_t Size) -> size_t {
+    if (I < 0)
+      return 0;
+    return I > static_cast<int64_t>(Size) ? Size : static_cast<size_t>(I);
+  };
+
+  switch (Kind) {
+  case BuiltinKind::Input: {
+    size_t Index = static_cast<size_t>(Args[0].I);
+    F.Stack.push_back(Value::ofStr(
+        Index < Options.Inputs.size() ? Options.Inputs[Index] : ""));
+    return;
+  }
+  case BuiltinKind::InputInt: {
+    size_t Index = static_cast<size_t>(Args[0].I);
+    F.Stack.push_back(Value::ofInt(
+        Index < Options.IntInputs.size() ? Options.IntInputs[Index] : 0));
+    return;
+  }
+  case BuiltinKind::Len:
+    F.Stack.push_back(Value::ofInt(static_cast<int64_t>(Args[0].S.size())));
+    return;
+  case BuiltinKind::CharAt: {
+    const std::string &S = Args[0].S;
+    int64_t I = Args[1].I;
+    F.Stack.push_back(Value::ofInt(
+        I >= 0 && I < static_cast<int64_t>(S.size())
+            ? static_cast<unsigned char>(S[static_cast<size_t>(I)])
+            : -1));
+    return;
+  }
+  case BuiltinKind::Substr: {
+    const std::string &S = Args[0].S;
+    size_t Begin = ClampIndex(Args[1].I, S.size());
+    size_t Len = ClampIndex(Args[2].I, S.size() - Begin);
+    F.Stack.push_back(Value::ofStr(S.substr(Begin, Len)));
+    return;
+  }
+  case BuiltinKind::Chr:
+    F.Stack.push_back(Value::ofStr(
+        std::string(1, static_cast<char>(Args[0].I & 0xff))));
+    return;
+  case BuiltinKind::Ord:
+    F.Stack.push_back(Value::ofInt(
+        Args[0].S.empty() ? -1
+                          : static_cast<unsigned char>(Args[0].S[0])));
+    return;
+  case BuiltinKind::StrOfInt:
+    F.Stack.push_back(Value::ofStr(std::to_string(Args[0].I)));
+    return;
+  case BuiltinKind::StrOfFloat: {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Args[0].F);
+    F.Stack.push_back(Value::ofStr(Buf));
+    return;
+  }
+  case BuiltinKind::ParseInt: {
+    // Total: malformed input parses as 0; overlong digit strings wrap
+    // (unsigned accumulation keeps the arithmetic defined).
+    const std::string &S = Args[0].S;
+    uint64_t Result = 0;
+    bool Negative = false;
+    size_t I = 0;
+    if (I < S.size() && (S[I] == '-' || S[I] == '+')) {
+      Negative = S[I] == '-';
+      ++I;
+    }
+    for (; I < S.size() && S[I] >= '0' && S[I] <= '9'; ++I)
+      Result = Result * 10 + static_cast<uint64_t>(S[I] - '0');
+    int64_t Signed = static_cast<int64_t>(Negative ? 0 - Result : Result);
+    F.Stack.push_back(Value::ofInt(Signed));
+    return;
+  }
+  case BuiltinKind::Contains:
+    F.Stack.push_back(
+        Value::ofBool(Args[0].S.find(Args[1].S) != std::string::npos));
+    return;
+  case BuiltinKind::IndexOf: {
+    size_t Pos = Args[0].S.find(Args[1].S);
+    F.Stack.push_back(Value::ofInt(
+        Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos)));
+    return;
+  }
+  case BuiltinKind::IntOfFloat:
+    F.Stack.push_back(Value::ofInt(static_cast<int64_t>(Args[0].F)));
+    return;
+  case BuiltinKind::FloatOfInt:
+    F.Stack.push_back(Value::ofFloat(static_cast<double>(Args[0].I)));
+    return;
+  }
+  fail("unknown builtin");
+}
+
+void Vm::doCall(ThreadExec &T, Frame &F, const Instr &In) {
+  uint32_t Argc = static_cast<uint32_t>(In.B);
+  std::vector<Value> Args = popArgs(F, Argc);
+  Value Recv = std::move(F.Stack.back());
+  F.Stack.pop_back();
+  if (!Recv.isObj()) {
+    fail("method call on null");
+    return;
+  }
+  const HeapObj &Obj = Store.get(Recv.loc());
+  const RtClass &Class = Prog.Classes[Obj.ClassId];
+  auto It = Class.Dispatch.find(static_cast<uint32_t>(In.A));
+  if (It == Class.Dispatch.end()) {
+    fail("no method '" + Prog.Strings->text(Symbol{uint32_t(In.A)}) +
+         "' on class '" + Prog.Strings->text(Class.Name) + "'");
+    return;
+  }
+  const CompiledMethod &Callee = Prog.Methods[It->second];
+  // METH-E: record in the caller's context, then enter the callee.
+  Recorder.recordCall(ctxOf(T), Recv.loc(), Callee.QualName, Args.data(),
+                      Args.size(), In.Prov);
+  pushFrame(T, It->second, Recv.loc(), std::move(Args),
+            /*DiscardRet=*/false);
+}
+
+void Vm::doSpawn(ThreadExec &T, Frame &F, const Instr &In) {
+  uint32_t Argc = static_cast<uint32_t>(In.B);
+  std::vector<Value> Args = popArgs(F, Argc);
+  Value Recv = std::move(F.Stack.back());
+  F.Stack.pop_back();
+  if (!Recv.isObj()) {
+    fail("spawn on null");
+    return;
+  }
+  const HeapObj &Obj = Store.get(Recv.loc());
+  const RtClass &Class = Prog.Classes[Obj.ClassId];
+  auto It = Class.Dispatch.find(static_cast<uint32_t>(In.A));
+  if (It == Class.Dispatch.end()) {
+    fail("no method to spawn on class '" + Prog.Strings->text(Class.Name) +
+         "'");
+    return;
+  }
+  const CompiledMethod &Callee = Prog.Methods[It->second];
+
+  uint32_t ChildTid = static_cast<uint32_t>(Threads.size());
+
+  // FORK-E: capture the full spawn ancestry (spawn-point call stack chained
+  // with the parent's ancestry hash) for cross-trace thread correlation.
+  ThreadInfo Info;
+  Info.Tid = ChildTid;
+  Info.ParentTid = T.Tid;
+  Info.EntryMethod = Callee.QualName;
+  uint64_t StackHash = HashInit;
+  for (const Frame &Fr : T.Frames) {
+    Symbol Qual = Prog.Methods[Fr.Method].QualName;
+    Info.SpawnStack.push_back(Qual);
+    StackHash = hashMix(StackHash, Qual.Id);
+  }
+  Info.AncestryHash = hashCombine(AncestryHashes[T.Tid], StackHash,
+                                  Callee.QualName.Id);
+  AncestryHashes.push_back(Info.AncestryHash);
+  Recorder.addThread(Info);
+  Recorder.recordFork(ctxOf(T), ChildTid, In.Prov);
+
+  ThreadExec Child;
+  Child.Tid = ChildTid;
+  Threads.push_back(std::move(Child));
+  // Note: Threads is a deque, so &T and F stay valid across push_back.
+  pushFrame(Threads.back(), It->second, Recv.loc(), std::move(Args),
+            /*DiscardRet=*/true);
+}
+
+void Vm::doNew(ThreadExec &T, Frame &F, const Instr &In) {
+  uint32_t ClassId = static_cast<uint32_t>(In.A);
+  uint32_t Argc = static_cast<uint32_t>(In.B);
+  const RtClass &Class = Prog.Classes[ClassId];
+
+  std::vector<Value> Args = popArgs(F, Argc);
+  uint32_t Loc = Store.alloc(ClassId, Class.FieldNames.size());
+  HeapObj &Obj = Store.get(Loc);
+  for (size_t I = 0; I != Class.FieldDefaults.size(); ++I)
+    Obj.Fields[I] = defaultFieldValue(Class.FieldDefaults[I]);
+
+  // CONS-E: the init entry is the "--> C.new(...)" marker of Fig. 13.
+  Recorder.recordInit(ctxOf(T), Class.Name, Loc, Args.data(), Args.size(),
+                      In.Prov);
+
+  // The result is pushed *before* the ctor frame runs; the ctor frame
+  // discards its return value.
+  F.Stack.push_back(Value::ofObj(Loc));
+
+  if (Class.CtorMethod >= 0) {
+    pushFrame(T, static_cast<uint32_t>(Class.CtorMethod), Loc,
+              std::move(Args), /*DiscardRet=*/true);
+  } else {
+    // No constructor body anywhere in the chain: emit the matching
+    // "<-- C.new" immediately.
+    Symbol Qual = Prog.Strings->intern(Prog.Strings->text(Class.Name) +
+                                       ".<init>");
+    Recorder.recordReturn(ctxOf(T), Loc, Qual, Value::unit(), In.Prov);
+  }
+}
+
+void Vm::doSuperCtor(ThreadExec &T, Frame &F, const Instr &In) {
+  uint32_t Argc = static_cast<uint32_t>(In.A);
+  std::vector<Value> Args = popArgs(F, Argc);
+  const CompiledMethod &M = Prog.Methods[F.Method];
+  assert(M.IsCtor && "SuperCtor outside a constructor");
+
+  // Nearest ancestor with its own constructor.
+  int32_t Target = -1;
+  for (uint32_t C = Prog.Classes[M.ClassId].SuperId; C != ~0u;
+       C = Prog.Classes[C].SuperId) {
+    if (Prog.Classes[C].OwnCtorMethod >= 0) {
+      Target = Prog.Classes[C].OwnCtorMethod;
+      break;
+    }
+  }
+  if (Target < 0)
+    return; // Root of the ctor chain: nothing to run.
+
+  const CompiledMethod &Callee = Prog.Methods[Target];
+  Recorder.recordCall(ctxOf(T), F.SelfLoc, Callee.QualName, Args.data(),
+                      Args.size(), In.Prov);
+  pushFrame(T, static_cast<uint32_t>(Target), F.SelfLoc, std::move(Args),
+            /*DiscardRet=*/true);
+}
+
+void Vm::doRet(ThreadExec &T, const Instr &In) {
+  Frame Finished = std::move(T.Frames.back());
+  T.Frames.pop_back();
+  assert(!Finished.Stack.empty() && "Ret with empty stack");
+  Value Ret = std::move(Finished.Stack.back());
+
+  const CompiledMethod &M = Prog.Methods[Finished.Method];
+
+  if (T.Frames.empty()) {
+    // END-E: thread root returned.
+    RecordContext Ctx{T.Tid, M.QualName, M.ClassId, Finished.SelfLoc};
+    Recorder.recordEnd(Ctx, T.Tid, In.Prov);
+    T.Done = true;
+    return;
+  }
+
+  // RETURN-E: recorded in the *caller's* context (the frame now on top).
+  Recorder.recordReturn(ctxOf(T), Finished.SelfLoc, M.QualName,
+                        M.IsCtor ? Value::unit() : Ret, In.Prov);
+  if (!Finished.DiscardRet)
+    T.Frames.back().Stack.push_back(std::move(Ret));
+}
+
+void Vm::step(ThreadExec &T) {
+  Frame &F = T.Frames.back();
+  const CompiledMethod &M = Prog.Methods[F.Method];
+  assert(F.Ip < M.Code.size() && "instruction pointer out of range");
+  const Instr &In = M.Code[F.Ip++];
+
+  switch (In.Code) {
+  case Op::PushInt:
+    F.Stack.push_back(Value::ofInt(Prog.IntPool[In.A]));
+    return;
+  case Op::PushFloat:
+    F.Stack.push_back(Value::ofFloat(Prog.FloatPool[In.A]));
+    return;
+  case Op::PushStr:
+    F.Stack.push_back(
+        Value::ofStr(Prog.Strings->text(Symbol{uint32_t(In.A)})));
+    return;
+  case Op::PushBool:
+    F.Stack.push_back(Value::ofBool(In.A != 0));
+    return;
+  case Op::PushNull:
+    F.Stack.push_back(Value::null());
+    return;
+  case Op::PushUnit:
+    F.Stack.push_back(Value::unit());
+    return;
+  case Op::LoadLocal:
+    F.Stack.push_back(F.Locals[In.A]);
+    return;
+  case Op::StoreLocal:
+    F.Locals[In.A] = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    return;
+  case Op::Dup:
+    F.Stack.push_back(F.Stack.back());
+    return;
+  case Op::Pop:
+    F.Stack.pop_back();
+    return;
+  case Op::LoadThis:
+    F.Stack.push_back(Value::ofObj(F.SelfLoc));
+    return;
+
+  case Op::GetField: {
+    Value ObjVal = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    if (!ObjVal.isObj())
+      return fail("field access on null");
+    const Value &FieldVal = Store.get(ObjVal.loc()).Fields[In.A];
+    // FIELD-ACC-E.
+    Recorder.recordGet(ctxOf(T), ObjVal.loc(), Symbol{uint32_t(In.B)},
+                       FieldVal, In.Prov);
+    F.Stack.push_back(FieldVal);
+    return;
+  }
+
+  case Op::SetField: {
+    Value NewVal = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    Value ObjVal = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    if (!ObjVal.isObj())
+      return fail("field assignment on null");
+    Store.get(ObjVal.loc()).Fields[In.A] = NewVal;
+    // FIELD-ASS-E.
+    Recorder.recordSet(ctxOf(T), ObjVal.loc(), Symbol{uint32_t(In.B)},
+                       NewVal, In.Prov);
+    F.Stack.push_back(std::move(NewVal));
+    return;
+  }
+
+  case Op::Call:
+    doCall(T, F, In);
+    return;
+  case Op::SuperCtor:
+    doSuperCtor(T, F, In);
+    return;
+  case Op::New:
+    doNew(T, F, In);
+    return;
+  case Op::Ret:
+    doRet(T, In);
+    return;
+
+  case Op::Jump:
+    F.Ip = static_cast<uint32_t>(In.A);
+    return;
+  case Op::JumpIfFalse: {
+    Value Cond = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    if (!Cond.truthy())
+      F.Ip = static_cast<uint32_t>(In.A);
+    return;
+  }
+  case Op::JumpIfTrue: {
+    Value Cond = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    if (Cond.truthy())
+      F.Ip = static_cast<uint32_t>(In.A);
+    return;
+  }
+
+  case Op::Binary:
+    doBinary(F, static_cast<BinOp>(In.A));
+    return;
+  case Op::Unary: {
+    Value V = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    if (static_cast<UnOp>(In.A) == UnOp::Not)
+      F.Stack.push_back(Value::ofBool(!V.truthy()));
+    else if (V.K == Value::Kind::Int)
+      F.Stack.push_back(Value::ofInt(-V.I));
+    else
+      F.Stack.push_back(Value::ofFloat(-V.F));
+    return;
+  }
+
+  case Op::Print: {
+    Value V = std::move(F.Stack.back());
+    F.Stack.pop_back();
+    renderForPrint(V);
+    return;
+  }
+
+  case Op::Spawn:
+    doSpawn(T, F, In);
+    return;
+  case Op::Builtin:
+    doBuiltin(F, static_cast<BuiltinKind>(In.A), uint32_t(In.B));
+    return;
+  }
+  fail("unknown opcode");
+}
+
+RunResult Vm::run() {
+  // Main thread (tid 0).
+  Symbol MainSym = Prog.Strings->intern("main");
+  ThreadInfo MainInfo;
+  MainInfo.Tid = 0;
+  MainInfo.ParentTid = 0;
+  MainInfo.EntryMethod = MainSym;
+  MainInfo.AncestryHash = hashCombine(MainSym.Id);
+  Recorder.addThread(MainInfo);
+  AncestryHashes.push_back(MainInfo.AncestryHash);
+
+  ThreadExec Main;
+  Main.Tid = 0;
+  Threads.push_back(std::move(Main));
+  pushFrame(Threads.front(), Prog.MainMethod, NoLoc, {},
+            /*DiscardRet=*/true);
+
+  bool StepLimit = false;
+  while (ErrorMsg.empty() && !StepLimit) {
+    bool AnyAlive = false;
+    // Index loop: doSpawn may append to Threads mid-round; new threads get
+    // their first slice next round, deterministically.
+    size_t NumAtRoundStart = Threads.size();
+    for (size_t I = 0; I != NumAtRoundStart; ++I) {
+      ThreadExec &T = Threads[I];
+      if (T.Done)
+        continue;
+      AnyAlive = true;
+      for (unsigned Q = 0;
+           Q != Options.Quantum && !T.Done && ErrorMsg.empty(); ++Q) {
+        if (++Steps > Options.MaxSteps) {
+          StepLimit = true;
+          break;
+        }
+        step(T);
+      }
+      if (!ErrorMsg.empty() || StepLimit)
+        break;
+    }
+    if (!AnyAlive)
+      break;
+  }
+
+  RunResult Result;
+  Result.Steps = Steps;
+  if (StepLimit) {
+    Result.Error = "step limit exceeded";
+    Output += "!error: step limit exceeded\n";
+  } else if (!ErrorMsg.empty()) {
+    Result.Error = ErrorMsg;
+    Output += "!error: " + ErrorMsg + "\n";
+  } else {
+    Result.Completed = true;
+  }
+  Result.Output = std::move(Output);
+  Result.ExecTrace = Recorder.take();
+  return Result;
+}
+
+RunResult rprism::runProgram(const CompiledProgram &Prog,
+                             const RunOptions &Options) {
+  Vm Machine(Prog, Options);
+  return Machine.run();
+}

@@ -1,0 +1,166 @@
+//===- runtime/Vm.h - Bytecode interpreter with tracing -------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate: a deterministic, multi-threaded bytecode VM
+/// whose execution emits trace entries exactly per the paper's operational
+/// semantics (Fig. 6):
+///
+///   METH-E      -> a `call` entry in the caller's context
+///   RETURN-E    -> a `return` entry in the caller's context
+///   FIELD-ACC-E -> a `get` entry
+///   FIELD-ASS-E -> a `set` entry
+///   CONS-E      -> an `init` entry (plus a constructor frame whose
+///                  completion emits the matching `return`, cf. Fig. 13's
+///                  paired "--> NUM-1.new" / "<-- NUM-1.new" lines)
+///   FORK-E      -> a `fork` entry, with full spawn-ancestry capture
+///   END-E       -> an `end` entry when a thread's root frame returns
+///
+/// Threads are scheduled round-robin with a fixed instruction quantum, so
+/// runs are bit-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_RUNTIME_VM_H
+#define RPRISM_RUNTIME_VM_H
+
+#include "runtime/Bytecode.h"
+#include "trace/Trace.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace rprism {
+
+/// A runtime value. Strings are held by value: workload programs are small
+/// and value semantics keep the VM simple and safe.
+struct Value {
+  enum class Kind : uint8_t { Unit, Null, Int, Bool, Float, Str, Obj };
+
+  Kind K = Kind::Unit;
+  int64_t I = 0;   ///< Int payload; Bool uses 0/1; Obj uses the location.
+  double F = 0;
+  std::string S;
+
+  static Value unit() { return {}; }
+  static Value null() {
+    Value V;
+    V.K = Kind::Null;
+    return V;
+  }
+  static Value ofInt(int64_t I) {
+    Value V;
+    V.K = Kind::Int;
+    V.I = I;
+    return V;
+  }
+  static Value ofBool(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.I = B ? 1 : 0;
+    return V;
+  }
+  static Value ofFloat(double F) {
+    Value V;
+    V.K = Kind::Float;
+    V.F = F;
+    return V;
+  }
+  static Value ofStr(std::string S) {
+    Value V;
+    V.K = Kind::Str;
+    V.S = std::move(S);
+    return V;
+  }
+  static Value ofObj(uint32_t Loc) {
+    Value V;
+    V.K = Kind::Obj;
+    V.I = Loc;
+    return V;
+  }
+
+  bool isObj() const { return K == Kind::Obj; }
+  uint32_t loc() const { return static_cast<uint32_t>(I); }
+  bool truthy() const { return K == Kind::Bool && I != 0; }
+};
+
+/// A heap object.
+struct HeapObj {
+  uint32_t ClassId = 0;
+  uint32_t CreationSeq = 0; ///< n-th instance of its class in this run.
+  std::vector<Value> Fields;
+};
+
+/// The object store E of the operational semantics.
+class ObjectStore {
+public:
+  explicit ObjectStore(size_t NumClasses) : PerClassCounts(NumClasses, 0) {}
+
+  /// Allocates an instance of \p ClassId with \p NumFields default slots.
+  uint32_t alloc(uint32_t ClassId, size_t NumFields) {
+    HeapObj Obj;
+    Obj.ClassId = ClassId;
+    Obj.CreationSeq = ++PerClassCounts[ClassId];
+    Obj.Fields.resize(NumFields);
+    Objects.push_back(std::move(Obj));
+    return static_cast<uint32_t>(Objects.size() - 1);
+  }
+
+  HeapObj &get(uint32_t Loc) { return Objects[Loc]; }
+  const HeapObj &get(uint32_t Loc) const { return Objects[Loc]; }
+  size_t size() const { return Objects.size(); }
+
+private:
+  std::vector<HeapObj> Objects;
+  std::vector<uint32_t> PerClassCounts;
+};
+
+/// Tracing configuration — the analog of RPRISM's AspectJ pointcuts.
+struct TraceOptions {
+  bool Enabled = true;
+  /// Classes excluded from tracing (library/data-structure internals in the
+  /// paper's evaluation). Events targeting them, and events emitted while a
+  /// method of theirs executes, are not recorded.
+  std::unordered_set<std::string> ExcludeClasses;
+  /// Classes with no meaningful value representation (the paper's "default
+  /// Object hashCode/toString => empty representation" rule).
+  std::unordered_set<std::string> NoReprClasses;
+  /// Recursive value-serialization depth (E'# of Fig. 8).
+  unsigned ReprDepth = 3;
+};
+
+/// Per-run configuration.
+struct RunOptions {
+  std::vector<std::string> Inputs;   ///< input(i) test inputs.
+  std::vector<int64_t> IntInputs;    ///< inputInt(i) test inputs.
+  uint64_t MaxSteps = 50'000'000;    ///< Infinite-loop guard.
+  unsigned Quantum = 40;             ///< Instructions per scheduler slice.
+  std::string TraceName = "trace";
+  TraceOptions Tracing;
+};
+
+/// Outcome of a run. Runtime errors and step-limit hits are program
+/// *outcomes* (the Derby benchmark regresses by throwing), so they are
+/// folded into Output, which is the observable behavior regressions are
+/// defined against.
+struct RunResult {
+  std::string Output;
+  bool Completed = false;
+  std::string Error; ///< Runtime error message, empty if none.
+  uint64_t Steps = 0;
+  Trace ExecTrace;
+};
+
+/// Runs \p Prog to completion (or error/step limit) and returns the result
+/// with its execution trace.
+RunResult runProgram(const CompiledProgram &Prog,
+                     const RunOptions &Options = RunOptions());
+
+} // namespace rprism
+
+#endif // RPRISM_RUNTIME_VM_H

@@ -1,0 +1,82 @@
+//===- support/Expected.h - Result type for recoverable errors -----------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Expected<T>/Err pair in the spirit of llvm::Expected. Library
+/// code in RPrism does not throw; fallible operations (parsing, semantic
+/// checking, trace deserialization) return Expected<T> carrying either a
+/// value or a diagnostic message with a source position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_EXPECTED_H
+#define RPRISM_SUPPORT_EXPECTED_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rprism {
+
+/// A diagnostic: message plus optional 1-based source coordinates.
+struct Err {
+  std::string Message;
+  int Line = 0;
+  int Col = 0;
+
+  /// Renders "line:col: message" (or just the message when no position).
+  std::string render() const {
+    if (Line == 0)
+      return Message;
+    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+  }
+};
+
+/// Creates an Err with a position.
+inline Err makeErr(std::string Message, int Line = 0, int Col = 0) {
+  return Err{std::move(Message), Line, Col};
+}
+
+/// Either a T or an Err. Boolean conversion is true on success.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Expected(Err E) : Storage(std::move(E)) {}
+
+  explicit operator bool() const { return Storage.index() == 0; }
+
+  T &operator*() {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing an error Expected");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The error; only valid when the Expected holds one.
+  const Err &error() const {
+    assert(!*this && "no error present");
+    return std::get<1>(Storage);
+  }
+
+  /// Moves the value out.
+  T take() {
+    assert(*this && "taking from an error Expected");
+    return std::move(std::get<0>(Storage));
+  }
+
+private:
+  std::variant<T, Err> Storage;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_EXPECTED_H

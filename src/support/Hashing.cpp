@@ -1,0 +1,15 @@
+//===- support/Hashing.cpp ------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+using namespace rprism;
+
+uint64_t rprism::hashBytes(const void *Data, size_t Size, uint64_t Seed) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Bytes[I];
+    H *= 0x100000001b3ULL; // FNV prime.
+  }
+  return H;
+}

@@ -1,0 +1,51 @@
+//===- support/Histogram.cpp ----------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <cassert>
+
+using namespace rprism;
+
+Histogram::Histogram(std::vector<double> BoundsIn,
+                     std::vector<std::string> LabelsIn)
+    : Bounds(std::move(BoundsIn)), Labels(std::move(LabelsIn)),
+      Counts(Bounds.size(), 0) {
+  assert(Bounds.size() == Labels.size() && "labels must parallel bounds");
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    assert(Bounds[I - 1] < Bounds[I] && "bounds must ascend");
+}
+
+void Histogram::add(double Value) {
+  for (size_t I = 0; I != Bounds.size(); ++I) {
+    if (Value <= Bounds[I]) {
+      ++Counts[I];
+      return;
+    }
+  }
+  // Above the last bound: clamp into the final bucket, like the paper's
+  // open-ended rightmost bar.
+  ++Counts.back();
+}
+
+void Histogram::print(std::ostream &OS, const std::string &Title) const {
+  OS << Title << '\n';
+  size_t LabelWidth = 0;
+  for (const auto &L : Labels)
+    LabelWidth = L.size() > LabelWidth ? L.size() : LabelWidth;
+  for (size_t I = 0; I != Counts.size(); ++I) {
+    OS << "  " << Labels[I]
+       << std::string(LabelWidth - Labels[I].size(), ' ') << " | "
+       << Counts[I] << ' ' << std::string(Counts[I], '#') << '\n';
+  }
+}
+
+Histogram rprism::makeAccuracyHistogram() {
+  return Histogram({0.99, 1.00, 1.05, 1.10, 1.25, 1.50, 2.00},
+                   {"99%", "100%", "105%", "110%", "125%", "150%", "200%"});
+}
+
+Histogram rprism::makeSpeedupHistogram() {
+  return Histogram({0.5, 1, 5, 10, 50, 100, 500, 1000, 2500, 5000},
+                   {"0.5x", "1x", "5x", "10x", "50x", "100x", "500x",
+                    "1000x", "2500x", "5000x"});
+}

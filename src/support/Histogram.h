@@ -1,0 +1,56 @@
+//===- support/Histogram.h - Bucketed histograms for Fig. 14 -------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit-bucket histograms matching the paper's Fig. 14 presentation:
+/// each bucket is labeled with its upper bound ("99%", "100%", ... for
+/// accuracy; "0.5x", "1x", ..., "5000x" for speedup) and a value falls into
+/// the first bucket whose bound is >= the value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_HISTOGRAM_H
+#define RPRISM_SUPPORT_HISTOGRAM_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// Histogram over explicit ascending bucket bounds.
+class Histogram {
+public:
+  /// \p Bounds must be ascending; \p Labels must parallel \p Bounds.
+  Histogram(std::vector<double> Bounds, std::vector<std::string> Labels);
+
+  /// Adds \p Value to the first bucket whose bound is >= it (last bucket
+  /// catches everything above the final bound).
+  void add(double Value);
+
+  /// Count in bucket \p I.
+  unsigned count(size_t I) const { return Counts[I]; }
+  size_t numBuckets() const { return Counts.size(); }
+
+  /// Prints "label: count  ###" ASCII-bar rows.
+  void print(std::ostream &OS, const std::string &Title) const;
+
+private:
+  std::vector<double> Bounds;
+  std::vector<std::string> Labels;
+  std::vector<unsigned> Counts;
+};
+
+/// The accuracy buckets of Fig. 14(a): 99%..200%.
+Histogram makeAccuracyHistogram();
+
+/// The speedup buckets of Fig. 14(b): 0.5x..5000x.
+Histogram makeSpeedupHistogram();
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_HISTOGRAM_H

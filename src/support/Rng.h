@@ -1,0 +1,66 @@
+//===- support/Rng.h - Deterministic pseudo-random number generator ------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based RNG. All randomized machinery in RPrism (the regression
+/// injector's root-cause sampling, the synthetic workload generator) is
+/// seeded explicitly so experiments are bit-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_RNG_H
+#define RPRISM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rprism {
+
+/// Deterministic 64-bit RNG (SplitMix64). Cheap, seedable, and good enough
+/// for workload sampling; never used for anything security-sensitive.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Modulo bias is negligible for the small bounds used in workloads.
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_RNG_H

@@ -1,0 +1,30 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace rprism;
+
+StringInterner::StringInterner() {
+  // Symbol 0 is the empty string so that a default Symbol is "no name".
+  Storage.emplace_back();
+  Index.emplace(Storage.back(), 0);
+}
+
+Symbol StringInterner::intern(std::string_view Str) {
+  auto It = Index.find(Str);
+  if (It != Index.end())
+    return Symbol{It->second};
+  // Storage is a deque, so stored strings never move; string_view keys into
+  // them remain valid for the interner's lifetime.
+  Storage.emplace_back(Str);
+  uint32_t NewId = static_cast<uint32_t>(Storage.size() - 1);
+  Index.emplace(Storage.back(), NewId);
+  return Symbol{NewId};
+}
+
+const std::string &StringInterner::text(Symbol Sym) const {
+  assert(Sym.Id < Storage.size() && "symbol from a different interner");
+  return Storage[Sym.Id];
+}

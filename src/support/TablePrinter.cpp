@@ -1,0 +1,72 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+using namespace rprism;
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  // Compute column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Row) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : std::string();
+      OS << Cell << std::string(Widths[I] - Cell.size(), ' ');
+      if (I + 1 != Widths.size())
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    size_t Total = 0;
+    for (size_t W : Widths)
+      Total += W;
+    Total += Widths.empty() ? 0 : 2 * (Widths.size() - 1);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TablePrinter::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmtInt(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  std::reverse(Out.begin(), Out.end());
+  return Out;
+}

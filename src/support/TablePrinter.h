@@ -1,0 +1,48 @@
+//===- support/TablePrinter.h - Aligned text tables for reports ----------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text tables used by the benchmark harnesses to
+/// regenerate the paper's Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_TABLEPRINTER_H
+#define RPRISM_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// Collects rows of string cells and prints them with padded columns.
+class TablePrinter {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may be ragged; short rows are padded.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Prints the table with a separator line under the header.
+  void print(std::ostream &OS) const;
+
+  /// Formats a double with \p Precision digits after the point.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integer with thousands separators ("125,562").
+  static std::string fmtInt(uint64_t Value);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,37 @@
+//===- support/Timer.h - Wall-clock timing helpers -----------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_TIMER_H
+#define RPRISM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace rprism {
+
+/// Simple wall-clock stopwatch. Started on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_TIMER_H

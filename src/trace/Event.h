@@ -1,0 +1,135 @@
+//===- trace/Event.h - Trace events and representations (Fig. 4/8) --------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's trace grammar:
+///
+///   event e  ::= FE | ME | KE | TE
+///   FE       ::= get(rho, f, nu) | set(rho, f, nu)
+///   ME       ::= call(rho, m, nu*) | return(rho, m, nu)
+///   KE       ::= init(A, nu*, rho)
+///   TE       ::= fork(S) | end(S)
+///   entry    ::= entry(eid, tid, m, rho, e)
+///
+/// with the *extended* object representation of Fig. 8 used for
+/// differencing: an object is a pair <l, r> of its location and a
+/// recursively computed value representation. Locations are never compared
+/// across traces (they are not stable across versions); equality uses the
+/// value-representation hash, falling back to the class-specific creation
+/// sequence number when a class opts out of value representations (the
+/// paper's "default java.lang.Object hashCode/toString => empty
+/// representation" rule, §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_TRACE_EVENT_H
+#define RPRISM_TRACE_EVENT_H
+
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace rprism {
+
+/// Kinds of trace events (Fig. 4).
+enum class EventKind : uint8_t {
+  FieldGet, // get(rho, f, nu)
+  FieldSet, // set(rho, f, nu)
+  Call,     // call(rho, m, nu*)
+  Return,   // return(rho, m, nu)
+  Init,     // init(A, nu*, rho)
+  Fork,     // fork(S)
+  End,      // end(S)
+};
+
+/// Printable name ("get", "call", ...).
+const char *eventKindName(EventKind Kind);
+
+/// "No location" marker for contexts without a receiver (main, thread
+/// roots) and for value objects.
+inline constexpr uint32_t NoLoc = 0xffffffffu;
+
+/// The extended object representation <l, r> of Fig. 8. `r` is summarized
+/// as a 64-bit structural hash (ValueHash); HasRepr is false when the
+/// object's class opts out of value representation, in which case identity
+/// across traces falls back to (class name, creation sequence number).
+struct ObjRepr {
+  uint32_t Loc = NoLoc;    ///< Store location; *never* compared cross-trace.
+  Symbol ClassName;        ///< Interned class name.
+  uint32_t CreationSeq = 0; ///< n-th instance of this class in this run.
+  uint64_t ValueHash = 0;  ///< Recursive serialization hash (E'#).
+  bool HasRepr = false;
+
+  bool isNone() const { return Loc == NoLoc && ClassName.empty(); }
+
+  /// Version-stable equality: same class, then value representation if both
+  /// sides have one, else creation sequence number.
+  friend bool reprEquals(const ObjRepr &A, const ObjRepr &B) {
+    if (A.ClassName != B.ClassName)
+      return false;
+    if (A.HasRepr && B.HasRepr)
+      return A.ValueHash == B.ValueHash;
+    return A.CreationSeq == B.CreationSeq;
+  }
+};
+
+/// Kinds of value representations (the nu's of the trace grammar).
+enum class ReprKind : uint8_t {
+  None, ///< Absent slot (e.g. return value of a Unit method is Unit, but
+        ///< unused Value fields of non-carrying events are None).
+  Unit,
+  Null,
+  Int,
+  Bool,
+  Float,
+  Str,
+  Obj,
+};
+
+/// A value representation: a kind, a version-stable hash, and an interned
+/// printable rendering (truncated to 128 characters, mirroring the paper's
+/// toString truncation).
+struct ValueRepr {
+  ReprKind Kind = ReprKind::None;
+  uint64_t Hash = 0;
+  Symbol Text; ///< Printable rendering for reports.
+
+  friend bool reprEquals(const ValueRepr &A, const ValueRepr &B) {
+    return A.Kind == B.Kind && A.Hash == B.Hash;
+  }
+};
+
+/// One trace event. Argument lists (call/init) live in the owning trace's
+/// argument pool; [ArgsBegin, ArgsEnd) index into it.
+struct Event {
+  EventKind Kind = EventKind::Call;
+  Symbol Name;      ///< Field, method, or (init) class name.
+  ObjRepr Target;   ///< rho of FE/ME; created object of KE.
+  ValueRepr Value;  ///< Field value (get/set) or return value.
+  uint32_t ArgsBegin = 0;
+  uint32_t ArgsEnd = 0;
+  uint32_t ChildTid = 0; ///< Fork: spawned thread; End: ending thread.
+
+  uint32_t numArgs() const { return ArgsEnd - ArgsBegin; }
+};
+
+/// entry(eid, tid, m, rho, e): the generic context (executing thread,
+/// method at the top of the call stack, its receiver) plus the event.
+/// Prov is the AST NodeId of the construct that emitted the entry; it is
+/// used only for scoring against injected ground truth.
+struct TraceEntry {
+  uint32_t Eid = 0;
+  uint32_t Tid = 0;
+  Symbol Method;  ///< Qualified executing method ("SP.setRequestType").
+  ObjRepr Self;   ///< Receiver of the executing method (none in main).
+  Event Ev;
+  uint32_t Prov = 0;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_TRACE_EVENT_H

@@ -1,0 +1,52 @@
+//===- trace/Helpers.cpp --------------------------------------------------===//
+
+#include "trace/Helpers.h"
+
+using namespace rprism;
+
+int64_t rprism::indexOf(const EidSequence &Gamma, const TraceEntry &Entry) {
+  for (size_t I = 0; I != Gamma.size(); ++I)
+    if (Gamma[I] == Entry.Eid)
+      return static_cast<int64_t>(I);
+  return -1;
+}
+
+EidSequence rprism::window(const EidSequence &Gamma, const TraceEntry &Entry,
+                           unsigned Delta) {
+  int64_t Index = indexOf(Gamma, Entry);
+  if (Index < 0)
+    return {};
+  int64_t Begin = Index - static_cast<int64_t>(Delta);
+  int64_t End = Index + static_cast<int64_t>(Delta) + 1;
+  if (Begin < 0)
+    Begin = 0;
+  if (End > static_cast<int64_t>(Gamma.size()))
+    End = static_cast<int64_t>(Gamma.size());
+  return EidSequence(Gamma.begin() + Begin, Gamma.begin() + End);
+}
+
+EidSequence rprism::intersectByEvent(const Trace &LeftTrace,
+                                     const EidSequence &Left,
+                                     const Trace &RightTrace,
+                                     const EidSequence &Right,
+                                     CompareCounter *Ops) {
+  EidSequence Result;
+  for (uint32_t LeftEid : Left) {
+    const TraceEntry &LeftEntry = LeftTrace.Entries[LeftEid];
+    for (uint32_t RightEid : Right) {
+      if (eventEquals(LeftTrace, LeftEntry, RightTrace,
+                      RightTrace.Entries[RightEid], Ops)) {
+        Result.push_back(LeftEid);
+        break;
+      }
+    }
+  }
+  return Result;
+}
+
+EidSequence rprism::allEntries(const Trace &T) {
+  EidSequence Ids(T.Entries.size());
+  for (uint32_t I = 0; I != Ids.size(); ++I)
+    Ids[I] = I;
+  return Ids;
+}

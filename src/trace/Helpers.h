@@ -1,0 +1,61 @@
+//===- trace/Helpers.h - The Fig. 9 helper relations -----------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The helper relations of Fig. 9, exposed as a small public API so other
+/// analyses can be written against the paper's vocabulary:
+///
+///   index(gamma, entry)   — position of the entry with a matching eid, -1
+///                           if absent;
+///   win(gamma, entry, d)  — the window of entries whose index lies within
+///                           +-d of the entry's index;
+///   intersectByEvent      — gamma ∩=e gamma': the entries of gamma that
+///                           have an =e-equal counterpart in gamma'.
+///
+/// The diff module inlines equivalent logic for performance; these
+/// reference implementations are the specification (and are tested against
+/// the Fig. 9 definitions directly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_TRACE_HELPERS_H
+#define RPRISM_TRACE_HELPERS_H
+
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace rprism {
+
+/// A sequence of entry ids within one trace (a view slice or a whole
+/// trace), the gamma of Fig. 9.
+using EidSequence = std::vector<uint32_t>;
+
+/// index(gamma, entry): the position in \p Gamma of the entry whose eid
+/// matches \p Entry's eid; -1 when absent.
+int64_t indexOf(const EidSequence &Gamma, const TraceEntry &Entry);
+
+/// win(gamma, entry, delta): the sub-sequence of \p Gamma whose positions
+/// lie within +-Delta of index(gamma, entry). Empty when the entry is not
+/// in Gamma.
+EidSequence window(const EidSequence &Gamma, const TraceEntry &Entry,
+                   unsigned Delta);
+
+/// gamma ∩=e gamma': entries of \p Left (a sequence over \p LeftTrace)
+/// that are =e-equal to at least one entry of \p Right.
+EidSequence intersectByEvent(const Trace &LeftTrace,
+                             const EidSequence &Left,
+                             const Trace &RightTrace,
+                             const EidSequence &Right,
+                             CompareCounter *Ops = nullptr);
+
+/// Whole-trace gamma: the eids 0..N-1.
+EidSequence allEntries(const Trace &T);
+
+} // namespace rprism
+
+#endif // RPRISM_TRACE_HELPERS_H

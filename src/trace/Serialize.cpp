@@ -1,0 +1,307 @@
+//===- trace/Serialize.cpp ------------------------------------------------===//
+
+#include "trace/Serialize.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+using namespace rprism;
+
+namespace {
+
+constexpr uint32_t TraceMagic = 0x52505452; // "RPTR"
+constexpr uint32_t TraceVersion = 1;
+
+/// Little buffered binary writer over stdio.
+class Writer {
+public:
+  explicit Writer(const std::string &Path)
+      : File(std::fopen(Path.c_str(), "wb")) {}
+  ~Writer() {
+    if (File)
+      std::fclose(File);
+  }
+
+  bool ok() const { return File && !Error; }
+
+  void u8(uint8_t V) { raw(&V, 1); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    raw(S.data(), S.size());
+  }
+
+private:
+  void raw(const void *Data, size_t Size) {
+    if (!File || Error)
+      return;
+    if (std::fwrite(Data, 1, Size, File) != Size)
+      Error = true;
+  }
+
+  std::FILE *File;
+  bool Error = false;
+};
+
+/// Matching reader.
+class Reader {
+public:
+  explicit Reader(const std::string &Path)
+      : File(std::fopen(Path.c_str(), "rb")) {}
+  ~Reader() {
+    if (File)
+      std::fclose(File);
+  }
+
+  bool ok() const { return File && !Error; }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, 1);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t Size = u32();
+    if (Error || Size > (1u << 28)) { // Sanity cap: 256 MB per string.
+      Error = true;
+      return "";
+    }
+    std::string S(Size, '\0');
+    raw(S.data(), Size);
+    return S;
+  }
+
+private:
+  void raw(void *Data, size_t Size) {
+    if (!File || Error)
+      return;
+    if (std::fread(Data, 1, Size, File) != Size)
+      Error = true;
+  }
+
+  std::FILE *File;
+  bool Error = false;
+};
+
+void writeObjRepr(Writer &W, const ObjRepr &Obj) {
+  W.u32(Obj.Loc);
+  W.u32(Obj.ClassName.Id);
+  W.u32(Obj.CreationSeq);
+  W.u64(Obj.ValueHash);
+  W.u8(Obj.HasRepr ? 1 : 0);
+}
+
+ObjRepr readObjRepr(Reader &R, const std::vector<Symbol> &Map) {
+  ObjRepr Obj;
+  Obj.Loc = R.u32();
+  uint32_t Sym = R.u32();
+  Obj.ClassName = Sym < Map.size() ? Map[Sym] : Symbol{};
+  Obj.CreationSeq = R.u32();
+  Obj.ValueHash = R.u64();
+  Obj.HasRepr = R.u8() != 0;
+  return Obj;
+}
+
+void writeValueRepr(Writer &W, const ValueRepr &Value) {
+  W.u8(static_cast<uint8_t>(Value.Kind));
+  W.u64(Value.Hash);
+  W.u32(Value.Text.Id);
+}
+
+ValueRepr readValueRepr(Reader &R, const std::vector<Symbol> &Map) {
+  ValueRepr Value;
+  Value.Kind = static_cast<ReprKind>(R.u8());
+  Value.Hash = R.u64();
+  uint32_t Sym = R.u32();
+  Value.Text = Sym < Map.size() ? Map[Sym] : Symbol{};
+  return Value;
+}
+
+/// Writes \p T (possibly a sub-range of entries) to \p Path.
+bool writeTraceImpl(const Trace &T, const std::string &Path, size_t Begin,
+                    size_t End) {
+  Writer W(Path);
+  W.u32(TraceMagic);
+  W.u32(TraceVersion);
+  W.str(T.Name);
+
+  // Full string table. Traces share interners in-process, so the table can
+  // contain strings from sibling traces; that only costs bytes.
+  W.u32(static_cast<uint32_t>(T.Strings->size()));
+  for (uint32_t I = 0; I != T.Strings->size(); ++I)
+    W.str(T.Strings->text(Symbol{I}));
+
+  W.u32(static_cast<uint32_t>(T.Threads.size()));
+  for (const ThreadInfo &Thread : T.Threads) {
+    W.u32(Thread.Tid);
+    W.u32(Thread.ParentTid);
+    W.u32(Thread.EntryMethod.Id);
+    W.u64(Thread.AncestryHash);
+    W.u32(static_cast<uint32_t>(Thread.SpawnStack.size()));
+    for (Symbol Sym : Thread.SpawnStack)
+      W.u32(Sym.Id);
+  }
+
+  W.u32(static_cast<uint32_t>(T.ArgPool.size()));
+  for (const ValueRepr &Value : T.ArgPool)
+    writeValueRepr(W, Value);
+
+  W.u32(static_cast<uint32_t>(End - Begin));
+  for (size_t I = Begin; I != End; ++I) {
+    const TraceEntry &Entry = T.Entries[I];
+    W.u32(Entry.Eid);
+    W.u32(Entry.Tid);
+    W.u32(Entry.Method.Id);
+    writeObjRepr(W, Entry.Self);
+    W.u8(static_cast<uint8_t>(Entry.Ev.Kind));
+    W.u32(Entry.Ev.Name.Id);
+    writeObjRepr(W, Entry.Ev.Target);
+    writeValueRepr(W, Entry.Ev.Value);
+    W.u32(Entry.Ev.ArgsBegin);
+    W.u32(Entry.Ev.ArgsEnd);
+    W.u32(Entry.Ev.ChildTid);
+    W.u32(Entry.Prov);
+  }
+  return W.ok();
+}
+
+} // namespace
+
+bool rprism::writeTrace(const Trace &T, const std::string &Path) {
+  return writeTraceImpl(T, Path, 0, T.Entries.size());
+}
+
+Expected<Trace> rprism::readTrace(const std::string &Path,
+                                  std::shared_ptr<StringInterner> Strings) {
+  Reader R(Path);
+  if (!R.ok())
+    return makeErr("cannot open trace file '" + Path + "'");
+  if (R.u32() != TraceMagic)
+    return makeErr("'" + Path + "' is not a trace file");
+  if (R.u32() != TraceVersion)
+    return makeErr("'" + Path + "' has an unsupported trace version");
+
+  Trace T;
+  T.Strings = Strings ? std::move(Strings)
+                      : std::make_shared<StringInterner>();
+  T.Name = R.str();
+
+  // Re-intern the file's string table; Map translates file symbol ids.
+  uint32_t NumStrings = R.u32();
+  std::vector<Symbol> Map(NumStrings);
+  for (uint32_t I = 0; I != NumStrings; ++I)
+    Map[I] = T.Strings->intern(R.str());
+  auto MapSym = [&Map](uint32_t Id) {
+    return Id < Map.size() ? Map[Id] : Symbol{};
+  };
+
+  uint32_t NumThreads = R.u32();
+  for (uint32_t I = 0; I != NumThreads && R.ok(); ++I) {
+    ThreadInfo Thread;
+    Thread.Tid = R.u32();
+    Thread.ParentTid = R.u32();
+    Thread.EntryMethod = MapSym(R.u32());
+    Thread.AncestryHash = R.u64();
+    uint32_t StackSize = R.u32();
+    for (uint32_t J = 0; J != StackSize && R.ok(); ++J)
+      Thread.SpawnStack.push_back(MapSym(R.u32()));
+    T.Threads.push_back(std::move(Thread));
+  }
+
+  uint32_t PoolSize = R.u32();
+  for (uint32_t I = 0; I != PoolSize && R.ok(); ++I)
+    T.ArgPool.push_back(readValueRepr(R, Map));
+
+  uint32_t NumEntries = R.u32();
+  T.Entries.reserve(NumEntries);
+  for (uint32_t I = 0; I != NumEntries && R.ok(); ++I) {
+    TraceEntry Entry;
+    Entry.Eid = R.u32();
+    Entry.Tid = R.u32();
+    Entry.Method = MapSym(R.u32());
+    Entry.Self = readObjRepr(R, Map);
+    Entry.Ev.Kind = static_cast<EventKind>(R.u8());
+    Entry.Ev.Name = MapSym(R.u32());
+    Entry.Ev.Target = readObjRepr(R, Map);
+    Entry.Ev.Value = readValueRepr(R, Map);
+    Entry.Ev.ArgsBegin = R.u32();
+    Entry.Ev.ArgsEnd = R.u32();
+    Entry.Ev.ChildTid = R.u32();
+    Entry.Prov = R.u32();
+    T.Entries.push_back(Entry);
+  }
+
+  if (!R.ok())
+    return makeErr("truncated trace file '" + Path + "'");
+  return T;
+}
+
+unsigned rprism::writeTraceSegments(const Trace &T,
+                                    const std::string &BasePath,
+                                    size_t MaxEntries) {
+  if (MaxEntries == 0)
+    return 0;
+  unsigned NumSegments = 0;
+  for (size_t Begin = 0; Begin < T.Entries.size() || NumSegments == 0;
+       Begin += MaxEntries) {
+    size_t End = Begin + MaxEntries;
+    if (End > T.Entries.size())
+      End = T.Entries.size();
+    char Suffix[16];
+    std::snprintf(Suffix, sizeof(Suffix), ".seg%03u", NumSegments);
+    if (!writeTraceImpl(T, BasePath + Suffix, Begin, End))
+      return 0;
+    ++NumSegments;
+    if (End == T.Entries.size())
+      break;
+  }
+  return NumSegments;
+}
+
+Expected<Trace>
+rprism::readTraceSegments(const std::string &BasePath, unsigned NumSegments,
+                          std::shared_ptr<StringInterner> Strings) {
+  if (NumSegments == 0)
+    return makeErr("no segments to read");
+  if (!Strings)
+    Strings = std::make_shared<StringInterner>();
+
+  Trace Out;
+  for (unsigned I = 0; I != NumSegments; ++I) {
+    char Suffix[16];
+    std::snprintf(Suffix, sizeof(Suffix), ".seg%03u", I);
+    Expected<Trace> Segment = readTrace(BasePath + Suffix, Strings);
+    if (!Segment)
+      return Segment.error();
+    if (I == 0) {
+      Out = Segment.take();
+      continue;
+    }
+    // Entries append directly: the side tables (arg pool, threads, strings)
+    // were written whole into every segment, so indices stay valid.
+    for (TraceEntry &Entry : Segment->Entries)
+      Out.Entries.push_back(Entry);
+  }
+  return Out;
+}
+
+std::string rprism::dumpTrace(const Trace &T) {
+  std::ostringstream OS;
+  OS << "trace '" << T.Name << "': " << T.Entries.size() << " entries, "
+     << T.Threads.size() << " thread(s)\n";
+  for (const TraceEntry &Entry : T.Entries)
+    OS << "  [" << Entry.Eid << "] " << T.renderEntry(Entry) << '\n';
+  return OS.str();
+}

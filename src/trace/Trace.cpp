@@ -1,0 +1,119 @@
+//===- trace/Trace.cpp ----------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <sstream>
+
+using namespace rprism;
+
+const char *rprism::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::FieldGet: return "get";
+  case EventKind::FieldSet: return "set";
+  case EventKind::Call:     return "call";
+  case EventKind::Return:   return "return";
+  case EventKind::Init:     return "init";
+  case EventKind::Fork:     return "fork";
+  case EventKind::End:      return "end";
+  }
+  return "?";
+}
+
+std::string Trace::renderObj(const ObjRepr &Obj) const {
+  if (Obj.isNone())
+    return "<none>";
+  return Strings->text(Obj.ClassName) + "-" + std::to_string(Obj.CreationSeq);
+}
+
+std::string Trace::renderValue(const ValueRepr &Value) const {
+  switch (Value.Kind) {
+  case ReprKind::None: return "<none>";
+  case ReprKind::Unit: return "unit";
+  case ReprKind::Null: return "null";
+  case ReprKind::Int:
+  case ReprKind::Bool:
+  case ReprKind::Float:
+  case ReprKind::Obj:
+    return Strings->text(Value.Text);
+  case ReprKind::Str:
+    return "'" + Strings->text(Value.Text) + "'";
+  }
+  return "?";
+}
+
+std::string Trace::renderEntry(const TraceEntry &Entry) const {
+  std::ostringstream OS;
+  const Event &Ev = Entry.Ev;
+  auto Args = [&]() {
+    std::string Out;
+    for (uint32_t I = Ev.ArgsBegin; I != Ev.ArgsEnd; ++I) {
+      if (I != Ev.ArgsBegin)
+        Out += ", ";
+      Out += renderValue(ArgPool[I]);
+    }
+    return Out;
+  };
+
+  switch (Ev.Kind) {
+  case EventKind::FieldGet:
+    OS << "get " << renderObj(Ev.Target) << "." << Strings->text(Ev.Name)
+       << " = " << renderValue(Ev.Value);
+    break;
+  case EventKind::FieldSet:
+    OS << "set " << renderObj(Ev.Target) << "." << Strings->text(Ev.Name)
+       << " = " << renderValue(Ev.Value);
+    break;
+  case EventKind::Call:
+    OS << "--> " << renderObj(Ev.Target) << "." << Strings->text(Ev.Name)
+       << "(" << Args() << ")";
+    break;
+  case EventKind::Return:
+    OS << "<-- " << renderObj(Ev.Target) << "." << Strings->text(Ev.Name)
+       << "(..) ret=" << renderValue(Ev.Value);
+    break;
+  case EventKind::Init:
+    OS << "--> " << renderObj(Ev.Target) << ".new(" << Args() << ")";
+    break;
+  case EventKind::Fork:
+    OS << "fork thread-" << Ev.ChildTid;
+    break;
+  case EventKind::End:
+    OS << "end thread-" << Ev.ChildTid;
+    break;
+  }
+  OS << "   [t" << Entry.Tid << " in " << Strings->text(Entry.Method) << "]";
+  return OS.str();
+}
+
+bool rprism::eventEquals(const Trace &TA, const TraceEntry &A,
+                         const Trace &TB, const TraceEntry &B,
+                         CompareCounter *Counter) {
+  if (Counter)
+    Counter->tick();
+
+  const Event &EA = A.Ev;
+  const Event &EB = B.Ev;
+  if (EA.Kind != EB.Kind || EA.Name != EB.Name)
+    return false;
+  if (!reprEquals(EA.Target, EB.Target))
+    return false;
+  if (!reprEquals(EA.Value, EB.Value))
+    return false;
+  if (EA.numArgs() != EB.numArgs())
+    return false;
+  const ValueRepr *ArgsA = TA.argsBegin(EA);
+  const ValueRepr *ArgsB = TB.argsBegin(EB);
+  for (uint32_t I = 0; I != EA.numArgs(); ++I)
+    if (!reprEquals(ArgsA[I], ArgsB[I]))
+      return false;
+
+  // Fork/end events compare by the spawned thread's ancestry, not the tid
+  // (tids are assigned in scheduling order and may differ across versions).
+  if (EA.Kind == EventKind::Fork || EA.Kind == EventKind::End) {
+    const ThreadInfo &ThreadA = TA.Threads[EA.ChildTid];
+    const ThreadInfo &ThreadB = TB.Threads[EB.ChildTid];
+    if (ThreadA.EntryMethod != ThreadB.EntryMethod)
+      return false;
+  }
+  return true;
+}

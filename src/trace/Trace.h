@@ -1,0 +1,86 @@
+//===- trace/Trace.h - Execution traces ------------------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Trace is the sequence of entries produced by one program run, plus the
+/// side tables entries reference: the argument pool and the thread table
+/// (spawn ancestry for the fork(S)/end(S) events — the paper tracks the
+/// full creation context of a thread's ancestry to correlate threads across
+/// traces). The string interner is shared: a DiffSession interns both
+/// traces' names in one table so symbols compare across versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_TRACE_TRACE_H
+#define RPRISM_TRACE_TRACE_H
+
+#include "trace/Event.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// Per-thread spawn ancestry. The spawn stack is the sequence of qualified
+/// method names on the spawning thread's call stack at the spawn point;
+/// AncestryHash chains the parent's ancestry hash with this spawn stack, so
+/// two threads with identical full ancestries collide (intentionally — that
+/// is the thread-correlation signal, X_TH).
+struct ThreadInfo {
+  uint32_t Tid = 0;
+  uint32_t ParentTid = 0;      ///< == Tid for the main thread.
+  Symbol EntryMethod;          ///< Qualified method the thread runs.
+  std::vector<Symbol> SpawnStack; ///< Parent's call stack at spawn.
+  uint64_t AncestryHash = 0;
+};
+
+/// A full execution trace.
+struct Trace {
+  std::string Name; ///< For reports ("orig/regressing-input", ...).
+  std::shared_ptr<StringInterner> Strings;
+  std::vector<TraceEntry> Entries;
+  std::vector<ValueRepr> ArgPool;
+  std::vector<ThreadInfo> Threads;
+
+  size_t size() const { return Entries.size(); }
+
+  /// Argument list of an event, as a span into the pool.
+  const ValueRepr *argsBegin(const Event &Ev) const {
+    return ArgPool.data() + Ev.ArgsBegin;
+  }
+  const ValueRepr *argsEnd(const Event &Ev) const {
+    return ArgPool.data() + Ev.ArgsEnd;
+  }
+
+  /// Renders one entry as a human-readable line ("--> NUM-1.new(32, 127)"
+  /// style, following Fig. 13).
+  std::string renderEntry(const TraceEntry &Entry) const;
+
+  /// Renders an object representation ("NUM-1" = first NUM instance).
+  std::string renderObj(const ObjRepr &Obj) const;
+
+  /// Renders a value representation.
+  std::string renderValue(const ValueRepr &Value) const;
+};
+
+/// Counts trace-entry compare operations; the paper's speedup metric
+/// (Fig. 14b) is LCS compare ops divided by views-based compare ops.
+struct CompareCounter {
+  uint64_t Count = 0;
+  void tick() { ++Count; }
+};
+
+/// Event equality =e: kind, names, and the underlying (version-stable)
+/// value representations; never raw locations. \p Counter, when non-null,
+/// is ticked once per invocation.
+bool eventEquals(const Trace &TA, const TraceEntry &A, const Trace &TB,
+                 const TraceEntry &B, CompareCounter *Counter = nullptr);
+
+} // namespace rprism
+
+#endif // RPRISM_TRACE_TRACE_H

@@ -1,0 +1,33 @@
+//===- views/Navigator.cpp ------------------------------------------------===//
+
+#include "views/Navigator.h"
+
+using namespace rprism;
+
+std::optional<ViewCursor> ViewCursor::at(const ViewWeb &Web, uint32_t Eid,
+                                         ViewType Type) {
+  for (uint32_t ViewId : Web.viewsOf(Eid)) {
+    const View &V = Web.view(ViewId);
+    if (V.Type != Type)
+      continue;
+    int64_t Pos = ViewWeb::positionOf(V, Eid);
+    if (Pos < 0)
+      return std::nullopt;
+    return ViewCursor(Web, ViewId, static_cast<size_t>(Pos));
+  }
+  return std::nullopt;
+}
+
+bool ViewCursor::next() {
+  if (Pos + 1 >= view().Entries.size())
+    return false;
+  ++Pos;
+  return true;
+}
+
+bool ViewCursor::prev() {
+  if (Pos == 0)
+    return false;
+  --Pos;
+  return true;
+}

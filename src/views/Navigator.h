@@ -1,0 +1,68 @@
+//===- views/Navigator.h - Cursor navigation through the view web ---------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "At any arbitrary point in any view, one can use these links to visit
+/// all semantically related views" (§2.4). ViewCursor is that navigation
+/// as an API: a (view, position) pair that can step within a view and
+/// *jump* — same entry, different view type — across the web.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_VIEWS_NAVIGATOR_H
+#define RPRISM_VIEWS_NAVIGATOR_H
+
+#include "views/Views.h"
+
+#include <optional>
+
+namespace rprism {
+
+/// A position within one view of a ViewWeb. Valid as long as the web is.
+class ViewCursor {
+public:
+  /// Places a cursor on entry \p Eid within its view of type \p Type;
+  /// nullopt when the entry has no such view (e.g. a fork event has no
+  /// target-object view).
+  static std::optional<ViewCursor> at(const ViewWeb &Web, uint32_t Eid,
+                                      ViewType Type);
+
+  /// The entry under the cursor.
+  const TraceEntry &entry() const {
+    return Web->trace().Entries[view().Entries[Pos]];
+  }
+  uint32_t eid() const { return view().Entries[Pos]; }
+
+  const View &view() const { return Web->view(ViewId); }
+  size_t position() const { return Pos; }
+
+  /// Steps within the view; returns false (cursor unchanged) at the ends.
+  bool next();
+  bool prev();
+
+  /// Jumps to the same entry in another of its views — the web link.
+  std::optional<ViewCursor> jump(ViewType Type) const {
+    return at(*Web, eid(), Type);
+  }
+
+  /// All views the current entry belongs to.
+  std::vector<uint32_t> linkedViews() const {
+    return Web->viewsOf(eid());
+  }
+
+private:
+  ViewCursor(const ViewWeb &WebIn, uint32_t ViewIdIn, size_t PosIn)
+      : Web(&WebIn), ViewId(ViewIdIn), Pos(PosIn) {}
+
+  const ViewWeb *Web;
+  uint32_t ViewId;
+  size_t Pos;
+};
+
+} // namespace rprism
+
+#endif // RPRISM_VIEWS_NAVIGATOR_H

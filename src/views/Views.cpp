@@ -1,0 +1,169 @@
+//===- views/Views.cpp ----------------------------------------------------===//
+
+#include "views/Views.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace rprism;
+
+const char *rprism::viewTypeName(ViewType Type) {
+  switch (Type) {
+  case ViewType::Thread:       return "thread";
+  case ViewType::Method:       return "method";
+  case ViewType::TargetObject: return "target-object";
+  case ViewType::ActiveObject: return "active-object";
+  }
+  return "?";
+}
+
+/// True if the event kind carries a target object (FE/ME/KE events do;
+/// fork/end do not).
+static bool hasTargetObject(const Event &Ev) {
+  switch (Ev.Kind) {
+  case EventKind::FieldGet:
+  case EventKind::FieldSet:
+  case EventKind::Call:
+  case EventKind::Return:
+  case EventKind::Init:
+    return !Ev.Target.isNone();
+  case EventKind::Fork:
+  case EventKind::End:
+    return false;
+  }
+  return false;
+}
+
+uint32_t ViewWeb::getOrCreate(ViewType Type, uint64_t Key,
+                              const TraceEntry &Entry) {
+  std::unordered_map<uint32_t, uint32_t> *Index = nullptr;
+  switch (Type) {
+  case ViewType::Thread:       Index = &ThreadIndex; break;
+  case ViewType::Method:       Index = &MethodIndex; break;
+  case ViewType::TargetObject: Index = &TargetIndex; break;
+  case ViewType::ActiveObject: Index = &ActiveIndex; break;
+  }
+  auto [It, Inserted] = Index->try_emplace(static_cast<uint32_t>(Key),
+                                           static_cast<uint32_t>(Views.size()));
+  if (!Inserted)
+    return It->second;
+
+  View V;
+  V.Type = Type;
+  V.Id = It->second;
+  switch (Type) {
+  case ViewType::Thread:
+    V.Tid = static_cast<uint32_t>(Key);
+    break;
+  case ViewType::Method:
+    V.MethodName = Symbol{static_cast<uint32_t>(Key)};
+    break;
+  case ViewType::TargetObject:
+  case ViewType::ActiveObject:
+    V.Loc = static_cast<uint32_t>(Key);
+    V.FirstRepr = Type == ViewType::TargetObject ? Entry.Ev.Target
+                                                 : Entry.Self;
+    break;
+  }
+  Views.push_back(std::move(V));
+  return It->second;
+}
+
+ViewWeb::ViewWeb(const Trace &TIn) : T(&TIn) {
+  for (const TraceEntry &Entry : T->Entries) {
+    // nu_TH: every entry belongs to its thread's view.
+    uint32_t Tv = getOrCreate(ViewType::Thread, Entry.Tid, Entry);
+    Views[Tv].Entries.push_back(Entry.Eid);
+
+    // nu_CM: the (qualified) method on top of the call stack.
+    uint32_t Mv = getOrCreate(ViewType::Method, Entry.Method.Id, Entry);
+    Views[Mv].Entries.push_back(Entry.Eid);
+
+    // nu_TO: the event's target object, when it has one.
+    if (hasTargetObject(Entry.Ev)) {
+      uint32_t Ov =
+          getOrCreate(ViewType::TargetObject, Entry.Ev.Target.Loc, Entry);
+      Views[Ov].Entries.push_back(Entry.Eid);
+      Views[Ov].LastRepr = Entry.Ev.Target;
+    }
+
+    // nu_AO: the receiver of the executing method, when there is one.
+    if (!Entry.Self.isNone()) {
+      uint32_t Av =
+          getOrCreate(ViewType::ActiveObject, Entry.Self.Loc, Entry);
+      Views[Av].Entries.push_back(Entry.Eid);
+      Views[Av].LastRepr = Entry.Self;
+    }
+  }
+}
+
+const View *ViewWeb::threadView(uint32_t Tid) const {
+  auto It = ThreadIndex.find(Tid);
+  return It == ThreadIndex.end() ? nullptr : &Views[It->second];
+}
+
+const View *ViewWeb::methodView(Symbol QualName) const {
+  auto It = MethodIndex.find(QualName.Id);
+  return It == MethodIndex.end() ? nullptr : &Views[It->second];
+}
+
+const View *ViewWeb::targetObjectView(uint32_t Loc) const {
+  auto It = TargetIndex.find(Loc);
+  return It == TargetIndex.end() ? nullptr : &Views[It->second];
+}
+
+const View *ViewWeb::activeObjectView(uint32_t Loc) const {
+  auto It = ActiveIndex.find(Loc);
+  return It == ActiveIndex.end() ? nullptr : &Views[It->second];
+}
+
+std::vector<uint32_t> ViewWeb::viewsOf(uint32_t Eid) const {
+  std::vector<uint32_t> Result;
+  const TraceEntry &Entry = T->Entries[Eid];
+  if (auto It = ThreadIndex.find(Entry.Tid); It != ThreadIndex.end())
+    Result.push_back(It->second);
+  if (auto It = MethodIndex.find(Entry.Method.Id); It != MethodIndex.end())
+    Result.push_back(It->second);
+  if (hasTargetObject(Entry.Ev))
+    if (auto It = TargetIndex.find(Entry.Ev.Target.Loc);
+        It != TargetIndex.end())
+      Result.push_back(It->second);
+  if (!Entry.Self.isNone())
+    if (auto It = ActiveIndex.find(Entry.Self.Loc); It != ActiveIndex.end())
+      Result.push_back(It->second);
+  return Result;
+}
+
+int64_t ViewWeb::positionOf(const View &V, uint32_t Eid) {
+  auto It = std::lower_bound(V.Entries.begin(), V.Entries.end(), Eid);
+  if (It == V.Entries.end() || *It != Eid)
+    return -1;
+  return It - V.Entries.begin();
+}
+
+std::string ViewWeb::render(const View &V, size_t MaxEntries) const {
+  std::ostringstream OS;
+  OS << viewTypeName(V.Type) << " view ";
+  switch (V.Type) {
+  case ViewType::Thread:
+    OS << "thread-" << V.Tid;
+    break;
+  case ViewType::Method:
+    OS << T->Strings->text(V.MethodName);
+    break;
+  case ViewType::TargetObject:
+  case ViewType::ActiveObject:
+    OS << T->renderObj(V.FirstRepr);
+    break;
+  }
+  OS << " (" << V.Entries.size() << " entries)\n";
+  size_t Shown = 0;
+  for (uint32_t Eid : V.Entries) {
+    if (Shown++ == MaxEntries) {
+      OS << "  ...\n";
+      break;
+    }
+    OS << "  [" << Eid << "] " << T->renderEntry(T->Entries[Eid]) << '\n';
+  }
+  return OS.str();
+}

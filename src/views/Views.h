@@ -1,0 +1,113 @@
+//===- views/Views.h - Semantic views over traces (Fig. 7) ----------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic views: named projections over a trace that aggregate entries
+/// sharing a semantic trait (§2.4). The four view types:
+///
+///   TH  thread views        — all events of one thread, in order
+///   CM  method views        — events occurring while a given (fully
+///                             qualified) method is on top of the call stack
+///   TO  target object views — events whose target is a given object
+///   AO  active object views — events whose *executing* receiver is a given
+///                             object (it is on top of the call stack)
+///
+/// Views are *linked*: each view stores original entry indices, so any
+/// entry can be navigated from its position in one view to its position in
+/// every other view it belongs to — the "web" of views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_VIEWS_VIEWS_H
+#define RPRISM_VIEWS_VIEWS_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rprism {
+
+/// The four view types of §2.4.
+enum class ViewType : uint8_t { Thread, Method, TargetObject, ActiveObject };
+
+const char *viewTypeName(ViewType Type);
+
+/// One view: its identity plus the (ascending) entry ids it contains.
+struct View {
+  ViewType Type = ViewType::Thread;
+  uint32_t Id = 0; ///< Dense id within the owning ViewWeb.
+  std::vector<uint32_t> Entries; ///< Entry ids, ascending.
+
+  // Identity, depending on Type:
+  uint32_t Tid = 0;       ///< Thread views.
+  Symbol MethodName;      ///< Method views (qualified name).
+  uint32_t Loc = NoLoc;   ///< Object views (location within this trace).
+
+  /// Object views: representations observed at the first and last events,
+  /// used by the X_TO/X_AO correlation heuristics (an object's value
+  /// representation evolves during the run, so both endpoints are kept).
+  ObjRepr FirstRepr;
+  ObjRepr LastRepr;
+
+  size_t size() const { return Entries.size(); }
+};
+
+/// The full web of views for one trace.
+class ViewWeb {
+public:
+  /// Builds every view in a single pass over \p T. The trace must outlive
+  /// the web.
+  explicit ViewWeb(const Trace &T);
+
+  const Trace &trace() const { return *T; }
+
+  const View &view(uint32_t ViewId) const { return Views[ViewId]; }
+  size_t numViews() const { return Views.size(); }
+
+  size_t numThreadViews() const { return ThreadIndex.size(); }
+  size_t numMethodViews() const { return MethodIndex.size(); }
+  size_t numTargetObjectViews() const { return TargetIndex.size(); }
+  size_t numActiveObjectViews() const { return ActiveIndex.size(); }
+
+  /// Lookups; null when no such view exists.
+  const View *threadView(uint32_t Tid) const;
+  const View *methodView(Symbol QualName) const;
+  const View *targetObjectView(uint32_t Loc) const;
+  const View *activeObjectView(uint32_t Loc) const;
+
+  /// All views containing entry \p Eid (the nu mappings of Fig. 7): its
+  /// thread view, method view, target object view (if the event has a
+  /// target), and active object view (if the context has a receiver).
+  std::vector<uint32_t> viewsOf(uint32_t Eid) const;
+
+  /// Position of \p Eid within \p V (index into V.Entries), or -1 when the
+  /// entry is not a member. O(log n).
+  static int64_t positionOf(const View &V, uint32_t Eid);
+
+  /// Renders a view like the boxes of Fig. 2/13 (debugging/report aid).
+  std::string render(const View &V, size_t MaxEntries = 50) const;
+
+  /// Iterable list of all views.
+  const std::vector<View> &views() const { return Views; }
+
+private:
+  uint32_t getOrCreate(ViewType Type, uint64_t Key,
+                       const TraceEntry &Entry);
+
+  const Trace *T;
+  std::vector<View> Views;
+  std::unordered_map<uint32_t, uint32_t> ThreadIndex; ///< tid -> view id.
+  std::unordered_map<uint32_t, uint32_t> MethodIndex; ///< symbol -> view id.
+  std::unordered_map<uint32_t, uint32_t> TargetIndex; ///< loc -> view id.
+  std::unordered_map<uint32_t, uint32_t> ActiveIndex; ///< loc -> view id.
+};
+
+} // namespace rprism
+
+#endif // RPRISM_VIEWS_VIEWS_H

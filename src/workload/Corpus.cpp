@@ -1,0 +1,77 @@
+//===- workload/Corpus.cpp - Corpus assembly and case preparation ---------===//
+
+#include "workload/Corpus.h"
+
+#include "runtime/Compiler.h"
+#include "support/Timer.h"
+
+using namespace rprism;
+
+// Case builders defined in the per-benchmark files.
+BenchmarkCase makeDaikonCase();
+BenchmarkCase makeXalan1725Case();
+BenchmarkCase makeXalan1802Case();
+BenchmarkCase makeDerbyCase();
+
+unsigned BenchmarkCase::linesOfCode() const {
+  auto CountLines = [](const std::string &Source) {
+    unsigned Lines = 0;
+    bool NonBlank = false;
+    for (char C : Source) {
+      if (C == '\n') {
+        Lines += NonBlank;
+        NonBlank = false;
+      } else if (C != ' ' && C != '\t') {
+        NonBlank = true;
+      }
+    }
+    return Lines + NonBlank;
+  };
+  return CountLines(OrigSource) + CountLines(NewSource);
+}
+
+std::vector<BenchmarkCase> rprism::benchmarkCorpus() {
+  std::vector<BenchmarkCase> Corpus;
+  Corpus.push_back(makeDaikonCase());
+  Corpus.push_back(makeXalan1725Case());
+  Corpus.push_back(makeXalan1802Case());
+  Corpus.push_back(makeDerbyCase());
+  return Corpus;
+}
+
+Expected<PreparedCase> rprism::prepareCase(const BenchmarkCase &Case) {
+  PreparedCase Prepared;
+  Prepared.Strings = std::make_shared<StringInterner>();
+
+  Expected<CompiledProgram> Orig =
+      compileSource(Case.OrigSource, Prepared.Strings);
+  if (!Orig)
+    return makeErr(Case.Name + " (orig): " + Orig.error().render());
+  Expected<CompiledProgram> New =
+      compileSource(Case.NewSource, Prepared.Strings);
+  if (!New)
+    return makeErr(Case.Name + " (new): " + New.error().render());
+
+  Timer Clock;
+  auto RunOne = [](const CompiledProgram &Prog, RunOptions Options,
+                   const char *Suffix) {
+    Options.TraceName += Suffix;
+    return runProgram(Prog, Options);
+  };
+
+  RunResult OrigOk = RunOne(*Orig, Case.OkRun, "/orig-ok");
+  RunResult OrigRegr = RunOne(*Orig, Case.RegrRun, "/orig-regr");
+  RunResult NewOk = RunOne(*New, Case.OkRun, "/new-ok");
+  RunResult NewRegr = RunOne(*New, Case.RegrRun, "/new-regr");
+  Prepared.TracingSeconds = Clock.seconds();
+
+  Prepared.OrigOkOut = OrigOk.Output;
+  Prepared.OrigRegrOut = OrigRegr.Output;
+  Prepared.NewOkOut = NewOk.Output;
+  Prepared.NewRegrOut = NewRegr.Output;
+  Prepared.OrigOk = std::move(OrigOk.ExecTrace);
+  Prepared.OrigRegr = std::move(OrigRegr.ExecTrace);
+  Prepared.NewOk = std::move(NewOk.ExecTrace);
+  Prepared.NewRegr = std::move(NewRegr.ExecTrace);
+  return Prepared;
+}

@@ -1,0 +1,118 @@
+//===- workload/Corpus.h - Subject programs for the evaluation ------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The subject-program corpus. The paper evaluates on real Java systems
+/// (Daikon, Xalan, Derby, and iBugs/Rhino); this reproduction substitutes
+/// core-language programs engineered to exhibit the same *trace shapes* the
+/// evaluation depends on (see DESIGN.md):
+///
+///   motivating   — the MyFaces-style character-filter regression of Fig. 1
+///   daikon       — invariant detector; regression in two visitor methods,
+///                  many small classes
+///   xalan-1725   — two-phase stylesheet compiler; cause in code
+///                  generation, effect at execution of the generated code
+///   xalan-1802   — namespace module completely re-architected between
+///                  versions (heavy churn), corner-case regression
+///   derby-1633   — multithreaded query engine; regression makes the new
+///                  version fail during query compilation
+///   rhino        — base program for the §5.1 injected-regression study
+///                  (an expression-language interpreter, mirroring Rhino's
+///                  parse-then-interpret structure)
+///
+/// Each case carries the paired sources, regressing and non-regressing
+/// test inputs, tracing options, and documented ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_WORKLOAD_CORPUS_H
+#define RPRISM_WORKLOAD_CORPUS_H
+
+#include "analysis/Regression.h"
+#include "runtime/Vm.h"
+#include "support/Expected.h"
+
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// One benchmark case: a version pair plus its test inputs and truth.
+struct BenchmarkCase {
+  std::string Name;
+  std::string Description;
+  std::string OrigSource;
+  std::string NewSource;
+  RunOptions RegrRun; ///< Inputs reproducing the regression.
+  RunOptions OkRun;   ///< Similar non-regressing inputs.
+  std::vector<GroundTruthChange> Truth;
+
+  /// Source lines of the two versions combined (Table 1's LOC column).
+  unsigned linesOfCode() const;
+};
+
+/// The Fig. 1 motivating example.
+BenchmarkCase motivatingCase();
+
+/// The SOAP-169-style case of footnote 5: the same
+/// state-clobbered-early/manifests-late pattern in a SOAP envelope
+/// encoder. Not part of the paper's tables; used by tests and examples to
+/// show the analysis generalizes across the pattern.
+BenchmarkCase soapCase();
+
+/// The four Table 1 benchmark cases, in table order:
+/// daikon, xalan-1725, xalan-1802, derby-1633.
+std::vector<BenchmarkCase> benchmarkCorpus();
+
+/// The base program for the §5.1 quantitative study: an expression-language
+/// interpreter (tokenizer, parser, evaluator — Rhino's structure in
+/// miniature). Inputs: input(0) is the program text to interpret.
+std::string rhinoBaseSource();
+
+/// The same front end lowering to a linear instruction list executed by a
+/// stack machine — Rhino's "compiled mode". The paper's data uses the
+/// interpretive mode "but RPRISM runs equally well with the compiled
+/// mode"; tests verify that claim on this reproduction.
+std::string rhinoCompiledSource();
+
+/// A regressing/ok input pair for the rhino base program, varied by \p
+/// Index so injected-regression cases exercise different program paths.
+void rhinoInputs(unsigned Index, RunOptions &RegrRun, RunOptions &OkRun);
+unsigned numRhinoInputs();
+
+//===----------------------------------------------------------------------===//
+// Case preparation (the tracing step of the pipeline)
+//===----------------------------------------------------------------------===//
+
+/// The four traces of §4's algorithm plus run metadata.
+struct PreparedCase {
+  std::shared_ptr<StringInterner> Strings;
+  Trace OrigOk;
+  Trace OrigRegr;
+  Trace NewOk;
+  Trace NewRegr;
+  std::string OrigOkOut, OrigRegrOut, NewOkOut, NewRegrOut;
+  double TracingSeconds = 0;
+
+  /// True when the case exhibits a regression as defined in §1: same input,
+  /// correct before, incorrect after — and the ok input agrees on both.
+  bool exhibitsRegression() const {
+    return OrigRegrOut != NewRegrOut && OrigOkOut == NewOkOut;
+  }
+
+  RegressionInputs inputs() const {
+    return {&OrigOk, &OrigRegr, &NewOk, &NewRegr};
+  }
+};
+
+/// Compiles both versions (sharing one interner) and runs the four
+/// version x input combinations.
+Expected<PreparedCase> prepareCase(const BenchmarkCase &Case);
+
+} // namespace rprism
+
+#endif // RPRISM_WORKLOAD_CORPUS_H

@@ -1,0 +1,410 @@
+//===- workload/CorpusDaikon.cpp - Daikon-style benchmark -----------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature Daikon: detects likely invariants (non-zero, positive,
+/// even, bounded, small) over two program points' samples, then an
+/// XorVisitor reports invariants holding at exactly one point. The §5.2
+/// regression is reproduced structurally: the new version changes *two*
+/// decision methods (shouldAdd1 and shouldAdd2, mirroring
+/// daikon.diff.XorVisitor.shouldAddInv1/2) from >= to > threshold
+/// comparisons. The regressing input drives an invariant with confidence
+/// exactly at shouldAdd2's threshold, so only that change manifests in the
+/// trace; shouldAdd1's change is dynamically invisible — by construction
+/// one ground-truth cause cannot be found (the paper's Daikon false
+/// negative).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rprism;
+
+namespace {
+
+/// Shared program body: everything except XorVisitor and Reporter, which
+/// differ between versions.
+const char *DaikonCommon = R"PROG(
+class Log {
+  Int count;
+  Log() { this.count = 0; }
+  Unit addMsg(Str m) {
+    this.count = this.count + 1;
+    return unit;
+  }
+}
+
+class IntNode {
+  Int value;
+  IntNode next;
+  IntNode(Int v) { this.value = v; this.next = null; }
+}
+
+class VarSamples {
+  IntNode head;
+  Int count;
+  VarSamples() { this.head = null; this.count = 0; }
+  Unit add(Int v) {
+    var n = new IntNode(v);
+    n.next = this.head;
+    this.head = n;
+    this.count = this.count + 1;
+    return unit;
+  }
+}
+
+class Tokenizer {
+  Str text;
+  Int pos;
+  Tokenizer(Str text) { this.text = text; this.pos = 0; }
+  Bool hasMore() { return this.pos < len(this.text); }
+  Int nextValue() {
+    var chunk = "";
+    var going = true;
+    while (going && this.pos < len(this.text)) {
+      var c = substr(this.text, this.pos, 1);
+      this.pos = this.pos + 1;
+      if (c == ",") {
+        going = false;
+      } else {
+        chunk = chunk + c;
+      }
+    }
+    return parseInt(chunk);
+  }
+}
+
+class Invariant {
+  Str name;
+  Int hits;
+  Int total;
+  Invariant(Str name) { this.name = name; this.hits = 0; this.total = 0; }
+  Bool holds(Int v) { return true; }
+  Unit feed(Int v) {
+    this.total = this.total + 1;
+    if (this.holds(v)) {
+      this.hits = this.hits + 1;
+    }
+    return unit;
+  }
+  Int confidence() {
+    if (this.total == 0) { return 0; }
+    return this.hits * 100 / this.total;
+  }
+}
+
+class NonZeroInv extends Invariant {
+  NonZeroInv() { super("nonzero"); }
+  Bool holds(Int v) { return !(v == 0); }
+}
+
+class PositiveInv extends Invariant {
+  PositiveInv() { super("positive"); }
+  Bool holds(Int v) { return v > 0; }
+}
+
+class EvenInv extends Invariant {
+  EvenInv() { super("even"); }
+  Bool holds(Int v) {
+    var r = v % 2;
+    return r == 0;
+  }
+}
+
+class BoundedInv extends Invariant {
+  Int lo;
+  Int hi;
+  BoundedInv(Int lo, Int hi) {
+    super("bounded");
+    this.lo = lo;
+    this.hi = hi;
+  }
+  Bool holds(Int v) { return v >= this.lo && v <= this.hi; }
+}
+
+class SmallInv extends Invariant {
+  SmallInv() { super("small"); }
+  Bool holds(Int v) {
+    var m = v;
+    if (m < 0) { m = -m; }
+    return m < 50;
+  }
+}
+
+class InvNode {
+  Invariant inv;
+  InvNode next;
+  InvNode(Invariant inv) { this.inv = inv; this.next = null; }
+}
+
+class InvariantSet {
+  InvNode head;
+  Int size;
+  InvariantSet() { this.head = null; this.size = 0; }
+  Unit add(Invariant inv) {
+    var n = new InvNode(inv);
+    n.next = this.head;
+    this.head = n;
+    this.size = this.size + 1;
+    return unit;
+  }
+  Bool containsName(Str name) {
+    var cur = this.head;
+    while (!(cur == null)) {
+      if (cur.inv.name == name) { return true; }
+      cur = cur.next;
+    }
+    return false;
+  }
+}
+
+class PptTopLevel {
+  Str name;
+  VarSamples samples;
+  InvariantSet invs;
+  Log log;
+  PptTopLevel(Str name, Log log) {
+    this.name = name;
+    this.samples = new VarSamples();
+    this.invs = new InvariantSet();
+    this.log = log;
+  }
+  Unit record(Int v) {
+    this.samples.add(v);
+    return unit;
+  }
+  Unit feedAll(Invariant inv) {
+    var cur = this.samples.head;
+    while (!(cur == null)) {
+      inv.feed(cur.value);
+      cur = cur.next;
+    }
+    return unit;
+  }
+  Unit detect() {
+    this.log.addMsg("detect start");
+    var cands = new InvariantSet();
+    cands.add(new NonZeroInv());
+    cands.add(new PositiveInv());
+    cands.add(new EvenInv());
+    cands.add(new BoundedInv(0, 100));
+    cands.add(new SmallInv());
+    var cur = cands.head;
+    while (!(cur == null)) {
+      this.feedAll(cur.inv);
+      if (cur.inv.confidence() >= 60) {
+        this.invs.add(cur.inv);
+      }
+      cur = cur.next;
+    }
+    this.log.addMsg("detect done");
+    return unit;
+  }
+}
+)PROG";
+
+const char *DaikonOrigTail = R"PROG(
+class XorVisitor {
+  InvariantSet result;
+  Log log;
+  XorVisitor(Log log) { this.result = new InvariantSet(); this.log = log; }
+  Bool shouldAdd1(Invariant inv) { return inv.confidence() >= 70; }
+  Bool shouldAdd2(Invariant inv) { return inv.confidence() >= 65; }
+  Unit visit(PptTopLevel p1, PptTopLevel p2) {
+    this.log.addMsg("xor visit");
+    var cur = p1.invs.head;
+    while (!(cur == null)) {
+      if (!p2.invs.containsName(cur.inv.name)) {
+        if (this.shouldAdd1(cur.inv)) {
+          this.result.add(cur.inv);
+        }
+      }
+      cur = cur.next;
+    }
+    cur = p2.invs.head;
+    while (!(cur == null)) {
+      if (!p1.invs.containsName(cur.inv.name)) {
+        if (this.shouldAdd2(cur.inv)) {
+          this.result.add(cur.inv);
+        }
+      }
+      cur = cur.next;
+    }
+    return unit;
+  }
+}
+
+class Reporter {
+  Unit report(InvariantSet s) {
+    var cur = s.head;
+    while (!(cur == null)) {
+      print(cur.inv.name + " conf=" + strOfInt(cur.inv.confidence()));
+      cur = cur.next;
+    }
+    print(s.size);
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var p1 = new PptTopLevel("ppt1", log);
+  var p2 = new PptTopLevel("ppt2", log);
+  var t1 = new Tokenizer(input(0));
+  while (t1.hasMore()) { p1.record(t1.nextValue()); }
+  var t2 = new Tokenizer(input(1));
+  while (t2.hasMore()) { p2.record(t2.nextValue()); }
+  p1.detect();
+  p2.detect();
+  var xor = new XorVisitor(log);
+  xor.visit(p1, p2);
+  var rep = new Reporter();
+  rep.report(xor.result);
+}
+)PROG";
+
+const char *DaikonNewTail = R"PROG(
+class Stats {
+  Int visits;
+  Stats() { this.visits = 0; }
+  Unit bump() { this.visits = this.visits + 1; return unit; }
+}
+
+class XorVisitor {
+  InvariantSet result;
+  Log log;
+  Stats stats;
+  XorVisitor(Log log) {
+    this.result = new InvariantSet();
+    this.log = log;
+    this.stats = new Stats();
+  }
+  Bool shouldAdd1(Invariant inv) { return inv.confidence() > 70; }
+  Bool shouldAdd2(Invariant inv) { return inv.confidence() > 65; }
+  Unit visit(PptTopLevel p1, PptTopLevel p2) {
+    this.log.addMsg("xor visit");
+    this.stats.bump();
+    var cur = p1.invs.head;
+    while (!(cur == null)) {
+      if (!p2.invs.containsName(cur.inv.name)) {
+        if (this.shouldAdd1(cur.inv)) {
+          this.result.add(cur.inv);
+        }
+      }
+      cur = cur.next;
+    }
+    cur = p2.invs.head;
+    while (!(cur == null)) {
+      if (!p1.invs.containsName(cur.inv.name)) {
+        if (this.shouldAdd2(cur.inv)) {
+          this.result.add(cur.inv);
+        }
+      }
+      cur = cur.next;
+    }
+    return unit;
+  }
+}
+
+class Reporter {
+  Unit report(InvariantSet s) {
+    var cur = s.head;
+    while (!(cur == null)) {
+      print(cur.inv.name + " conf=" + strOfInt(cur.inv.confidence()));
+      cur = cur.next;
+    }
+    print(s.size);
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  log.addMsg("daikon v2");
+  var p1 = new PptTopLevel("ppt1", log);
+  var p2 = new PptTopLevel("ppt2", log);
+  var t1 = new Tokenizer(input(0));
+  while (t1.hasMore()) { p1.record(t1.nextValue()); }
+  var t2 = new Tokenizer(input(1));
+  while (t2.hasMore()) { p2.record(t2.nextValue()); }
+  p1.detect();
+  p2.detect();
+  var xor = new XorVisitor(log);
+  xor.visit(p1, p2);
+  var rep = new Reporter();
+  rep.report(xor.result);
+}
+)PROG";
+
+} // namespace
+
+/// Builds the daikon benchmark case; called from benchmarkCorpus().
+BenchmarkCase makeDaikonCase() {
+  BenchmarkCase Case;
+  Case.Name = "daikon";
+  Case.Description =
+      "invariant detector; regression in XorVisitor.shouldAdd1/shouldAdd2 "
+      "(>= changed to >); only shouldAdd2 manifests dynamically";
+  Case.OrigSource = std::string(DaikonCommon) + DaikonOrigTail;
+  Case.NewSource = std::string(DaikonCommon) + DaikonNewTail;
+
+  // ppt1: all odd, positive, < 50 — even-confidence 0, positive 100.
+  const char *Ppt1 =
+      "1,3,5,7,9,11,13,15,17,19,21,23,25,27,29,31,33,35,37,39";
+  // Regressing ppt2: 13 of 20 even (confidence exactly 65 — shouldAdd2's
+  // boundary) and 9 non-positive values (positive confidence 55 < 60, so
+  // "positive" stays ppt1-only).
+  const char *Ppt2Regr =
+      "2,4,6,8,10,12,-2,-4,-6,-8,14,16,18,1,3,-5,-7,-9,-11,13";
+  // Non-regressing ppt2: 15 of 20 even (confidence 75 — away from both
+  // thresholds), same flavor of data.
+  const char *Ppt2Ok =
+      "2,4,6,8,10,12,-2,-4,-6,-8,14,16,18,20,22,1,3,-5,-7,-9";
+
+  Case.RegrRun.Inputs = {Ppt1, Ppt2Regr};
+  Case.RegrRun.TraceName = "daikon";
+  Case.OkRun.Inputs = {Ppt1, Ppt2Ok};
+  Case.OkRun.TraceName = "daikon";
+
+  // Exclude the logger and the (new-version-only) stats counter, and keep
+  // their monotone state out of containing objects' representations —
+  // the paper's pointcut exclusion + default-identity rule (§5).
+  for (RunOptions *Run : {&Case.RegrRun, &Case.OkRun}) {
+    Run->Tracing.ExcludeClasses.insert("Log");
+    Run->Tracing.ExcludeClasses.insert("Stats");
+    Run->Tracing.NoReprClasses.insert("Log");
+    Run->Tracing.NoReprClasses.insert("Stats");
+  }
+
+  GroundTruthChange Add2;
+  Add2.Description = "XorVisitor.shouldAdd2 threshold >=65 changed to >65";
+  Add2.RegressionRelated = true;
+  Add2.Methods = {"XorVisitor.shouldAdd2"};
+  Case.Truth.push_back(Add2);
+
+  GroundTruthChange Add1;
+  Add1.Description = "XorVisitor.shouldAdd1 threshold >=70 changed to >70 "
+                     "(dynamically invisible for these inputs)";
+  Add1.RegressionRelated = true;
+  Add1.Methods = {"XorVisitor.shouldAdd1"};
+  Case.Truth.push_back(Add1);
+
+  GroundTruthChange Effect;
+  Effect.Description = "downstream effect: the xor result set and its "
+                       "report change";
+  Effect.EffectRelated = true;
+  Effect.Methods = {"XorVisitor.visit", "InvariantSet.add",
+                    "Reporter.report"};
+  Case.Truth.push_back(Effect);
+
+  GroundTruthChange Benign;
+  Benign.Description = "Stats counter added; v2 startup log message";
+  Benign.RegressionRelated = false;
+  Benign.Methods = {"Stats.bump", "Stats.<init>"};
+  Case.Truth.push_back(Benign);
+  return Case;
+}

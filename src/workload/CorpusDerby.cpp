@@ -1,0 +1,406 @@
+//===- workload/CorpusDerby.cpp - Derby-style benchmark -------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature Derby: a relational table, a query compiler with a new
+/// subquery optimizer in the second version, background threads (lock
+/// manager heartbeat, log flusher), and three queries per session. The
+/// DERBY-1633 shape: the new optimizer has an incomplete corner case — a
+/// negative subquery threshold is rejected as an invalid plan, so the new
+/// version fails during *query compilation* while the original executes the
+/// query fully; the resulting difference count is huge and dominated by
+/// regression side-effects the §4 algorithm must strip. The new version's
+/// join rewrite (mode 2) changes execution traces for *correct* inputs too,
+/// which is what makes the expected-differences set B large and the LCS
+/// baseline exhaust its memory cap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rprism;
+
+namespace {
+
+const char *DerbyCommon = R"PROG(
+class Log {
+  Int count;
+  Log() { this.count = 0; }
+  Unit addMsg(Str m) { this.count = this.count + 1; return unit; }
+}
+
+class LockManager {
+  Int beats;
+  LockManager() { this.beats = 0; }
+  Unit heartbeat() {
+    var i = 0;
+    while (i < 200) {
+      this.beats = this.beats + 1;
+      i = i + 1;
+    }
+    return unit;
+  }
+}
+
+class LogFlusher {
+  Int flushes;
+  LogFlusher() { this.flushes = 0; }
+  Unit flushLoop() {
+    var i = 0;
+    while (i < 200) {
+      this.flushes = this.flushes + 1;
+      i = i + 1;
+    }
+    return unit;
+  }
+}
+
+class Row {
+  Int id;
+  Int val;
+  Row next;
+  Row(Int id, Int val) { this.id = id; this.val = val; this.next = null; }
+}
+
+class Table {
+  Row head;
+  Int size;
+  Table() { this.head = null; this.size = 0; }
+  Unit insert(Int id, Int val) {
+    var r = new Row(id, val);
+    r.next = this.head;
+    this.head = r;
+    this.size = this.size + 1;
+    return unit;
+  }
+}
+
+class IdNode {
+  Int id;
+  IdNode next;
+  IdNode(Int id) { this.id = id; this.next = null; }
+}
+
+class IdList {
+  IdNode head;
+  Int size;
+  IdList() { this.head = null; this.size = 0; }
+  Unit add(Int id) {
+    var n = new IdNode(id);
+    n.next = this.head;
+    this.head = n;
+    this.size = this.size + 1;
+    return unit;
+  }
+  Bool contains(Int id) {
+    var cur = this.head;
+    while (cur != null) {
+      if (cur.id == id) { return true; }
+      cur = cur.next;
+    }
+    return false;
+  }
+}
+
+class Query {
+  Int lo;
+  Int hi;
+  Int threshold;
+  Query(Int lo, Int hi, Int threshold) {
+    this.lo = lo;
+    this.hi = hi;
+    this.threshold = threshold;
+  }
+}
+
+class QueryReader {
+  Str text;
+  Int pos;
+  QueryReader(Str text) { this.text = text; this.pos = 0; }
+  Bool hasMore() { return this.pos < len(this.text); }
+  Str readUntil(Str stop) {
+    var chunk = "";
+    var going = true;
+    while (going && this.pos < len(this.text)) {
+      var c = substr(this.text, this.pos, 1);
+      this.pos = this.pos + 1;
+      if (c == stop) { going = false; } else { chunk = chunk + c; }
+    }
+    return chunk;
+  }
+  Query nextQuery() {
+    var lo = parseInt(this.readUntil(","));
+    var hi = parseInt(this.readUntil(","));
+    var threshold = parseInt(this.readUntil("|"));
+    return new Query(lo, hi, threshold);
+  }
+}
+)PROG";
+
+const char *DerbyOrigTail = R"PROG(
+class Plan {
+  Bool valid;
+  Int mode;
+  Query q;
+  Plan(Query q) { this.valid = true; this.mode = 1; this.q = q; }
+}
+
+class QueryCompiler {
+  Log log;
+  QueryCompiler(Log log) { this.log = log; }
+  Plan compile(Query q) {
+    this.log.addMsg("compile");
+    var plan = new Plan(q);
+    return plan;
+  }
+}
+
+class Executor {
+  Log log;
+  Executor(Log log) { this.log = log; }
+  Unit run(Table t, Plan plan) {
+    this.log.addMsg("run");
+    if (!plan.valid) {
+      print("ERROR: invalid plan");
+      return unit;
+    }
+    // Subquery pass: ids whose val is below the threshold.
+    var subIds = new IdList();
+    var cur = t.head;
+    while (cur != null) {
+      if (cur.val < plan.q.threshold) {
+        subIds.add(cur.id);
+      }
+      cur = cur.next;
+    }
+    // Main pass: rows with id in the subquery result and lo <= id <= hi.
+    var count = 0;
+    var sum = 0;
+    cur = t.head;
+    while (cur != null) {
+      if (cur.id >= plan.q.lo && cur.id <= plan.q.hi) {
+        if (subIds.contains(cur.id)) {
+          count = count + 1;
+          sum = sum + cur.id;
+        }
+      }
+      cur = cur.next;
+    }
+    print("rows=" + strOfInt(count) + " sum=" + strOfInt(sum));
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var table = new Table();
+  var i = 0;
+  while (i < 260) {
+    table.insert(i, (i * 7) % 101 - 30);
+    i = i + 1;
+  }
+  var locks = new LockManager();
+  var flusher = new LogFlusher();
+  spawn locks.heartbeat();
+  spawn flusher.flushLoop();
+  var reader = new QueryReader(input(0));
+  var compiler = new QueryCompiler(log);
+  var exec = new Executor(log);
+  while (reader.hasMore()) {
+    var q = reader.nextQuery();
+    var plan = compiler.compile(q);
+    exec.run(table, plan);
+  }
+}
+)PROG";
+
+const char *DerbyNewTail = R"PROG(
+class Plan {
+  Bool valid;
+  Int mode;
+  Query q;
+  Plan(Query q) { this.valid = true; this.mode = 1; this.q = q; }
+}
+
+class Optimizer {
+  Log log;
+  Optimizer(Log log) { this.log = log; }
+  Unit rewrite(Plan plan) {
+    this.log.addMsg("optimize");
+    // New subquery optimization: rewrite IN-subquery to a direct join
+    // (mode 2) when the subquery is estimated highly selective. Corner
+    // case left incomplete: a negative threshold is declared invalid
+    // instead of being handled (the regression).
+    if (plan.q.threshold < 0) {
+      plan.valid = false;
+      return unit;
+    }
+    if (plan.q.threshold > 60) {
+      plan.mode = 2;
+    }
+    return unit;
+  }
+}
+
+class QueryCompiler {
+  Log log;
+  Optimizer opt;
+  QueryCompiler(Log log) { this.log = log; this.opt = new Optimizer(log); }
+  Plan compile(Query q) {
+    this.log.addMsg("compile");
+    var plan = new Plan(q);
+    this.opt.rewrite(plan);
+    if (!plan.valid) {
+      print("ERROR: subquery predicate not optimizable");
+    }
+    return plan;
+  }
+}
+
+class Executor {
+  Log log;
+  Executor(Log log) { this.log = log; }
+  Unit runLegacy(Table t, Plan plan) {
+    var subIds = new IdList();
+    var cur = t.head;
+    while (cur != null) {
+      if (cur.val < plan.q.threshold) {
+        subIds.add(cur.id);
+      }
+      cur = cur.next;
+    }
+    var count = 0;
+    var sum = 0;
+    cur = t.head;
+    while (cur != null) {
+      if (cur.id >= plan.q.lo && cur.id <= plan.q.hi) {
+        if (subIds.contains(cur.id)) {
+          count = count + 1;
+          sum = sum + cur.id;
+        }
+      }
+      cur = cur.next;
+    }
+    print("rows=" + strOfInt(count) + " sum=" + strOfInt(sum));
+    return unit;
+  }
+  Unit runJoin(Table t, Plan plan) {
+    // Mode 2: single pass — the subquery condition is checked directly on
+    // the row (id IN subquery  <=>  val < threshold for this schema).
+    var count = 0;
+    var sum = 0;
+    var cur = t.head;
+    while (cur != null) {
+      if (cur.id >= plan.q.lo && cur.id <= plan.q.hi) {
+        if (cur.val < plan.q.threshold) {
+          count = count + 1;
+          sum = sum + cur.id;
+        }
+      }
+      cur = cur.next;
+    }
+    print("rows=" + strOfInt(count) + " sum=" + strOfInt(sum));
+    return unit;
+  }
+  Unit run(Table t, Plan plan) {
+    this.log.addMsg("run");
+    if (!plan.valid) {
+      print("ERROR: invalid plan");
+      return unit;
+    }
+    if (plan.mode == 2) {
+      this.runJoin(t, plan);
+    } else {
+      this.runLegacy(t, plan);
+    }
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var table = new Table();
+  var i = 0;
+  while (i < 260) {
+    table.insert(i, (i * 7) % 101 - 30);
+    i = i + 1;
+  }
+  var locks = new LockManager();
+  var flusher = new LogFlusher();
+  spawn locks.heartbeat();
+  spawn flusher.flushLoop();
+  var reader = new QueryReader(input(0));
+  var compiler = new QueryCompiler(log);
+  var exec = new Executor(log);
+  while (reader.hasMore()) {
+    var q = reader.nextQuery();
+    var plan = compiler.compile(q);
+    exec.run(table, plan);
+  }
+}
+)PROG";
+
+} // namespace
+
+/// Builds the derby benchmark case; called from benchmarkCorpus().
+BenchmarkCase makeDerbyCase() {
+  BenchmarkCase Case;
+  Case.Name = "derby-1633";
+  Case.Description =
+      "multithreaded query engine; the new subquery optimizer rejects "
+      "negative thresholds as invalid plans (incomplete corner case): "
+      "the new version errors during query compilation";
+  Case.OrigSource = std::string(DerbyCommon) + DerbyOrigTail;
+  Case.NewSource = std::string(DerbyCommon) + DerbyNewTail;
+
+  // Three queries per session; the last one carries the corner case
+  // (threshold -5): the original scans and answers it in full; the new
+  // version reports an invalid plan and stops — so the suspected set is
+  // dominated by the one-sided tail of the original's execution, the
+  // paper's "125K differences caused by observing 10.1.2.1 executing the
+  // query vs 10.1.3.1 throwing an error".
+  Case.RegrRun.Inputs = {"20,200,12|40,160,25|0,240,-5|"};
+  Case.RegrRun.TraceName = "derby-1633";
+  // The ok session exercises the same paths with positive thresholds only;
+  // outputs agree (the join rewrite is semantics-preserving).
+  Case.OkRun.Inputs = {"20,200,12|40,160,25|0,240,30|"};
+  Case.OkRun.TraceName = "derby-1633";
+
+  // Pointcut-style exclusion of the logger (§5: "exclude the internal
+  // workings of unrelated code"): its monotone counter would otherwise
+  // make every later event targeting it differ. NoRepr additionally keeps
+  // the counter out of *containing* objects' value representations.
+  for (RunOptions *Run : {&Case.RegrRun, &Case.OkRun}) {
+    Run->Tracing.ExcludeClasses.insert("Log");
+    Run->Tracing.NoReprClasses.insert("Log");
+  }
+
+  GroundTruthChange Bug;
+  Bug.Description = "Optimizer.rewrite declares negative thresholds "
+                    "invalid (incomplete corner case in the new subquery "
+                    "optimization)";
+  Bug.RegressionRelated = true;
+  Bug.Methods = {"Optimizer.rewrite", "QueryCompiler.compile"};
+  Case.Truth.push_back(Bug);
+
+  GroundTruthChange Effect;
+  Effect.Description = "downstream effect: the original executes the "
+                       "corner-case query in full while the new version "
+                       "stops after the compile error";
+  Effect.EffectRelated = true;
+  Effect.Methods = {"Executor.run", "Executor.runLegacy", "IdList.add",
+                    "IdList.contains"};
+  Case.Truth.push_back(Effect);
+
+  GroundTruthChange Rewrite;
+  Rewrite.Description = "semantics-preserving join rewrite (mode 2) and "
+                        "split executor paths";
+  Rewrite.RegressionRelated = false;
+  Rewrite.Methods = {"Executor.runJoin", "Optimizer.<init>"};
+  Case.Truth.push_back(Rewrite);
+  return Case;
+}

@@ -1,0 +1,293 @@
+//===- workload/CorpusMotivating.cpp - The Fig. 1 example -----------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The motivating example of Fig. 1, patterned after MYFACES-1130: the
+/// original ServletProcessor instantiates NumericEntityUtil with the range
+/// [32..127]; the new version extracts a BinaryCharFilter as part of a
+/// generic I/O filtering abstraction and passes the *wrong* range [1..127],
+/// so characters in [1..31] stop being converted to HTML numeric entities —
+/// but only for text/html documents. The new version also contains several
+/// benign changes (extra logging, a response-size accounting feature, a
+/// renamed helper) that produce expected differences (set B) so the §4
+/// set algebra has real work to do.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rprism;
+
+namespace {
+
+const char *MotivatingOrig = R"PROG(
+class Log {
+  Int count;
+  Log() { this.count = 0; }
+  Unit addMsg(Str m) {
+    this.count = this.count + 1;
+    return unit;
+  }
+}
+
+class NumericEntityUtil {
+  Int minCharRange;
+  Int maxCharRange;
+  NumericEntityUtil(Int lo, Int hi) {
+    this.minCharRange = lo;
+    this.maxCharRange = hi;
+  }
+  Str convert(Str input) {
+    var out = "";
+    var i = 0;
+    while (i < len(input)) {
+      var c = charAt(input, i);
+      if (c < this.minCharRange || c > this.maxCharRange) {
+        out = out + "&#" + strOfInt(c) + ";";
+      } else {
+        out = out + substr(input, i, 1);
+      }
+      i = i + 1;
+    }
+    return out;
+  }
+}
+
+class Response {
+  Str body;
+  Response() { this.body = ""; }
+  Unit append(Str part) {
+    this.body = this.body + part;
+    return unit;
+  }
+}
+
+class ServletProcessor {
+  Log log;
+  NumericEntityUtil binConv;
+  Str requestType;
+  ServletProcessor(Log log) {
+    this.log = log;
+    this.binConv = null;
+    this.requestType = "";
+  }
+  Unit setRequestType(Str t) {
+    this.log.addMsg("Handling request");
+    this.requestType = t;
+    if (t == "text/html") {
+      this.binConv = new NumericEntityUtil(32, 127);
+    }
+    this.log.addMsg("Set request type");
+    return unit;
+  }
+  Str renderHeader() {
+    return "[" + this.requestType + "]";
+  }
+  Unit process(Str doc, Response resp) {
+    this.log.addMsg("Processing document");
+    resp.append(this.renderHeader());
+    var i = 0;
+    var chunk = "";
+    while (i < len(doc)) {
+      chunk = chunk + substr(doc, i, 1);
+      if (len(chunk) >= 8) {
+        resp.append(chunk);
+        chunk = "";
+      }
+      i = i + 1;
+    }
+    resp.append(chunk);
+    if (this.requestType == "text/html") {
+      resp.body = this.binConv.convert(resp.body);
+    }
+    this.log.addMsg("Processed document");
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var sp = new ServletProcessor(log);
+  sp.setRequestType(input(0));
+  var resp = new Response();
+  sp.process(input(1), resp);
+  print(resp.body);
+}
+)PROG";
+
+const char *MotivatingNew = R"PROG(
+class Log {
+  Int count;
+  Log() { this.count = 0; }
+  Unit addMsg(Str m) {
+    this.count = this.count + 1;
+    return unit;
+  }
+}
+
+class NumericEntityUtil {
+  Int minCharRange;
+  Int maxCharRange;
+  NumericEntityUtil(Int lo, Int hi) {
+    this.minCharRange = lo;
+    this.maxCharRange = hi;
+  }
+  Str convert(Str input) {
+    var out = "";
+    var i = 0;
+    while (i < len(input)) {
+      var c = charAt(input, i);
+      if (c < this.minCharRange || c > this.maxCharRange) {
+        out = out + "&#" + strOfInt(c) + ";";
+      } else {
+        out = out + substr(input, i, 1);
+      }
+      i = i + 1;
+    }
+    return out;
+  }
+}
+
+// New generic I/O filtering abstraction (the refactoring that introduces
+// the bug): the filter owns the entity util and provides the WRONG range.
+class BinaryCharFilter {
+  NumericEntityUtil binConv;
+  BinaryCharFilter() {
+    this.binConv = new NumericEntityUtil(1, 127);
+  }
+  Str filter(Str s) {
+    return this.binConv.convert(s);
+  }
+}
+
+class Response {
+  Str body;
+  Int appends;
+  Response() { this.body = ""; this.appends = 0; }
+  Unit append(Str part) {
+    this.body = this.body + part;
+    this.appends = this.appends + 1;
+    return unit;
+  }
+}
+
+class ServletProcessor {
+  Log log;
+  BinaryCharFilter charFilter;
+  Str requestType;
+  ServletProcessor(Log log) {
+    this.log = log;
+    this.charFilter = null;
+    this.requestType = "";
+  }
+  Unit addFilter(BinaryCharFilter f) {
+    this.charFilter = f;
+    this.log.addMsg("Registered filter");
+    return unit;
+  }
+  Unit setRequestType(Str t) {
+    this.log.addMsg("Handling request");
+    this.requestType = t;
+    if (t == "text/html") {
+      this.addFilter(new BinaryCharFilter());
+    }
+    this.log.addMsg("Set request type");
+    return unit;
+  }
+  Str buildHeader() {
+    // Renamed from renderHeader; same behavior.
+    return "[" + this.requestType + "]";
+  }
+  Unit process(Str doc, Response resp) {
+    this.log.addMsg("Processing document");
+    this.log.addMsg("v2 engine");
+    resp.append(this.buildHeader());
+    var i = 0;
+    var chunk = "";
+    while (i < len(doc)) {
+      chunk = chunk + substr(doc, i, 1);
+      if (len(chunk) >= 8) {
+        resp.append(chunk);
+        chunk = "";
+      }
+      i = i + 1;
+    }
+    resp.append(chunk);
+    if (this.requestType == "text/html") {
+      resp.body = this.charFilter.filter(resp.body);
+    }
+    this.log.addMsg("Processed document");
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var sp = new ServletProcessor(log);
+  sp.setRequestType(input(0));
+  var resp = new Response();
+  sp.process(input(1), resp);
+  print(resp.body);
+}
+)PROG";
+
+} // namespace
+
+BenchmarkCase rprism::motivatingCase() {
+  BenchmarkCase Case;
+  Case.Name = "motivating";
+  Case.Description =
+      "MyFaces-style character filter regression (Fig. 1): the extracted "
+      "BinaryCharFilter passes range [1..127] instead of [32..127]";
+  Case.OrigSource = MotivatingOrig;
+  Case.NewSource = MotivatingNew;
+
+  // Regressing input: text/html with control characters in [1..31] (tab,
+  // newline) — the original converts them to &#9; / &#10;, the new version
+  // passes them through.
+  const char *Doc = "Hello\tWorld\nthis request body mixes plain text "
+                    "with\tcontrol\ncharacters and a longer tail so the "
+                    "chunked append path runs several times";
+  Case.RegrRun.Inputs = {"text/html", Doc};
+  Case.RegrRun.TraceName = "motivating";
+  // Similar non-regressing input: a different document type, so the
+  // conversion path is skipped in both versions (§4.2's test (b)).
+  Case.OkRun.Inputs = {"text/plain", Doc};
+  Case.OkRun.TraceName = "motivating";
+
+  // The LOG object stays *traced* (Fig. 2 shows its target-object view)
+  // but carries no value representation: a logger's monotone counter is
+  // exactly the "default hashCode/toString" case of §5, and correlation
+  // falls back to the creation sequence number.
+  for (RunOptions *Run : {&Case.RegrRun, &Case.OkRun})
+    Run->Tracing.NoReprClasses.insert("Log");
+
+  GroundTruthChange Bug;
+  Bug.Description = "BinaryCharFilter constructor provides range [1..127] "
+                    "instead of [32..127]";
+  Bug.RegressionRelated = true;
+  Bug.Methods = {"BinaryCharFilter.<init>"};
+  Case.Truth.push_back(Bug);
+
+  GroundTruthChange Effect;
+  Effect.Description = "downstream effect: the conversion loop emits "
+                       "different output characters";
+  Effect.EffectRelated = true;
+  Effect.Methods = {"NumericEntityUtil.convert", "BinaryCharFilter.filter",
+                    "ServletProcessor.process"};
+  Case.Truth.push_back(Effect);
+
+  GroundTruthChange Refactor;
+  Refactor.Description = "I/O filtering abstraction extracted; header "
+                         "helper renamed; extra logging; appends counter";
+  Refactor.RegressionRelated = false;
+  Refactor.Methods = {"ServletProcessor.addFilter",
+                      "ServletProcessor.buildHeader",
+                      "ServletProcessor.renderHeader", "Response.append"};
+  Case.Truth.push_back(Refactor);
+  return Case;
+}

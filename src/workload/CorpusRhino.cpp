@@ -1,0 +1,420 @@
+//===- workload/CorpusRhino.cpp - Rhino-style base program ----------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The base program for the §5.1 injected-regression study. Mozilla Rhino
+/// compiles JavaScript to an intermediate form and interprets it; this
+/// miniature mirrors that structure: a lexer, a Pratt-style parser building
+/// node objects, and a tree-walking evaluator over an environment — all as
+/// core-language classes, so injected mutations perturb realistic
+/// object-oriented traces.
+///
+/// Interpreted-language inputs: input(0) is the script for the regressing
+/// run, and the ok-input scripts exercise the same constructs with
+/// different data.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rprism;
+
+namespace {
+
+const char *RhinoCommon = R"PROG(
+class Tok {
+  Int kind;    // 0 end, 1 num, 2 ident, 3 op, 4 semi
+  Str text;
+  Int value;
+  Tok(Int kind, Str text, Int value) {
+    this.kind = kind;
+    this.text = text;
+    this.value = value;
+  }
+}
+
+class Lexer {
+  Str src;
+  Int pos;
+  Lexer(Str src) { this.src = src; this.pos = 0; }
+  Bool isDigit(Int c) { return c >= 48 && c <= 57; }
+  Bool isAlpha(Int c) { return c >= 97 && c <= 122; }
+  Tok next() {
+    while (this.pos < len(this.src) &&
+           substr(this.src, this.pos, 1) == " ") {
+      this.pos = this.pos + 1;
+    }
+    if (this.pos >= len(this.src)) {
+      return new Tok(0, "", 0);
+    }
+    var c = charAt(this.src, this.pos);
+    if (this.isDigit(c)) {
+      var v = 0;
+      while (this.pos < len(this.src) &&
+             this.isDigit(charAt(this.src, this.pos))) {
+        v = v * 10 + (charAt(this.src, this.pos) - 48);
+        this.pos = this.pos + 1;
+      }
+      return new Tok(1, "", v);
+    }
+    if (this.isAlpha(c)) {
+      var name = "";
+      while (this.pos < len(this.src) &&
+             this.isAlpha(charAt(this.src, this.pos))) {
+        name = name + substr(this.src, this.pos, 1);
+        this.pos = this.pos + 1;
+      }
+      return new Tok(2, name, 0);
+    }
+    var text = substr(this.src, this.pos, 1);
+    this.pos = this.pos + 1;
+    if (text == ";") { return new Tok(4, text, 0); }
+    return new Tok(3, text, 0);
+  }
+}
+
+class Node {
+  Int kind;    // 1 num, 2 var, 3 binop, 4 assign, 5 print
+  Int value;
+  Str name;
+  Str op;
+  Node left;
+  Node right;
+  Node(Int kind) {
+    this.kind = kind;
+    this.value = 0;
+    this.name = "";
+    this.op = "";
+    this.left = null;
+    this.right = null;
+  }
+}
+
+class Parser {
+  Lexer lexer;
+  Tok cur;
+  Parser(Lexer lexer) {
+    this.lexer = lexer;
+    this.cur = lexer.next();
+  }
+  Unit bump() { this.cur = this.lexer.next(); return unit; }
+  Node primary() {
+    if (this.cur.kind == 1) {
+      var n = new Node(1);
+      n.value = this.cur.value;
+      this.bump();
+      return n;
+    }
+    if (this.cur.kind == 3 && this.cur.text == "(") {
+      this.bump();
+      var inner = this.expr(0);
+      this.bump();  // ')'
+      return inner;
+    }
+    var v = new Node(2);
+    v.name = this.cur.text;
+    this.bump();
+    return v;
+  }
+  Int precOf(Str op) {
+    if (op == "+") { return 1; }
+    if (op == "-") { return 1; }
+    if (op == "*") { return 2; }
+    if (op == "/") { return 2; }
+    return 0;
+  }
+  Node expr(Int minPrec) {
+    var lhs = this.primary();
+    var going = true;
+    while (going) {
+      going = false;
+      if (this.cur.kind == 3) {
+        var p = this.precOf(this.cur.text);
+        if (p > 0 && p >= minPrec) {
+          var b = new Node(3);
+          b.op = this.cur.text;
+          this.bump();
+          b.left = lhs;
+          b.right = this.expr(p + 1);
+          lhs = b;
+          going = true;
+        }
+      }
+    }
+    return lhs;
+  }
+  Node statement() {
+    if (this.cur.kind == 2 && this.cur.text == "print") {
+      this.bump();
+      var p = new Node(5);
+      p.left = this.expr(0);
+      return p;
+    }
+    var name = this.cur.text;
+    this.bump();  // ident
+    this.bump();  // '='
+    var a = new Node(4);
+    a.name = name;
+    a.left = this.expr(0);
+    return a;
+  }
+  Bool atEnd() { return this.cur.kind == 0; }
+  Unit eatSemi() {
+    if (this.cur.kind == 4) { this.bump(); }
+    return unit;
+  }
+}
+
+class Binding {
+  Str name;
+  Int value;
+  Binding next;
+  Binding(Str name, Int value) {
+    this.name = name;
+    this.value = value;
+    this.next = null;
+  }
+}
+
+class Env {
+  Binding head;
+  Env() { this.head = null; }
+  Unit set(Str name, Int value) {
+    var cur = this.head;
+    while (cur != null) {
+      if (cur.name == name) {
+        cur.value = value;
+        return unit;
+      }
+      cur = cur.next;
+    }
+    var b = new Binding(name, value);
+    b.next = this.head;
+    this.head = b;
+    return unit;
+  }
+  Int get(Str name) {
+    var cur = this.head;
+    while (cur != null) {
+      if (cur.name == name) { return cur.value; }
+      cur = cur.next;
+    }
+    return 0;
+  }
+}
+)PROG";
+
+/// Interpretive-mode tail: the tree-walking evaluator and its driver.
+const char *RhinoInterpTail = R"PROG(
+class Interp {
+  Env env;
+  Interp() { this.env = new Env(); }
+  Int eval(Node n) {
+    if (n.kind == 1) { return n.value; }
+    if (n.kind == 2) { return this.env.get(n.name); }
+    if (n.kind == 3) {
+      var l = this.eval(n.left);
+      var r = this.eval(n.right);
+      if (n.op == "+") { return l + r; }
+      if (n.op == "-") { return l - r; }
+      if (n.op == "*") { return l * r; }
+      if (r == 0) { return 0; }
+      return l / r;
+    }
+    return 0;
+  }
+  Unit exec(Node n) {
+    if (n.kind == 4) {
+      this.env.set(n.name, this.eval(n.left));
+    }
+    if (n.kind == 5) {
+      print(this.eval(n.left));
+    }
+    return unit;
+  }
+}
+
+main {
+  var parser = new Parser(new Lexer(input(0)));
+  var interp = new Interp();
+  while (!parser.atEnd()) {
+    var stmt = parser.statement();
+    parser.eatSemi();
+    interp.exec(stmt);
+  }
+}
+)PROG";
+
+/// Compiled-mode tail: Rhino "compiles JavaScript into an intermediate
+/// form, which is then either interpreted or compiled" (§5.1); the paper
+/// used the interpretive mode "but RPRISM runs equally well with the
+/// compiled mode". This variant lowers each statement's AST to a linear
+/// instruction list (a stack machine) and executes that, sharing the
+/// lexer/parser/environment classes with the interpretive base above.
+const char *RhinoCompiledTail = R"PROG(
+class CodeOp {
+  Int op;      // 1 push-const, 2 load-var, 3 add, 4 sub, 5 mul, 6 div,
+               // 7 store-var, 8 print
+  Int value;
+  Str name;
+  CodeOp next;
+  CodeOp(Int op, Int value, Str name) {
+    this.op = op;
+    this.value = value;
+    this.name = name;
+    this.next = null;
+  }
+}
+
+class CodeList {
+  CodeOp head;
+  CodeOp tail;
+  Int size;
+  CodeList() { this.head = null; this.tail = null; this.size = 0; }
+  Unit emit(CodeOp op) {
+    if (this.tail == null) {
+      this.head = op;
+    } else {
+      this.tail.next = op;
+    }
+    this.tail = op;
+    this.size = this.size + 1;
+    return unit;
+  }
+}
+
+class Codegen {
+  CodeList code;
+  Codegen() { this.code = new CodeList(); }
+  Unit genExpr(Node n) {
+    if (n.kind == 1) {
+      this.code.emit(new CodeOp(1, n.value, ""));
+    }
+    if (n.kind == 2) {
+      this.code.emit(new CodeOp(2, 0, n.name));
+    }
+    if (n.kind == 3) {
+      this.genExpr(n.left);
+      this.genExpr(n.right);
+      if (n.op == "+") { this.code.emit(new CodeOp(3, 0, "")); }
+      if (n.op == "-") { this.code.emit(new CodeOp(4, 0, "")); }
+      if (n.op == "*") { this.code.emit(new CodeOp(5, 0, "")); }
+      if (n.op == "/") { this.code.emit(new CodeOp(6, 0, "")); }
+    }
+    return unit;
+  }
+  Unit genStmt(Node n) {
+    if (n.kind == 4) {
+      this.genExpr(n.left);
+      this.code.emit(new CodeOp(7, 0, n.name));
+    }
+    if (n.kind == 5) {
+      this.genExpr(n.left);
+      this.code.emit(new CodeOp(8, 0, ""));
+    }
+    return unit;
+  }
+}
+
+class StackCell {
+  Int value;
+  StackCell below;
+  StackCell(Int value) { this.value = value; this.below = null; }
+}
+
+class CodeRunner {
+  Env env;
+  StackCell top;
+  CodeRunner() { this.env = new Env(); this.top = null; }
+  Unit push(Int v) {
+    var c = new StackCell(v);
+    c.below = this.top;
+    this.top = c;
+    return unit;
+  }
+  Int pop() {
+    var c = this.top;
+    this.top = c.below;
+    return c.value;
+  }
+  Unit execute(CodeList code) {
+    var cur = code.head;
+    while (cur != null) {
+      if (cur.op == 1) { this.push(cur.value); }
+      if (cur.op == 2) { this.push(this.env.get(cur.name)); }
+      if (cur.op == 3) { var r = this.pop(); this.push(this.pop() + r); }
+      if (cur.op == 4) { var r = this.pop(); this.push(this.pop() - r); }
+      if (cur.op == 5) { var r = this.pop(); this.push(this.pop() * r); }
+      if (cur.op == 6) {
+        var r = this.pop();
+        var l = this.pop();
+        if (r == 0) { this.push(0); } else { this.push(l / r); }
+      }
+      if (cur.op == 7) { this.env.set(cur.name, this.pop()); }
+      if (cur.op == 8) { print(this.pop()); }
+      cur = cur.next;
+    }
+    return unit;
+  }
+}
+
+main {
+  var parser = new Parser(new Lexer(input(0)));
+  var gen = new Codegen();
+  while (!parser.atEnd()) {
+    var stmt = parser.statement();
+    parser.eatSemi();
+    gen.genStmt(stmt);
+  }
+  var runner = new CodeRunner();
+  runner.execute(gen.code);
+}
+)PROG";
+
+/// Script pairs for the injected-regression study. Each pair drives the
+/// same constructs; the ok script is the "similar non-regressing test
+/// case". Mutants are accepted only when the pair discriminates (regr
+/// output changes, ok output does not), mirroring §5.1's requirement that
+/// each injected regression fails its associated test.
+struct ScriptPair {
+  const char *Regr;
+  const char *Ok;
+};
+
+constexpr ScriptPair RhinoScripts[] = {
+    {"a=5;b=a*3+2;print b;c=b-a;print c;d=c*c;print d;e=d/4;print e;",
+     "a=7;b=a*2+1;print b;c=b-a;print c;d=c*2;print d;e=d/3;print e;"},
+    {"x=10;y=20;z=x*y+(x-y);print z;w=z/3;print w;v=w*w-z;print v;",
+     "x=4;y=9;z=x*y+(x-y);print z;w=z/2;print w;v=w*w-z;print v;"},
+    {"n=1;n=n+n;n=n*n;n=n+3;print n;m=n*(n-2);print m;k=m/n;print k;",
+     "n=2;n=n+n;n=n*n;n=n+1;print n;m=n*(n-1);print m;k=m/n;print k;"},
+    {"p=6;q=7;r=p*q;s=r-p-q;print s;t=(s+p)*(s-q);print t;u=t/5;print u;",
+     "p=3;q=8;r=p*q;s=r-p-q;print s;t=(s+p)*(s-q);print t;u=t/4;print u;"},
+};
+
+} // namespace
+
+std::string rprism::rhinoBaseSource() {
+  return std::string(RhinoCommon) + RhinoInterpTail;
+}
+
+std::string rprism::rhinoCompiledSource() {
+  return std::string(RhinoCommon) + RhinoCompiledTail;
+}
+
+unsigned rprism::numRhinoInputs() {
+  return sizeof(RhinoScripts) / sizeof(RhinoScripts[0]);
+}
+
+void rprism::rhinoInputs(unsigned Index, RunOptions &RegrRun,
+                         RunOptions &OkRun) {
+  const ScriptPair &Pair = RhinoScripts[Index % numRhinoInputs()];
+  RegrRun.Inputs = {Pair.Regr};
+  RegrRun.TraceName = "rhino";
+  OkRun.Inputs = {Pair.Ok};
+  OkRun.TraceName = "rhino";
+}

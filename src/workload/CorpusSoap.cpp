@@ -1,0 +1,223 @@
+//===- workload/CorpusSoap.cpp - SOAP-169-style extra case ----------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's footnote 5 points at SOAP-169 as a second instance of the
+/// motivating pattern: "a piece of code incorrectly alters some dynamic
+/// state in the program, with the manifestation of the error appearing,
+/// only in certain cases, at some later point in the execution". This
+/// case reproduces that shape in a SOAP-ish envelope encoder: the new
+/// version's extracted TypeRegistry clobbers the encoding default set
+/// during setup, and the damage shows only when a payload of the affected
+/// kind ("vector") is serialized much later.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rprism;
+
+namespace {
+
+const char *SoapCommon = R"PROG(
+class Config {
+  Str encoding;
+  Int strict;
+  Config() { this.encoding = "typed"; this.strict = 1; }
+}
+
+class Part {
+  Str kind;
+  Str payload;
+  Part next;
+  Part(Str kind, Str payload) {
+    this.kind = kind;
+    this.payload = payload;
+    this.next = null;
+  }
+}
+
+class Message {
+  Part head;
+  Part tail;
+  Int size;
+  Message() { this.head = null; this.tail = null; this.size = 0; }
+  Unit add(Part p) {
+    if (this.tail == null) {
+      this.head = p;
+    } else {
+      this.tail.next = p;
+    }
+    this.tail = p;
+    this.size = this.size + 1;
+    return unit;
+  }
+}
+
+class PartReader {
+  Str text;
+  Int pos;
+  PartReader(Str text) { this.text = text; this.pos = 0; }
+  Bool hasMore() { return this.pos < len(this.text); }
+  Str readUntil(Str stop) {
+    var chunk = "";
+    var going = true;
+    while (going && this.pos < len(this.text)) {
+      var c = substr(this.text, this.pos, 1);
+      this.pos = this.pos + 1;
+      if (c == stop) { going = false; } else { chunk = chunk + c; }
+    }
+    return chunk;
+  }
+}
+
+class EnvelopeWriter {
+  Config cfg;
+  EnvelopeWriter(Config cfg) { this.cfg = cfg; }
+  Str writePart(Part p) {
+    var out = "<" + p.kind;
+    if (this.cfg.encoding == "typed") {
+      if (p.kind == "vector") {
+        out = out + " xsi:type='soapenc:Array'";
+      }
+      if (p.kind == "string") {
+        out = out + " xsi:type='xsd:string'";
+      }
+    }
+    out = out + ">" + p.payload + "</" + p.kind + ">";
+    return out;
+  }
+  Unit writeAll(Message m) {
+    var cur = m.head;
+    while (cur != null) {
+      print(this.writePart(cur));
+      cur = cur.next;
+    }
+    return unit;
+  }
+}
+)PROG";
+
+const char *SoapOrigTail = R"PROG(
+class Serializer {
+  Config cfg;
+  Serializer(Config cfg) { this.cfg = cfg; }
+  Unit setup() {
+    this.cfg.encoding = "typed";
+    return unit;
+  }
+}
+
+main {
+  var cfg = new Config();
+  var ser = new Serializer(cfg);
+  ser.setup();
+  var msg = new Message();
+  var reader = new PartReader(input(0));
+  while (reader.hasMore()) {
+    var kind = reader.readUntil(":");
+    var payload = reader.readUntil(";");
+    msg.add(new Part(kind, payload));
+  }
+  var writer = new EnvelopeWriter(cfg);
+  writer.writeAll(msg);
+  print(msg.size);
+}
+)PROG";
+
+const char *SoapNewTail = R"PROG(
+class TypeRegistry {
+  Config cfg;
+  Int mappings;
+  TypeRegistry(Config cfg) {
+    this.cfg = cfg;
+    this.mappings = 0;
+    // Refactoring bug: registering the built-in mappings resets the
+    // encoding mode that setup() established (SOAP-169's shape: dynamic
+    // state clobbered early, manifestation much later and only for
+    // certain payload kinds).
+    this.cfg.encoding = "literal";
+  }
+  Unit register(Str kind) {
+    this.mappings = this.mappings + 1;
+    return unit;
+  }
+}
+
+class Serializer {
+  Config cfg;
+  TypeRegistry types;
+  Serializer(Config cfg) { this.cfg = cfg; this.types = null; }
+  Unit setup() {
+    this.cfg.encoding = "typed";
+    this.types = new TypeRegistry(this.cfg);
+    this.types.register("vector");
+    this.types.register("string");
+    return unit;
+  }
+}
+
+main {
+  var cfg = new Config();
+  var ser = new Serializer(cfg);
+  ser.setup();
+  var msg = new Message();
+  var reader = new PartReader(input(0));
+  while (reader.hasMore()) {
+    var kind = reader.readUntil(":");
+    var payload = reader.readUntil(";");
+    msg.add(new Part(kind, payload));
+  }
+  var writer = new EnvelopeWriter(cfg);
+  writer.writeAll(msg);
+  print(msg.size);
+}
+)PROG";
+
+} // namespace
+
+BenchmarkCase rprism::soapCase() {
+  BenchmarkCase Case;
+  Case.Name = "soap-169";
+  Case.Description =
+      "SOAP envelope encoder (footnote 5's second instance of the "
+      "motivating pattern): the new TypeRegistry clobbers the encoding "
+      "mode; only typed payloads (vector/string) render differently";
+  Case.OrigSource = std::string(SoapCommon) + SoapOrigTail;
+  Case.NewSource = std::string(SoapCommon) + SoapNewTail;
+
+  // Regressing input carries typed payloads — their xsi:type attributes
+  // disappear in the new version.
+  Case.RegrRun.Inputs = {
+      "string:hello;vector:a,b,c;int:42;string:world;vector:x,y;"};
+  Case.RegrRun.TraceName = "soap-169";
+  // The ok input has only untyped payloads: both versions emit identical
+  // envelopes even though the encoding mode differs internally.
+  Case.OkRun.Inputs = {"int:1;int:2;float:3.5;int:4;int:5;"};
+  Case.OkRun.TraceName = "soap-169";
+
+  GroundTruthChange Bug;
+  Bug.Description = "TypeRegistry constructor resets cfg.encoding to "
+                    "'literal' after setup() chose 'typed'";
+  Bug.RegressionRelated = true;
+  Bug.Methods = {"TypeRegistry.<init>", "Serializer.setup"};
+  Case.Truth.push_back(Bug);
+
+  GroundTruthChange Effect;
+  Effect.Description = "downstream effect: typed payloads render without "
+                       "xsi:type attributes";
+  Effect.EffectRelated = true;
+  Effect.Methods = {"EnvelopeWriter.writePart", "EnvelopeWriter.writeAll"};
+  Case.Truth.push_back(Effect);
+
+  GroundTruthChange Benign;
+  Benign.Description = "type mapping registration calls";
+  Benign.RegressionRelated = false;
+  Benign.Methods = {"TypeRegistry.register"};
+  Case.Truth.push_back(Benign);
+  return Case;
+}

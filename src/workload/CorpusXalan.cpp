@@ -1,0 +1,665 @@
+//===- workload/CorpusXalan.cpp - Xalan-style benchmarks ------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two Xalan-style benchmark pairs:
+///
+/// xalan-1725 — a two-phase stylesheet compiler. Phase 1 translates parsed
+/// elements into instruction objects (generated "bytecode"); phase 2
+/// executes those instructions over input documents. The regression is in
+/// phase-1 code generation: the rewritten duplicate-attribute check skips
+/// the immediately preceding attribute, so adjacent duplicates lose their
+/// DUP marker instruction — an extreme separation of cause (compilation)
+/// and effect (execution of the generated program, per document).
+///
+/// xalan-1802 — a namespace-resolution module *completely re-architected*
+/// between versions (linear prefix list -> hashed buckets + default-uri
+/// fast path; every class and method renamed), with a corner-case
+/// regression: redeclaration of the default namespace is ignored by the
+/// new fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rprism;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// xalan-1725
+//===----------------------------------------------------------------------===//
+
+const char *Xalan1725Common = R"PROG(
+class Log {
+  Int count;
+  Log() { this.count = 0; }
+  Unit addMsg(Str m) { this.count = this.count + 1; return unit; }
+}
+
+class Instr {
+  Int op;
+  Str arg;
+  Int serial;
+  Instr(Int op, Str arg) { this.op = op; this.arg = arg; this.serial = 0; }
+}
+
+class InstrNode {
+  Instr instr;
+  InstrNode next;
+  InstrNode(Instr instr) { this.instr = instr; this.next = null; }
+}
+
+class InstrList {
+  InstrNode head;
+  InstrNode tail;
+  Int size;
+  InstrList() { this.head = null; this.tail = null; this.size = 0; }
+  Unit append(Instr i) {
+    var n = new InstrNode(i);
+    if (this.tail == null) {
+      this.head = n;
+    } else {
+      this.tail.next = n;
+    }
+    this.tail = n;
+    this.size = this.size + 1;
+    return unit;
+  }
+}
+
+class Attr {
+  Str name;
+  Str value;
+  Attr next;
+  Attr(Str name, Str value) {
+    this.name = name;
+    this.value = value;
+    this.next = null;
+  }
+}
+
+class AttrList {
+  Attr head;
+  Attr tail;
+  Int size;
+  AttrList() { this.head = null; this.tail = null; this.size = 0; }
+  Unit append(Attr a) {
+    if (this.tail == null) {
+      this.head = a;
+    } else {
+      this.tail.next = a;
+    }
+    this.tail = a;
+    this.size = this.size + 1;
+    return unit;
+  }
+  Attr get(Int index) {
+    var cur = this.head;
+    var i = 0;
+    while (i < index) {
+      cur = cur.next;
+      i = i + 1;
+    }
+    return cur;
+  }
+}
+
+class Element {
+  Str tag;
+  AttrList attrs;
+  Element(Str tag) { this.tag = tag; this.attrs = new AttrList(); }
+}
+
+class StyleParser {
+  Str text;
+  Int pos;
+  Log log;
+  StyleParser(Str text, Log log) {
+    this.text = text;
+    this.pos = 0;
+    this.log = log;
+  }
+  Bool hasMore() { return this.pos < len(this.text); }
+  Str readUntil(Str stop) {
+    var chunk = "";
+    var going = true;
+    while (going && this.pos < len(this.text)) {
+      var c = substr(this.text, this.pos, 1);
+      this.pos = this.pos + 1;
+      if (c == stop) {
+        going = false;
+      } else {
+        chunk = chunk + c;
+      }
+    }
+    return chunk;
+  }
+  Element nextElement() {
+    var tag = this.readUntil(":");
+    var e = new Element(tag);
+    var spec = this.readUntil(";");
+    var i = 0;
+    var name = "";
+    var value = "";
+    var inValue = false;
+    while (i < len(spec)) {
+      var c = substr(spec, i, 1);
+      if (c == "=") {
+        inValue = true;
+      } else {
+        if (c == ",") {
+          e.attrs.append(new Attr(name, value));
+          name = "";
+          value = "";
+          inValue = false;
+        } else {
+          if (inValue) { value = value + c; } else { name = name + c; }
+        }
+      }
+      i = i + 1;
+    }
+    if (len(name) > 0) {
+      e.attrs.append(new Attr(name, value));
+    }
+    return e;
+  }
+}
+
+class Executor {
+  Log log;
+  Executor(Log log) { this.log = log; }
+  Str execute(InstrList prog, Str doc) {
+    this.log.addMsg("execute");
+    var out = "";
+    var cur = prog.head;
+    while (cur != null) {
+      var op = cur.instr.op;
+      if (op == 1) {
+        out = out + "<" + cur.instr.arg;
+      } else { if (op == 2) {
+        out = out + " " + cur.instr.arg;
+      } else { if (op == 3) {
+        out = out + ">" + doc + "</" + cur.instr.arg + ">";
+      } else { if (op == 4) {
+        out = out + " !DUP(" + cur.instr.arg + ")";
+      } } } }
+      cur = cur.next;
+    }
+    return out;
+  }
+}
+)PROG";
+
+const char *Xalan1725OrigTail = R"PROG(
+class LiteralElement {
+  Log log;
+  LiteralElement(Log log) { this.log = log; }
+  Bool checkAttributesUnique(AttrList attrs, Int upto) {
+    var target = attrs.get(upto);
+    var dup = false;
+    var j = 0;
+    while (j < upto) {
+      if (attrs.get(j).name == target.name) { dup = true; }
+      j = j + 1;
+    }
+    return dup;
+  }
+  Unit translate(Element e, InstrList out) {
+    this.log.addMsg("translate");
+    out.append(new Instr(1, e.tag));
+    var i = 0;
+    while (i < e.attrs.size) {
+      var a = e.attrs.get(i);
+      if (this.checkAttributesUnique(e.attrs, i)) {
+        out.append(new Instr(4, a.name));
+      }
+      out.append(new Instr(2, a.name + "=" + a.value));
+      i = i + 1;
+    }
+    out.append(new Instr(3, e.tag));
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var parser = new StyleParser(input(0), log);
+  var lit = new LiteralElement(log);
+  var prog = new InstrList();
+  while (parser.hasMore()) {
+    var e = parser.nextElement();
+    lit.translate(e, prog);
+  }
+  var exec = new Executor(log);
+  var docs = new StyleParser(input(1), log);
+  while (docs.hasMore()) {
+    var doc = docs.readUntil("|");
+    print(exec.execute(prog, doc));
+  }
+  print(prog.size);
+}
+)PROG";
+
+const char *Xalan1725NewTail = R"PROG(
+class Peephole {
+  Log log;
+  Int checksum;
+  Peephole(Log log) { this.log = log; this.checksum = 0; }
+  Unit verify(InstrList prog) {
+    // New analysis pass: walks the generated program computing a
+    // checksum. Reads only — output-neutral benign churn.
+    this.log.addMsg("peephole");
+    var cur = prog.head;
+    var sum = 0;
+    while (cur != null) {
+      sum = sum + cur.instr.op;
+      cur = cur.next;
+    }
+    this.checksum = sum;
+    return unit;
+  }
+}
+
+class LiteralElement {
+  Log log;
+  LiteralElement(Log log) { this.log = log; }
+  Bool checkAttributesUnique(AttrList attrs, Int upto) {
+    // Rewritten scan: the upper bound skips the immediately preceding
+    // attribute, so ADJACENT duplicates are missed (the regression).
+    var target = attrs.get(upto);
+    var dup = false;
+    var j = 0;
+    while (j < upto - 1) {
+      if (attrs.get(j).name == target.name) { dup = true; }
+      j = j + 1;
+    }
+    return dup;
+  }
+  Unit translate(Element e, InstrList out) {
+    this.log.addMsg("translate v2");
+    out.append(new Instr(1, e.tag));
+    var i = 0;
+    while (i < e.attrs.size) {
+      var a = e.attrs.get(i);
+      if (this.checkAttributesUnique(e.attrs, i)) {
+        out.append(new Instr(4, a.name));
+      }
+      out.append(new Instr(2, a.name + "=" + a.value));
+      i = i + 1;
+    }
+    out.append(new Instr(3, e.tag));
+    return unit;
+  }
+}
+
+main {
+  var log = new Log();
+  var parser = new StyleParser(input(0), log);
+  var lit = new LiteralElement(log);
+  var prog = new InstrList();
+  while (parser.hasMore()) {
+    var e = parser.nextElement();
+    lit.translate(e, prog);
+  }
+  var peep = new Peephole(log);
+  peep.verify(prog);
+  var exec = new Executor(log);
+  var docs = new StyleParser(input(1), log);
+  while (docs.hasMore()) {
+    var doc = docs.readUntil("|");
+    print(exec.execute(prog, doc));
+  }
+  print(prog.size);
+}
+)PROG";
+
+BenchmarkCase makeXalan1725() {
+  BenchmarkCase Case;
+  Case.Name = "xalan-1725";
+  Case.Description =
+      "two-phase stylesheet compiler; rewritten duplicate-attribute check "
+      "misses adjacent duplicates: wrong generated code, effect at "
+      "execution";
+  Case.OrigSource = std::string(Xalan1725Common) + Xalan1725OrigTail;
+  Case.NewSource = std::string(Xalan1725Common) + Xalan1725NewTail;
+
+  // A stylesheet of 14 elements. Element `bad` carries an ADJACENT
+  // duplicate (q,q) — only the original emits its !DUP marker. The other
+  // elements exercise unique attributes and a NON-adjacent duplicate
+  // (k,...,k in `mid`) both versions detect.
+  const char *RegrSheet =
+      "head:a=1,b=2,c=3;body:x=9,y=8,z=7;bad:p=1,q=2,q=3,r=4;"
+      "mid:k=1,m=2,k=3;row:c=4,d=5;row2:e=6,f=7,g=8;cell:h=1;"
+      "tab:i=2,j=3;div:n=4,o=5,p=6;span:u=1,v=2;list:w=3;"
+      "item:s=4,t=5;foot:aa=6,bb=7;end:cc=8,dd=9,ee=1;";
+  // The ok stylesheet replaces the adjacent duplicate with a NON-adjacent
+  // one (q,r,q) that both versions flag identically.
+  const char *OkSheet =
+      "head:a=1,b=2,c=3;body:x=9,y=8,z=7;bad:p=1,q=2,r=4,q=3;"
+      "mid:k=1,m=2,k=3;row:c=4,d=5;row2:e=6,f=7,g=8;cell:h=1;"
+      "tab:i=2,j=3;div:n=4,o=5,p=6;span:u=1,v=2;list:w=3;"
+      "item:s=4,t=5;foot:aa=6,bb=7;end:cc=8,dd=9,ee=1;";
+  const char *Docs = "alpha|bravo|charlie|delta|echo|";
+
+  Case.RegrRun.Inputs = {RegrSheet, Docs};
+  Case.RegrRun.TraceName = "xalan-1725";
+  Case.OkRun.Inputs = {OkSheet, Docs};
+  Case.OkRun.TraceName = "xalan-1725";
+
+  // Pointcut-style logger exclusion + default-identity rule (§5). The
+  // instruction-list container also gets the default-identity rule: its
+  // monotone size counter would otherwise make every append after the
+  // first divergence differ.
+  for (RunOptions *Run : {&Case.RegrRun, &Case.OkRun}) {
+    Run->Tracing.ExcludeClasses.insert("Log");
+    Run->Tracing.NoReprClasses.insert("Log");
+    Run->Tracing.NoReprClasses.insert("InstrList");
+  }
+
+  GroundTruthChange Bug;
+  Bug.Description = "checkAttributesUnique scans j < upto-1 instead of "
+                    "j < upto, losing adjacent duplicates";
+  Bug.RegressionRelated = true;
+  Bug.Methods = {"LiteralElement.checkAttributesUnique",
+                 "LiteralElement.translate"};
+  Case.Truth.push_back(Bug);
+
+  GroundTruthChange Effect;
+  Effect.Description = "downstream effect: executing the generated code "
+                       "without the DUP marker";
+  Effect.EffectRelated = true;
+  Effect.Methods = {"Executor.execute", "InstrList.append"};
+  Case.Truth.push_back(Effect);
+
+  GroundTruthChange Benign;
+  Benign.Description = "peephole verification pass added; v2 log text";
+  Benign.RegressionRelated = false;
+  Benign.Methods = {"Peephole.verify", "Peephole.<init>"};
+  Case.Truth.push_back(Benign);
+  return Case;
+}
+
+//===----------------------------------------------------------------------===//
+// xalan-1802
+//===----------------------------------------------------------------------===//
+
+const char *Xalan1802Orig = R"PROG(
+class Log {
+  Int count;
+  Log() { this.count = 0; }
+  Unit addMsg(Str m) { this.count = this.count + 1; return unit; }
+}
+
+class NsBinding {
+  Str prefix;
+  Str uri;
+  NsBinding next;
+  NsBinding(Str prefix, Str uri) {
+    this.prefix = prefix;
+    this.uri = uri;
+    this.next = null;
+  }
+}
+
+class PrefixResolver {
+  NsBinding head;
+  Int size;
+  Log log;
+  PrefixResolver(Log log) { this.head = null; this.size = 0; this.log = log; }
+  Unit declare(Str prefix, Str uri) {
+    var b = new NsBinding(prefix, uri);
+    b.next = this.head;
+    this.head = b;
+    this.size = this.size + 1;
+    return unit;
+  }
+  Str resolve(Str prefix) {
+    var cur = this.head;
+    while (cur != null) {
+      if (cur.prefix == prefix) { return cur.uri; }
+      cur = cur.next;
+    }
+    return "undef";
+  }
+}
+
+class DocScanner {
+  Str text;
+  Int pos;
+  DocScanner(Str text) { this.text = text; this.pos = 0; }
+  Bool hasMore() { return this.pos < len(this.text); }
+  Str readUntil(Str stop) {
+    var chunk = "";
+    var going = true;
+    while (going && this.pos < len(this.text)) {
+      var c = substr(this.text, this.pos, 1);
+      this.pos = this.pos + 1;
+      if (c == stop) { going = false; } else { chunk = chunk + c; }
+    }
+    return chunk;
+  }
+}
+
+main {
+  var log = new Log();
+  var resolver = new PrefixResolver(log);
+  var decls = new DocScanner(input(0));
+  while (decls.hasMore()) {
+    var prefix = decls.readUntil("=");
+    var uri = decls.readUntil(";");
+    resolver.declare(prefix, uri);
+  }
+  var queries = new DocScanner(input(1));
+  while (queries.hasMore()) {
+    var prefix = queries.readUntil(":");
+    var name = queries.readUntil(";");
+    print(name + " -> " + resolver.resolve(prefix));
+  }
+  print(resolver.size);
+}
+)PROG";
+
+const char *Xalan1802New = R"PROG(
+class Journal {
+  Int events;
+  Journal() { this.events = 0; }
+  Unit note(Str m) { this.events = this.events + 1; return unit; }
+}
+
+class NsBinding {
+  Str prefix;
+  Str uri;
+  NsBinding next;
+  NsBinding(Str prefix, Str uri) {
+    this.prefix = prefix;
+    this.uri = uri;
+    this.next = null;
+  }
+}
+
+class PrefixHasher {
+  Int hashOf(Str prefix) {
+    var h = 0;
+    var i = 0;
+    while (i < len(prefix)) {
+      h = h + charAt(prefix, i);
+      i = i + 1;
+    }
+    return h % 4;
+  }
+}
+
+class NamespaceContext {
+  NsBinding bucket0;
+  NsBinding bucket1;
+  NsBinding bucket2;
+  NsBinding bucket3;
+  Str defaultUri;
+  Int bindings;
+  PrefixHasher hasher;
+  Journal journal;
+  NamespaceContext(Journal journal) {
+    this.bucket0 = null;
+    this.bucket1 = null;
+    this.bucket2 = null;
+    this.bucket3 = null;
+    this.defaultUri = "";
+    this.bindings = 0;
+    this.hasher = new PrefixHasher();
+    this.journal = journal;
+  }
+  Unit bind(Str prefix, Str uri) {
+    this.journal.note("bind");
+    this.bindings = this.bindings + 1;
+    if (len(prefix) == 0) {
+      // Default-namespace fast path. BUG: a redeclaration is ignored —
+      // only the first binding ever lands in defaultUri (missing case).
+      if (this.defaultUri == "") {
+        this.defaultUri = uri;
+      }
+      return unit;
+    }
+    var idx = this.hasher.hashOf(prefix);
+    var e = new NsBinding(prefix, uri);
+    if (idx == 0) { e.next = this.bucket0; this.bucket0 = e; }
+    if (idx == 1) { e.next = this.bucket1; this.bucket1 = e; }
+    if (idx == 2) { e.next = this.bucket2; this.bucket2 = e; }
+    if (idx == 3) { e.next = this.bucket3; this.bucket3 = e; }
+    return unit;
+  }
+  Str chainLookup(NsBinding head, Str prefix) {
+    var cur = head;
+    while (cur != null) {
+      if (cur.prefix == prefix) { return cur.uri; }
+      cur = cur.next;
+    }
+    return "undef";
+  }
+  Str lookup(Str prefix) {
+    this.journal.note("lookup");
+    if (len(prefix) == 0) {
+      if (this.defaultUri == "") { return "undef"; }
+      return this.defaultUri;
+    }
+    var idx = this.hasher.hashOf(prefix);
+    if (idx == 0) { return this.chainLookup(this.bucket0, prefix); }
+    if (idx == 1) { return this.chainLookup(this.bucket1, prefix); }
+    if (idx == 2) { return this.chainLookup(this.bucket2, prefix); }
+    return this.chainLookup(this.bucket3, prefix);
+  }
+}
+
+class DocScanner {
+  Str text;
+  Int pos;
+  DocScanner(Str text) { this.text = text; this.pos = 0; }
+  Bool hasMore() { return this.pos < len(this.text); }
+  Str readUntil(Str stop) {
+    var chunk = "";
+    var going = true;
+    while (going && this.pos < len(this.text)) {
+      var c = substr(this.text, this.pos, 1);
+      this.pos = this.pos + 1;
+      if (c == stop) { going = false; } else { chunk = chunk + c; }
+    }
+    return chunk;
+  }
+}
+
+main {
+  var journal = new Journal();
+  var context = new NamespaceContext(journal);
+  var decls = new DocScanner(input(0));
+  while (decls.hasMore()) {
+    var prefix = decls.readUntil("=");
+    var uri = decls.readUntil(";");
+    context.bind(prefix, uri);
+  }
+  var queries = new DocScanner(input(1));
+  while (queries.hasMore()) {
+    var prefix = queries.readUntil(":");
+    var name = queries.readUntil(";");
+    print(name + " -> " + context.lookup(prefix));
+  }
+  print(context.bindings);
+}
+)PROG";
+
+BenchmarkCase makeXalan1802() {
+  BenchmarkCase Case;
+  Case.Name = "xalan-1802";
+  Case.Description =
+      "namespace module re-architected (linear list -> hashed buckets); "
+      "corner case: default-namespace redeclaration ignored";
+  Case.OrigSource = Xalan1802Orig;
+  Case.NewSource = Xalan1802New;
+
+  // Declarations redeclare the default namespace (prefix ""): the original
+  // resolver's newest-first list returns urn:late; the new fast path keeps
+  // urn:early forever.
+  const char *RegrDecls =
+      "p=urn:p1;q=urn:q1;=urn:early;r=urn:r1;s=urn:s1;t=urn:t1;"
+      "u=urn:u1;=urn:late;v=urn:v1;w=urn:w1;";
+  // The ok declarations bind the default namespace exactly once.
+  const char *OkDecls =
+      "p=urn:p1;q=urn:q1;=urn:early;r=urn:r1;s=urn:s1;t=urn:t1;"
+      "u=urn:u1;v=urn:v1;w=urn:w1;x=urn:x1;";
+  // Query mix touching every prefix, the default namespace several times,
+  // and unknown prefixes; repeated to lengthen the traces.
+  const char *Queries =
+      "p:alpha;q:bravo;:charlie;r:delta;s:echo;:foxtrot;t:golf;u:hotel;"
+      "v:india;w:juliet;zz:kilo;:lima;p:mike;q:november;r:oscar;s:papa;"
+      "t:quebec;u:romeo;v:sierra;w:tango;:uniform;zz:victor;p:whiskey;"
+      "q:xray;r:yankee;s:zulu;:one;t:two;u:three;v:four;w:five;:six;"
+      "p:seven;q:eight;r:nine;s:ten;t:eleven;u:twelve;v:thirteen;"
+      "w:fourteen;:fifteen;zz:sixteen;p:seventeen;q:eighteen;r:nineteen;"
+      "s:twenty;:twentyone;t:twentytwo;u:twentythree;v:twentyfour;";
+
+  Case.RegrRun.Inputs = {RegrDecls, Queries};
+  Case.RegrRun.TraceName = "xalan-1802";
+  Case.OkRun.Inputs = {OkDecls, Queries};
+  Case.OkRun.TraceName = "xalan-1802";
+
+  // Pointcut-style exclusion of the version-specific loggers (§5).
+  for (RunOptions *Run : {&Case.RegrRun, &Case.OkRun}) {
+    Run->Tracing.ExcludeClasses.insert("Log");
+    Run->Tracing.ExcludeClasses.insert("Journal");
+    Run->Tracing.NoReprClasses.insert("Log");
+    Run->Tracing.NoReprClasses.insert("Journal");
+  }
+
+  GroundTruthChange Bug;
+  Bug.Description = "NamespaceContext.bind keeps only the first default-"
+                    "namespace binding (redeclaration ignored)";
+  Bug.RegressionRelated = true;
+  Bug.Methods = {"NamespaceContext.bind", "NamespaceContext.lookup"};
+  Case.Truth.push_back(Bug);
+
+  GroundTruthChange Effect;
+  Effect.Description = "downstream effect: default-namespace queries "
+                       "resolve to the stale uri";
+  Effect.EffectRelated = true;
+  Effect.Methods = {"PrefixResolver.resolve", "PrefixResolver.declare"};
+  Case.Truth.push_back(Effect);
+
+  GroundTruthChange Churn;
+  Churn.Description = "module re-architecture: resolver classes and "
+                      "methods renamed; hashed buckets replace the linear "
+                      "list (bindings and scanner keep their shapes)";
+  Churn.RegressionRelated = false;
+  Churn.Methods = {"NamespaceContext.chainLookup", "PrefixHasher.hashOf",
+                   "Journal.note"};
+  Case.Truth.push_back(Churn);
+  return Case;
+}
+
+} // namespace
+
+// Exposed to Corpus.cpp through declarations there.
+BenchmarkCase makeXalan1725Case() { return makeXalan1725(); }
+BenchmarkCase makeXalan1802Case() { return makeXalan1802(); }

@@ -1,0 +1,79 @@
+//===- workload/Generator.cpp ---------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "support/Rng.h"
+
+#include <sstream>
+
+using namespace rprism;
+
+std::string rprism::generateProgram(const GeneratorOptions &Options) {
+  Rng R(Options.Seed);
+  std::ostringstream OS;
+
+  unsigned NumClasses = Options.NumClasses == 0 ? 1 : Options.NumClasses;
+  // Which class/constant gets perturbed (stable across the pair as long as
+  // Seed and NumClasses match).
+  unsigned PerturbClass = Options.Perturb == 0
+                              ? NumClasses
+                              : Options.Perturb % NumClasses;
+
+  for (unsigned C = 0; C != NumClasses; ++C) {
+    // Per-class deterministic shape parameters.
+    int64_t MulA = static_cast<int64_t>(R.nextInRange(2, 9));
+    int64_t AddB = static_cast<int64_t>(R.nextInRange(1, 50));
+    int64_t ModC = static_cast<int64_t>(R.nextInRange(11, 97));
+    if (C == PerturbClass)
+      AddB += 1000; // The version-pair difference.
+
+    OS << "class Worker" << C << " {\n"
+       << "  Int acc;\n"
+       << "  Int steps;\n"
+       << "  Worker" << C << "(Int seed) { this.acc = seed; this.steps = 0; }\n"
+       << "  Int step(Int x) {\n"
+       << "    this.steps = this.steps + 1;\n"
+       << "    this.acc = (this.acc * " << MulA << " + x + " << AddB
+       << ") % " << ModC << ";\n"
+       << "    return this.acc;\n"
+       << "  }\n"
+       << "  Int drain() {\n"
+       << "    var t = this.acc;\n"
+       << "    this.acc = 0;\n"
+       << "    return t;\n"
+       << "  }\n"
+       << "}\n\n";
+  }
+
+  OS << "main {\n";
+  for (unsigned C = 0; C != NumClasses; ++C)
+    OS << "  var w" << C << " = new Worker" << C << "(" << (C + 1) << ");\n";
+  OS << "  var total = 0;\n"
+     << "  var i = 0;\n"
+     << "  while (i < " << Options.OuterIters << ") {\n";
+  for (unsigned C = 0; C != NumClasses; ++C)
+    OS << "    total = total + w" << C << ".step(i);\n";
+  OS << "    i = i + 1;\n"
+     << "  }\n";
+
+  if (Options.ReorderBlock) {
+    // Two independent drain blocks whose order differs from the baseline
+    // rendering (the baseline emits 0..N-1; this emits the pair swapped).
+    OS << "  total = total + w" << (NumClasses > 1 ? 1 : 0) << ".drain();\n";
+    OS << "  total = total + w0.drain();\n";
+  } else {
+    OS << "  total = total + w0.drain();\n";
+    if (NumClasses > 1)
+      OS << "  total = total + w1.drain();\n";
+  }
+
+  OS << "  print(total);\n"
+     << "}\n";
+  return OS.str();
+}
+
+unsigned rprism::approxEntriesPerIteration(const GeneratorOptions &Options) {
+  // Each Worker.step: call + return + 2 gets + 2 sets + 2 gets = ~8 entries.
+  unsigned NumClasses = Options.NumClasses == 0 ? 1 : Options.NumClasses;
+  return NumClasses * 9;
+}

@@ -1,0 +1,46 @@
+//===- workload/Generator.h - Synthetic programs for scaling sweeps -------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of core-language programs whose trace length is
+/// controlled by a loop parameter, used by the scaling benchmark to verify
+/// the linear-vs-quadratic behavior of the two differencing semantics
+/// (§3.3 claims O(n) time and space for views-based differencing; §5.1
+/// reports LCS failing past ~100K entries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_WORKLOAD_GENERATOR_H
+#define RPRISM_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace rprism {
+
+struct GeneratorOptions {
+  unsigned NumClasses = 4;   ///< Worker classes.
+  unsigned OuterIters = 40;  ///< Main-loop iterations (trace length knob).
+  uint64_t Seed = 1;         ///< Shapes method bodies deterministically.
+  /// Perturbation: 0 = baseline; otherwise a constant in one method body
+  /// is changed, giving a version pair for differencing sweeps.
+  unsigned Perturb = 0;
+  /// Insert a small reordered block (exercises the views-based
+  /// advantage on moved code).
+  bool ReorderBlock = false;
+};
+
+/// Generates a self-contained program. Same options => same source.
+std::string generateProgram(const GeneratorOptions &Options);
+
+/// Approximate trace entries produced per OuterIters unit (for sizing
+/// sweeps without running first).
+unsigned approxEntriesPerIteration(const GeneratorOptions &Options);
+
+} // namespace rprism
+
+#endif // RPRISM_WORKLOAD_GENERATOR_H

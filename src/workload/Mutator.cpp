@@ -1,0 +1,538 @@
+//===- workload/Mutator.cpp -----------------------------------------------===//
+
+#include "workload/Mutator.h"
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "runtime/Compiler.h"
+
+using namespace rprism;
+
+const char *rprism::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::MissingFeature:    return "missing-feature";
+  case MutationKind::MissingCase:       return "missing-case";
+  case MutationKind::BoundaryCondition: return "boundary-condition";
+  case MutationKind::ControlFlow:       return "control-flow";
+  case MutationKind::WrongExpression:   return "wrong-expression";
+  case MutationKind::Typo:              return "typo";
+  }
+  return "?";
+}
+
+MutationKind rprism::sampleMutationKind(Rng &R) {
+  // The [13] distribution, in per-mille.
+  uint64_t Roll = R.nextBelow(1000);
+  if (Roll < 264)
+    return MutationKind::MissingFeature;
+  if (Roll < 264 + 173)
+    return MutationKind::MissingCase;
+  if (Roll < 264 + 173 + 103)
+    return MutationKind::BoundaryCondition;
+  if (Roll < 264 + 173 + 103 + 160)
+    return MutationKind::ControlFlow;
+  if (Roll < 264 + 173 + 103 + 160 + 58)
+    return MutationKind::WrongExpression;
+  return MutationKind::Typo;
+}
+
+namespace {
+
+/// A deletable/droppable statement position.
+struct StmtSite {
+  BlockStmt *Parent = nullptr;
+  size_t Index = 0;
+  std::string Method;
+};
+
+/// A mutable expression.
+struct ExprSite {
+  Expr *E = nullptr;
+  std::string Method;
+};
+
+/// A condition owner (if/while) for control-flow mutations.
+struct CondSite {
+  Stmt *S = nullptr;
+  std::string Method;
+};
+
+/// Collects every node id in a subtree (ground-truth provenance).
+void collectExprNodes(const Expr &E, std::unordered_set<uint32_t> &Out);
+
+void collectStmtNodes(const Stmt &S, std::unordered_set<uint32_t> &Out) {
+  Out.insert(S.Id);
+  switch (S.Kind) {
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Stmts)
+      collectStmtNodes(*Child, Out);
+    break;
+  case StmtKind::VarDecl:
+    collectExprNodes(*static_cast<const VarDeclStmt &>(S).Init, Out);
+    break;
+  case StmtKind::ExprStmt:
+    collectExprNodes(*static_cast<const ExprStmt &>(S).E, Out);
+    break;
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    collectExprNodes(*If.Cond, Out);
+    collectStmtNodes(*If.Then, Out);
+    if (If.Else)
+      collectStmtNodes(*If.Else, Out);
+    break;
+  }
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    collectExprNodes(*While.Cond, Out);
+    collectStmtNodes(*While.Body, Out);
+    break;
+  }
+  case StmtKind::Return:
+    if (static_cast<const ReturnStmt &>(S).Value)
+      collectExprNodes(*static_cast<const ReturnStmt &>(S).Value, Out);
+    break;
+  case StmtKind::Print:
+    collectExprNodes(*static_cast<const PrintStmt &>(S).Value, Out);
+    break;
+  case StmtKind::Spawn:
+    collectExprNodes(*static_cast<const SpawnStmt &>(S).Call, Out);
+    break;
+  case StmtKind::SuperCall:
+    for (const ExprPtr &Arg : static_cast<const SuperCallStmt &>(S).Args)
+      collectExprNodes(*Arg, Out);
+    break;
+  }
+}
+
+void collectExprNodes(const Expr &E, std::unordered_set<uint32_t> &Out) {
+  Out.insert(E.Id);
+  switch (E.Kind) {
+  case ExprKind::FieldGet:
+    collectExprNodes(*static_cast<const FieldGetExpr &>(E).Object, Out);
+    break;
+  case ExprKind::FieldSet: {
+    const auto &Set = static_cast<const FieldSetExpr &>(E);
+    collectExprNodes(*Set.Object, Out);
+    collectExprNodes(*Set.Value, Out);
+    break;
+  }
+  case ExprKind::VarSet:
+    collectExprNodes(*static_cast<const VarSetExpr &>(E).Value, Out);
+    break;
+  case ExprKind::MethodCall: {
+    const auto &Call = static_cast<const MethodCallExpr &>(E);
+    collectExprNodes(*Call.Receiver, Out);
+    for (const ExprPtr &Arg : Call.Args)
+      collectExprNodes(*Arg, Out);
+    break;
+  }
+  case ExprKind::New:
+    for (const ExprPtr &Arg : static_cast<const NewExpr &>(E).Args)
+      collectExprNodes(*Arg, Out);
+    break;
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    collectExprNodes(*Bin.Lhs, Out);
+    collectExprNodes(*Bin.Rhs, Out);
+    break;
+  }
+  case ExprKind::Unary:
+    collectExprNodes(*static_cast<const UnaryExpr &>(E).Operand, Out);
+    break;
+  case ExprKind::Builtin:
+    for (const ExprPtr &Arg : static_cast<const BuiltinExpr &>(E).Args)
+      collectExprNodes(*Arg, Out);
+    break;
+  default:
+    break;
+  }
+}
+
+/// Walks every method body collecting candidate sites for each mutation
+/// kind.
+class SiteCollector {
+public:
+  std::vector<StmtSite> Deletable;   // MissingFeature.
+  std::vector<CondSite> ElseOwners;  // MissingCase (IfStmt with Else).
+  std::vector<ExprSite> Comparisons; // BoundaryCondition.
+  std::vector<CondSite> Conditions;  // ControlFlow.
+  std::vector<ExprSite> Arithmetic;  // WrongExpression.
+  std::vector<ExprSite> Literals;    // Typo.
+
+  void run(Program &Prog) {
+    for (auto &Class : Prog.Classes)
+      for (auto &Method : Class->Methods)
+        walkBlock(*Method->Body, Class->Name + "." + Method->Name);
+    if (Prog.Main)
+      walkBlock(*Prog.Main->Body, "main");
+  }
+
+private:
+  void walkBlock(BlockStmt &Block, const std::string &Method) {
+    for (size_t I = 0; I != Block.Stmts.size(); ++I) {
+      Stmt &S = *Block.Stmts[I];
+      switch (S.Kind) {
+      case StmtKind::ExprStmt:
+      case StmtKind::Print:
+        Deletable.push_back({&Block, I, Method});
+        break;
+      case StmtKind::If:
+      case StmtKind::While:
+        Deletable.push_back({&Block, I, Method});
+        break;
+      default:
+        break;
+      }
+      walkStmt(S, Method);
+    }
+  }
+
+  void walkStmt(Stmt &S, const std::string &Method) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      walkBlock(static_cast<BlockStmt &>(S), Method);
+      break;
+    case StmtKind::VarDecl:
+      walkExpr(*static_cast<VarDeclStmt &>(S).Init, Method);
+      break;
+    case StmtKind::ExprStmt:
+      walkExpr(*static_cast<ExprStmt &>(S).E, Method);
+      break;
+    case StmtKind::If: {
+      auto &If = static_cast<IfStmt &>(S);
+      Conditions.push_back({&S, Method});
+      if (If.Else)
+        ElseOwners.push_back({&S, Method});
+      walkExpr(*If.Cond, Method);
+      walkBlock(*If.Then, Method);
+      if (If.Else)
+        walkStmt(*If.Else, Method);
+      break;
+    }
+    case StmtKind::While: {
+      auto &While = static_cast<WhileStmt &>(S);
+      Conditions.push_back({&S, Method});
+      walkExpr(*While.Cond, Method);
+      walkBlock(*While.Body, Method);
+      break;
+    }
+    case StmtKind::Return:
+      if (static_cast<ReturnStmt &>(S).Value)
+        walkExpr(*static_cast<ReturnStmt &>(S).Value, Method);
+      break;
+    case StmtKind::Print:
+      walkExpr(*static_cast<PrintStmt &>(S).Value, Method);
+      break;
+    case StmtKind::Spawn:
+      walkExpr(*static_cast<SpawnStmt &>(S).Call, Method);
+      break;
+    case StmtKind::SuperCall:
+      for (ExprPtr &Arg : static_cast<SuperCallStmt &>(S).Args)
+        walkExpr(*Arg, Method);
+      break;
+    }
+  }
+
+  void walkExpr(Expr &E, const std::string &Method) {
+    switch (E.Kind) {
+    case ExprKind::Binary: {
+      auto &Bin = static_cast<BinaryExpr &>(E);
+      switch (Bin.Op) {
+      case BinOp::Lt:
+      case BinOp::LtEq:
+      case BinOp::Gt:
+      case BinOp::GtEq:
+        Comparisons.push_back({&E, Method});
+        break;
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Rem:
+        Arithmetic.push_back({&E, Method});
+        break;
+      default:
+        break;
+      }
+      walkExpr(*Bin.Lhs, Method);
+      walkExpr(*Bin.Rhs, Method);
+      break;
+    }
+    case ExprKind::IntLit:
+      Literals.push_back({&E, Method});
+      break;
+    case ExprKind::StrLit:
+      if (!static_cast<StrLitExpr &>(E).Value.empty())
+        Literals.push_back({&E, Method});
+      break;
+    case ExprKind::FieldGet:
+      walkExpr(*static_cast<FieldGetExpr &>(E).Object, Method);
+      break;
+    case ExprKind::FieldSet: {
+      auto &Set = static_cast<FieldSetExpr &>(E);
+      walkExpr(*Set.Object, Method);
+      walkExpr(*Set.Value, Method);
+      break;
+    }
+    case ExprKind::VarSet:
+      walkExpr(*static_cast<VarSetExpr &>(E).Value, Method);
+      break;
+    case ExprKind::MethodCall: {
+      auto &Call = static_cast<MethodCallExpr &>(E);
+      walkExpr(*Call.Receiver, Method);
+      for (ExprPtr &Arg : Call.Args)
+        walkExpr(*Arg, Method);
+      break;
+    }
+    case ExprKind::New:
+      for (ExprPtr &Arg : static_cast<NewExpr &>(E).Args)
+        walkExpr(*Arg, Method);
+      break;
+    case ExprKind::Unary:
+      walkExpr(*static_cast<UnaryExpr &>(E).Operand, Method);
+      break;
+    case ExprKind::Builtin:
+      for (ExprPtr &Arg : static_cast<BuiltinExpr &>(E).Args)
+        walkExpr(*Arg, Method);
+      break;
+    default:
+      break;
+    }
+  }
+};
+
+template <typename T>
+T *pickSite(std::vector<T> &Sites, Rng &R) {
+  if (Sites.empty())
+    return nullptr;
+  return &Sites[R.nextBelow(Sites.size())];
+}
+
+} // namespace
+
+bool rprism::applyMutation(Program &Prog, MutationKind Kind, Rng &R,
+                           MutationOutcome &Out) {
+  SiteCollector Sites;
+  Sites.run(Prog);
+  Out.Kind = Kind;
+  Out.Nodes.clear();
+
+  switch (Kind) {
+  case MutationKind::MissingFeature: {
+    StmtSite *Site = pickSite(Sites.Deletable, R);
+    if (!Site)
+      return false;
+    Stmt &Victim = *Site->Parent->Stmts[Site->Index];
+    collectStmtNodes(Victim, Out.Nodes);
+    Out.Method = Site->Method;
+    Out.Description = "deleted statement in " + Site->Method + " (line " +
+                      std::to_string(Victim.Line) + ")";
+    Site->Parent->Stmts.erase(Site->Parent->Stmts.begin() +
+                              static_cast<long>(Site->Index));
+    return true;
+  }
+
+  case MutationKind::MissingCase: {
+    CondSite *Site = pickSite(Sites.ElseOwners, R);
+    if (!Site)
+      return false;
+    auto &If = static_cast<IfStmt &>(*Site->S);
+    collectStmtNodes(*If.Else, Out.Nodes);
+    Out.Nodes.insert(If.Id);
+    Out.Method = Site->Method;
+    Out.Description = "dropped else branch in " + Site->Method + " (line " +
+                      std::to_string(If.Line) + ")";
+    If.Else.reset();
+    return true;
+  }
+
+  case MutationKind::BoundaryCondition: {
+    ExprSite *Site = pickSite(Sites.Comparisons, R);
+    if (!Site)
+      return false;
+    auto &Bin = static_cast<BinaryExpr &>(*Site->E);
+    BinOp Old = Bin.Op;
+    switch (Bin.Op) {
+    case BinOp::Lt:   Bin.Op = BinOp::LtEq; break;
+    case BinOp::LtEq: Bin.Op = BinOp::Lt; break;
+    case BinOp::Gt:   Bin.Op = BinOp::GtEq; break;
+    case BinOp::GtEq: Bin.Op = BinOp::Gt; break;
+    default:          return false;
+    }
+    Out.Nodes.insert(Bin.Id);
+    Out.Method = Site->Method;
+    Out.Description = std::string("comparison '") + binOpName(Old) +
+                      "' -> '" + binOpName(Bin.Op) + "' in " + Site->Method +
+                      " (line " + std::to_string(Bin.Line) + ")";
+    return true;
+  }
+
+  case MutationKind::ControlFlow: {
+    CondSite *Site = pickSite(Sites.Conditions, R);
+    if (!Site)
+      return false;
+    ExprPtr *CondSlot = nullptr;
+    if (Site->S->Kind == StmtKind::If)
+      CondSlot = &static_cast<IfStmt &>(*Site->S).Cond;
+    else
+      CondSlot = &static_cast<WhileStmt &>(*Site->S).Cond;
+    auto Wrapper = std::make_unique<UnaryExpr>();
+    Wrapper->Id = Prog.NumNodes++;
+    Wrapper->Line = (*CondSlot)->Line;
+    Wrapper->Col = (*CondSlot)->Col;
+    Wrapper->Op = UnOp::Not;
+    Wrapper->Operand = std::move(*CondSlot);
+    Out.Nodes.insert(Wrapper->Id);
+    Out.Nodes.insert(Site->S->Id);
+    *CondSlot = std::move(Wrapper);
+    Out.Method = Site->Method;
+    Out.Description = "negated condition in " + Site->Method + " (line " +
+                      std::to_string(Site->S->Line) + ")";
+    return true;
+  }
+
+  case MutationKind::WrongExpression: {
+    ExprSite *Site = pickSite(Sites.Arithmetic, R);
+    if (!Site)
+      return false;
+    auto &Bin = static_cast<BinaryExpr &>(*Site->E);
+    BinOp Old = Bin.Op;
+    // Swaps stay type-correct: Sub/Mul/Div/Rem operands are numeric.
+    switch (Bin.Op) {
+    case BinOp::Sub: Bin.Op = BinOp::Mul; break;
+    case BinOp::Mul: Bin.Op = BinOp::Sub; break;
+    case BinOp::Div: Bin.Op = BinOp::Mul; break;
+    case BinOp::Rem: Bin.Op = BinOp::Mul; break;
+    default:         return false;
+    }
+    Out.Nodes.insert(Bin.Id);
+    Out.Method = Site->Method;
+    Out.Description = std::string("operator '") + binOpName(Old) +
+                      "' -> '" + binOpName(Bin.Op) + "' in " + Site->Method +
+                      " (line " + std::to_string(Bin.Line) + ")";
+    return true;
+  }
+
+  case MutationKind::Typo: {
+    ExprSite *Site = pickSite(Sites.Literals, R);
+    if (!Site)
+      return false;
+    Out.Nodes.insert(Site->E->Id);
+    Out.Method = Site->Method;
+    if (Site->E->Kind == ExprKind::IntLit) {
+      auto &Lit = static_cast<IntLitExpr &>(*Site->E);
+      int64_t Old = Lit.Value;
+      Lit.Value += R.nextBool() ? 1 : -1;
+      Out.Description = "literal " + std::to_string(Old) + " -> " +
+                        std::to_string(Lit.Value) + " in " + Site->Method +
+                        " (line " + std::to_string(Lit.Line) + ")";
+    } else {
+      auto &Lit = static_cast<StrLitExpr &>(*Site->E);
+      std::string Old = Lit.Value;
+      Lit.Value.back() = Lit.Value.back() == 'x' ? 'y' : 'x';
+      Out.Description = "string literal '" + Old + "' -> '" + Lit.Value +
+                        "' in " + Site->Method + " (line " +
+                        std::to_string(Lit.Line) + ")";
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+Expected<InjectedCase> rprism::injectRegression(const std::string &BaseSource,
+                                                const RunOptions &RegrRun,
+                                                const RunOptions &OkRun,
+                                                uint64_t Seed) {
+  auto Strings = std::make_shared<StringInterner>();
+  Expected<CompiledProgram> Base = compileSource(BaseSource, Strings);
+  if (!Base)
+    return makeErr("base program: " + Base.error().render());
+
+  auto Run = [](const CompiledProgram &Prog, RunOptions Options,
+                const char *Suffix) {
+    Options.TraceName += Suffix;
+    return runProgram(Prog, Options);
+  };
+
+  RunResult BaseRegr = Run(*Base, RegrRun, "/orig-regr");
+  RunResult BaseOk = Run(*Base, OkRun, "/orig-ok");
+  if (!BaseRegr.Completed || !BaseOk.Completed)
+    return makeErr("base program does not run cleanly");
+
+  // Step budget for mutants: generous multiple of the base run, so
+  // runaway mutants are rejected without hour-long traces.
+  uint64_t StepCap = std::max<uint64_t>(BaseRegr.Steps * 8, 1u << 20);
+
+  constexpr unsigned MaxAttempts = 300;
+  // A discriminating mutant whose ok input also survived is ideal; keep
+  // the first merely-discriminating one as a fallback.
+  bool HaveFallback = false;
+  InjectedCase Fallback;
+  Rng R(Seed);
+  for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+    // Bound the search for an ok-agreeing improvement over the fallback.
+    if (HaveFallback && Attempt > Fallback.Attempts + 60)
+      break;
+    MutationKind Kind = sampleMutationKind(R);
+    Expected<Program> Fresh = parseProgram(BaseSource);
+    if (!Fresh)
+      return makeErr("base program re-parse failed");
+    MutationOutcome Outcome;
+    if (!applyMutation(*Fresh, Kind, R, Outcome))
+      continue;
+
+    Expected<CheckedProgram> Checked = checkProgram(Fresh.take());
+    if (!Checked)
+      continue; // Shouldn't happen (type-preserving), but stay safe.
+    Expected<CompiledProgram> Mutant = compileProgram(*Checked, Strings);
+    if (!Mutant)
+      continue;
+
+    RunOptions RegrCapped = RegrRun;
+    RegrCapped.MaxSteps = StepCap;
+    RunResult MutRegr = Run(*Mutant, RegrCapped, "/new-regr");
+    if (MutRegr.Error.find("step limit") != std::string::npos)
+      continue; // Runaway mutant.
+    if (MutRegr.Output == BaseRegr.Output)
+      continue; // Not a regression for this input.
+
+    RunOptions OkCapped = OkRun;
+    OkCapped.MaxSteps = StepCap;
+    RunResult MutOk = Run(*Mutant, OkCapped, "/new-ok");
+    if (MutOk.Error.find("step limit") != std::string::npos)
+      continue;
+
+    InjectedCase Case;
+    Case.OkPairAgrees = MutOk.Output == BaseOk.Output;
+    Case.Attempts = Attempt;
+    Case.Mutation = Outcome;
+    Case.Prepared.Strings = Strings;
+    Case.Prepared.OrigOk = BaseOk.ExecTrace;
+    Case.Prepared.OrigRegr = BaseRegr.ExecTrace;
+    Case.Prepared.NewOk = std::move(MutOk.ExecTrace);
+    Case.Prepared.NewRegr = std::move(MutRegr.ExecTrace);
+    Case.Prepared.OrigOkOut = BaseOk.Output;
+    Case.Prepared.OrigRegrOut = BaseRegr.Output;
+    Case.Prepared.NewOkOut = MutOk.Output;
+    Case.Prepared.NewRegrOut = MutRegr.Output;
+
+    GroundTruthChange Change;
+    Change.Description = Outcome.Description;
+    Change.RegressionRelated = true;
+    Change.Methods = {Outcome.Method};
+    Change.OrigNodes = Outcome.Nodes;
+    Change.NewNodes = Outcome.Nodes; // Same parse, same ids.
+    Case.Truth.push_back(Change);
+
+    if (Case.OkPairAgrees)
+      return Case;
+    if (!HaveFallback) {
+      HaveFallback = true;
+      Fallback = std::move(Case);
+    }
+  }
+  if (HaveFallback)
+    return Fallback;
+  return makeErr("no discriminating mutation found in " +
+                 std::to_string(MaxAttempts) + " attempts");
+}

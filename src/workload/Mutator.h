@@ -1,0 +1,85 @@
+//===- workload/Mutator.h - Regression injection (§5.1) -------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The injected-regression machinery of the quantitative study. The paper
+/// introduces regressions "using a distribution of root causes that
+/// matches the distribution found for semantic bugs in the Mozilla project
+/// [13]": missing features 26.4%, missing cases 17.3%, boundary conditions
+/// 10.3%, control flow 16.0%, wrong expressions 5.8%, typos 24.2% — and
+/// ensures "each injected regression caused the test case associated with
+/// the bug to fail".
+///
+/// All mutations are type-preserving by construction, so a mutant that
+/// parses also checks; acceptance is purely behavioral (the regressing
+/// input's output changes, the ok input's output does not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_WORKLOAD_MUTATOR_H
+#define RPRISM_WORKLOAD_MUTATOR_H
+
+#include "lang/Ast.h"
+#include "support/Rng.h"
+#include "workload/Corpus.h"
+
+namespace rprism {
+
+/// The six root-cause categories of [13].
+enum class MutationKind : uint8_t {
+  MissingFeature,    // Delete a statement.
+  MissingCase,       // Drop an else branch.
+  BoundaryCondition, // Swap strict/non-strict comparison.
+  ControlFlow,       // Negate a branch/loop condition.
+  WrongExpression,   // Swap an arithmetic operator.
+  Typo,              // Perturb a literal.
+};
+
+const char *mutationKindName(MutationKind Kind);
+
+/// Samples a kind with the [13] distribution.
+MutationKind sampleMutationKind(Rng &R);
+
+/// What a mutation did, for ground truth.
+struct MutationOutcome {
+  MutationKind Kind = MutationKind::Typo;
+  std::string Description;
+  std::string Method; ///< Qualified enclosing method ("main" possible).
+  std::unordered_set<uint32_t> Nodes; ///< Subtree node ids touched.
+};
+
+/// Applies one seeded mutation of \p Kind to \p Prog in place. Returns
+/// false when the program has no candidate site for that kind.
+bool applyMutation(Program &Prog, MutationKind Kind, Rng &R,
+                   MutationOutcome &Out);
+
+/// A fully prepared injected-regression case.
+struct InjectedCase {
+  PreparedCase Prepared;
+  MutationOutcome Mutation;
+  std::vector<GroundTruthChange> Truth;
+  unsigned Attempts = 0; ///< Mutants tried before one discriminated.
+  /// Whether the ok input's output happened to survive the mutation. The
+  /// paper's §5.1 study does "not follow the final step of manually
+  /// creating similar non-regressing test cases", so acceptance does not
+  /// require this — but when it holds, the full §4 set algebra applies.
+  bool OkPairAgrees = false;
+};
+
+/// Runs the §5.1 protocol: repeatedly samples and applies mutations to
+/// \p BaseSource until one makes the regressing input's output change
+/// (bounded attempts). Mutants that run away (step limit) are rejected.
+/// Mutants whose ok-input output also survives are preferred when found
+/// early, mirroring a targeted regression test suite.
+Expected<InjectedCase> injectRegression(const std::string &BaseSource,
+                                        const RunOptions &RegrRun,
+                                        const RunOptions &OkRun,
+                                        uint64_t Seed);
+
+} // namespace rprism
+
+#endif // RPRISM_WORKLOAD_MUTATOR_H

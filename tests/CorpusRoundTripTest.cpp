@@ -1,0 +1,134 @@
+//===- tests/CorpusRoundTripTest.cpp - Front-end properties on the corpus -===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests running the whole front end over every substantial
+/// program in the repository (the corpus pairs, the Rhino bases, generated
+/// programs): parse -> print -> reparse fixpoints, checker acceptance,
+/// deterministic node numbering, and semantics preservation of the
+/// pretty-printed form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "workload/Corpus.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprism;
+
+namespace {
+
+/// Every named source in the repository.
+struct NamedSource {
+  std::string Name;
+  std::string Source;
+  RunOptions Run; ///< Inputs to execute it with.
+};
+
+std::vector<NamedSource> allSources() {
+  std::vector<NamedSource> Sources;
+  auto Add = [&Sources](std::string Name, std::string Source,
+                        RunOptions Run) {
+    // Tracing options don't matter for front-end properties, but the run
+    // comparison below uses them as-is.
+    Sources.push_back({std::move(Name), std::move(Source), std::move(Run)});
+  };
+  for (BenchmarkCase &Case : benchmarkCorpus()) {
+    Add(Case.Name + "_orig", Case.OrigSource, Case.RegrRun);
+    Add(Case.Name + "_new", Case.NewSource, Case.RegrRun);
+  }
+  BenchmarkCase Motivating = motivatingCase();
+  Add("motivating_orig", Motivating.OrigSource, Motivating.RegrRun);
+  Add("motivating_new", Motivating.NewSource, Motivating.RegrRun);
+
+  RunOptions RhinoRegr, RhinoOk;
+  rhinoInputs(0, RhinoRegr, RhinoOk);
+  Add("rhino_interp", rhinoBaseSource(), RhinoRegr);
+  Add("rhino_compiled", rhinoCompiledSource(), RhinoRegr);
+
+  GeneratorOptions Gen;
+  Gen.OuterIters = 6;
+  Add("generated", generateProgram(Gen), RunOptions());
+  return Sources;
+}
+
+class FrontEndProperty : public ::testing::TestWithParam<NamedSource> {};
+
+TEST_P(FrontEndProperty, PrintedFormIsAFixpoint) {
+  Expected<Program> First = parseProgram(GetParam().Source);
+  ASSERT_TRUE(bool(First)) << First.error().render();
+  std::string Printed = printProgram(*First);
+  Expected<Program> Second = parseProgram(Printed);
+  ASSERT_TRUE(bool(Second)) << Second.error().render();
+  EXPECT_EQ(printProgram(*Second), Printed);
+}
+
+TEST_P(FrontEndProperty, PrintedFormChecksAndRunsIdentically) {
+  // Pretty-printing must preserve semantics: the printed program runs to
+  // the same output on the same inputs.
+  auto Original = compileSource(GetParam().Source);
+  ASSERT_TRUE(bool(Original)) << Original.error().render();
+
+  Expected<Program> Ast = parseProgram(GetParam().Source);
+  ASSERT_TRUE(bool(Ast));
+  auto Reprinted = compileSource(printProgram(*Ast));
+  ASSERT_TRUE(bool(Reprinted)) << Reprinted.error().render();
+
+  RunResult A = runProgram(*Original, GetParam().Run);
+  RunResult B = runProgram(*Reprinted, GetParam().Run);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Completed, B.Completed);
+  // Same trace shape too (entry counts can only differ if semantics
+  // drifted).
+  EXPECT_EQ(A.ExecTrace.size(), B.ExecTrace.size());
+}
+
+TEST_P(FrontEndProperty, NodeNumberingIsDeterministic) {
+  Expected<Program> A = parseProgram(GetParam().Source);
+  Expected<Program> B = parseProgram(GetParam().Source);
+  ASSERT_TRUE(bool(A));
+  ASSERT_TRUE(bool(B));
+  EXPECT_EQ(A->NumNodes, B->NumNodes);
+  // Spot-check: class and method node ids line up.
+  ASSERT_EQ(A->Classes.size(), B->Classes.size());
+  for (size_t I = 0; I != A->Classes.size(); ++I) {
+    EXPECT_EQ(A->Classes[I]->Id, B->Classes[I]->Id);
+    ASSERT_EQ(A->Classes[I]->Methods.size(), B->Classes[I]->Methods.size());
+    for (size_t J = 0; J != A->Classes[I]->Methods.size(); ++J)
+      EXPECT_EQ(A->Classes[I]->Methods[J]->Id,
+                B->Classes[I]->Methods[J]->Id);
+  }
+}
+
+TEST_P(FrontEndProperty, DeterministicTraces) {
+  auto Prog = compileSource(GetParam().Source);
+  ASSERT_TRUE(bool(Prog));
+  RunResult A = runProgram(*Prog, GetParam().Run);
+  RunResult B = runProgram(*Prog, GetParam().Run);
+  ASSERT_EQ(A.ExecTrace.size(), B.ExecTrace.size());
+  for (size_t I = 0; I != A.ExecTrace.size(); ++I)
+    ASSERT_TRUE(eventEquals(A.ExecTrace, A.ExecTrace.Entries[I],
+                            B.ExecTrace, B.ExecTrace.Entries[I]))
+        << "entry " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Repository, FrontEndProperty, ::testing::ValuesIn(allSources()),
+    [](const ::testing::TestParamInfo<NamedSource> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- tests/LangEdgeTest.cpp - Front-end edge cases ----------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Checker.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprism;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Parser edges
+//===----------------------------------------------------------------------===//
+
+TEST(ParserEdge, EmptyInputFailsGracefully) {
+  auto Bad = parseProgram("");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("main"), std::string::npos);
+}
+
+TEST(ParserEdge, TrailingGarbageRejected) {
+  auto Bad = parseProgram("main { } garbage");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("end of input"), std::string::npos);
+}
+
+TEST(ParserEdge, ClassAfterMainRejected) {
+  EXPECT_FALSE(bool(parseProgram("main { } class A { }")));
+}
+
+TEST(ParserEdge, UnbalancedBracesRejected) {
+  EXPECT_FALSE(bool(parseProgram("main { if (true) { }")));
+  EXPECT_FALSE(bool(parseProgram("class A { main { }")));
+}
+
+TEST(ParserEdge, MissingSemicolonsDiagnosed) {
+  auto Bad = parseProgram("main { var x = 1 var y = 2; }");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("';'"), std::string::npos);
+}
+
+TEST(ParserEdge, DeeplyNestedExpressionsParse) {
+  std::string Expr = "1";
+  for (int I = 0; I != 200; ++I)
+    Expr = "(" + Expr + " + 1)";
+  auto Prog = parseProgram("main { var x = " + Expr + "; print(x); }");
+  EXPECT_TRUE(bool(Prog)) << Prog.error().render();
+}
+
+TEST(ParserEdge, KeywordsCannotBeIdentifiers) {
+  EXPECT_FALSE(bool(parseProgram("main { var while = 1; }")));
+  EXPECT_FALSE(bool(parseProgram("class class { } main { }")));
+}
+
+TEST(ParserEdge, AssignmentIsRightAssociative) {
+  auto Prog = parseProgram("main { var a = 1; var b = 2; a = b = 3; }");
+  ASSERT_TRUE(bool(Prog));
+  const auto &S = static_cast<const ExprStmt &>(*Prog->Main->Body->Stmts[2]);
+  EXPECT_EQ(printExpr(*S.E), "(a = (b = 3))");
+}
+
+TEST(ParserEdge, UnaryChainsAndPrecedence) {
+  auto Prog = parseProgram("main { var x = !!true; var y = -(-(2)); }");
+  ASSERT_TRUE(bool(Prog)) << Prog.error().render();
+  const auto &X =
+      static_cast<const VarDeclStmt &>(*Prog->Main->Body->Stmts[0]);
+  EXPECT_EQ(printExpr(*X.Init), "!(!(true))");
+}
+
+TEST(ParserEdge, CommentsEverywhere) {
+  auto Prog = parseProgram(R"(
+    /* header */ class A /* mid */ {
+      Int /* type */ x; // field
+      A() { /* empty */ this.x = 0; }
+    }
+    main { // go
+      var a = new A(); /* tail */
+    }
+  )");
+  EXPECT_TRUE(bool(Prog)) << Prog.error().render();
+}
+
+TEST(ParserEdge, ErrorPositionsPointAtTheProblem) {
+  auto Bad = parseProgram("main {\n  var ok = 1;\n  var bad = @;\n}");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.error().Line, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Checker edges
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerEdge, SelfInheritanceRejected) {
+  auto Bad = parseAndCheck("class A extends A { } main { }");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("cycle"), std::string::npos);
+}
+
+TEST(CheckerEdge, LongInheritanceChainResolves) {
+  std::string Source = "class C0 { Int m() { return 0; } }\n";
+  for (int I = 1; I != 40; ++I)
+    Source += "class C" + std::to_string(I) + " extends C" +
+              std::to_string(I - 1) + " { }\n";
+  Source += "main { var c = new C39(); print(c.m()); }";
+  auto Checked = parseAndCheck(Source);
+  ASSERT_TRUE(bool(Checked)) << Checked.error().render();
+  EXPECT_TRUE(Checked->isSubclassOf(Checked->ClassIndex.at("C39"),
+                                    Checked->ClassIndex.at("C0")));
+}
+
+TEST(CheckerEdge, ForwardReferencesBetweenClasses) {
+  // B is declared after A but A references it — order must not matter.
+  auto Ok = parseAndCheck(R"(
+    class A { B partner; A() { this.partner = null; } }
+    class B { A partner; B() { this.partner = null; } }
+    main {
+      var a = new A();
+      var b = new B();
+      a.partner = b;
+      b.partner = a;
+    }
+  )");
+  EXPECT_TRUE(bool(Ok)) << (Ok ? "" : Ok.error().render());
+}
+
+TEST(CheckerEdge, MethodOnSuperTypeOnlyNotVisibleStatically) {
+  // Static typing: a super-typed variable exposes only super's methods.
+  auto Bad = parseAndCheck(R"(
+    class A { Int base() { return 1; } }
+    class B extends A { Int extra() { return 2; } }
+    class Holder { A a; Holder(A a) { this.a = a; } }
+    main {
+      var h = new Holder(new B());
+      print(h.a.extra());
+    }
+  )");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("extra"), std::string::npos);
+}
+
+TEST(CheckerEdge, SuperCallOutsideCtorRejected) {
+  EXPECT_FALSE(bool(parseAndCheck(R"(
+    class A { A() { } }
+    class B extends A {
+      B() { }
+      Unit m() { super(); return unit; }
+    }
+    main { }
+  )")));
+}
+
+TEST(CheckerEdge, SuperCallNotFirstRejected) {
+  EXPECT_FALSE(bool(parseAndCheck(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    class B extends A {
+      B() { var y = 1; super(y); }
+    }
+    main { }
+  )")));
+}
+
+TEST(CheckerEdge, ArgumentCountAndTypeDiagnostics) {
+  auto BadCount = parseAndCheck(R"(
+    class A { Int m(Int x, Int y) { return x + y; } }
+    main { print(new A().m(1)); }
+  )");
+  ASSERT_FALSE(bool(BadCount));
+  EXPECT_NE(BadCount.error().Message.find("expected 2"), std::string::npos);
+
+  auto BadType = parseAndCheck(R"(
+    class A { Int m(Int x) { return x; } }
+    main { print(new A().m("s")); }
+  )");
+  ASSERT_FALSE(bool(BadType));
+  EXPECT_NE(BadType.error().Message.find("type mismatch"),
+            std::string::npos);
+}
+
+TEST(CheckerEdge, SpawnTargetsAreChecked) {
+  EXPECT_FALSE(bool(parseAndCheck(R"(
+    class W { Unit go() { return unit; } }
+    main { spawn new W().nope(); }
+  )")));
+  EXPECT_FALSE(bool(parseAndCheck(R"(
+    class W { Unit go(Int x) { return unit; } }
+    main { spawn new W().go(); }
+  )")));
+}
+
+TEST(CheckerEdge, UnitValuedExpressionsCannotBeOperands) {
+  EXPECT_FALSE(bool(parseAndCheck(R"(
+    class A { Unit m() { return unit; } }
+    main { var a = new A(); print(a.m() == a.m()); }
+  )")));
+}
+
+TEST(CheckerEdge, NumLocalsCountsScopes) {
+  auto Checked = parseAndCheck(R"(
+    class A {
+      Int busy(Int p, Int q) {
+        var a = p;
+        if (p > 0) { var b = q; a = a + b; }
+        if (q > 0) { var c = p; a = a + c; }
+        var d = a;
+        return d;
+      }
+    }
+    main { print(new A().busy(1, 2)); }
+  )");
+  ASSERT_TRUE(bool(Checked)) << Checked.error().render();
+  const ClassInfo &A = Checked->Classes[Checked->ClassIndex.at("A")];
+  const MethodInfo &Busy = A.Methods[A.MethodIndex.at("busy")];
+  // p q a + one of (b|c, same slot freed per scope) + d => at most 5,
+  // at least 4 (p q a d).
+  EXPECT_GE(Busy.Decl->NumLocals, 4u);
+  EXPECT_LE(Busy.Decl->NumLocals, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer stress
+//===----------------------------------------------------------------------===//
+
+TEST(LexerEdge, LongTokensAndLines) {
+  // Note: Lexer is non-owning (string_view), so the source must outlive it.
+  std::string Source = std::string(500, 'a') + " 123456789012345678";
+  Lexer Lex(Source);
+  Token Ident = Lex.next();
+  EXPECT_EQ(Ident.Kind, TokKind::Ident);
+  EXPECT_EQ(Ident.Text.size(), 500u);
+  Token Num = Lex.next();
+  EXPECT_EQ(Num.Kind, TokKind::IntLit);
+}
+
+TEST(LexerEdge, UnterminatedBlockCommentHitsEof) {
+  Lexer Lex("a /* never closed");
+  EXPECT_EQ(Lex.next().Kind, TokKind::Ident);
+  EXPECT_EQ(Lex.next().Kind, TokKind::Eof);
+}
+
+TEST(LexerEdge, EofIsSticky) {
+  Lexer Lex("x");
+  Lex.next();
+  for (int I = 0; I != 3; ++I)
+    EXPECT_EQ(Lex.next().Kind, TokKind::Eof);
+}
+
+TEST(LexerEdge, DotBetweenNumbersIsNotAFloatWithoutDigits) {
+  // "1." is Int then Dot (floats need a digit after the point).
+  Lexer Lex("1. 2");
+  EXPECT_EQ(Lex.next().Kind, TokKind::IntLit);
+  EXPECT_EQ(Lex.next().Kind, TokKind::Dot);
+  EXPECT_EQ(Lex.next().Kind, TokKind::IntLit);
+}
+
+} // namespace

@@ -1,0 +1,439 @@
+//===- tests/LangTest.cpp - Lexer/Parser/Checker/Printer tests ------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Checker.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprism;
+
+namespace {
+
+std::vector<TokKind> lexKinds(std::string_view Source) {
+  Lexer Lex(Source);
+  std::vector<TokKind> Kinds;
+  for (;;) {
+    Token Tok = Lex.next();
+    Kinds.push_back(Tok.Kind);
+    if (Tok.is(TokKind::Eof) || Tok.is(TokKind::Error))
+      break;
+  }
+  return Kinds;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, PunctuationAndOperators) {
+  auto Kinds = lexKinds("{ } ( ) ; , . = == != < <= > >= + - * / % && || !");
+  std::vector<TokKind> Expected = {
+      TokKind::LBrace, TokKind::RBrace, TokKind::LParen, TokKind::RParen,
+      TokKind::Semi,   TokKind::Comma,  TokKind::Dot,    TokKind::Assign,
+      TokKind::EqEq,   TokKind::NotEq,  TokKind::Lt,     TokKind::LtEq,
+      TokKind::Gt,     TokKind::GtEq,   TokKind::Plus,   TokKind::Minus,
+      TokKind::Star,   TokKind::Slash,  TokKind::Percent,
+      TokKind::AmpAmp, TokKind::PipePipe, TokKind::Bang, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto Kinds = lexKinds("class classy main var varx if els else");
+  std::vector<TokKind> Expected = {
+      TokKind::KwClass, TokKind::Ident, TokKind::KwMain, TokKind::KwVar,
+      TokKind::Ident,   TokKind::KwIf,  TokKind::Ident,  TokKind::KwElse,
+      TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, NumbersIntAndFloat) {
+  Lexer Lex("42 3.25 7");
+  Token A = Lex.next();
+  EXPECT_EQ(A.Kind, TokKind::IntLit);
+  EXPECT_EQ(A.Text, "42");
+  Token B = Lex.next();
+  EXPECT_EQ(B.Kind, TokKind::FloatLit);
+  EXPECT_EQ(B.Text, "3.25");
+  Token C = Lex.next();
+  EXPECT_EQ(C.Kind, TokKind::IntLit);
+}
+
+TEST(Lexer, StringEscapes) {
+  Lexer Lex(R"("a\nb\t\"q\\")");
+  Token Tok = Lex.next();
+  ASSERT_EQ(Tok.Kind, TokKind::StrLit);
+  EXPECT_EQ(Tok.Text, "a\nb\t\"q\\");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  Lexer Lex("\"abc");
+  EXPECT_EQ(Lex.next().Kind, TokKind::Error);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Kinds = lexKinds("a // line\n b /* multi \n line */ c");
+  std::vector<TokKind> Expected = {TokKind::Ident, TokKind::Ident,
+                                   TokKind::Ident, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, PositionsAreTracked) {
+  Lexer Lex("a\n  b");
+  Token A = Lex.next();
+  EXPECT_EQ(A.Line, 1);
+  EXPECT_EQ(A.Col, 1);
+  Token B = Lex.next();
+  EXPECT_EQ(B.Line, 2);
+  EXPECT_EQ(B.Col, 3);
+}
+
+TEST(Lexer, SingleAmpersandIsError) {
+  Lexer Lex("a & b");
+  Lex.next();
+  EXPECT_EQ(Lex.next().Kind, TokKind::Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, EmptyMain) {
+  auto Prog = parseProgram("main { }");
+  ASSERT_TRUE(bool(Prog));
+  EXPECT_TRUE(Prog->Classes.empty());
+  ASSERT_TRUE(Prog->Main != nullptr);
+  EXPECT_TRUE(Prog->Main->Body->Stmts.empty());
+}
+
+TEST(Parser, ClassWithMembers) {
+  auto Prog = parseProgram(R"(
+    class Point {
+      Int x;
+      Int y;
+      Point(Int x, Int y) { this.x = x; this.y = y; }
+      Int getX() { return this.x; }
+    }
+    main { var p = new Point(1, 2); }
+  )");
+  ASSERT_TRUE(bool(Prog)) << Prog.error().render();
+  ASSERT_EQ(Prog->Classes.size(), 1u);
+  const ClassDecl &Class = *Prog->Classes[0];
+  EXPECT_EQ(Class.Name, "Point");
+  EXPECT_EQ(Class.SuperName, "Object");
+  EXPECT_EQ(Class.Fields.size(), 2u);
+  ASSERT_EQ(Class.Methods.size(), 2u);
+  EXPECT_TRUE(Class.Methods[0]->IsCtor);
+  EXPECT_EQ(Class.Methods[0]->Name, "<init>");
+  EXPECT_EQ(Class.Methods[1]->Name, "getX");
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  auto Prog = parseProgram("main { var x = 1 + 2 * 3; }");
+  ASSERT_TRUE(bool(Prog));
+  const auto &Decl =
+      static_cast<const VarDeclStmt &>(*Prog->Main->Body->Stmts[0]);
+  EXPECT_EQ(printExpr(*Decl.Init), "(1 + (2 * 3))");
+}
+
+TEST(Parser, PrecedenceComparisonAndLogic) {
+  auto Prog = parseProgram("main { var x = 1 < 2 && 3 >= 4 || false; }");
+  ASSERT_TRUE(bool(Prog));
+  const auto &Decl =
+      static_cast<const VarDeclStmt &>(*Prog->Main->Body->Stmts[0]);
+  EXPECT_EQ(printExpr(*Decl.Init), "(((1 < 2) && (3 >= 4)) || false)");
+}
+
+TEST(Parser, ChainedFieldAndCall) {
+  auto Prog = parseProgram("main { var x = a.b.c(1).d; }");
+  ASSERT_TRUE(bool(Prog));
+  const auto &Decl =
+      static_cast<const VarDeclStmt &>(*Prog->Main->Body->Stmts[0]);
+  EXPECT_EQ(printExpr(*Decl.Init), "a.b.c(1).d");
+}
+
+TEST(Parser, AssignmentTargets) {
+  EXPECT_TRUE(bool(parseProgram("main { var x = 1; x = 2; }")));
+  auto Bad = parseProgram("main { 1 = 2; }");
+  EXPECT_FALSE(bool(Bad));
+}
+
+TEST(Parser, SpawnRequiresMethodCall) {
+  auto Bad = parseProgram("main { spawn 1 + 2; }");
+  EXPECT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("spawn"), std::string::npos);
+}
+
+TEST(Parser, ElseIfChains) {
+  auto Prog = parseProgram(
+      "main { if (true) { } else if (false) { } else { } }");
+  ASSERT_TRUE(bool(Prog));
+  const auto &If = static_cast<const IfStmt &>(*Prog->Main->Body->Stmts[0]);
+  ASSERT_TRUE(If.Else != nullptr);
+  EXPECT_EQ(If.Else->Kind, StmtKind::If);
+}
+
+TEST(Parser, UnknownBuiltinIsError) {
+  auto Bad = parseProgram("main { var x = frobnicate(1); }");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  auto Bad = parseProgram("main {\n  var = 3;\n}");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.error().Line, 2);
+}
+
+TEST(Parser, NodeIdsAreUnique) {
+  auto Prog = parseProgram(R"(
+    class A { Int f; A(Int f) { this.f = f; } }
+    main { var a = new A(3); var b = a.f + 1; print(b); }
+  )");
+  ASSERT_TRUE(bool(Prog));
+  EXPECT_GT(Prog->NumNodes, 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checker
+//===----------------------------------------------------------------------===//
+
+TEST(Checker, ResolvesFieldLayoutWithInheritance) {
+  auto Checked = parseAndCheck(R"(
+    class A { Int x; }
+    class B extends A { Int y; }
+    main { var b = new B(); print(b.x + b.y); }
+  )");
+  ASSERT_TRUE(bool(Checked)) << Checked.error().render();
+  uint32_t BId = Checked->ClassIndex.at("B");
+  const ClassInfo &B = Checked->Classes[BId];
+  ASSERT_EQ(B.Fields.size(), 2u);
+  EXPECT_EQ(B.Fields[0].Name, "x"); // Inherited field first.
+  EXPECT_EQ(B.Fields[1].Name, "y");
+  EXPECT_EQ(B.FieldIndex.at("x"), 0u);
+  EXPECT_EQ(B.FieldIndex.at("y"), 1u);
+}
+
+TEST(Checker, SubclassRelation) {
+  auto Checked = parseAndCheck(R"(
+    class A { }
+    class B extends A { }
+    class C extends B { }
+    main { }
+  )");
+  ASSERT_TRUE(bool(Checked));
+  uint32_t A = Checked->ClassIndex.at("A");
+  uint32_t B = Checked->ClassIndex.at("B");
+  uint32_t C = Checked->ClassIndex.at("C");
+  EXPECT_TRUE(Checked->isSubclassOf(C, A));
+  EXPECT_TRUE(Checked->isSubclassOf(B, A));
+  EXPECT_TRUE(Checked->isSubclassOf(C, C));
+  EXPECT_FALSE(Checked->isSubclassOf(A, C));
+  EXPECT_TRUE(Checked->isSubclassOf(A, 0)); // Object is the root.
+}
+
+TEST(Checker, InheritanceCycleRejected) {
+  auto Bad = parseAndCheck(R"(
+    class A extends B { }
+    class B extends A { }
+    main { }
+  )");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("cycle"), std::string::npos);
+}
+
+TEST(Checker, UnknownSuperclassRejected) {
+  auto Bad = parseAndCheck("class A extends Nope { } main { }");
+  ASSERT_FALSE(bool(Bad));
+}
+
+TEST(Checker, DuplicateClassRejected) {
+  auto Bad = parseAndCheck("class A { } class A { } main { }");
+  ASSERT_FALSE(bool(Bad));
+}
+
+TEST(Checker, FieldHidingRejected) {
+  auto Bad = parseAndCheck(R"(
+    class A { Int x; }
+    class B extends A { Int x; }
+    main { }
+  )");
+  ASSERT_FALSE(bool(Bad));
+}
+
+TEST(Checker, OverrideMustKeepSignature) {
+  auto Bad = parseAndCheck(R"(
+    class A { Int m(Int x) { return x; } }
+    class B extends A { Int m(Str x) { return 0; } }
+    main { }
+  )");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("signature"), std::string::npos);
+
+  auto Ok = parseAndCheck(R"(
+    class A { Int m(Int x) { return x; } }
+    class B extends A { Int m(Int x) { return x + 1; } }
+    main { }
+  )");
+  EXPECT_TRUE(bool(Ok)) << (Ok ? "" : Ok.error().render());
+}
+
+TEST(Checker, TypeErrors) {
+  EXPECT_FALSE(bool(parseAndCheck("main { var x = 1 + true; }")));
+  EXPECT_FALSE(bool(parseAndCheck("main { if (1) { } }")));
+  EXPECT_FALSE(bool(parseAndCheck("main { var x = 1; x = \"s\"; }")));
+  EXPECT_FALSE(bool(parseAndCheck("main { var x = y; }")));
+  EXPECT_FALSE(bool(parseAndCheck("main { var x = null; }")));
+  EXPECT_FALSE(bool(parseAndCheck("main { print(1 % 2.0); }")));
+}
+
+TEST(Checker, StringOperations) {
+  EXPECT_TRUE(bool(parseAndCheck(
+      R"(main { var s = "a" + "b"; print(s < "c"); })")));
+  EXPECT_FALSE(bool(parseAndCheck(R"(main { var s = "a" + 1; })")));
+}
+
+TEST(Checker, NullAssignableToClassTypes) {
+  auto Ok = parseAndCheck(R"(
+    class Box { Box next; Box() { this.next = null; } }
+    main { var b = new Box(); b.next = null; print(b.next == null); }
+  )");
+  EXPECT_TRUE(bool(Ok)) << (Ok ? "" : Ok.error().render());
+}
+
+TEST(Checker, SubtypingInCallsAndAssignments) {
+  auto Ok = parseAndCheck(R"(
+    class A { Int tag() { return 1; } }
+    class B extends A { Int tag() { return 2; } }
+    class User {
+      Int use(A a) { return a.tag(); }
+    }
+    main { var u = new User(); print(u.use(new B())); }
+  )");
+  EXPECT_TRUE(bool(Ok)) << (Ok ? "" : Ok.error().render());
+
+  auto Bad = parseAndCheck(R"(
+    class A { }
+    class B extends A { }
+    class User { Int use(B b) { return 1; } }
+    main { var u = new User(); print(u.use(new A())); }
+  )");
+  EXPECT_FALSE(bool(Bad));
+}
+
+TEST(Checker, CtorArityChecked) {
+  auto Bad = parseAndCheck(R"(
+    class P { Int x; P(Int x) { this.x = x; } }
+    main { var p = new P(); }
+  )");
+  ASSERT_FALSE(bool(Bad));
+}
+
+TEST(Checker, CtorlessSubclassOfArgCtorRejected) {
+  auto Bad = parseAndCheck(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    class B extends A { }
+    main { var b = new B(); }
+  )");
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_NE(Bad.error().Message.find("explicit"), std::string::npos);
+}
+
+TEST(Checker, SuperCallChecked) {
+  auto Ok = parseAndCheck(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    class B extends A { B() { super(7); } }
+    main { var b = new B(); print(b.x); }
+  )");
+  EXPECT_TRUE(bool(Ok)) << (Ok ? "" : Ok.error().render());
+
+  auto BadArity = parseAndCheck(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    class B extends A { B() { super(); } }
+    main { }
+  )");
+  EXPECT_FALSE(bool(BadArity));
+
+  auto MissingSuper = parseAndCheck(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    class B extends A { B() { } }
+    main { }
+  )");
+  EXPECT_FALSE(bool(MissingSuper));
+}
+
+TEST(Checker, ThisOutsideClassRejected) {
+  EXPECT_FALSE(bool(parseAndCheck("main { var x = this; }")));
+}
+
+TEST(Checker, BlockScoping) {
+  auto Ok = parseAndCheck(R"(
+    main {
+      var x = 1;
+      if (true) { var y = 2; print(x + y); }
+      if (true) { var y = 3; print(y); }
+    }
+  )");
+  EXPECT_TRUE(bool(Ok)) << (Ok ? "" : Ok.error().render());
+
+  // A block-scoped variable is not visible outside.
+  EXPECT_FALSE(
+      bool(parseAndCheck("main { if (true) { var y = 2; } print(y); }")));
+  // Redeclaration in the same scope is an error.
+  EXPECT_FALSE(bool(parseAndCheck("main { var x = 1; var x = 2; }")));
+  // Shadowing in a nested scope is allowed.
+  EXPECT_TRUE(bool(
+      parseAndCheck("main { var x = 1; if (true) { var x = 2; } }")));
+}
+
+TEST(Checker, ReturnTypeChecked) {
+  EXPECT_FALSE(bool(parseAndCheck(
+      "class A { Int m() { return \"s\"; } } main { }")));
+  EXPECT_TRUE(bool(parseAndCheck(
+      "class A { Unit m() { return; } } main { }")));
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty printer round trips
+//===----------------------------------------------------------------------===//
+
+TEST(PrettyPrinter, RoundTripIsStable) {
+  const char *Source = R"(
+    class Counter extends Object {
+      Int count;
+      Counter(Int start) { super(); this.count = start; }
+      Int next() {
+        this.count = this.count + 1;
+        return this.count;
+      }
+    }
+    class Pair { Counter a; Counter b;
+      Pair(Counter a, Counter b) { this.a = a; this.b = b; }
+    }
+    main {
+      var c = new Counter(10);
+      var i = 0;
+      while (i < 3) {
+        if (c.next() % 2 == 0) { print("even"); } else { print("odd"); }
+        i = i + 1;
+      }
+      print(substr("hello", 1, 3));
+      spawn c.next();
+    }
+  )";
+  auto First = parseProgram(Source);
+  ASSERT_TRUE(bool(First)) << First.error().render();
+  std::string Printed = printProgram(*First);
+  auto Second = parseProgram(Printed);
+  ASSERT_TRUE(bool(Second)) << Second.error().render() << "\n" << Printed;
+  // Printing the reparsed program must reproduce the same text (fixpoint).
+  EXPECT_EQ(printProgram(*Second), Printed);
+}
+
+} // namespace

@@ -1,0 +1,286 @@
+//===- tests/SupportTest.cpp - Support library tests ----------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Expected.h"
+#include "support/Hashing.h"
+#include "support/Histogram.h"
+#include "support/MemoryAccountant.h"
+#include "support/Rng.h"
+#include "support/StringInterner.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace rprism;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hashing, StableAcrossCalls) {
+  EXPECT_EQ(hashString("hello"), hashString("hello"));
+  EXPECT_NE(hashString("hello"), hashString("hellp"));
+  EXPECT_NE(hashString(""), hashString("\0", 0)); // Seeded identically...
+  EXPECT_EQ(hashString(""), HashInit); // ...empty input returns the seed.
+}
+
+TEST(Hashing, MixSpreadsSmallDeltas) {
+  // Consecutive integers must not produce consecutive hashes (bucket
+  // clustering would break hash maps keyed on them).
+  uint64_t A = hashMix(HashInit, 1);
+  uint64_t B = hashMix(HashInit, 2);
+  EXPECT_NE(A + 1, B);
+  EXPECT_NE(A, B);
+}
+
+TEST(Hashing, CombineIsOrderSensitive) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+  EXPECT_NE(hashCombine(1, 2, 3), hashCombine(1, 2));
+  EXPECT_EQ(hashCombine(7, 8, 9), hashCombine(7, 8, 9));
+}
+
+TEST(Hashing, DoubleHashUsesBitPattern) {
+  EXPECT_EQ(hashDouble(1.0), hashDouble(1.0));
+  EXPECT_NE(hashDouble(1.0), hashDouble(-1.0));
+  EXPECT_NE(hashDouble(0.0), hashDouble(1.0));
+}
+
+TEST(Hashing, BytesMatchStringView) {
+  const char Data[] = {'a', 'b', 'c'};
+  EXPECT_EQ(hashBytes(Data, 3), hashString("abc"));
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, EmptyStringIsSymbolZero) {
+  StringInterner Interner;
+  EXPECT_EQ(Interner.intern("").Id, 0u);
+  EXPECT_TRUE(Symbol{}.empty());
+  EXPECT_EQ(Interner.text(Symbol{}), "");
+}
+
+TEST(StringInterner, InterningIsIdempotent) {
+  StringInterner Interner;
+  Symbol A = Interner.intern("alpha");
+  Symbol B = Interner.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Interner.intern("alpha"), A);
+  EXPECT_EQ(Interner.text(A), "alpha");
+  EXPECT_EQ(Interner.text(B), "beta");
+  EXPECT_EQ(Interner.size(), 3u); // Empty + alpha + beta.
+}
+
+TEST(StringInterner, ManySymbolsStayStable) {
+  StringInterner Interner;
+  std::vector<Symbol> Symbols;
+  for (int I = 0; I != 2000; ++I)
+    Symbols.push_back(Interner.intern("sym-" + std::to_string(I)));
+  // References handed out earlier stay valid and correct after growth.
+  for (int I = 0; I != 2000; ++I)
+    EXPECT_EQ(Interner.text(Symbols[I]), "sym-" + std::to_string(I));
+  // Re-interning yields identical ids.
+  for (int I = 0; I != 2000; ++I)
+    EXPECT_EQ(Interner.intern("sym-" + std::to_string(I)), Symbols[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(123);
+  Rng B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(124);
+  EXPECT_NE(Rng(123).next(), C.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, RangeCoversEndpoints) {
+  Rng R(99);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 200; ++I)
+    Seen.insert(R.nextInRange(0, 3));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng R(5);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += R.nextBool(0.25);
+  EXPECT_NEAR(Hits / 10000.0, 0.25, 0.02);
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryAccountant
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryAccountant, TracksCurrentAndPeak) {
+  MemoryAccountant Mem;
+  EXPECT_TRUE(Mem.charge(100));
+  EXPECT_TRUE(Mem.charge(50));
+  EXPECT_EQ(Mem.currentBytes(), 150u);
+  Mem.release(120);
+  EXPECT_EQ(Mem.currentBytes(), 30u);
+  EXPECT_EQ(Mem.peakBytes(), 150u);
+  EXPECT_FALSE(Mem.exhausted());
+}
+
+TEST(MemoryAccountant, CapTriggersExhaustion) {
+  MemoryAccountant Mem(/*CapBytes=*/200);
+  EXPECT_TRUE(Mem.charge(150));
+  EXPECT_FALSE(Mem.charge(100)); // 250 > 200.
+  EXPECT_TRUE(Mem.exhausted());
+  // The attempted high-water mark is still recorded.
+  EXPECT_EQ(Mem.peakBytes(), 250u);
+}
+
+TEST(MemoryAccountant, ReleaseClampsAtZero) {
+  MemoryAccountant Mem;
+  Mem.charge(10);
+  Mem.release(100);
+  EXPECT_EQ(Mem.currentBytes(), 0u);
+}
+
+TEST(MemoryAccountant, UncappedNeverExhausts) {
+  MemoryAccountant Mem(0);
+  EXPECT_TRUE(Mem.charge(uint64_t{1} << 60));
+  EXPECT_FALSE(Mem.exhausted());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, ValuesFallIntoFirstCoveringBucket) {
+  Histogram H({1.0, 2.0, 5.0}, {"1", "2", "5"});
+  H.add(0.5); // <= 1.
+  H.add(1.0); // <= 1 (inclusive).
+  H.add(1.5); // <= 2.
+  H.add(4.0); // <= 5.
+  H.add(99);  // Above all bounds: clamped into the last bucket.
+  EXPECT_EQ(H.count(0), 2u);
+  EXPECT_EQ(H.count(1), 1u);
+  EXPECT_EQ(H.count(2), 2u);
+}
+
+TEST(Histogram, PaperBucketsMatchFig14) {
+  Histogram Accuracy = makeAccuracyHistogram();
+  EXPECT_EQ(Accuracy.numBuckets(), 7u);
+  Accuracy.add(0.995); // 99% bucket... (0.995 <= 1.00, second bucket).
+  Accuracy.add(0.985); // <= 0.99: first bucket.
+  EXPECT_EQ(Accuracy.count(0), 1u);
+  EXPECT_EQ(Accuracy.count(1), 1u);
+
+  Histogram Speedup = makeSpeedupHistogram();
+  EXPECT_EQ(Speedup.numBuckets(), 10u);
+  Speedup.add(0.3);  // 0.5x bucket.
+  Speedup.add(80);   // 100x bucket.
+  Speedup.add(3000); // 5000x bucket.
+  EXPECT_EQ(Speedup.count(0), 1u);
+  EXPECT_EQ(Speedup.count(5), 1u);
+  EXPECT_EQ(Speedup.count(9), 1u);
+}
+
+TEST(Histogram, PrintShowsCountsAndBars) {
+  Histogram H({1.0}, {"one"});
+  H.add(0.5);
+  H.add(0.7);
+  std::ostringstream OS;
+  H.print(OS, "title");
+  EXPECT_NE(OS.str().find("title"), std::string::npos);
+  EXPECT_NE(OS.str().find("one"), std::string::npos);
+  EXPECT_NE(OS.str().find("2 ##"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter Table;
+  Table.setHeader({"name", "value"});
+  Table.addRow({"x", "1"});
+  Table.addRow({"longer-name", "22"});
+  std::ostringstream OS;
+  Table.print(OS);
+  std::string Out = OS.str();
+  // All rows have the same width up to trailing spaces.
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, RaggedRowsArePadded) {
+  TablePrinter Table;
+  Table.setHeader({"a", "b", "c"});
+  Table.addRow({"1"});
+  std::ostringstream OS;
+  Table.print(OS);
+  SUCCEED(); // Must not crash; visual padding checked above.
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::fmtInt(0), "0");
+  EXPECT_EQ(TablePrinter::fmtInt(999), "999");
+  EXPECT_EQ(TablePrinter::fmtInt(1000), "1,000");
+  EXPECT_EQ(TablePrinter::fmtInt(125562), "125,562");
+  EXPECT_EQ(TablePrinter::fmtInt(1234567890), "1,234,567,890");
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+//===----------------------------------------------------------------------===//
+// Expected / Err
+//===----------------------------------------------------------------------===//
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int> Good(42);
+  ASSERT_TRUE(bool(Good));
+  EXPECT_EQ(*Good, 42);
+  EXPECT_EQ(Good.take(), 42);
+
+  Expected<int> Bad(makeErr("boom", 3, 7));
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.error().Message, "boom");
+  EXPECT_EQ(Bad.error().render(), "3:7: boom");
+}
+
+TEST(Expected, ErrWithoutPositionRendersBareMessage) {
+  EXPECT_EQ(makeErr("just text").render(), "just text");
+}
+
+TEST(Expected, WorksWithMoveOnlyTypes) {
+  Expected<std::unique_ptr<int>> Val(std::make_unique<int>(5));
+  ASSERT_TRUE(bool(Val));
+  std::unique_ptr<int> Taken = Val.take();
+  EXPECT_EQ(*Taken, 5);
+}
+
+} // namespace

@@ -1,0 +1,352 @@
+//===- tests/TraceTest.cpp - Trace model and serialization tests ----------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "diff/ViewsDiff.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "trace/Serialize.h"
+#include "workload/Corpus.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace rprism;
+
+namespace {
+
+Trace traceOf(const std::string &Source,
+              std::shared_ptr<StringInterner> Strings = nullptr,
+              RunOptions Options = RunOptions()) {
+  auto Prog = compileSource(Source, std::move(Strings));
+  EXPECT_TRUE(bool(Prog)) << (Prog ? "" : Prog.error().render());
+  if (!Prog)
+    return Trace();
+  RunResult Result = runProgram(*Prog, Options);
+  EXPECT_TRUE(Result.Completed) << Result.Error;
+  return std::move(Result.ExecTrace);
+}
+
+/// A unique temp path per test.
+std::string tempPath(const std::string &Tag) {
+  return "/tmp/rprism_test_" + Tag + "_" +
+         std::to_string(::getpid());
+}
+
+//===----------------------------------------------------------------------===//
+// Object / value representation equality
+//===----------------------------------------------------------------------===//
+
+TEST(Repr, ObjReprEqualityUsesValueHashWhenPresent) {
+  ObjRepr A;
+  A.ClassName = Symbol{3};
+  A.HasRepr = true;
+  A.ValueHash = 111;
+  A.CreationSeq = 1;
+  ObjRepr B = A;
+  B.Loc = 999; // Locations never participate in equality.
+  EXPECT_TRUE(reprEquals(A, B));
+
+  B.ValueHash = 222;
+  EXPECT_FALSE(reprEquals(A, B));
+
+  // Different classes never correlate.
+  B = A;
+  B.ClassName = Symbol{4};
+  EXPECT_FALSE(reprEquals(A, B));
+}
+
+TEST(Repr, ObjReprFallsBackToCreationSeq) {
+  ObjRepr A;
+  A.ClassName = Symbol{3};
+  A.HasRepr = false;
+  A.CreationSeq = 5;
+  A.ValueHash = 1;
+  ObjRepr B = A;
+  B.ValueHash = 2; // Irrelevant without HasRepr.
+  EXPECT_TRUE(reprEquals(A, B));
+  B.CreationSeq = 6;
+  EXPECT_FALSE(reprEquals(A, B));
+}
+
+TEST(Repr, MixedHasReprFallsBackToSeq) {
+  ObjRepr A;
+  A.ClassName = Symbol{3};
+  A.HasRepr = true;
+  A.ValueHash = 42;
+  A.CreationSeq = 2;
+  ObjRepr B = A;
+  B.HasRepr = false;
+  EXPECT_TRUE(reprEquals(A, B)); // Seq 2 == 2.
+}
+
+TEST(Repr, ValueReprEquality) {
+  ValueRepr A{ReprKind::Int, 10, Symbol{1}};
+  ValueRepr B{ReprKind::Int, 10, Symbol{2}}; // Text not compared.
+  EXPECT_TRUE(reprEquals(A, B));
+  B.Hash = 11;
+  EXPECT_FALSE(reprEquals(A, B));
+  B = A;
+  B.Kind = ReprKind::Float;
+  EXPECT_FALSE(reprEquals(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// eventEquals (=e)
+//===----------------------------------------------------------------------===//
+
+TEST(EventEquals, CountsCompareOps) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = traceOf("class A { Int m() { return 1; } } "
+                    "main { print(new A().m()); }",
+                    Strings);
+  ASSERT_GE(T.size(), 2u);
+  CompareCounter Ops;
+  eventEquals(T, T.Entries[0], T, T.Entries[0], &Ops);
+  eventEquals(T, T.Entries[0], T, T.Entries[1], &Ops);
+  EXPECT_EQ(Ops.Count, 2u);
+}
+
+TEST(EventEquals, SelfEqualityHoldsForEveryEntry) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = traceOf(R"(
+    class W { Int v; W(Int v) { this.v = v; }
+      Unit go() { this.v = this.v * 2; return unit; } }
+    main { var w = new W(3); w.go(); spawn w.go(); }
+  )",
+                    Strings);
+  for (const TraceEntry &Entry : T.Entries)
+    EXPECT_TRUE(eventEquals(T, Entry, T, Entry)) << T.renderEntry(Entry);
+}
+
+TEST(EventEquals, DistinguishesValues) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace A = traceOf("class B { Int v; B(Int v) { this.v = v; } } "
+                    "main { var b = new B(1); }",
+                    Strings);
+  Trace B = traceOf("class B { Int v; B(Int v) { this.v = v; } } "
+                    "main { var b = new B(2); }",
+                    Strings);
+  // Init events differ (argument 1 vs 2).
+  EXPECT_FALSE(eventEquals(A, A.Entries[0], B, B.Entries[0]));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+/// Structural equality of traces via =e plus metadata.
+void expectTracesEqual(const Trace &A, const Trace &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_TRUE(eventEquals(A, A.Entries[I], B, B.Entries[I]))
+        << "entry " << I << ": " << A.renderEntry(A.Entries[I]) << " vs "
+        << B.renderEntry(B.Entries[I]);
+    EXPECT_EQ(A.Entries[I].Tid, B.Entries[I].Tid);
+    EXPECT_EQ(A.Entries[I].Prov, B.Entries[I].Prov);
+    // Context strings must survive re-interning.
+    EXPECT_EQ(A.Strings->text(A.Entries[I].Method),
+              B.Strings->text(B.Entries[I].Method));
+  }
+  ASSERT_EQ(A.Threads.size(), B.Threads.size());
+  for (size_t I = 0; I != A.Threads.size(); ++I) {
+    EXPECT_EQ(A.Threads[I].ParentTid, B.Threads[I].ParentTid);
+    EXPECT_EQ(A.Threads[I].AncestryHash, B.Threads[I].AncestryHash);
+    EXPECT_EQ(A.Strings->text(A.Threads[I].EntryMethod),
+              B.Strings->text(B.Threads[I].EntryMethod));
+  }
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  Trace T = traceOf(R"(
+    class Node { Int v; Node next; Node(Int v) { this.v = v; this.next = null; } }
+    class List { Node head; List() { this.head = null; }
+      Unit push(Int v) { var n = new Node(v); n.next = this.head;
+        this.head = n; return unit; } }
+    main {
+      var l = new List();
+      var i = 0;
+      while (i < 10) { l.push(i * i); i = i + 1; }
+      spawn l.push(999);
+    }
+  )");
+  std::string Path = tempPath("roundtrip");
+  ASSERT_TRUE(writeTrace(T, Path));
+  // Reload into a *fresh* interner: symbol ids will differ, text must not.
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  expectTracesEqual(T, *Loaded);
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, ReloadedTraceDiffsCleanAgainstLive) {
+  Trace T = traceOf(R"(
+    class A { Int x; A(Int x) { this.x = x; }
+      Int bump() { this.x = this.x + 1; return this.x; } }
+    main { var a = new A(7); a.bump(); a.bump(); print(a.x); }
+  )");
+  std::string Path = tempPath("diffclean");
+  ASSERT_TRUE(writeTrace(T, Path));
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded));
+  EXPECT_EQ(viewsDiff(T, *Loaded).numDiffs(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, SegmentationReassemblesExactly) {
+  GeneratorOptions Options;
+  Options.OuterIters = 20;
+  Trace T = traceOf(generateProgram(Options));
+  ASSERT_GT(T.size(), 300u);
+
+  std::string Base = tempPath("segments");
+  for (size_t SegmentSize : {1ul, 7ul, 100ul, 100000ul}) {
+    unsigned N = writeTraceSegments(T, Base, SegmentSize);
+    ASSERT_GT(N, 0u) << "segment size " << SegmentSize;
+    Expected<Trace> Loaded = readTraceSegments(Base, N, nullptr);
+    ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+    expectTracesEqual(T, *Loaded);
+    for (unsigned I = 0; I != N; ++I) {
+      char Suffix[16];
+      std::snprintf(Suffix, sizeof(Suffix), ".seg%03u", I);
+      std::remove((Base + Suffix).c_str());
+    }
+  }
+}
+
+TEST(Serialize, EmptyTraceRoundTrips) {
+  Trace T;
+  T.Name = "empty";
+  T.Strings = std::make_shared<StringInterner>();
+  std::string Path = tempPath("empty");
+  ASSERT_TRUE(writeTrace(T, Path));
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded));
+  EXPECT_EQ(Loaded->size(), 0u);
+  EXPECT_EQ(Loaded->Name, "empty");
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, RejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(bool(readTrace("/tmp/definitely/not/here", nullptr)));
+
+  std::string Path = tempPath("corrupt");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_TRUE(F != nullptr);
+  std::fputs("this is not a trace file", F);
+  std::fclose(F);
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_FALSE(bool(Loaded));
+  EXPECT_NE(Loaded.error().Message.find("not a trace"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedFiles) {
+  Trace T = traceOf("class A { } main { var a = new A(); }");
+  std::string Path = tempPath("trunc");
+  ASSERT_TRUE(writeTrace(T, Path));
+  // Truncate to half.
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fclose(F);
+  ASSERT_TRUE(truncate(Path.c_str(), Size / 2) == 0);
+  EXPECT_FALSE(bool(readTrace(Path, nullptr)));
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, SharedInternerMergesSymbolSpaces) {
+  Trace A = traceOf("class Foo { } main { var f = new Foo(); }");
+  Trace B = traceOf("class Bar { } main { var b = new Bar(); }");
+  std::string PathA = tempPath("mergeA");
+  std::string PathB = tempPath("mergeB");
+  ASSERT_TRUE(writeTrace(A, PathA));
+  ASSERT_TRUE(writeTrace(B, PathB));
+
+  auto Shared = std::make_shared<StringInterner>();
+  Expected<Trace> LoadedA = readTrace(PathA, Shared);
+  Expected<Trace> LoadedB = readTrace(PathB, Shared);
+  ASSERT_TRUE(bool(LoadedA));
+  ASSERT_TRUE(bool(LoadedB));
+  EXPECT_EQ(LoadedA->Strings.get(), LoadedB->Strings.get());
+  // "main" resolves to one symbol across both.
+  EXPECT_EQ(LoadedA->Entries.back().Method, LoadedB->Entries.back().Method);
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus round trips (property over all benchmark cases)
+//===----------------------------------------------------------------------===//
+
+class CorpusSerializationTest
+    : public ::testing::TestWithParam<BenchmarkCase> {};
+
+TEST_P(CorpusSerializationTest, RegrTraceRoundTrips) {
+  Expected<PreparedCase> Prepared = prepareCase(GetParam());
+  ASSERT_TRUE(bool(Prepared)) << Prepared.error().render();
+  std::string Path = tempPath("corpus_" + GetParam().Name);
+  ASSERT_TRUE(writeTrace(Prepared->NewRegr, Path));
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  ASSERT_EQ(Loaded->size(), Prepared->NewRegr.size());
+  // Spot-check =e equality on a sample (full scan is O(n) but chatty).
+  for (size_t I = 0; I < Loaded->size(); I += 97)
+    EXPECT_TRUE(eventEquals(Prepared->NewRegr,
+                            Prepared->NewRegr.Entries[I], *Loaded,
+                            Loaded->Entries[I]));
+  std::remove(Path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusSerializationTest, ::testing::ValuesIn(benchmarkCorpus()),
+    [](const ::testing::TestParamInfo<BenchmarkCase> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Render, EntryRenderingShowsFig13Style) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = traceOf(R"(
+    class NUM {
+      Int minCharRange; Int maxCharRange;
+      NUM(Int lo, Int hi) { this.minCharRange = lo; this.maxCharRange = hi; }
+    }
+    main { var n = new NUM(32, 127); print(n.minCharRange); }
+  )",
+                    Strings);
+  std::string Dump = dumpTrace(T);
+  EXPECT_NE(Dump.find("--> NUM-1.new(32, 127)"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("set NUM-1.minCharRange = 32"), std::string::npos);
+  EXPECT_NE(Dump.find("<-- NUM-1.NUM.<init>(..) ret=unit"),
+            std::string::npos);
+  EXPECT_NE(Dump.find("get NUM-1.minCharRange = 32"), std::string::npos);
+}
+
+TEST(Render, StringValuesAreQuotedAndTruncated) {
+  auto Strings = std::make_shared<StringInterner>();
+  std::string Long(200, 'x');
+  Trace T = traceOf("class S { Str v; S(Str v) { this.v = v; } } "
+                    "main { var s = new S(\"" + Long + "\"); }",
+                    Strings);
+  std::string Dump = dumpTrace(T);
+  EXPECT_NE(Dump.find("'"), std::string::npos);
+  // Printable renderings are truncated to 128 chars (the paper's toString
+  // cap); the 200-char literal must not appear whole.
+  EXPECT_EQ(Dump.find(Long), std::string::npos);
+  EXPECT_NE(Dump.find(std::string(128, 'x')), std::string::npos);
+}
+
+} // namespace

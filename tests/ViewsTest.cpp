@@ -1,0 +1,323 @@
+//===- tests/ViewsTest.cpp - View web and correlation tests ---------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "correlate/Correlate.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "views/Views.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprism;
+
+namespace {
+
+/// Runs a source program with a shared interner and returns its trace.
+Trace traceOf(const std::string &Source,
+              std::shared_ptr<StringInterner> Strings = nullptr,
+              RunOptions Options = RunOptions()) {
+  auto Prog = compileSource(Source, std::move(Strings));
+  EXPECT_TRUE(bool(Prog)) << (Prog ? "" : Prog.error().render());
+  if (!Prog)
+    return Trace();
+  RunResult Result = runProgram(*Prog, Options);
+  EXPECT_TRUE(Result.Completed) << Result.Error;
+  return std::move(Result.ExecTrace);
+}
+
+const char *CounterProgram = R"(
+  class Counter {
+    Int count;
+    Counter(Int start) { this.count = start; }
+    Int next() { this.count = this.count + 1; return this.count; }
+    Int peek() { return this.count; }
+  }
+  main {
+    var a = new Counter(0);
+    var b = new Counter(100);
+    a.next();
+    b.next();
+    a.next();
+    print(a.peek() + b.peek());
+  }
+)";
+
+//===----------------------------------------------------------------------===//
+// View web structure
+//===----------------------------------------------------------------------===//
+
+TEST(ViewWeb, EveryEntryIsInItsThreadAndMethodViews) {
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  for (const TraceEntry &Entry : T.Entries) {
+    const View *TV = Web.threadView(Entry.Tid);
+    ASSERT_TRUE(TV != nullptr);
+    EXPECT_GE(ViewWeb::positionOf(*TV, Entry.Eid), 0);
+
+    const View *MV = Web.methodView(Entry.Method);
+    ASSERT_TRUE(MV != nullptr);
+    EXPECT_GE(ViewWeb::positionOf(*MV, Entry.Eid), 0);
+  }
+}
+
+TEST(ViewWeb, SingleThreadViewEqualsWholeTrace) {
+  // "The example is single threaded, so there is a single thread view which
+  // is identical to the full execution trace" (Fig. 2).
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  EXPECT_EQ(Web.numThreadViews(), 1u);
+  const View *TV = Web.threadView(0);
+  ASSERT_TRUE(TV != nullptr);
+  ASSERT_EQ(TV->Entries.size(), T.Entries.size());
+  for (size_t I = 0; I != TV->Entries.size(); ++I)
+    EXPECT_EQ(TV->Entries[I], I);
+}
+
+TEST(ViewWeb, TargetObjectViewContainsOnlyThatObjectsEvents) {
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  // Find Counter-1 (object a) via its init event.
+  uint32_t Loc = NoLoc;
+  for (const TraceEntry &Entry : T.Entries) {
+    if (Entry.Ev.Kind == EventKind::Init &&
+        T.Strings->text(Entry.Ev.Target.ClassName) == "Counter" &&
+        Entry.Ev.Target.CreationSeq == 1) {
+      Loc = Entry.Ev.Target.Loc;
+      break;
+    }
+  }
+  ASSERT_NE(Loc, NoLoc);
+  const View *OV = Web.targetObjectView(Loc);
+  ASSERT_TRUE(OV != nullptr);
+  EXPECT_FALSE(OV->Entries.empty());
+  for (uint32_t Eid : OV->Entries) {
+    const TraceEntry &Entry = T.Entries[Eid];
+    EXPECT_EQ(Entry.Ev.Target.Loc, Loc) << T.renderEntry(Entry);
+  }
+  // a receives: init, 2 next() calls + returns, 1 peek() call + return,
+  // plus field gets/sets targeted at it from inside its methods.
+  EXPECT_GE(OV->Entries.size(), 6u);
+}
+
+TEST(ViewWeb, ActiveObjectViewHoldsEventsWhileObjectExecutes) {
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  for (const View &V : Web.views()) {
+    if (V.Type != ViewType::ActiveObject)
+      continue;
+    for (uint32_t Eid : V.Entries)
+      EXPECT_EQ(T.Entries[Eid].Self.Loc, V.Loc);
+  }
+}
+
+TEST(ViewWeb, MethodViewMatchesFig2Semantics) {
+  // A method view contains events occurring while the method is on top of
+  // the call stack — i.e. calls *made from* it, field accesses *performed
+  // by* it (Fig. 2's SP.setRequestType box).
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  Symbol NextSym = T.Strings->intern("Counter.next");
+  const View *MV = Web.methodView(NextSym);
+  ASSERT_TRUE(MV != nullptr);
+  for (uint32_t Eid : MV->Entries) {
+    const TraceEntry &Entry = T.Entries[Eid];
+    EXPECT_EQ(T.Strings->text(Entry.Method), "Counter.next");
+    // next() performs field gets and sets only.
+    EXPECT_TRUE(Entry.Ev.Kind == EventKind::FieldGet ||
+                Entry.Ev.Kind == EventKind::FieldSet)
+        << T.renderEntry(Entry);
+  }
+  EXPECT_EQ(MV->Entries.size(), 9u); // 3 calls x (get, get, set).
+}
+
+TEST(ViewWeb, ViewsOfEntryLinksAllViewTypes) {
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  // Pick a field-set inside Counter.next: it belongs to 4 views.
+  for (const TraceEntry &Entry : T.Entries) {
+    if (Entry.Ev.Kind != EventKind::FieldSet)
+      continue;
+    if (T.Strings->text(Entry.Method) != "Counter.next")
+      continue;
+    std::vector<uint32_t> Views = Web.viewsOf(Entry.Eid);
+    EXPECT_EQ(Views.size(), 4u); // TH + CM + TO + AO.
+    // Navigation: the entry is present in each view at a valid position.
+    for (uint32_t ViewId : Views) {
+      const View &V = Web.view(ViewId);
+      int64_t Pos = ViewWeb::positionOf(V, Entry.Eid);
+      ASSERT_GE(Pos, 0);
+      EXPECT_EQ(V.Entries[static_cast<size_t>(Pos)], Entry.Eid);
+    }
+    return;
+  }
+  FAIL() << "no field-set entry found in Counter.next";
+}
+
+TEST(ViewWeb, EntriesAscendWithinEveryView) {
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  for (const View &V : Web.views())
+    for (size_t I = 1; I < V.Entries.size(); ++I)
+      EXPECT_LT(V.Entries[I - 1], V.Entries[I]);
+}
+
+TEST(ViewWeb, CountsMatchDistinctKeys) {
+  Trace T = traceOf(CounterProgram);
+  ViewWeb Web(T);
+  EXPECT_EQ(Web.numThreadViews(), 1u);
+  // Methods: main, Counter.<init>, Counter.next, Counter.peek.
+  EXPECT_EQ(Web.numMethodViews(), 4u);
+  // Objects: two Counters (both as targets and as active objects).
+  EXPECT_EQ(Web.numTargetObjectViews(), 2u);
+  EXPECT_EQ(Web.numActiveObjectViews(), 2u);
+  EXPECT_EQ(Web.numViews(), Web.numThreadViews() + Web.numMethodViews() +
+                                Web.numTargetObjectViews() +
+                                Web.numActiveObjectViews());
+}
+
+TEST(ViewWeb, MultiThreadedTracesHaveOneViewPerThread) {
+  Trace T = traceOf(R"(
+    class W {
+      Unit go() { var i = 0; while (i < 5) { i = i + 1; } return unit; }
+    }
+    main {
+      spawn new W().go();
+      spawn new W().go();
+    }
+  )");
+  ViewWeb Web(T);
+  EXPECT_EQ(Web.numThreadViews(), 3u);
+  // Thread views partition the trace.
+  size_t Total = 0;
+  for (const View &V : Web.views())
+    if (V.Type == ViewType::Thread)
+      Total += V.Entries.size();
+  EXPECT_EQ(Total, T.Entries.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Correlation (X_nu)
+//===----------------------------------------------------------------------===//
+
+TEST(Correlate, IdenticalRunsCorrelateEverything) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace L = traceOf(CounterProgram, Strings);
+  Trace R = traceOf(CounterProgram, Strings);
+  ViewWeb LW(L);
+  ViewWeb RW(R);
+  ViewCorrelation X(LW, RW);
+  for (const View &V : LW.views())
+    EXPECT_GE(X.rightOf(V.Id), 0)
+        << viewTypeName(V.Type) << " view uncorrelated";
+  ASSERT_EQ(X.threadPairs().size(), 1u);
+}
+
+TEST(Correlate, MethodViewsCorrelateByQualifiedName) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace L = traceOf(CounterProgram, Strings);
+  // Same shape, but the method is renamed: method views must NOT correlate.
+  Trace R = traceOf(R"(
+    class Counter {
+      Int count;
+      Counter(Int start) { this.count = start; }
+      Int advance() { this.count = this.count + 1; return this.count; }
+      Int peek() { return this.count; }
+    }
+    main {
+      var a = new Counter(0);
+      var b = new Counter(100);
+      a.advance();
+      b.advance();
+      a.advance();
+      print(a.peek() + b.peek());
+    }
+  )",
+                    Strings);
+  ViewWeb LW(L);
+  ViewWeb RW(R);
+  ViewCorrelation X(LW, RW);
+
+  const View *NextView = LW.methodView(Strings->intern("Counter.next"));
+  ASSERT_TRUE(NextView != nullptr);
+  EXPECT_LT(X.rightOf(NextView->Id), 0);
+
+  const View *PeekView = LW.methodView(Strings->intern("Counter.peek"));
+  ASSERT_TRUE(PeekView != nullptr);
+  EXPECT_GE(X.rightOf(PeekView->Id), 0);
+}
+
+TEST(Correlate, ObjectsCorrelateByCreationSeqWhenValuesDiffer) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace L = traceOf(CounterProgram, Strings);
+  // Different start value for b: value reprs differ, creation seq matches.
+  Trace R = traceOf(R"(
+    class Counter {
+      Int count;
+      Counter(Int start) { this.count = start; }
+      Int next() { this.count = this.count + 1; return this.count; }
+      Int peek() { return this.count; }
+    }
+    main {
+      var a = new Counter(0);
+      var b = new Counter(999);
+      a.next();
+      b.next();
+      a.next();
+      print(a.peek() + b.peek());
+    }
+  )",
+                    Strings);
+  ViewWeb LW(L);
+  ViewWeb RW(R);
+  ViewCorrelation X(LW, RW);
+  unsigned CorrelatedObjects = 0;
+  for (const View &V : LW.views())
+    if (V.Type == ViewType::TargetObject && X.rightOf(V.Id) >= 0)
+      ++CorrelatedObjects;
+  EXPECT_EQ(CorrelatedObjects, 2u);
+}
+
+TEST(Correlate, ThreadsCorrelateByAncestry) {
+  const char *Source = R"(
+    class W {
+      Int id;
+      W(Int id) { this.id = id; }
+      Unit go() { var x = this.id * 2; return unit; }
+      Unit other() { var y = this.id + 1; return unit; }
+    }
+    main {
+      spawn new W(1).go();
+      spawn new W(2).other();
+    }
+  )";
+  auto Strings = std::make_shared<StringInterner>();
+  Trace L = traceOf(Source, Strings);
+  Trace R = traceOf(Source, Strings);
+  ViewWeb LW(L);
+  ViewWeb RW(R);
+  ViewCorrelation X(LW, RW);
+  ASSERT_EQ(X.threadPairs().size(), 3u);
+  // Each left thread must pair with the same-entry-method right thread.
+  for (auto [LId, RId] : X.threadPairs()) {
+    const View &LV = LW.view(LId);
+    const View &RV = RW.view(RId);
+    EXPECT_EQ(L.Threads[LV.Tid].EntryMethod, R.Threads[RV.Tid].EntryMethod);
+  }
+}
+
+TEST(Correlate, AncestrySimilarityPrefersExactHash) {
+  ThreadInfo A;
+  A.AncestryHash = 42;
+  ThreadInfo B;
+  B.AncestryHash = 42;
+  Trace Dummy;
+  EXPECT_EQ(threadAncestrySimilarity(Dummy, A, Dummy, B), 1.0);
+  B.AncestryHash = 43;
+  EXPECT_LT(threadAncestrySimilarity(Dummy, A, Dummy, B), 1.0);
+}
+
+} // namespace

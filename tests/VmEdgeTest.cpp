@@ -1,0 +1,358 @@
+//===- tests/VmEdgeTest.cpp - VM semantics edge cases ---------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "trace/Helpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace rprism;
+
+namespace {
+
+RunResult runSource(const std::string &Source,
+                    RunOptions Options = RunOptions()) {
+  auto Prog = compileSource(Source);
+  EXPECT_TRUE(bool(Prog)) << (Prog ? "" : Prog.error().render());
+  if (!Prog)
+    return RunResult();
+  return runProgram(*Prog, Options);
+}
+
+std::string outputOf(const std::string &Source,
+                     RunOptions Options = RunOptions()) {
+  return runSource(Source, std::move(Options)).Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Numeric edges
+//===----------------------------------------------------------------------===//
+
+TEST(VmEdge, NegativeDivisionAndRemainder) {
+  // C++-style truncation toward zero.
+  EXPECT_EQ(outputOf("main { print(-(7) / 2); }"), "-3\n");
+  EXPECT_EQ(outputOf("main { print(-(7) % 2); }"), "-1\n");
+  EXPECT_EQ(outputOf("main { print(7 % -(2)); }"), "1\n");
+}
+
+TEST(VmEdge, FloatFormatting) {
+  EXPECT_EQ(outputOf("main { print(1.0 / 4.0); }"), "0.25\n");
+  EXPECT_EQ(outputOf("main { print(2.0 * 3.0); }"), "6\n");
+  EXPECT_EQ(outputOf("main { print(1.0 / 3.0); }"), "0.333333\n");
+  EXPECT_EQ(outputOf("main { print(-(1.5)); }"), "-1.5\n");
+}
+
+TEST(VmEdge, FloatDivisionByZeroIsInf) {
+  // Floats follow IEEE; only integer division traps.
+  RunResult Result = runSource("main { print(1.0 / 0.0); }");
+  EXPECT_TRUE(Result.Completed);
+  EXPECT_EQ(Result.Output, "inf\n");
+}
+
+TEST(VmEdge, ComparisonChains) {
+  EXPECT_EQ(outputOf("main { print(1 < 2 == true); }"), "true\n");
+  EXPECT_EQ(outputOf("main { print(2.5 >= 2.5); }"), "true\n");
+  EXPECT_EQ(outputOf(R"(main { print("" < "a"); })"), "true\n");
+  EXPECT_EQ(outputOf(R"(main { print("" == ""); })"), "true\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Objects and references
+//===----------------------------------------------------------------------===//
+
+TEST(VmEdge, ReferenceEqualityIsIdentity) {
+  EXPECT_EQ(outputOf(R"(
+    class Box { Int v; Box(Int v) { this.v = v; } }
+    main {
+      var a = new Box(1);
+      var b = new Box(1);
+      var c = a;
+      print(a == b);
+      print(a == c);
+      print(a != b);
+      print(a == null);
+      print(null == null);
+    }
+  )"),
+            "false\ntrue\ntrue\nfalse\ntrue\n");
+}
+
+TEST(VmEdge, AliasedMutationIsVisible) {
+  EXPECT_EQ(outputOf(R"(
+    class Box { Int v; Box(Int v) { this.v = v; } }
+    main {
+      var a = new Box(1);
+      var b = a;
+      b.v = 99;
+      print(a.v);
+    }
+  )"),
+            "99\n");
+}
+
+TEST(VmEdge, DeepInheritanceChainDispatch) {
+  EXPECT_EQ(outputOf(R"(
+    class L0 { Int tag() { return 0; } }
+    class L1 extends L0 { Int tag() { return 1; } }
+    class L2 extends L1 { }
+    class L3 extends L2 { Int tag() { return 3; } }
+    class L4 extends L3 { }
+    main {
+      var o = new L4();
+      print(o.tag());
+      var base = new L2();
+      print(base.tag());
+    }
+  )"),
+            "3\n1\n");
+}
+
+TEST(VmEdge, SubtypeStoredInSuperTypedField) {
+  EXPECT_EQ(outputOf(R"(
+    class Animal { Str noise() { return "?"; } }
+    class Dog extends Animal { Str noise() { return "woof"; } }
+    class Pen {
+      Animal resident;
+      Pen(Animal resident) { this.resident = resident; }
+      Str listen() { return this.resident.noise(); }
+    }
+    main { print(new Pen(new Dog()).listen()); }
+  )"),
+            "woof\n");
+}
+
+TEST(VmEdge, CyclicObjectGraphsAreSafe) {
+  // The recursive value representation must not loop on cycles.
+  RunResult Result = runSource(R"(
+    class Node { Node next; Node() { this.next = null; } }
+    main {
+      var a = new Node();
+      var b = new Node();
+      a.next = b;
+      b.next = a;
+      print(a == b.next);
+    }
+  )");
+  EXPECT_TRUE(Result.Completed) << Result.Error;
+  EXPECT_EQ(Result.Output, "true\n");
+}
+
+TEST(VmEdge, SelfReferencingObjectIsSafe) {
+  RunResult Result = runSource(R"(
+    class Loop { Loop self; Loop() { this.self = null; } }
+    main { var l = new Loop(); l.self = l; print(l == l.self); }
+  )");
+  EXPECT_TRUE(Result.Completed);
+  EXPECT_EQ(Result.Output, "true\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler determinism across quanta
+//===----------------------------------------------------------------------===//
+
+class QuantumSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QuantumSweep, SameQuantumSameTrace) {
+  const char *Source = R"(
+    class W {
+      Int id; Int acc;
+      W(Int id) { this.id = id; this.acc = 0; }
+      Unit go() {
+        var i = 0;
+        while (i < 15) { this.acc = this.acc + this.id; i = i + 1; }
+        return unit;
+      }
+    }
+    main {
+      spawn new W(1).go();
+      spawn new W(2).go();
+      spawn new W(3).go();
+      var i = 0;
+      while (i < 15) { i = i + 1; }
+    }
+  )";
+  RunOptions Options;
+  Options.Quantum = GetParam();
+  auto Prog = compileSource(Source);
+  ASSERT_TRUE(bool(Prog));
+  RunResult First = runProgram(*Prog, Options);
+  RunResult Second = runProgram(*Prog, Options);
+  ASSERT_TRUE(First.Completed);
+  ASSERT_EQ(First.ExecTrace.size(), Second.ExecTrace.size());
+  for (size_t I = 0; I != First.ExecTrace.size(); ++I) {
+    EXPECT_EQ(First.ExecTrace.Entries[I].Tid,
+              Second.ExecTrace.Entries[I].Tid);
+    EXPECT_TRUE(eventEquals(First.ExecTrace, First.ExecTrace.Entries[I],
+                            Second.ExecTrace,
+                            Second.ExecTrace.Entries[I]));
+  }
+}
+
+TEST_P(QuantumSweep, PerThreadProjectionIsQuantumInvariant) {
+  // Different quanta interleave differently, but each thread's own event
+  // sequence is invariant — the property that makes per-thread views the
+  // right unit for differencing multithreaded traces.
+  const char *Source = R"(
+    class W {
+      Int acc;
+      W() { this.acc = 0; }
+      Unit go() {
+        var i = 0;
+        while (i < 10) { this.acc = this.acc + 1; i = i + 1; }
+        return unit;
+      }
+    }
+    main {
+      spawn new W().go();
+      var i = 0;
+      while (i < 10) { i = i + 1; }
+    }
+  )";
+  auto Prog = compileSource(Source);
+  ASSERT_TRUE(bool(Prog));
+
+  RunOptions Baseline;
+  Baseline.Quantum = 40;
+  RunResult Ref = runProgram(*Prog, Baseline);
+
+  RunOptions Varied;
+  Varied.Quantum = GetParam();
+  RunResult Run = runProgram(*Prog, Varied);
+
+  for (uint32_t Tid = 0; Tid != 2; ++Tid) {
+    std::vector<const TraceEntry *> A, B;
+    for (const TraceEntry &Entry : Ref.ExecTrace.Entries)
+      if (Entry.Tid == Tid)
+        A.push_back(&Entry);
+    for (const TraceEntry &Entry : Run.ExecTrace.Entries)
+      if (Entry.Tid == Tid)
+        B.push_back(&Entry);
+    ASSERT_EQ(A.size(), B.size()) << "thread " << Tid;
+    for (size_t I = 0; I != A.size(); ++I)
+      EXPECT_TRUE(eventEquals(Ref.ExecTrace, *A[I], Run.ExecTrace, *B[I]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumSweep,
+                         ::testing::Values(1u, 3u, 7u, 40u, 1000u),
+                         [](const auto &Info) {
+                           return "q" + std::to_string(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Fig. 9 helper relations
+//===----------------------------------------------------------------------===//
+
+TEST(Fig9Helpers, IndexWindowAndIntersection) {
+  RunResult Run = runSource(R"(
+    class B { Int v; B() { this.v = 0; }
+      Unit s(Int x) { this.v = x; return unit; } }
+    main { var b = new B(); b.s(1); b.s(2); b.s(3); }
+  )");
+  const Trace &T = Run.ExecTrace;
+  EidSequence All = allEntries(T);
+  ASSERT_EQ(All.size(), T.size());
+
+  // index: position equals eid for the whole-trace gamma.
+  EXPECT_EQ(indexOf(All, T.Entries[3]), 3);
+  TraceEntry Ghost;
+  Ghost.Eid = 9999;
+  EXPECT_EQ(indexOf(All, Ghost), -1);
+
+  // win: clamped at both ends.
+  EidSequence W = window(All, T.Entries[0], 2);
+  EXPECT_EQ(W.size(), 3u); // Positions 0..2.
+  W = window(All, T.Entries[T.size() - 1], 2);
+  EXPECT_EQ(W.size(), 3u); // Last three.
+  W = window(All, T.Entries[5], 2);
+  EXPECT_EQ(W.size(), 5u);
+  EXPECT_EQ(W.front(), 3u);
+  EXPECT_EQ(W.back(), 7u);
+  EXPECT_TRUE(window(All, Ghost, 3).empty());
+
+  // ∩=e with itself is identity.
+  CompareCounter Ops;
+  EidSequence SelfIntersect = intersectByEvent(T, All, T, All, &Ops);
+  EXPECT_EQ(SelfIntersect.size(), All.size());
+  EXPECT_GT(Ops.Count, 0u);
+
+  // ∩=e with an empty sequence is empty.
+  EXPECT_TRUE(intersectByEvent(T, All, T, {}).empty());
+}
+
+TEST(Fig9Helpers, IntersectionFindsCrossTraceMatches) {
+  RunResult A = runSource(R"(
+    class B { Int v; B() { this.v = 0; }
+      Unit s(Int x) { this.v = x; return unit; } }
+    main { var b = new B(); b.s(1); b.s(2); }
+  )");
+  RunResult B = runSource(R"(
+    class B { Int v; B() { this.v = 0; }
+      Unit s(Int x) { this.v = x; return unit; } }
+    main { var b = new B(); b.s(2); b.s(9); }
+  )");
+  // Different interners: re-run with a shared one for symbol equality.
+  auto Strings = std::make_shared<StringInterner>();
+  auto ProgA = compileSource(R"(
+    class B { Int v; B() { this.v = 0; }
+      Unit s(Int x) { this.v = x; return unit; } }
+    main { var b = new B(); b.s(1); b.s(2); }
+  )",
+                             Strings);
+  auto ProgB = compileSource(R"(
+    class B { Int v; B() { this.v = 0; }
+      Unit s(Int x) { this.v = x; return unit; } }
+    main { var b = new B(); b.s(2); b.s(9); }
+  )",
+                             Strings);
+  ASSERT_TRUE(bool(ProgA) && bool(ProgB));
+  Trace TA = runProgram(*ProgA).ExecTrace;
+  Trace TB = runProgram(*ProgB).ExecTrace;
+  EidSequence Common =
+      intersectByEvent(TA, allEntries(TA), TB, allEntries(TB));
+  // The ctor region matches; the s(1)-specific entries do not; s(2)
+  // entries match (the B-object reprs coincide when v transitions through
+  // the same values? they do for the call where the argument is 2 but the
+  // prior state differs — target repr v=1 vs v=0 — so only state-equal
+  // entries survive).
+  EXPECT_GT(Common.size(), 2u);
+  EXPECT_LT(Common.size(), TA.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Output capture of erroring runs
+//===----------------------------------------------------------------------===//
+
+TEST(VmEdge, OutputBeforeErrorIsPreserved) {
+  RunResult Result = runSource(R"(
+    main {
+      print("before");
+      print(1 / 0);
+      print("after");
+    }
+  )");
+  EXPECT_FALSE(Result.Completed);
+  EXPECT_NE(Result.Output.find("before"), std::string::npos);
+  EXPECT_EQ(Result.Output.find("after"), std::string::npos);
+  EXPECT_NE(Result.Output.find("!error"), std::string::npos);
+}
+
+TEST(VmEdge, TraceUpToErrorIsKept) {
+  RunResult Result = runSource(R"(
+    class A { Int v; A(Int v) { this.v = v; } }
+    main {
+      var a = new A(1);
+      var b = new A(a.v / 0);
+    }
+  )");
+  EXPECT_FALSE(Result.Completed);
+  // The init of A-1 and the field get were recorded before the trap.
+  EXPECT_GE(Result.ExecTrace.size(), 3u);
+}
+
+} // namespace

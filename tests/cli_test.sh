@@ -1,0 +1,93 @@
+#!/bin/sh
+# Integration test for the `rprism` command-line tool.
+# Usage: cli_test.sh <path-to-rprism-binary>
+set -eu
+
+RPRISM="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# --- fixture programs ------------------------------------------------------
+cat > "$WORK/old.rp" <<'EOF'
+class Tax {
+  Int rate;
+  Tax(Int rate) { this.rate = rate; }
+  Int apply(Int amount) { return amount + amount * this.rate / 100; }
+}
+main {
+  var t = new Tax(10);
+  print(t.apply(inputInt(0)));
+  print(t.apply(50));
+}
+EOF
+# The new version mistypes the rate: a regression for every input.
+sed 's/new Tax(10)/new Tax(11)/' "$WORK/old.rp" > "$WORK/new.rp"
+
+# --- run + trace capture ----------------------------------------------------
+OUT="$("$RPRISM" run "$WORK/old.rp" --int-input 100 --trace "$WORK/old.rpt" 2>/dev/null)"
+[ "$OUT" = "110
+55" ] || fail "run output was: $OUT"
+[ -f "$WORK/old.rpt" ] || fail "trace file not written"
+
+# --- trace-dump -------------------------------------------------------------
+"$RPRISM" trace-dump "$WORK/old.rpt" | grep -q -- "--> Tax-1.new(10)" \
+  || fail "trace-dump missing the init entry"
+
+# --- diff (views engine) ----------------------------------------------------
+DIFF="$("$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 2>/dev/null)"
+echo "$DIFF" | grep -q "semantic diff:" || fail "diff header missing"
+echo "$DIFF" | grep -q "Tax-1.new(10)" || fail "diff lost the old rate"
+echo "$DIFF" | grep -q "Tax-1.new(11)" || fail "diff lost the new rate"
+
+# --- diff (lcs engine) ------------------------------------------------------
+"$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 --engine lcs \
+  2>/dev/null | grep -q "semantic diff:" || fail "lcs diff failed"
+
+# --- diff-traces over serialized traces -------------------------------------
+"$RPRISM" run "$WORK/new.rp" --int-input 100 --trace "$WORK/new.rpt" \
+  > /dev/null 2>&1
+"$RPRISM" diff-traces "$WORK/old.rpt" "$WORK/new.rpt" 2>/dev/null \
+  | grep -q "semantic diff:" || fail "diff-traces failed"
+
+# --- analyze ----------------------------------------------------------------
+# No input-independent ok run exists for this bug (it always fires), so use
+# a small input where outputs coincidentally match? They never do; analyze
+# still runs and must report a candidate set.
+AN="$("$RPRISM" analyze "$WORK/old.rp" "$WORK/new.rp" \
+      --regr-input unused --int-input 100 --ok-input unused 2>/dev/null)"
+echo "$AN" | grep -q "|A|=" || fail "analyze header missing"
+
+# --- views ------------------------------------------------------------------
+"$RPRISM" views "$WORK/old.rp" --int-input 100 2>/dev/null \
+  | grep -q "target-object view Tax-1" || fail "views missing Tax view"
+
+# --- protocols ---------------------------------------------------------------
+"$RPRISM" protocols "$WORK/old.rp" "$WORK/old.rp" --int-input 100 \
+  2>/dev/null | grep -q "no protocol violations" \
+  || fail "self-check reported violations"
+
+# --- error handling ----------------------------------------------------------
+if "$RPRISM" run /nonexistent.rp 2>/dev/null; then
+  fail "missing file did not error"
+fi
+if "$RPRISM" frobnicate 2>/dev/null; then
+  fail "unknown subcommand did not error"
+fi
+
+# --- html reports ------------------------------------------------------------
+"$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 \
+  --html "$WORK/diff.html" > /dev/null 2>&1
+grep -q "<html>" "$WORK/diff.html" || fail "html diff not written"
+grep -q "semantic differences" "$WORK/diff.html" || fail "html diff empty"
+"$RPRISM" analyze "$WORK/old.rp" "$WORK/new.rp" \
+  --regr-input u --int-input 100 --ok-input u \
+  --html "$WORK/analysis.html" > /dev/null 2>&1
+grep -q "regression analysis" "$WORK/analysis.html" \
+  || fail "html analysis not written"
+
+echo "cli_test: all checks passed"

@@ -1,0 +1,363 @@
+//===- tools/rprism.cpp - Command-line driver -----------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `rprism` command-line tool — the library's equivalent of the
+/// paper's fully automated RPRISM pipeline ("requiring no code annotations
+/// or access to source code" — here, programs in the core language):
+///
+///   rprism run <prog> [--input S]... [--int-input N]... [--trace F]
+///   rprism trace-dump <trace-file>
+///   rprism diff <old-prog> <new-prog> [--engine views|lcs] [inputs...]
+///   rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]
+///   rprism analyze <old-prog> <new-prog> --regr-input S [--regr-input S]
+///                  --ok-input S [--ok-input S] [--removal]
+///   rprism views <prog> [inputs...]
+///   rprism protocols <good-prog> <subject-prog> [inputs...]
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HtmlReport.h"
+#include "analysis/Impact.h"
+#include "analysis/Protocol.h"
+#include "analysis/Regression.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "trace/Serialize.h"
+#include "workload/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace rprism;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rprism run <prog> [--input S]... [--int-input N]... [--trace F]\n"
+      "  rprism trace-dump <trace-file>\n"
+      "  rprism diff <old-prog> <new-prog> [--engine views|lcs]\n"
+      "              [--input S]... [--html F]\n"
+      "  rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]\n"
+      "  rprism analyze <old-prog> <new-prog> --regr-input S...\n"
+      "              --ok-input S... [--removal] [--html F]\n"
+      "  rprism views <prog> [--input S]...\n"
+      "  rprism protocols <good-prog> <subject-prog> [--input S]...\n");
+  return 2;
+}
+
+Expected<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return makeErr("cannot open '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Shared flag state across subcommands.
+struct Args {
+  std::vector<std::string> Positional;
+  std::vector<std::string> Inputs;
+  std::vector<int64_t> IntInputs;
+  std::string TracePath;
+  DiffEngineKind Engine = DiffEngineKind::Views;
+  std::vector<std::string> RegrInputs;
+  std::vector<std::string> OkInputs;
+  std::string HtmlPath;
+  bool Removal = false;
+  bool Bad = false;
+};
+
+Args parseArgs(int Argc, char **Argv, int Start) {
+  Args A;
+  for (int I = Start; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        A.Bad = true;
+        return "";
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--input")
+      A.Inputs.push_back(Next());
+    else if (Arg == "--int-input")
+      A.IntInputs.push_back(std::atoll(Next()));
+    else if (Arg == "--trace")
+      A.TracePath = Next();
+    else if (Arg == "--regr-input")
+      A.RegrInputs.push_back(Next());
+    else if (Arg == "--ok-input")
+      A.OkInputs.push_back(Next());
+    else if (Arg == "--removal")
+      A.Removal = true;
+    else if (Arg == "--html")
+      A.HtmlPath = Next();
+    else if (Arg == "--engine") {
+      std::string Engine = Next();
+      if (Engine == "lcs")
+        A.Engine = DiffEngineKind::Lcs;
+      else if (Engine == "views")
+        A.Engine = DiffEngineKind::Views;
+      else {
+        std::fprintf(stderr, "error: unknown engine '%s'\n",
+                     Engine.c_str());
+        A.Bad = true;
+      }
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      A.Bad = true;
+    } else {
+      A.Positional.push_back(Arg);
+    }
+  }
+  return A;
+}
+
+/// Compiles a program file with a shared interner; exits on error.
+Expected<CompiledProgram>
+compileFile(const std::string &Path, std::shared_ptr<StringInterner> Strings) {
+  Expected<std::string> Source = readFile(Path);
+  if (!Source)
+    return Source.error();
+  Expected<CompiledProgram> Prog = compileSource(*Source, std::move(Strings));
+  if (!Prog)
+    return makeErr(Path + ": " + Prog.error().render());
+  return Prog;
+}
+
+RunResult runWith(const CompiledProgram &Prog, const Args &A,
+                  std::vector<std::string> Inputs, const char *Name) {
+  RunOptions Options;
+  Options.Inputs = std::move(Inputs);
+  Options.IntInputs = A.IntInputs;
+  Options.TraceName = Name;
+  return runProgram(Prog, Options);
+}
+
+int cmdRun(const Args &A) {
+  if (A.Positional.size() != 1)
+    return usage();
+  auto Prog = compileFile(A.Positional[0], nullptr);
+  if (!Prog) {
+    std::fprintf(stderr, "error: %s\n", Prog.error().render().c_str());
+    return 1;
+  }
+  RunResult Result = runWith(*Prog, A, A.Inputs, "run");
+  std::fputs(Result.Output.c_str(), stdout);
+  std::fprintf(stderr, "[%zu trace entries, %llu steps%s]\n",
+               Result.ExecTrace.size(),
+               static_cast<unsigned long long>(Result.Steps),
+               Result.Completed ? "" : ", did not complete");
+  if (!A.TracePath.empty()) {
+    if (!writeTrace(Result.ExecTrace, A.TracePath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   A.TracePath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[trace written to %s]\n", A.TracePath.c_str());
+  }
+  return Result.Completed ? 0 : 1;
+}
+
+int cmdTraceDump(const Args &A) {
+  if (A.Positional.size() != 1)
+    return usage();
+  Expected<Trace> T = readTrace(A.Positional[0], nullptr);
+  if (!T) {
+    std::fprintf(stderr, "error: %s\n", T.error().render().c_str());
+    return 1;
+  }
+  std::fputs(dumpTrace(*T).c_str(), stdout);
+  return 0;
+}
+
+int printDiff(const Trace &Left, const Trace &Right, DiffEngineKind Engine,
+              const std::string &HtmlPath) {
+  DiffResult Result = Engine == DiffEngineKind::Lcs
+                          ? lcsDiff(Left, Right)
+                          : viewsDiff(Left, Right);
+  if (Result.Stats.OutOfMemory) {
+    std::fprintf(stderr, "error: LCS differencing ran out of memory; "
+                         "retry with --engine views\n");
+    return 1;
+  }
+  if (!HtmlPath.empty()) {
+    if (!writeHtmlFile(renderHtmlDiff(Result), HtmlPath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", HtmlPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[html report written to %s]\n", HtmlPath.c_str());
+  }
+  std::fputs(Result.render(50, 12).c_str(), stdout);
+  std::fprintf(stderr,
+               "[%llu compare ops, %.3fs, %.1f MiB]\n",
+               static_cast<unsigned long long>(Result.Stats.CompareOps),
+               Result.Stats.Seconds,
+               static_cast<double>(Result.Stats.PeakBytes) / (1 << 20));
+  return 0;
+}
+
+int cmdDiff(const Args &A) {
+  if (A.Positional.size() != 2)
+    return usage();
+  auto Strings = std::make_shared<StringInterner>();
+  auto Old = compileFile(A.Positional[0], Strings);
+  auto New = compileFile(A.Positional[1], Strings);
+  if (!Old || !New) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!Old ? Old.error() : New.error()).render().c_str());
+    return 1;
+  }
+  RunResult OldRun = runWith(*Old, A, A.Inputs, "old");
+  RunResult NewRun = runWith(*New, A, A.Inputs, "new");
+  if (OldRun.Output != NewRun.Output)
+    std::fprintf(stderr, "[outputs differ]\n");
+  return printDiff(OldRun.ExecTrace, NewRun.ExecTrace, A.Engine, A.HtmlPath);
+}
+
+int cmdDiffTraces(const Args &A) {
+  if (A.Positional.size() != 2)
+    return usage();
+  auto Strings = std::make_shared<StringInterner>();
+  Expected<Trace> Left = readTrace(A.Positional[0], Strings);
+  if (!Left) {
+    std::fprintf(stderr, "error: %s\n", Left.error().render().c_str());
+    return 1;
+  }
+  Expected<Trace> Right = readTrace(A.Positional[1], Strings);
+  if (!Right) {
+    std::fprintf(stderr, "error: %s\n", Right.error().render().c_str());
+    return 1;
+  }
+  return printDiff(*Left, *Right, A.Engine, A.HtmlPath);
+}
+
+int cmdAnalyze(const Args &A) {
+  if (A.Positional.size() != 2 || A.RegrInputs.empty() ||
+      A.OkInputs.empty())
+    return usage();
+  auto Strings = std::make_shared<StringInterner>();
+  auto Old = compileFile(A.Positional[0], Strings);
+  auto New = compileFile(A.Positional[1], Strings);
+  if (!Old || !New) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!Old ? Old.error() : New.error()).render().c_str());
+    return 1;
+  }
+  RunResult OrigOk = runWith(*Old, A, A.OkInputs, "orig-ok");
+  RunResult OrigRegr = runWith(*Old, A, A.RegrInputs, "orig-regr");
+  RunResult NewOk = runWith(*New, A, A.OkInputs, "new-ok");
+  RunResult NewRegr = runWith(*New, A, A.RegrInputs, "new-regr");
+
+  if (OrigRegr.Output == NewRegr.Output)
+    std::fprintf(stderr, "warning: the regressing input does not "
+                         "discriminate the versions\n");
+  if (OrigOk.Output != NewOk.Output)
+    std::fprintf(stderr, "warning: the ok input regressed too; expected "
+                         "differences may hide the cause\n");
+
+  RegressionInputs Inputs{&OrigOk.ExecTrace, &OrigRegr.ExecTrace,
+                          &NewOk.ExecTrace, &NewRegr.ExecTrace};
+  RegressionOptions Options;
+  Options.Engine = A.Engine;
+  Options.CodeRemoval = A.Removal;
+  RegressionReport Report = analyzeRegression(Inputs, Options);
+  if (!A.HtmlPath.empty()) {
+    HtmlReportOptions HtmlOptions;
+    HtmlOptions.Title = "RPrism regression analysis";
+    if (!writeHtmlFile(renderHtmlReport(Report, HtmlOptions), A.HtmlPath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   A.HtmlPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[html report written to %s]\n",
+                 A.HtmlPath.c_str());
+  }
+  std::fputs(Report.render(20, 14).c_str(), stdout);
+  return 0;
+}
+
+int cmdViews(const Args &A) {
+  if (A.Positional.size() != 1)
+    return usage();
+  auto Prog = compileFile(A.Positional[0], nullptr);
+  if (!Prog) {
+    std::fprintf(stderr, "error: %s\n", Prog.error().render().c_str());
+    return 1;
+  }
+  RunResult Result = runWith(*Prog, A, A.Inputs, "views");
+  ViewWeb Web(Result.ExecTrace);
+  std::printf("%zu entries; %zu views (%zu thread, %zu method, %zu "
+              "target-object, %zu active-object)\n\n",
+              Result.ExecTrace.size(), Web.numViews(),
+              Web.numThreadViews(), Web.numMethodViews(),
+              Web.numTargetObjectViews(), Web.numActiveObjectViews());
+  for (const View &V : Web.views())
+    std::fputs(Web.render(V, 6).c_str(), stdout);
+  return 0;
+}
+
+int cmdProtocols(const Args &A) {
+  if (A.Positional.size() != 2)
+    return usage();
+  auto Strings = std::make_shared<StringInterner>();
+  auto Good = compileFile(A.Positional[0], Strings);
+  auto Subject = compileFile(A.Positional[1], Strings);
+  if (!Good || !Subject) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!Good ? Good.error() : Subject.error()).render().c_str());
+    return 1;
+  }
+  RunResult GoodRun = runWith(*Good, A, A.Inputs, "good");
+  RunResult SubjectRun = runWith(*Subject, A, A.Inputs, "subject");
+  ViewWeb GoodWeb(GoodRun.ExecTrace);
+  ViewWeb SubjectWeb(SubjectRun.ExecTrace);
+  std::vector<ProtocolAutomaton> Protocols = inferProtocols(GoodWeb);
+  for (const ProtocolAutomaton &Auto : Protocols)
+    std::fputs(Auto.render(*Strings).c_str(), stdout);
+  std::vector<ProtocolViolation> Violations =
+      checkProtocols(Protocols, SubjectWeb);
+  std::fputs(renderViolations(Violations, SubjectRun.ExecTrace).c_str(),
+             stdout);
+  return Violations.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Command = Argv[1];
+  Args A = parseArgs(Argc, Argv, 2);
+  if (A.Bad)
+    return 2;
+
+  if (Command == "run")
+    return cmdRun(A);
+  if (Command == "trace-dump")
+    return cmdTraceDump(A);
+  if (Command == "diff")
+    return cmdDiff(A);
+  if (Command == "diff-traces")
+    return cmdDiffTraces(A);
+  if (Command == "analyze")
+    return cmdAnalyze(A);
+  if (Command == "views")
+    return cmdViews(A);
+  if (Command == "protocols")
+    return cmdProtocols(A);
+  return usage();
+}
