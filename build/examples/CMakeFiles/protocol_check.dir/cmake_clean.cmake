@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_check.dir/protocol_check.cpp.o"
+  "CMakeFiles/protocol_check.dir/protocol_check.cpp.o.d"
+  "protocol_check"
+  "protocol_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_hunt.dir/regression_hunt.cpp.o"
+  "CMakeFiles/regression_hunt.dir/regression_hunt.cpp.o.d"
+  "regression_hunt"
+  "regression_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_explorer.dir/view_explorer.cpp.o"
+  "CMakeFiles/view_explorer.dir/view_explorer.cpp.o.d"
+  "view_explorer"
+  "view_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

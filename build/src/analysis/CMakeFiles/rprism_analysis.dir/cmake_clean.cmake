@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_analysis.dir/HtmlReport.cpp.o"
+  "CMakeFiles/rprism_analysis.dir/HtmlReport.cpp.o.d"
+  "CMakeFiles/rprism_analysis.dir/Impact.cpp.o"
+  "CMakeFiles/rprism_analysis.dir/Impact.cpp.o.d"
+  "CMakeFiles/rprism_analysis.dir/Protocol.cpp.o"
+  "CMakeFiles/rprism_analysis.dir/Protocol.cpp.o.d"
+  "CMakeFiles/rprism_analysis.dir/Regression.cpp.o"
+  "CMakeFiles/rprism_analysis.dir/Regression.cpp.o.d"
+  "librprism_analysis.a"
+  "librprism_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

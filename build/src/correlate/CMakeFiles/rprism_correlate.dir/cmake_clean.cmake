@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_correlate.dir/Correlate.cpp.o"
+  "CMakeFiles/rprism_correlate.dir/Correlate.cpp.o.d"
+  "librprism_correlate.a"
+  "librprism_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_diff.dir/DiffResult.cpp.o"
+  "CMakeFiles/rprism_diff.dir/DiffResult.cpp.o.d"
+  "CMakeFiles/rprism_diff.dir/Lcs.cpp.o"
+  "CMakeFiles/rprism_diff.dir/Lcs.cpp.o.d"
+  "CMakeFiles/rprism_diff.dir/ViewsDiff.cpp.o"
+  "CMakeFiles/rprism_diff.dir/ViewsDiff.cpp.o.d"
+  "librprism_diff.a"
+  "librprism_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_lang.dir/Ast.cpp.o"
+  "CMakeFiles/rprism_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/rprism_lang.dir/Checker.cpp.o"
+  "CMakeFiles/rprism_lang.dir/Checker.cpp.o.d"
+  "CMakeFiles/rprism_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/rprism_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/rprism_lang.dir/Parser.cpp.o"
+  "CMakeFiles/rprism_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/rprism_lang.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/rprism_lang.dir/PrettyPrinter.cpp.o.d"
+  "librprism_lang.a"
+  "librprism_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

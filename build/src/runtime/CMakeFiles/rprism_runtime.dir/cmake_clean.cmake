@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_runtime.dir/Compiler.cpp.o"
+  "CMakeFiles/rprism_runtime.dir/Compiler.cpp.o.d"
+  "CMakeFiles/rprism_runtime.dir/TraceRecorder.cpp.o"
+  "CMakeFiles/rprism_runtime.dir/TraceRecorder.cpp.o.d"
+  "CMakeFiles/rprism_runtime.dir/Vm.cpp.o"
+  "CMakeFiles/rprism_runtime.dir/Vm.cpp.o.d"
+  "librprism_runtime.a"
+  "librprism_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

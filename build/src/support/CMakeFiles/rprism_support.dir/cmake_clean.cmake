@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_support.dir/Hashing.cpp.o"
+  "CMakeFiles/rprism_support.dir/Hashing.cpp.o.d"
+  "CMakeFiles/rprism_support.dir/Histogram.cpp.o"
+  "CMakeFiles/rprism_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/rprism_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/rprism_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/rprism_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/rprism_support.dir/TablePrinter.cpp.o.d"
+  "librprism_support.a"
+  "librprism_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

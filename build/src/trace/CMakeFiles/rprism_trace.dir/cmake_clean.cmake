@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_trace.dir/Helpers.cpp.o"
+  "CMakeFiles/rprism_trace.dir/Helpers.cpp.o.d"
+  "CMakeFiles/rprism_trace.dir/Query.cpp.o"
+  "CMakeFiles/rprism_trace.dir/Query.cpp.o.d"
+  "CMakeFiles/rprism_trace.dir/Serialize.cpp.o"
+  "CMakeFiles/rprism_trace.dir/Serialize.cpp.o.d"
+  "CMakeFiles/rprism_trace.dir/Trace.cpp.o"
+  "CMakeFiles/rprism_trace.dir/Trace.cpp.o.d"
+  "librprism_trace.a"
+  "librprism_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_views.dir/Navigator.cpp.o"
+  "CMakeFiles/rprism_views.dir/Navigator.cpp.o.d"
+  "CMakeFiles/rprism_views.dir/Views.cpp.o"
+  "CMakeFiles/rprism_views.dir/Views.cpp.o.d"
+  "librprism_views.a"
+  "librprism_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

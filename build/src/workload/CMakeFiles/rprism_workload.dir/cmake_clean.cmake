@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/rprism_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/CorpusDaikon.cpp.o"
+  "CMakeFiles/rprism_workload.dir/CorpusDaikon.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/CorpusDerby.cpp.o"
+  "CMakeFiles/rprism_workload.dir/CorpusDerby.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/CorpusMotivating.cpp.o"
+  "CMakeFiles/rprism_workload.dir/CorpusMotivating.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/CorpusRhino.cpp.o"
+  "CMakeFiles/rprism_workload.dir/CorpusRhino.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/CorpusSoap.cpp.o"
+  "CMakeFiles/rprism_workload.dir/CorpusSoap.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/CorpusXalan.cpp.o"
+  "CMakeFiles/rprism_workload.dir/CorpusXalan.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/Generator.cpp.o"
+  "CMakeFiles/rprism_workload.dir/Generator.cpp.o.d"
+  "CMakeFiles/rprism_workload.dir/Mutator.cpp.o"
+  "CMakeFiles/rprism_workload.dir/Mutator.cpp.o.d"
+  "librprism_workload.a"
+  "librprism_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

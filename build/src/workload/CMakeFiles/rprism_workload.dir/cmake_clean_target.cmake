@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librprism_workload.a"
+)

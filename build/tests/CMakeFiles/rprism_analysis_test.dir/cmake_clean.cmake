@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_analysis_test.dir/AnalysisTest.cpp.o"
+  "CMakeFiles/rprism_analysis_test.dir/AnalysisTest.cpp.o.d"
+  "rprism_analysis_test"
+  "rprism_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_bytecode_test.dir/BytecodeTest.cpp.o"
+  "CMakeFiles/rprism_bytecode_test.dir/BytecodeTest.cpp.o.d"
+  "rprism_bytecode_test"
+  "rprism_bytecode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_bytecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_correlateedge_test.dir/CorrelateEdgeTest.cpp.o"
+  "CMakeFiles/rprism_correlateedge_test.dir/CorrelateEdgeTest.cpp.o.d"
+  "rprism_correlateedge_test"
+  "rprism_correlateedge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_correlateedge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

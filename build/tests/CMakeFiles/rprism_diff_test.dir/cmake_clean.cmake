@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_diff_test.dir/DiffTest.cpp.o"
+  "CMakeFiles/rprism_diff_test.dir/DiffTest.cpp.o.d"
+  "rprism_diff_test"
+  "rprism_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

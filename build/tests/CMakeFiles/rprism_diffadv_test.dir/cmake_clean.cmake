@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_diffadv_test.dir/DiffAdvancedTest.cpp.o"
+  "CMakeFiles/rprism_diffadv_test.dir/DiffAdvancedTest.cpp.o.d"
+  "rprism_diffadv_test"
+  "rprism_diffadv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_diffadv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

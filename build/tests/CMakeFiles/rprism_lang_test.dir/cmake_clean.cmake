@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_lang_test.dir/LangTest.cpp.o"
+  "CMakeFiles/rprism_lang_test.dir/LangTest.cpp.o.d"
+  "rprism_lang_test"
+  "rprism_lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

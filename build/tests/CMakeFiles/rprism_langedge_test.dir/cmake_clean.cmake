@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_langedge_test.dir/LangEdgeTest.cpp.o"
+  "CMakeFiles/rprism_langedge_test.dir/LangEdgeTest.cpp.o.d"
+  "rprism_langedge_test"
+  "rprism_langedge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_langedge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

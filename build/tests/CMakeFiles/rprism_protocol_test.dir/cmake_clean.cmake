@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_protocol_test.dir/ProtocolTest.cpp.o"
+  "CMakeFiles/rprism_protocol_test.dir/ProtocolTest.cpp.o.d"
+  "rprism_protocol_test"
+  "rprism_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_querynav_test.dir/QueryNavTest.cpp.o"
+  "CMakeFiles/rprism_querynav_test.dir/QueryNavTest.cpp.o.d"
+  "rprism_querynav_test"
+  "rprism_querynav_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_querynav_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

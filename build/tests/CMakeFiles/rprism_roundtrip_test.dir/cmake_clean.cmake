@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_roundtrip_test.dir/CorpusRoundTripTest.cpp.o"
+  "CMakeFiles/rprism_roundtrip_test.dir/CorpusRoundTripTest.cpp.o.d"
+  "rprism_roundtrip_test"
+  "rprism_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_runtime_test.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/rprism_runtime_test.dir/RuntimeTest.cpp.o.d"
+  "rprism_runtime_test"
+  "rprism_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

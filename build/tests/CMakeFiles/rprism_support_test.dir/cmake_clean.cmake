@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_support_test.dir/SupportTest.cpp.o"
+  "CMakeFiles/rprism_support_test.dir/SupportTest.cpp.o.d"
+  "rprism_support_test"
+  "rprism_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

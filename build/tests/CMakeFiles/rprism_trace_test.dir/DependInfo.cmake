@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TraceTest.cpp" "tests/CMakeFiles/rprism_trace_test.dir/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/rprism_trace_test.dir/TraceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rprism_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rprism_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rprism_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rprism_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/rprism_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/correlate/CMakeFiles/rprism_correlate.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/rprism_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rprism_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rprism_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_trace_test.dir/TraceTest.cpp.o"
+  "CMakeFiles/rprism_trace_test.dir/TraceTest.cpp.o.d"
+  "rprism_trace_test"
+  "rprism_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_views_test.dir/ViewsTest.cpp.o"
+  "CMakeFiles/rprism_views_test.dir/ViewsTest.cpp.o.d"
+  "rprism_views_test"
+  "rprism_views_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_vmedge_test.dir/VmEdgeTest.cpp.o"
+  "CMakeFiles/rprism_vmedge_test.dir/VmEdgeTest.cpp.o.d"
+  "rprism_vmedge_test"
+  "rprism_vmedge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_vmedge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

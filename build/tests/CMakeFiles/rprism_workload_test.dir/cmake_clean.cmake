@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism_workload_test.dir/WorkloadTest.cpp.o"
+  "CMakeFiles/rprism_workload_test.dir/WorkloadTest.cpp.o.d"
+  "rprism_workload_test"
+  "rprism_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

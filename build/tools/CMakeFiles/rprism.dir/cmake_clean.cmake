@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rprism.dir/rprism.cpp.o"
+  "CMakeFiles/rprism.dir/rprism.cpp.o.d"
+  "rprism"
+  "rprism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rprism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
