@@ -1,0 +1,236 @@
+//===- bench/bench_pipeline.cpp - Fingerprint + parallel pipeline sweep ---===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the two layers of the diff-pipeline optimization against the
+/// seed sequential path, over a sweep of trace sizes x workload thread
+/// counts (the §5.1 scaling pair, extended with spawned runner threads so
+/// the per-thread-pair parallelism has work to distribute):
+///
+///   seed      — fingerprints stripped, jobs=1: the pre-optimization
+///               pipeline (every =e compare runs the full field-by-field
+///               path).
+///   fp-seq    — fingerprints on, jobs=1: isolates the =e fast-path win.
+///   fp-jobsN  — fingerprints on, jobs=N: adds the thread-pool stages
+///               (web builds, per-pair evaluation, pair fingerprinting).
+///
+/// Every configuration must produce an identical rendered report and
+/// compare-op count (checked here; the determinism contract of
+/// ViewsDiffOptions::Jobs). Results go to BENCH_pipeline.json: wall
+/// seconds, entries/sec, compare ops, and peak RSS.
+///
+//===----------------------------------------------------------------------===//
+
+#include "diff/ViewsDiff.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
+using namespace rprism;
+
+namespace {
+
+/// Peak resident set size in bytes (0 where unsupported).
+uint64_t peakRssBytes() {
+#if defined(__unix__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) == 0)
+    return static_cast<uint64_t>(Usage.ru_maxrss) * 1024;
+#endif
+  return 0;
+}
+
+struct TracePair {
+  std::shared_ptr<StringInterner> Strings;
+  Trace Left;
+  Trace Right;
+};
+
+TracePair makePair(unsigned OuterIters, unsigned WorkloadThreads) {
+  GeneratorOptions Base;
+  Base.OuterIters = OuterIters;
+  Base.NumThreads = WorkloadThreads;
+  GeneratorOptions Perturbed = Base;
+  Perturbed.Perturb = 1; // One constant changed: a version pair.
+  Perturbed.ReorderBlock = true;
+
+  TracePair Pair;
+  Pair.Strings = std::make_shared<StringInterner>();
+  auto Left = compileSource(generateProgram(Base), Pair.Strings);
+  auto Right = compileSource(generateProgram(Perturbed), Pair.Strings);
+  if (!Left || !Right)
+    std::abort();
+  RunOptions Options;
+  Options.TraceName = "pipeline";
+  Pair.Left = runProgram(*Left, Options).ExecTrace;
+  Pair.Right = runProgram(*Right, Options).ExecTrace;
+  return Pair;
+}
+
+struct Measurement {
+  std::string Config;
+  double Seconds = 0;
+  double EntriesPerSec = 0;
+  uint64_t CompareOps = 0;
+  uint64_t PeakRss = 0;
+  size_t NumDiffs = 0;
+};
+
+/// Best-of-\p Reps wall time for one configuration. The diff inputs are
+/// copied per rep so fingerprint stripping cannot leak across configs.
+Measurement measure(const std::string &Config, const TracePair &Pair,
+                    bool Fingerprints, unsigned Jobs, unsigned Reps,
+                    std::string *RenderOut) {
+  Measurement M;
+  M.Config = Config;
+  M.Seconds = 1e30;
+  uint64_t Entries = Pair.Left.size() + Pair.Right.size();
+  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+    Trace Left = Pair.Left;
+    Trace Right = Pair.Right;
+    if (!Fingerprints) {
+      // The seed pipeline: no fingerprints existed, every =e compare runs
+      // the full field-by-field path.
+      Left.HasFingerprints = false;
+      Right.HasFingerprints = false;
+    }
+    ViewsDiffOptions Options;
+    Options.Jobs = Jobs;
+    Timer Clock;
+    DiffResult Result = viewsDiff(Left, Right, Options);
+    double Seconds = Clock.seconds();
+    if (Seconds < M.Seconds) {
+      M.Seconds = Seconds;
+      M.EntriesPerSec = Seconds > 0 ? static_cast<double>(Entries) / Seconds
+                                    : 0;
+    }
+    M.CompareOps = Result.Stats.CompareOps;
+    M.NumDiffs = Result.numDiffs();
+    if (RenderOut && Rep == 0)
+      *RenderOut = Result.render(50, 12);
+  }
+  M.PeakRss = peakRssBytes();
+  return M;
+}
+
+void appendJson(std::string &Json, unsigned OuterIters,
+                unsigned WorkloadThreads, uint64_t Entries,
+                const Measurement &M, bool First) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "%s    {\"outer_iters\": %u, \"workload_threads\": %u, "
+      "\"entries\": %llu, \"config\": \"%s\", \"seconds\": %.6f, "
+      "\"entries_per_sec\": %.1f, \"compare_ops\": %llu, "
+      "\"num_diffs\": %zu, \"peak_rss_bytes\": %llu}",
+      First ? "" : ",\n", OuterIters, WorkloadThreads,
+      static_cast<unsigned long long>(Entries), M.Config.c_str(), M.Seconds,
+      M.EntriesPerSec, static_cast<unsigned long long>(M.CompareOps),
+      M.NumDiffs, static_cast<unsigned long long>(M.PeakRss));
+  Json += Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Sweep sizes (OuterIters) x workload thread counts. `--quick` trims the
+  // sweep for CI smoke runs.
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  std::vector<unsigned> Sizes =
+      Quick ? std::vector<unsigned>{50, 200}
+            : std::vector<unsigned>{50, 400, 1600};
+  std::vector<unsigned> WorkloadThreads =
+      Quick ? std::vector<unsigned>{2} : std::vector<unsigned>{1, 4, 8};
+  unsigned Hw = ThreadPool::defaultConcurrency();
+  std::vector<unsigned> JobCounts{2, 4};
+  if (Hw > 4)
+    JobCounts.push_back(Hw);
+
+  std::string Json = "{\n  \"bench\": \"pipeline\",\n  \"hardware_"
+                     "concurrency\": " +
+                     std::to_string(Hw) + ",\n  \"results\": [\n";
+  bool First = true;
+  int Exit = 0;
+  double LargestSeedSeconds = 0;
+  double LargestBestSeconds = 0;
+
+  for (unsigned Threads : WorkloadThreads) {
+    for (unsigned Size : Sizes) {
+      TracePair Pair = makePair(Size, Threads);
+      uint64_t Entries = Pair.Left.size() + Pair.Right.size();
+      unsigned Reps = Entries > 200000 ? 2 : 3;
+      std::printf("== %llu entries (iters=%u, workload threads=%u) ==\n",
+                  static_cast<unsigned long long>(Entries), Size, Threads);
+
+      std::string SeedRender;
+      Measurement Seed = measure("seed", Pair, /*Fingerprints=*/false,
+                                 /*Jobs=*/1, Reps, &SeedRender);
+      appendJson(Json, Size, Threads, Entries, Seed, First);
+      First = false;
+      std::printf("  %-10s %8.2f ms  %12.0f entries/s  %10llu ops\n",
+                  Seed.Config.c_str(), Seed.Seconds * 1e3,
+                  Seed.EntriesPerSec,
+                  static_cast<unsigned long long>(Seed.CompareOps));
+
+      double Best = 1e30;
+      std::vector<std::pair<std::string, std::pair<bool, unsigned>>> Configs;
+      Configs.emplace_back("fp-seq", std::make_pair(true, 1u));
+      for (unsigned Jobs : JobCounts)
+        Configs.emplace_back("fp-jobs" + std::to_string(Jobs),
+                             std::make_pair(true, Jobs));
+      for (const auto &[Name, Cfg] : Configs) {
+        std::string Render;
+        Measurement M =
+            measure(Name, Pair, Cfg.first, Cfg.second, Reps, &Render);
+        appendJson(Json, Size, Threads, Entries, M, First);
+        std::printf("  %-10s %8.2f ms  %12.0f entries/s  %10llu ops"
+                    "  (%.2fx)\n",
+                    M.Config.c_str(), M.Seconds * 1e3, M.EntriesPerSec,
+                    static_cast<unsigned long long>(M.CompareOps),
+                    Seed.Seconds / M.Seconds);
+        Best = std::min(Best, M.Seconds);
+        // The determinism contract: every jobs value (and the fingerprint
+        // fast path) yields the identical report and compare-op count.
+        if (Render != SeedRender || M.CompareOps != Seed.CompareOps) {
+          std::printf("  ERROR: '%s' diverged from the seed report\n",
+                      Name.c_str());
+          Exit = 1;
+        }
+      }
+      if (Threads == WorkloadThreads.back() && Size == Sizes.back()) {
+        LargestSeedSeconds = Seed.Seconds;
+        LargestBestSeconds = Best;
+      }
+    }
+  }
+
+  Json += "\n  ]\n}\n";
+  const char *Path = "BENCH_pipeline.json";
+  if (std::FILE *F = std::fopen(Path, "wb")) {
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    std::printf("\n[results written to %s]\n", Path);
+  } else {
+    std::printf("\nerror: cannot write %s\n", Path);
+    Exit = 1;
+  }
+  if (LargestBestSeconds > 0)
+    std::printf("largest-size speedup vs seed sequential: %.2fx\n",
+                LargestSeedSeconds / LargestBestSeconds);
+  return Exit;
+}

@@ -3,9 +3,12 @@
 #include "diff/ViewsDiff.h"
 
 #include "diff/Lcs.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -13,14 +16,31 @@ using namespace rprism;
 
 namespace {
 
-class ViewsDiffer {
+/// Evaluates ONE correlated thread-view pair with fully isolated state:
+/// its own similarity marks, anchor map, explored-pair dedup set, compare
+/// counter, and difference sequences. Isolation is what makes thread-pair
+/// evaluations independent tasks — with per-pair results merged in
+/// correlation order, `--jobs N` produces the same DiffResult (and the
+/// same total compare-op count) as `--jobs 1`, which runs the very same
+/// per-pair code sequentially.
+class PairEvaluator {
 public:
-  ViewsDiffer(const ViewWeb &Left, const ViewWeb &Right,
-              const ViewCorrelation &X, const ViewsDiffOptions &Options)
+  PairEvaluator(const ViewWeb &Left, const ViewWeb &Right,
+                const ViewCorrelation &X, const ViewsDiffOptions &Options)
       : LeftWeb(Left), RightWeb(Right), X(X), Options(Options),
-        LT(Left.trace()), RT(Right.trace()) {}
+        LT(Left.trace()), RT(Right.trace()) {
+    LeftSimilar.assign(LT.Entries.size(), false);
+    RightSimilar.assign(RT.Entries.size(), false);
+  }
 
-  DiffResult run();
+  void evalThreadPair(const View &LV, const View &RV);
+
+  // -- Per-pair results, merged by viewsDiff() ----------------------------
+  std::vector<bool> LeftSimilar;  ///< This pair's Pi, left side.
+  std::vector<bool> RightSimilar; ///< This pair's Pi, right side.
+  std::vector<DiffSequence> Sequences;
+  std::unordered_map<uint32_t, uint32_t> Anchors; ///< left eid -> right eid.
+  CompareCounter Ops;
 
 private:
   bool eq(uint32_t LeftEid, uint32_t RightEid) {
@@ -28,10 +48,21 @@ private:
                        &Ops);
   }
 
+  /// Records an exploration-produced similar pair: marks both sides and
+  /// stores the anchor (anchors are queried ahead of the cursors by
+  /// anchoredPair/findNextSync, so only exploration marks — which can land
+  /// ahead — need the map).
   void markSimilar(uint32_t LeftEid, uint32_t RightEid) {
-    Result.LeftSimilar[LeftEid] = true;
-    Result.RightSimilar[RightEid] = true;
+    markMatched(LeftEid, RightEid);
     Anchors[LeftEid] = RightEid;
+  }
+
+  /// Marks a pair matched at the cursors (STEP-VIEW-MATCH / sync points).
+  /// The cursors advance past it immediately, so no anchor is stored —
+  /// skipping the hash insert on the hot lock-step path.
+  void markMatched(uint32_t LeftEid, uint32_t RightEid) {
+    LeftSimilar[LeftEid] = true;
+    RightSimilar[RightEid] = true;
   }
 
   bool anchoredPair(uint32_t LeftEid, uint32_t RightEid) const {
@@ -40,9 +71,7 @@ private:
   }
 
   bool sameSite(uint32_t LeftEid, uint32_t RightEid) const;
-  void mergeAdjacentSequences(const View &LV, const View &RV,
-                              size_t FirstSequence);
-  void evalThreadPair(const View &LV, const View &RV);
+  void mergeAdjacentSequences(const View &LV, const View &RV);
   void exploreSecondary(const View &LV, const View &RV, size_t I, size_t J);
   void windowedLcs(const View &LSecondary, int64_t LPos,
                    const View &RSecondary, int64_t RPos);
@@ -50,7 +79,6 @@ private:
                                          size_t I, size_t J);
   void emitSequences(const View &LV, const View &RV, size_t LBegin,
                      size_t LEnd, size_t RBegin, size_t REnd);
-  void emitWholeViewSequence(const View &V, bool IsLeft);
 
   const ViewWeb &LeftWeb;
   const ViewWeb &RightWeb;
@@ -59,17 +87,14 @@ private:
   const Trace &LT;
   const Trace &RT;
 
-  DiffResult Result;
-  CompareCounter Ops;
-  std::unordered_map<uint32_t, uint32_t> Anchors; ///< left eid -> right eid.
   /// View pairs already explored at the current mismatch (dedup).
   std::unordered_set<uint64_t> ExploredPairs;
 };
 
 } // namespace
 
-void ViewsDiffer::windowedLcs(const View &LSecondary, int64_t LPos,
-                              const View &RSecondary, int64_t RPos) {
+void PairEvaluator::windowedLcs(const View &LSecondary, int64_t LPos,
+                                const View &RSecondary, int64_t RPos) {
   // win(gamma, delta): a fixed window of the secondary view centered on the
   // position of the linked entry.
   auto Window = [this](const View &V, int64_t Pos) {
@@ -120,33 +145,50 @@ void ViewsDiffer::windowedLcs(const View &LSecondary, int64_t LPos,
   }
 }
 
-void ViewsDiffer::exploreSecondary(const View &LV, const View &RV, size_t I,
-                                   size_t J) {
+void PairEvaluator::exploreSecondary(const View &LV, const View &RV, size_t I,
+                                     size_t J) {
   ExploredPairs.clear();
   int64_t Delta = Options.Delta;
 
   // Candidate entries within +-delta of each cursor (SIMILAR-FROM-LINKED-
   // VIEWS constrains gamma5/gamma6 to a constant distance from the
-  // mismatching entries).
-  for (int64_t DL = -Delta; DL <= Delta; ++DL) {
-    int64_t LI = static_cast<int64_t>(I) + DL;
-    if (LI < 0 || LI >= static_cast<int64_t>(LV.Entries.size()))
-      continue;
-    uint32_t LeftEid = LV.Entries[LI];
-    std::vector<uint32_t> LeftViews = LeftWeb.viewsOf(LeftEid);
-
-    for (int64_t DR = -Delta; DR <= Delta; ++DR) {
-      int64_t RJ = static_cast<int64_t>(J) + DR;
-      if (RJ < 0 || RJ >= static_cast<int64_t>(RV.Entries.size()))
+  // mismatching entries). Each candidate's linked-view list is computed
+  // once up front — the nested loop below visits every (left, right)
+  // candidate combination, and a per-combination viewsOf() was the
+  // dominant allocation cost of exploration.
+  struct Candidate {
+    int64_t Offset;                ///< DL/DR relative to the cursor.
+    uint32_t Eid;
+    std::vector<uint32_t> ViewIds; ///< Views this entry belongs to.
+  };
+  auto Collect = [Delta](const ViewWeb &Web, const View &V, size_t Cursor) {
+    std::vector<Candidate> Result;
+    Result.reserve(2 * Delta + 1);
+    for (int64_t D = -Delta; D <= Delta; ++D) {
+      int64_t Pos = static_cast<int64_t>(Cursor) + D;
+      if (Pos < 0 || Pos >= static_cast<int64_t>(V.Entries.size()))
         continue;
-      uint32_t RightEid = RV.Entries[RJ];
-      std::vector<uint32_t> RightViews = RightWeb.viewsOf(RightEid);
+      uint32_t Eid = V.Entries[Pos];
+      Result.push_back({D, Eid, Web.viewsOf(Eid)});
+    }
+    return Result;
+  };
+  std::vector<Candidate> LeftCands = Collect(LeftWeb, LV, I);
+  std::vector<Candidate> RightCands = Collect(RightWeb, RV, J);
 
-      for (uint32_t LViewId : LeftViews) {
+  for (const Candidate &LC : LeftCands) {
+    int64_t DL = LC.Offset;
+    uint32_t LeftEid = LC.Eid;
+
+    for (const Candidate &RC : RightCands) {
+      int64_t DR = RC.Offset;
+      uint32_t RightEid = RC.Eid;
+
+      for (uint32_t LViewId : LC.ViewIds) {
         const View &LSecondary = LeftWeb.view(LViewId);
         if (LSecondary.Type == ViewType::Thread)
           continue; // The thread view is the primary view itself.
-        for (uint32_t RViewId : RightViews) {
+        for (uint32_t RViewId : RC.ViewIds) {
           const View &RSecondary = RightWeb.view(RViewId);
           if (RSecondary.Type != LSecondary.Type)
             continue;
@@ -176,9 +218,9 @@ void ViewsDiffer::exploreSecondary(const View &LV, const View &RV, size_t I,
   }
 }
 
-std::pair<size_t, size_t> ViewsDiffer::findNextSync(const View &LV,
-                                                    const View &RV, size_t I,
-                                                    size_t J) {
+std::pair<size_t, size_t> PairEvaluator::findNextSync(const View &LV,
+                                                      const View &RV,
+                                                      size_t I, size_t J) {
   size_t N = LV.Entries.size();
   size_t M = RV.Entries.size();
   // Diagonal search: smallest total skip (A + B) such that the entries at
@@ -194,7 +236,7 @@ std::pair<size_t, size_t> ViewsDiffer::findNextSync(const View &LV,
         continue;
       uint32_t LeftEid = LV.Entries[LI];
       uint32_t RightEid = RV.Entries[RJ];
-      if (anchoredPair(LeftEid, RightEid) || eq(LeftEid, RightEid))
+      if (eq(LeftEid, RightEid) || anchoredPair(LeftEid, RightEid))
         return {LI, RJ};
     }
     if (I + D >= N && J + D >= M)
@@ -217,34 +259,34 @@ std::pair<size_t, size_t> ViewsDiffer::findNextSync(const View &LV,
   return {N, M}; // No sync point: the rest is one big difference.
 }
 
-void ViewsDiffer::emitSequences(const View &LV, const View &RV,
-                                size_t LBegin, size_t LEnd, size_t RBegin,
-                                size_t REnd) {
+void PairEvaluator::emitSequences(const View &LV, const View &RV,
+                                  size_t LBegin, size_t LEnd, size_t RBegin,
+                                  size_t REnd) {
   // Split the skipped region into sequences, breaking at anchored
   // (similar) entries on either side.
   size_t LI = LBegin;
   size_t RJ = RBegin;
   while (LI < LEnd || RJ < REnd) {
-    while (LI < LEnd && Result.LeftSimilar[LV.Entries[LI]])
+    while (LI < LEnd && LeftSimilar[LV.Entries[LI]])
       ++LI;
-    while (RJ < REnd && Result.RightSimilar[RV.Entries[RJ]])
+    while (RJ < REnd && RightSimilar[RV.Entries[RJ]])
       ++RJ;
     if (LI >= LEnd && RJ >= REnd)
       break;
     DiffSequence Seq;
     Seq.LeftTid = LV.Tid;
-    while (LI < LEnd && !Result.LeftSimilar[LV.Entries[LI]])
+    while (LI < LEnd && !LeftSimilar[LV.Entries[LI]])
       Seq.LeftEids.push_back(LV.Entries[LI++]);
-    while (RJ < REnd && !Result.RightSimilar[RV.Entries[RJ]])
+    while (RJ < REnd && !RightSimilar[RV.Entries[RJ]])
       Seq.RightEids.push_back(RV.Entries[RJ++]);
-    Result.Sequences.push_back(std::move(Seq));
+    Sequences.push_back(std::move(Seq));
   }
 }
 
 /// True when two entries are the same event *site* — same kind, name, and
 /// target object instance — so a mismatch between them is a value
 /// modification, not an insertion/deletion.
-bool ViewsDiffer::sameSite(uint32_t LeftEid, uint32_t RightEid) const {
+bool PairEvaluator::sameSite(uint32_t LeftEid, uint32_t RightEid) const {
   const Event &A = LT.Entries[LeftEid].Ev;
   const Event &B = RT.Entries[RightEid].Ev;
   return A.Kind == B.Kind && A.Name == B.Name &&
@@ -256,8 +298,7 @@ bool ViewsDiffer::sameSite(uint32_t LeftEid, uint32_t RightEid) const {
 /// modification run flowing directly into a skip region, or region splits
 /// at anchors that later turned out adjacent): difference sequences are
 /// *maximal* contiguous runs, matching the paper's sequence counting.
-void ViewsDiffer::mergeAdjacentSequences(const View &LV, const View &RV,
-                                         size_t FirstSequence) {
+void PairEvaluator::mergeAdjacentSequences(const View &LV, const View &RV) {
   auto Adjacent = [](const View &V, const std::vector<uint32_t> &A,
                      const std::vector<uint32_t> &B) {
     if (A.empty() || B.empty())
@@ -268,8 +309,7 @@ void ViewsDiffer::mergeAdjacentSequences(const View &LV, const View &RV,
   };
 
   std::vector<DiffSequence> Merged;
-  for (size_t I = FirstSequence; I != Result.Sequences.size(); ++I) {
-    DiffSequence &Seq = Result.Sequences[I];
+  for (DiffSequence &Seq : Sequences) {
     if (!Merged.empty() &&
         Adjacent(LV, Merged.back().LeftEids, Seq.LeftEids) &&
         Adjacent(RV, Merged.back().RightEids, Seq.RightEids)) {
@@ -282,24 +322,42 @@ void ViewsDiffer::mergeAdjacentSequences(const View &LV, const View &RV,
       Merged.push_back(std::move(Seq));
     }
   }
-  Result.Sequences.resize(FirstSequence);
-  for (DiffSequence &Seq : Merged)
-    Result.Sequences.push_back(std::move(Seq));
+  Sequences = std::move(Merged);
 }
 
-void ViewsDiffer::evalThreadPair(const View &LV, const View &RV) {
-  size_t FirstSequence = Result.Sequences.size();
+void PairEvaluator::evalThreadPair(const View &LV, const View &RV) {
   size_t N = LV.Entries.size();
   size_t M = RV.Entries.size();
   size_t I = 0;
   size_t J = 0;
+  // A thread view's entries are contiguous in the view but strided in the
+  // entry array (other threads' entries interleave), so the lock-step loop
+  // is bound by the latency of two strided loads per step. Prefetching a
+  // few steps ahead overlaps those misses; correctness is unaffected.
+  constexpr size_t Prefetch = 8;
+  auto PrefetchAt = [](const Trace &T, const View &V, size_t Pos) {
+    if (Pos < V.Entries.size()) {
+      const char *P =
+          reinterpret_cast<const char *>(&T.Entries[V.Entries[Pos]]);
+      __builtin_prefetch(P);
+      __builtin_prefetch(P + 64);
+      __builtin_prefetch(P + sizeof(TraceEntry) - 1);
+    }
+  };
   while (I < N && J < M) {
+    PrefetchAt(LT, LV, I + Prefetch);
+    PrefetchAt(RT, RV, J + Prefetch);
     uint32_t LeftEid = LV.Entries[I];
     uint32_t RightEid = RV.Entries[J];
 
-    // STEP-VIEW-MATCH.
-    if (anchoredPair(LeftEid, RightEid) || eq(LeftEid, RightEid)) {
-      markSimilar(LeftEid, RightEid);
+    // STEP-VIEW-MATCH. Compare before consulting the anchor map: anchors
+    // are produced by windowed LCS, whose matches satisfy =e, so the map
+    // lookup can never succeed where the compare fails — it only serves as
+    // the sync-point certificate when exploration already paired entries.
+    // Trying =e first keeps the dominant all-equal path free of hash
+    // probes.
+    if (eq(LeftEid, RightEid) || anchoredPair(LeftEid, RightEid)) {
+      markMatched(LeftEid, RightEid);
       ++I;
       ++J;
       continue;
@@ -316,10 +374,12 @@ void ViewsDiffer::evalThreadPair(const View &LV, const View &RV) {
       Seq.LeftTid = LV.Tid;
       while (I < N && J < M && !eq(LV.Entries[I], RV.Entries[J]) &&
              sameSite(LV.Entries[I], RV.Entries[J])) {
+        PrefetchAt(LT, LV, I + Prefetch);
+        PrefetchAt(RT, RV, J + Prefetch);
         Seq.LeftEids.push_back(LV.Entries[I++]);
         Seq.RightEids.push_back(RV.Entries[J++]);
       }
-      Result.Sequences.push_back(std::move(Seq));
+      Sequences.push_back(std::move(Seq));
       continue;
     }
 
@@ -334,10 +394,14 @@ void ViewsDiffer::evalThreadPair(const View &LV, const View &RV) {
   // Tail: whatever remains on either side is a difference (the formal
   // semantics pads the shorter trace with eof entries, §3.1).
   emitSequences(LV, RV, I, N, J, M);
-  mergeAdjacentSequences(LV, RV, FirstSequence);
+  mergeAdjacentSequences(LV, RV);
 }
 
-void ViewsDiffer::emitWholeViewSequence(const View &V, bool IsLeft) {
+/// Thread views with no correlated partner are differences wholesale
+/// (filtered against the merged similarity set: an unpaired thread's
+/// entries can still be anchored from a paired thread's exploration).
+static void emitWholeViewSequence(DiffResult &Result, const View &V,
+                                  bool IsLeft) {
   DiffSequence Seq;
   Seq.LeftTid = V.Tid;
   for (uint32_t Eid : V.Entries) {
@@ -350,34 +414,84 @@ void ViewsDiffer::emitWholeViewSequence(const View &V, bool IsLeft) {
     Result.Sequences.push_back(std::move(Seq));
 }
 
-DiffResult ViewsDiffer::run() {
+DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
+                             const ViewCorrelation &X,
+                             const ViewsDiffOptions &Options,
+                             ThreadPool *Pool) {
   Timer Clock;
+  const Trace &LT = Left.trace();
+  const Trace &RT = Right.trace();
+
+  DiffResult Result;
   Result.Left = &LT;
   Result.Right = &RT;
   Result.LeftSimilar.assign(LT.Entries.size(), false);
   Result.RightSimilar.assign(RT.Entries.size(), false);
 
-  // Evaluate each correlated thread-view pair; union of the per-pair Pi
-  // sets is the final similarity set.
-  std::unordered_set<uint32_t> PairedLeft;
-  std::unordered_set<uint32_t> PairedRight;
-  for (auto [LViewId, RViewId] : X.threadPairs()) {
-    PairedLeft.insert(LViewId);
-    PairedRight.insert(RViewId);
-    evalThreadPair(LeftWeb.view(LViewId), RightWeb.view(RViewId));
+  const std::vector<std::pair<uint32_t, uint32_t>> &Pairs = X.threadPairs();
+
+  std::optional<ThreadPool> OwnPool;
+  if (!Pool) {
+    OwnPool.emplace(Options.Jobs ? Options.Jobs
+                                 : ThreadPool::defaultConcurrency());
+    Pool = &*OwnPool;
   }
 
-  // Thread views with no correlated partner are differences wholesale.
-  for (const View &V : LeftWeb.views())
-    if (V.Type == ViewType::Thread && !PairedLeft.count(V.Id))
-      emitWholeViewSequence(V, /*IsLeft=*/true);
-  for (const View &V : RightWeb.views())
-    if (V.Type == ViewType::Thread && !PairedRight.count(V.Id))
-      emitWholeViewSequence(V, /*IsLeft=*/false);
+  // Evaluate each correlated thread-view pair in isolation. The evaluators
+  // share nothing, so they run as independent pool tasks; with an inline
+  // pool (jobs = 1) the same evaluators run sequentially in pair order.
+  std::vector<std::unique_ptr<PairEvaluator>> Evals;
+  Evals.reserve(Pairs.size());
+  for (size_t K = 0; K != Pairs.size(); ++K)
+    Evals.push_back(
+        std::make_unique<PairEvaluator>(Left, Right, X, Options));
+  if (Pool->numWorkers() > 1 && Pairs.size() > 1) {
+    for (size_t K = 0; K != Pairs.size(); ++K)
+      Pool->submit([&Evals, &Left, &Right, &Pairs, K] {
+        Evals[K]->evalThreadPair(Left.view(Pairs[K].first),
+                                 Right.view(Pairs[K].second));
+      });
+    Pool->wait();
+  } else {
+    for (size_t K = 0; K != Pairs.size(); ++K)
+      Evals[K]->evalThreadPair(Left.view(Pairs[K].first),
+                               Right.view(Pairs[K].second));
+  }
 
-  // Anchors found late can mark entries similar after they were already
-  // emitted into an earlier sequence; re-filter so sequences contain only
-  // entries that are differences in the final Pi.
+  // Deterministic merge, in correlation (left-tid) order: the union of the
+  // per-pair Pi sets is the final similarity set, sequences concatenate,
+  // and per-pair compare counters sum to a jobs-independent total.
+  std::unordered_set<uint32_t> PairedLeft;
+  std::unordered_set<uint32_t> PairedRight;
+  std::unordered_map<uint32_t, uint32_t> AnchorUnion;
+  uint64_t TotalOps = 0;
+  for (size_t K = 0; K != Pairs.size(); ++K) {
+    PairedLeft.insert(Pairs[K].first);
+    PairedRight.insert(Pairs[K].second);
+    PairEvaluator &E = *Evals[K];
+    for (size_t I = 0; I != E.LeftSimilar.size(); ++I)
+      if (E.LeftSimilar[I])
+        Result.LeftSimilar[I] = true;
+    for (size_t I = 0; I != E.RightSimilar.size(); ++I)
+      if (E.RightSimilar[I])
+        Result.RightSimilar[I] = true;
+    for (const auto &[L, R] : E.Anchors)
+      AnchorUnion.emplace(L, R);
+    TotalOps += E.Ops.Count;
+    for (DiffSequence &Seq : E.Sequences)
+      Result.Sequences.push_back(std::move(Seq));
+  }
+
+  for (const View &V : Left.views())
+    if (V.Type == ViewType::Thread && !PairedLeft.count(V.Id))
+      emitWholeViewSequence(Result, V, /*IsLeft=*/true);
+  for (const View &V : Right.views())
+    if (V.Type == ViewType::Thread && !PairedRight.count(V.Id))
+      emitWholeViewSequence(Result, V, /*IsLeft=*/false);
+
+  // Anchors found late (or by another pair) can mark entries similar after
+  // they were already emitted into a sequence; re-filter so sequences
+  // contain only entries that are differences in the final, merged Pi.
   std::vector<DiffSequence> Filtered;
   Filtered.reserve(Result.Sequences.size());
   for (DiffSequence &Seq : Result.Sequences) {
@@ -394,32 +508,32 @@ DiffResult ViewsDiffer::run() {
   }
   Result.Sequences = std::move(Filtered);
 
-  Result.Stats.CompareOps = Ops.Count;
+  Result.Stats.CompareOps = TotalOps;
   Result.Stats.Seconds = Clock.seconds();
-  // Views-based memory: the similarity bitsets, the anchor map, and the
-  // view webs' entry indices — all linear in the trace sizes.
+  // Views-based memory: the per-pair and merged similarity bitsets, the
+  // anchor map, and the view webs' entry indices — all linear in the trace
+  // sizes. Counted as if every pair's state coexists (the full-parallelism
+  // worst case) so the figure does not depend on the worker count.
   uint64_t WebBytes = 0;
-  for (const View &V : LeftWeb.views())
+  for (const View &V : Left.views())
     WebBytes += V.Entries.size() * sizeof(uint32_t);
-  for (const View &V : RightWeb.views())
+  for (const View &V : Right.views())
     WebBytes += V.Entries.size() * sizeof(uint32_t);
-  Result.Stats.PeakBytes = WebBytes +
-                           (LT.Entries.size() + RT.Entries.size()) / 8 +
-                           Anchors.size() * 16;
+  Result.Stats.PeakBytes =
+      WebBytes +
+      (LT.Entries.size() + RT.Entries.size()) / 8 * (1 + Pairs.size()) +
+      AnchorUnion.size() * 16;
   return Result;
-}
-
-DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
-                             const ViewCorrelation &X,
-                             const ViewsDiffOptions &Options) {
-  ViewsDiffer Differ(Left, Right, X, Options);
-  return Differ.run();
 }
 
 DiffResult rprism::viewsDiff(const Trace &Left, const Trace &Right,
                              const ViewsDiffOptions &Options) {
-  ViewWeb LeftWeb(Left);
-  ViewWeb RightWeb(Right);
+  // One pool for the whole pipeline: both web builds (four index families
+  // each) and the thread-pair evaluation stage.
+  ThreadPool Pool(Options.Jobs ? Options.Jobs
+                               : ThreadPool::defaultConcurrency());
+  ViewWeb LeftWeb(Left, &Pool);
+  ViewWeb RightWeb(Right, &Pool);
   ViewCorrelation X(LeftWeb, RightWeb);
-  return viewsDiff(LeftWeb, RightWeb, X, Options);
+  return viewsDiff(LeftWeb, RightWeb, X, Options, &Pool);
 }

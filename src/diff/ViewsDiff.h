@@ -34,6 +34,8 @@
 
 namespace rprism {
 
+class ThreadPool;
+
 /// Tunables of the views-based semantics. Delta and Window are the paper's
 /// two fixed constants (entry neighborhood and LCS window); ScanAhead
 /// bounds the re-synchronization search so overall work stays linear.
@@ -43,16 +45,27 @@ struct ViewsDiffOptions {
   unsigned ScanAhead = 4096; ///< Max skip to the next sync point.
   bool ExploreSecondaryViews = true; ///< Ablation: off = pure lock-step.
   bool RelaxedCorrelation = true;    ///< §5 refactoring tolerance.
+  /// Worker threads for the pipeline (view-web builds, per-thread-pair
+  /// evaluation, pair fingerprinting). 0 = hardware_concurrency; 1 runs
+  /// the sequential path bit-for-bit. Every thread-pair evaluation is
+  /// isolated (own anchors, similarity marks, and compare counter) and the
+  /// per-pair results are merged in correlation order, so the DiffResult —
+  /// including total compare-op counts — is identical for every value.
+  unsigned Jobs = 0;
 };
 
 /// Runs the views-based differencing over two view webs whose traces share
 /// a string interner. \p X supplies the view correlation (including the
-/// X_TH thread pairs that seed the evaluation).
+/// X_TH thread pairs that seed the evaluation). \p Pool, when non-null,
+/// overrides Options.Jobs for the evaluation stage (the caller keeps
+/// ownership); otherwise a pool of Options.Jobs workers is used.
 DiffResult viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
                      const ViewCorrelation &X,
-                     const ViewsDiffOptions &Options = ViewsDiffOptions());
+                     const ViewsDiffOptions &Options = ViewsDiffOptions(),
+                     ThreadPool *Pool = nullptr);
 
-/// Convenience: builds webs + correlation internally.
+/// Convenience: builds webs + correlation internally (web index families
+/// build concurrently on the Options.Jobs pool).
 DiffResult viewsDiff(const Trace &Left, const Trace &Right,
                      const ViewsDiffOptions &Options = ViewsDiffOptions());
 

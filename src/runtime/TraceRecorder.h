@@ -35,8 +35,13 @@ public:
   TraceRecorder(const CompiledProgram &Prog, const ObjectStore &Store,
                 const TraceOptions &Options, std::string TraceName);
 
-  /// The finished trace; call once after the run.
-  Trace take() { return std::move(Out); }
+  /// The finished trace; call once after the run. Finalization computes
+  /// the per-entry equality fingerprints (recording appends entries, so
+  /// the hashes are taken once here rather than maintained online).
+  Trace take() {
+    Out.computeFingerprints();
+    return std::move(Out);
+  }
 
   // -- Representation builders -------------------------------------------
   ObjRepr objRepr(uint32_t Loc) const;

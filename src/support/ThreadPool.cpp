@@ -1,0 +1,125 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace rprism;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads <= 1)
+    return; // Inline mode: no workers, submit() executes directly.
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+void ThreadPool::recordException(std::exception_ptr E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!FirstError)
+    FirstError = E;
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Workers.empty()) {
+    // Inline mode: preserve the sequential execution order exactly.
+    try {
+      Task();
+    } catch (...) {
+      recordException(std::current_exception());
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+    ++Pending;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutting down and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    try {
+      Task();
+    } catch (...) {
+      recordException(std::current_exception());
+    }
+    bool Drained;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Drained = --Pending == 0;
+    }
+    if (Drained)
+      AllDone.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr E;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+    E = std::exchange(FirstError, nullptr);
+  }
+  if (E)
+    std::rethrow_exception(E);
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (Workers.empty()) {
+    // Inline: run in index order; defer the first exception like workers do
+    // so error semantics match the parallel path.
+    std::exception_ptr E;
+    for (size_t I = 0; I != N; ++I) {
+      try {
+        Body(I);
+      } catch (...) {
+        if (!E)
+          E = std::current_exception();
+      }
+    }
+    if (E)
+      std::rethrow_exception(E);
+    return;
+  }
+  // Chunk indices so a cheap body doesn't pay a queue round-trip per index;
+  // 4 chunks per worker keeps the tail balanced when chunks vary in cost.
+  size_t NumChunks = std::min<size_t>(N, Workers.size() * 4);
+  size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
+  for (size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+    size_t End = std::min(N, Begin + ChunkSize);
+    submit([&Body, Begin, End] {
+      for (size_t I = Begin; I != End; ++I)
+        Body(I);
+    });
+  }
+  wait();
+}

@@ -128,6 +128,16 @@ struct TraceEntry {
   ObjRepr Self;   ///< Receiver of the executing method (none in main).
   Event Ev;
   uint32_t Prov = 0;
+  /// Equality fingerprint: a 64-bit hash of exactly the components =e
+  /// compares (kind, name, target/value representations, argument
+  /// representations, and the spawned thread's entry method for fork/end).
+  /// Unequal fingerprints imply unequal events, so eventEquals rejects
+  /// mismatches with one integer compare; equal fingerprints are verified
+  /// on the slow path. Valid only while the owning Trace's HasFingerprints
+  /// flag is set; symbol ids feed the hash, so fingerprints compare only
+  /// between traces sharing a StringInterner (the same precondition =e
+  /// already has) and are recomputed when a trace is deserialized.
+  uint64_t Fp = 0;
 };
 
 } // namespace rprism

@@ -11,7 +11,16 @@ using namespace rprism;
 namespace {
 
 constexpr uint32_t TraceMagic = 0x52505452; // "RPTR"
-constexpr uint32_t TraceVersion = 1;
+// Version history:
+//   1 — seed format.
+//   2 — TraceEntry carries an equality fingerprint (TraceEntry::Fp).
+//       Fingerprints hash interner-local symbol ids, so they are *derived*
+//       data: they are not written to disk and are recomputed after the
+//       file's string table has been re-interned on load. The layout is
+//       unchanged from v1; the bump records the semantic extension so v2
+//       readers know loaded v1/v2 traces are fingerprint-complete.
+constexpr uint32_t TraceVersion = 2;
+constexpr uint32_t MinTraceVersion = 1;
 
 /// Little buffered binary writer over stdio.
 class Writer {
@@ -190,7 +199,8 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
     return makeErr("cannot open trace file '" + Path + "'");
   if (R.u32() != TraceMagic)
     return makeErr("'" + Path + "' is not a trace file");
-  if (R.u32() != TraceVersion)
+  uint32_t Version = R.u32();
+  if (Version < MinTraceVersion || Version > TraceVersion)
     return makeErr("'" + Path + "' has an unsupported trace version");
 
   Trace T;
@@ -245,6 +255,9 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
 
   if (!R.ok())
     return makeErr("truncated trace file '" + Path + "'");
+  // Fingerprints hash symbol ids, which re-interning just remapped;
+  // recompute so loaded traces hit the =e fast path.
+  T.computeFingerprints();
   return T;
 }
 

@@ -2,6 +2,9 @@
 
 #include "trace/Trace.h"
 
+#include "support/Hashing.h"
+#include "support/ThreadPool.h"
+
 #include <sstream>
 
 using namespace rprism;
@@ -85,11 +88,107 @@ std::string Trace::renderEntry(const TraceEntry &Entry) const {
   return OS.str();
 }
 
+namespace {
+
+// Branch tags keeping the two reprEquals(ObjRepr) comparison modes (value
+// representation vs creation sequence) in distinct hash domains.
+constexpr uint64_t FpObjByRepr = 0xa1;
+constexpr uint64_t FpObjBySeq = 0xa2;
+
+/// Fingerprint contribution of an object representation. Mirrors
+/// reprEquals(ObjRepr): class name, then the value-representation hash when
+/// the class has one, else the class-specific creation sequence. Exact
+/// under the recorder's invariant that repr-ness is a per-class property
+/// (TraceOptions.NoReprClasses keys on class names), which both traces of a
+/// diff session share; a class whose repr-ness differs *across versions*
+/// would fingerprint conservatively as unequal, and =e would fall back to
+/// the creation sequence — the slow-path verify keeps every reported match
+/// correct either way.
+uint64_t objFingerprint(const ObjRepr &Obj) {
+  uint64_t H = Obj.HasRepr ? hashMix(FpObjByRepr, Obj.ValueHash)
+                           : hashMix(FpObjBySeq, Obj.CreationSeq);
+  return hashMix(Obj.ClassName.Id, H);
+}
+
+/// Fingerprint contribution of a value representation; mirrors
+/// reprEquals(ValueRepr) exactly (kind and hash).
+uint64_t valueFingerprint(const ValueRepr &Value) {
+  return hashMix(static_cast<uint64_t>(Value.Kind), Value.Hash);
+}
+
+} // namespace
+
+uint64_t Trace::entryFingerprint(const TraceEntry &Entry) const {
+  const Event &Ev = Entry.Ev;
+  uint64_t H = hashMix(HashInit, static_cast<uint64_t>(Ev.Kind));
+  H = hashMix(H, Ev.Name.Id);
+  H = hashMix(H, objFingerprint(Ev.Target));
+  H = hashMix(H, valueFingerprint(Ev.Value));
+  H = hashMix(H, Ev.numArgs());
+  for (uint32_t I = Ev.ArgsBegin; I != Ev.ArgsEnd; ++I)
+    H = hashMix(H, valueFingerprint(ArgPool[I]));
+  // Fork/end: =e compares the spawned thread's entry method (not the tid),
+  // so only that symbol feeds the hash. The thread's AncestryHash is
+  // deliberately excluded — =e does not compare it (ancestry drives view
+  // *correlation*, not event equality), and hashing it would make equal
+  // events fingerprint as unequal.
+  if (Ev.Kind == EventKind::Fork || Ev.Kind == EventKind::End) {
+    if (Ev.ChildTid < Threads.size())
+      H = hashMix(H, Threads[Ev.ChildTid].EntryMethod.Id);
+    else
+      H = hashMix(H, 0xbadc0deULL); // Corrupt tid; =e rejects on verify.
+  }
+  return H;
+}
+
+void Trace::computeFingerprints(ThreadPool *Pool) {
+  if (Pool && Pool->numWorkers() > 1) {
+    Pool->parallelFor(Entries.size(), [this](size_t I) {
+      Entries[I].Fp = entryFingerprint(Entries[I]);
+    });
+  } else {
+    for (TraceEntry &Entry : Entries)
+      Entry.Fp = entryFingerprint(Entry);
+  }
+  HasFingerprints = true;
+}
+
+void rprism::fingerprintTracePair(Trace &Left, Trace &Right,
+                                  ThreadPool *Pool) {
+  if (!Pool || Pool->numWorkers() <= 1) {
+    Left.computeFingerprints();
+    Right.computeFingerprints();
+    return;
+  }
+  // One flat index space over both traces' entries, so both are
+  // fingerprinted concurrently and a short left trace doesn't idle the
+  // pool while the right one is processed.
+  size_t NumLeft = Left.Entries.size();
+  Pool->parallelFor(NumLeft + Right.Entries.size(),
+                    [&Left, &Right, NumLeft](size_t I) {
+                      if (I < NumLeft)
+                        Left.Entries[I].Fp =
+                            Left.entryFingerprint(Left.Entries[I]);
+                      else
+                        Right.Entries[I - NumLeft].Fp =
+                            Right.entryFingerprint(Right.Entries[I - NumLeft]);
+                    });
+  Left.HasFingerprints = true;
+  Right.HasFingerprints = true;
+}
+
 bool rprism::eventEquals(const Trace &TA, const TraceEntry &A,
                          const Trace &TB, const TraceEntry &B,
                          CompareCounter *Counter) {
   if (Counter)
     Counter->tick();
+
+  // Fingerprint fast path: unequal fingerprints prove inequality (the
+  // fingerprint hashes exactly the components compared below). Equal
+  // fingerprints fall through to the slow-path verify, so a 64-bit
+  // collision can never fabricate a match.
+  if (TA.HasFingerprints && TB.HasFingerprints && A.Fp != B.Fp)
+    return false;
 
   const Event &EA = A.Ev;
   const Event &EB = B.Ev;
@@ -109,7 +208,11 @@ bool rprism::eventEquals(const Trace &TA, const TraceEntry &A,
 
   // Fork/end events compare by the spawned thread's ancestry, not the tid
   // (tids are assigned in scheduling order and may differ across versions).
+  // A tid outside the thread table (deserialized or corrupt trace) cannot
+  // be validated, so it never matches.
   if (EA.Kind == EventKind::Fork || EA.Kind == EventKind::End) {
+    if (EA.ChildTid >= TA.Threads.size() || EB.ChildTid >= TB.Threads.size())
+      return false;
     const ThreadInfo &ThreadA = TA.Threads[EA.ChildTid];
     const ThreadInfo &ThreadB = TB.Threads[EB.ChildTid];
     if (ThreadA.EntryMethod != ThreadB.EntryMethod)

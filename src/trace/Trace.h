@@ -26,6 +26,8 @@
 
 namespace rprism {
 
+class ThreadPool;
+
 /// Per-thread spawn ancestry. The spawn stack is the sequence of qualified
 /// method names on the spawning thread's call stack at the spawn point;
 /// AncestryHash chains the parent's ancestry hash with this spawn stack, so
@@ -47,7 +49,21 @@ struct Trace {
   std::vector<ValueRepr> ArgPool;
   std::vector<ThreadInfo> Threads;
 
+  /// True when every entry's Fp field is current. Set by
+  /// computeFingerprints (called at trace-finalize and deserialize time);
+  /// false for hand-built traces, which then compare on the slow path only.
+  bool HasFingerprints = false;
+
   size_t size() const { return Entries.size(); }
+
+  /// Fingerprint of one entry (see TraceEntry::Fp). Pure function of the
+  /// entry, the argument pool, and the thread table.
+  uint64_t entryFingerprint(const TraceEntry &Entry) const;
+
+  /// Fills every entry's Fp and sets HasFingerprints. With \p Pool, the
+  /// entries are chunked across the pool's workers (the result does not
+  /// depend on the chunking).
+  void computeFingerprints(ThreadPool *Pool = nullptr);
 
   /// Argument list of an event, as a span into the pool.
   const ValueRepr *argsBegin(const Event &Ev) const {
@@ -80,6 +96,12 @@ struct CompareCounter {
 /// is ticked once per invocation.
 bool eventEquals(const Trace &TA, const TraceEntry &A, const Trace &TB,
                  const TraceEntry &B, CompareCounter *Counter = nullptr);
+
+/// Fingerprints both traces of a diff session, splitting the entries of
+/// both across \p Pool (concurrent per-trace and within each trace).
+/// Equivalent to calling computeFingerprints on each trace.
+void fingerprintTracePair(Trace &Left, Trace &Right,
+                          ThreadPool *Pool = nullptr);
 
 } // namespace rprism
 

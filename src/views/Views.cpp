@@ -2,6 +2,8 @@
 
 #include "views/Views.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <sstream>
 
@@ -34,66 +36,180 @@ static bool hasTargetObject(const Event &Ev) {
   return false;
 }
 
-uint32_t ViewWeb::getOrCreate(ViewType Type, uint64_t Key,
-                              const TraceEntry &Entry) {
-  std::unordered_map<uint32_t, uint32_t> *Index = nullptr;
-  switch (Type) {
-  case ViewType::Thread:       Index = &ThreadIndex; break;
-  case ViewType::Method:       Index = &MethodIndex; break;
-  case ViewType::TargetObject: Index = &TargetIndex; break;
-  case ViewType::ActiveObject: Index = &ActiveIndex; break;
-  }
-  auto [It, Inserted] = Index->try_emplace(static_cast<uint32_t>(Key),
-                                           static_cast<uint32_t>(Views.size()));
-  if (!Inserted)
-    return It->second;
+namespace {
 
-  View V;
-  V.Type = Type;
-  V.Id = It->second;
-  switch (Type) {
-  case ViewType::Thread:
-    V.Tid = static_cast<uint32_t>(Key);
-    break;
-  case ViewType::Method:
-    V.MethodName = Symbol{static_cast<uint32_t>(Key)};
-    break;
-  case ViewType::TargetObject:
-  case ViewType::ActiveObject:
-    V.Loc = static_cast<uint32_t>(Key);
-    V.FirstRepr = Type == ViewType::TargetObject ? Entry.Ev.Target
-                                                 : Entry.Self;
-    break;
+/// One view family built by an independent scan: views in first-appearance
+/// order with family-local ids. Keys (tids, interned symbol ids, store
+/// locations) are small dense integers, so the key -> local-id map is a
+/// direct-indexed vector — one bounds check + load per entry on the build
+/// hot path instead of a hash probe. The web's hash index is built once
+/// per family afterwards (O(views), not O(entries)).
+struct FamilyBuild {
+  std::vector<View> Views;
+  std::vector<uint32_t> Dense; ///< key -> local id; ~0u = no view yet.
+
+  View &getOrCreate(uint32_t Key) {
+    if (Key >= Dense.size())
+      Dense.resize(Key + 1, ~0u);
+    uint32_t &Slot = Dense[Key];
+    if (Slot == ~0u) {
+      Slot = static_cast<uint32_t>(Views.size());
+      Views.emplace_back();
+    }
+    return Views[Slot];
   }
-  Views.push_back(std::move(V));
-  return It->second;
+};
+
+/// nu_TH: every entry belongs to its thread's view.
+FamilyBuild buildThreadFamily(const Trace &T) {
+  FamilyBuild F;
+  for (const TraceEntry &Entry : T.Entries) {
+    View &V = F.getOrCreate(Entry.Tid);
+    if (V.Entries.empty()) {
+      V.Type = ViewType::Thread;
+      V.Tid = Entry.Tid;
+    }
+    V.Entries.push_back(Entry.Eid);
+  }
+  return F;
 }
 
-ViewWeb::ViewWeb(const Trace &TIn) : T(&TIn) {
-  for (const TraceEntry &Entry : T->Entries) {
-    // nu_TH: every entry belongs to its thread's view.
-    uint32_t Tv = getOrCreate(ViewType::Thread, Entry.Tid, Entry);
-    Views[Tv].Entries.push_back(Entry.Eid);
+/// nu_CM: the (qualified) method on top of the call stack.
+FamilyBuild buildMethodFamily(const Trace &T) {
+  FamilyBuild F;
+  for (const TraceEntry &Entry : T.Entries) {
+    View &V = F.getOrCreate(Entry.Method.Id);
+    if (V.Entries.empty()) {
+      V.Type = ViewType::Method;
+      V.MethodName = Entry.Method;
+    }
+    V.Entries.push_back(Entry.Eid);
+  }
+  return F;
+}
 
-    // nu_CM: the (qualified) method on top of the call stack.
-    uint32_t Mv = getOrCreate(ViewType::Method, Entry.Method.Id, Entry);
-    Views[Mv].Entries.push_back(Entry.Eid);
+/// nu_TO: the event's target object, when it has one. LastRepr is filled
+/// in one pass at the end (each view's last entry) rather than overwritten
+/// per entry — the per-entry struct copy was measurable on long traces.
+FamilyBuild buildTargetObjectFamily(const Trace &T) {
+  FamilyBuild F;
+  for (const TraceEntry &Entry : T.Entries) {
+    if (!hasTargetObject(Entry.Ev))
+      continue;
+    View &V = F.getOrCreate(Entry.Ev.Target.Loc);
+    if (V.Entries.empty()) {
+      V.Type = ViewType::TargetObject;
+      V.Loc = Entry.Ev.Target.Loc;
+      V.FirstRepr = Entry.Ev.Target;
+    }
+    V.Entries.push_back(Entry.Eid);
+  }
+  for (View &V : F.Views)
+    V.LastRepr = T.Entries[V.Entries.back()].Ev.Target;
+  return F;
+}
 
-    // nu_TO: the event's target object, when it has one.
+/// nu_AO: the receiver of the executing method, when there is one.
+FamilyBuild buildActiveObjectFamily(const Trace &T) {
+  FamilyBuild F;
+  for (const TraceEntry &Entry : T.Entries) {
+    if (Entry.Self.isNone())
+      continue;
+    View &V = F.getOrCreate(Entry.Self.Loc);
+    if (V.Entries.empty()) {
+      V.Type = ViewType::ActiveObject;
+      V.Loc = Entry.Self.Loc;
+      V.FirstRepr = Entry.Self;
+    }
+    V.Entries.push_back(Entry.Eid);
+  }
+  for (View &V : F.Views)
+    V.LastRepr = T.Entries[V.Entries.back()].Self;
+  return F;
+}
+
+/// Sequential path: all four families in ONE pass over the trace (the
+/// entry array is the dominant memory traffic; four separate scans only
+/// pay off when they run on different cores). Produces exactly what the
+/// four independent builders produce.
+void buildAllFamiliesFused(const Trace &T, FamilyBuild Families[4]) {
+  for (const TraceEntry &Entry : T.Entries) {
+    View &TV = Families[0].getOrCreate(Entry.Tid);
+    if (TV.Entries.empty()) {
+      TV.Type = ViewType::Thread;
+      TV.Tid = Entry.Tid;
+    }
+    TV.Entries.push_back(Entry.Eid);
+
+    View &MV = Families[1].getOrCreate(Entry.Method.Id);
+    if (MV.Entries.empty()) {
+      MV.Type = ViewType::Method;
+      MV.MethodName = Entry.Method;
+    }
+    MV.Entries.push_back(Entry.Eid);
+
     if (hasTargetObject(Entry.Ev)) {
-      uint32_t Ov =
-          getOrCreate(ViewType::TargetObject, Entry.Ev.Target.Loc, Entry);
-      Views[Ov].Entries.push_back(Entry.Eid);
-      Views[Ov].LastRepr = Entry.Ev.Target;
+      View &OV = Families[2].getOrCreate(Entry.Ev.Target.Loc);
+      if (OV.Entries.empty()) {
+        OV.Type = ViewType::TargetObject;
+        OV.Loc = Entry.Ev.Target.Loc;
+        OV.FirstRepr = Entry.Ev.Target;
+      }
+      OV.Entries.push_back(Entry.Eid);
     }
 
-    // nu_AO: the receiver of the executing method, when there is one.
     if (!Entry.Self.isNone()) {
-      uint32_t Av =
-          getOrCreate(ViewType::ActiveObject, Entry.Self.Loc, Entry);
-      Views[Av].Entries.push_back(Entry.Eid);
-      Views[Av].LastRepr = Entry.Self;
+      View &AV = Families[3].getOrCreate(Entry.Self.Loc);
+      if (AV.Entries.empty()) {
+        AV.Type = ViewType::ActiveObject;
+        AV.Loc = Entry.Self.Loc;
+        AV.FirstRepr = Entry.Self;
+      }
+      AV.Entries.push_back(Entry.Eid);
     }
+  }
+  for (View &V : Families[2].Views)
+    V.LastRepr = T.Entries[V.Entries.back()].Ev.Target;
+  for (View &V : Families[3].Views)
+    V.LastRepr = T.Entries[V.Entries.back()].Self;
+}
+
+} // namespace
+
+ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool) : T(&TIn) {
+  // The four families are built by independent scans (each touches only
+  // its own map and view list), so they parallelize without shared state;
+  // the deterministic concatenation below assigns the same dense ids
+  // regardless of completion order. Without workers the four scans fuse
+  // into one pass.
+  FamilyBuild Families[4];
+  if (Pool && Pool->numWorkers() > 1) {
+    Pool->submit([&] { Families[0] = buildThreadFamily(*T); });
+    Pool->submit([&] { Families[1] = buildMethodFamily(*T); });
+    Pool->submit([&] { Families[2] = buildTargetObjectFamily(*T); });
+    Pool->submit([&] { Families[3] = buildActiveObjectFamily(*T); });
+    Pool->wait();
+  } else {
+    buildAllFamiliesFused(*T, Families);
+  }
+
+  std::unordered_map<uint32_t, uint32_t> *Indices[4] = {
+      &ThreadIndex, &MethodIndex, &TargetIndex, &ActiveIndex};
+  size_t Total = 0;
+  for (const FamilyBuild &F : Families)
+    Total += F.Views.size();
+  Views.reserve(Total);
+  for (size_t FI = 0; FI != 4; ++FI) {
+    FamilyBuild &F = Families[FI];
+    uint32_t Offset = static_cast<uint32_t>(Views.size());
+    for (View &V : F.Views) {
+      V.Id = Offset + static_cast<uint32_t>(&V - F.Views.data());
+      Views.push_back(std::move(V));
+    }
+    Indices[FI]->reserve(F.Views.size());
+    for (uint32_t Key = 0; Key != F.Dense.size(); ++Key)
+      if (F.Dense[Key] != ~0u)
+        Indices[FI]->emplace(Key, Offset + F.Dense[Key]);
   }
 }
 

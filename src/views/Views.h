@@ -58,12 +58,18 @@ struct View {
   size_t size() const { return Entries.size(); }
 };
 
+class ThreadPool;
+
 /// The full web of views for one trace.
 class ViewWeb {
 public:
-  /// Builds every view in a single pass over \p T. The trace must outlive
-  /// the web.
-  explicit ViewWeb(const Trace &T);
+  /// Builds every view of \p T. The trace must outlive the web. Each of
+  /// the four view families (thread, method, target-object, active-object)
+  /// is built by an independent scan over the trace; with \p Pool the four
+  /// scans run concurrently. View ids are dense and family-grouped (all
+  /// thread views first, then method, target-object, active-object, each
+  /// in order of first appearance) — identical with and without a pool.
+  explicit ViewWeb(const Trace &T, ThreadPool *Pool = nullptr);
 
   const Trace &trace() const { return *T; }
 
@@ -97,9 +103,6 @@ public:
   const std::vector<View> &views() const { return Views; }
 
 private:
-  uint32_t getOrCreate(ViewType Type, uint64_t Key,
-                       const TraceEntry &Entry);
-
   const Trace *T;
   std::vector<View> Views;
   std::unordered_map<uint32_t, uint32_t> ThreadIndex; ///< tid -> view id.

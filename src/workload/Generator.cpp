@@ -45,7 +45,34 @@ std::string rprism::generateProgram(const GeneratorOptions &Options) {
        << "}\n\n";
   }
 
+  // Runner classes, one per extra thread: each drives a private set of
+  // worker instances through the same loop main runs. Distinct classes
+  // (distinct entry methods) keep the thread-view correlation unambiguous.
+  unsigned NumThreads = Options.NumThreads == 0 ? 1 : Options.NumThreads;
+  for (unsigned T = 1; T < NumThreads; ++T) {
+    OS << "class Runner" << T << " {\n"
+       << "  Int id;\n"
+       << "  Runner" << T << "(Int id) { this.id = id; }\n"
+       << "  Int run(Int iters) {\n";
+    for (unsigned C = 0; C != NumClasses; ++C)
+      OS << "    var w" << C << " = new Worker" << C << "("
+         << (T * 100 + C + 1) << ");\n";
+    OS << "    var total = 0;\n"
+       << "    var i = 0;\n"
+       << "    while (i < iters) {\n";
+    for (unsigned C = 0; C != NumClasses; ++C)
+      OS << "      total = total + w" << C << ".step(i + this.id);\n";
+    OS << "      i = i + 1;\n"
+       << "    }\n"
+       << "    return total;\n"
+       << "  }\n"
+       << "}\n\n";
+  }
+
   OS << "main {\n";
+  for (unsigned T = 1; T < NumThreads; ++T)
+    OS << "  spawn new Runner" << T << "(" << T << ").run("
+       << Options.OuterIters << ");\n";
   for (unsigned C = 0; C != NumClasses; ++C)
     OS << "  var w" << C << " = new Worker" << C << "(" << (C + 1) << ");\n";
   OS << "  var total = 0;\n"
@@ -74,6 +101,9 @@ std::string rprism::generateProgram(const GeneratorOptions &Options) {
 
 unsigned rprism::approxEntriesPerIteration(const GeneratorOptions &Options) {
   // Each Worker.step: call + return + 2 gets + 2 sets + 2 gets = ~8 entries.
+  // Every thread (main plus each runner) executes the loop OuterIters
+  // times over its own workers.
   unsigned NumClasses = Options.NumClasses == 0 ? 1 : Options.NumClasses;
-  return NumClasses * 9;
+  unsigned NumThreads = Options.NumThreads == 0 ? 1 : Options.NumThreads;
+  return NumClasses * 9 * NumThreads;
 }

@@ -25,6 +25,12 @@ namespace rprism {
 struct GeneratorOptions {
   unsigned NumClasses = 4;   ///< Worker classes.
   unsigned OuterIters = 40;  ///< Main-loop iterations (trace length knob).
+  /// Trace threads: 1 = single-threaded (the seed shape); N > 1 spawns
+  /// N-1 runner threads, each driving its own worker instances through the
+  /// same loop as main. Each runner class is distinct, so thread views
+  /// correlate unambiguously across a version pair — the workload for the
+  /// parallel diff pipeline (one evaluation task per correlated pair).
+  unsigned NumThreads = 1;
   uint64_t Seed = 1;         ///< Shapes method bodies deterministically.
   /// Perturbation: 0 = baseline; otherwise a constant in one method body
   /// is changed, giving a version pair for differencing sweeps.

@@ -9,6 +9,7 @@
 #include "diff/ViewsDiff.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
+#include "workload/Generator.h"
 
 #include <gtest/gtest.h>
 
@@ -457,6 +458,51 @@ TEST(ViewsDiff, EmptyAndTrivialTraces) {
   Trace R = traceOf("main { }", Strings);
   DiffResult Trivial = viewsDiff(L, R);
   EXPECT_EQ(Trivial.numDiffs(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel-pipeline determinism
+//===----------------------------------------------------------------------===//
+
+/// The ISSUE's determinism contract: the DiffResult — similarity bitsets,
+/// difference sequences, rendered report, AND the merged compare-op total —
+/// must be identical for every Jobs value, on a multi-threaded workload
+/// with enough correlated thread pairs to actually exercise the fan-out.
+TEST(ViewsDiff, JobsCountDoesNotChangeResult) {
+  GeneratorOptions Base;
+  Base.OuterIters = 8;
+  Base.NumThreads = 3;
+  GeneratorOptions Perturbed = Base;
+  Perturbed.Perturb = 1;
+  Perturbed.ReorderBlock = true;
+
+  auto Strings = std::make_shared<StringInterner>();
+  Trace L = traceOf(generateProgram(Base), Strings);
+  Trace R = traceOf(generateProgram(Perturbed), Strings);
+
+  ViewsDiffOptions Sequential;
+  Sequential.Jobs = 1;
+  DiffResult Ref = viewsDiff(L, R, Sequential);
+  ASSERT_GT(Ref.numDiffs(), 0u); // A trivial diff would prove nothing.
+
+  for (unsigned Jobs : {2u, 4u, 0u}) {
+    ViewsDiffOptions Options;
+    Options.Jobs = Jobs;
+    DiffResult Parallel = viewsDiff(L, R, Options);
+
+    EXPECT_EQ(Parallel.LeftSimilar, Ref.LeftSimilar) << "Jobs=" << Jobs;
+    EXPECT_EQ(Parallel.RightSimilar, Ref.RightSimilar) << "Jobs=" << Jobs;
+    EXPECT_EQ(Parallel.Stats.CompareOps, Ref.Stats.CompareOps)
+        << "Jobs=" << Jobs;
+    ASSERT_EQ(Parallel.Sequences.size(), Ref.Sequences.size())
+        << "Jobs=" << Jobs;
+    for (size_t I = 0; I != Ref.Sequences.size(); ++I) {
+      EXPECT_EQ(Parallel.Sequences[I].LeftEids, Ref.Sequences[I].LeftEids);
+      EXPECT_EQ(Parallel.Sequences[I].RightEids, Ref.Sequences[I].RightEids);
+      EXPECT_EQ(Parallel.Sequences[I].LeftTid, Ref.Sequences[I].LeftTid);
+    }
+    EXPECT_EQ(Parallel.render(50, 12), Ref.render(50, 12)) << "Jobs=" << Jobs;
+  }
 }
 
 } // namespace

@@ -12,11 +12,14 @@
 #include "support/Rng.h"
 #include "support/StringInterner.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 using namespace rprism;
 
@@ -281,6 +284,83 @@ TEST(Expected, WorksWithMoveOnlyTypes) {
   ASSERT_TRUE(bool(Val));
   std::unique_ptr<int> Taken = Val.take();
   EXPECT_EQ(*Taken, 5);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ZeroAndOneThreadsRunInline) {
+  for (unsigned N : {0u, 1u}) {
+    ThreadPool Pool(N);
+    EXPECT_EQ(Pool.numWorkers(), 0u);
+    EXPECT_EQ(Pool.concurrency(), 1u);
+    // Inline tasks run at submit time, in submission order.
+    std::vector<int> Order;
+    Pool.submit([&] { Order.push_back(1); });
+    EXPECT_EQ(Order.size(), 1u);
+    Pool.submit([&] { Order.push_back(2); });
+    Pool.wait();
+    EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+  }
+}
+
+TEST(ThreadPool, ManyWorkersRunEveryTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+  // The pool is reusable after a wait().
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 101);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWait) {
+  for (unsigned N : {1u, 4u}) {
+    ThreadPool Pool(N);
+    std::atomic<int> Ran{0};
+    Pool.submit([] { throw std::runtime_error("task failed"); });
+    for (int I = 0; I != 8; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+    EXPECT_THROW(Pool.wait(), std::runtime_error);
+    // Remaining tasks still ran; the error does not poison later waits.
+    EXPECT_EQ(Ran.load(), 8);
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Ran.load(), 9);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (unsigned N : {0u, 3u}) {
+    ThreadPool Pool(N);
+    std::vector<std::atomic<int>> Hits(257);
+    Pool.parallelFor(Hits.size(),
+                     [&Hits](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+    Pool.parallelFor(0, [](size_t) { FAIL() << "empty range ran a body"; });
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  for (unsigned N : {1u, 4u}) {
+    ThreadPool Pool(N);
+    EXPECT_THROW(Pool.parallelFor(16,
+                                  [](size_t I) {
+                                    if (I == 7)
+                                      throw std::runtime_error("body");
+                                  }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
 }
 
 } // namespace

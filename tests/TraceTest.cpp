@@ -349,4 +349,106 @@ TEST(Render, StringValuesAreQuotedAndTruncated) {
   EXPECT_NE(Dump.find(std::string(128, 'x')), std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// Equality fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, RecorderFinalizesWithFingerprints) {
+  Trace T = traceOf("class A { Int m() { return 1; } } "
+                    "main { print(new A().m()); }");
+  EXPECT_TRUE(T.HasFingerprints);
+  for (const TraceEntry &Entry : T.Entries)
+    EXPECT_EQ(Entry.Fp, T.entryFingerprint(Entry));
+}
+
+/// The exactness contract over a randomized generated version pair: for
+/// every cross-trace entry pair, fingerprint inequality must imply =e
+/// inequality (never a false negative), and =e equality must imply equal
+/// fingerprints. Together: Fp(a) == Fp(b) <=> a =e b, modulo 64-bit
+/// collisions — which the slow-path verify absorbs, so only the
+/// equal-events direction is exact and both are asserted here.
+TEST(Fingerprint, MirrorsEventEqualityOnGeneratedPair) {
+  for (uint64_t Seed : {1u, 7u, 23u}) {
+    GeneratorOptions Base;
+    Base.OuterIters = 6;
+    Base.NumThreads = 2;
+    Base.Seed = Seed;
+    GeneratorOptions Perturbed = Base;
+    Perturbed.Perturb = 1;
+    Perturbed.ReorderBlock = true;
+
+    auto Strings = std::make_shared<StringInterner>();
+    Trace L = traceOf(generateProgram(Base), Strings);
+    Trace R = traceOf(generateProgram(Perturbed), Strings);
+    ASSERT_TRUE(L.HasFingerprints);
+    ASSERT_TRUE(R.HasFingerprints);
+
+    size_t Checked = 0;
+    for (const TraceEntry &A : L.Entries)
+      for (const TraceEntry &B : R.Entries) {
+        bool Equal = eventEquals(L, A, R, B);
+        if (Equal) {
+          EXPECT_EQ(A.Fp, B.Fp)
+              << L.renderEntry(A) << " =e " << R.renderEntry(B);
+        }
+        if (A.Fp != B.Fp) {
+          EXPECT_FALSE(Equal)
+              << L.renderEntry(A) << " vs " << R.renderEntry(B);
+        }
+        ++Checked;
+      }
+    EXPECT_GT(Checked, 1000u);
+  }
+}
+
+TEST(Fingerprint, ReloadedTraceRecomputesAfterReinterning) {
+  Trace T = traceOf(R"(
+    class A { Int x; A(Int x) { this.x = x; }
+      Int bump() { this.x = this.x + 1; return this.x; } }
+    main { var a = new A(7); a.bump(); print(a.x); }
+  )");
+  std::string Path = tempPath("fp_reload");
+  ASSERT_TRUE(writeTrace(T, Path));
+  // Fresh interner: symbol ids shift, so raw fingerprints from the writing
+  // process would be stale; readTrace must recompute them.
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded));
+  EXPECT_TRUE(Loaded->HasFingerprints);
+  for (const TraceEntry &Entry : Loaded->Entries)
+    EXPECT_EQ(Entry.Fp, Loaded->entryFingerprint(Entry));
+  std::remove(Path.c_str());
+}
+
+TEST(EventEquals, ForkChildTidOutOfBoundsIsNotEqual) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = traceOf(R"(
+    class W { Unit go() { return unit; } }
+    main { spawn new W().go(); }
+  )",
+                    Strings);
+  // Find the fork entry and corrupt a copy's child tid past the thread
+  // table (as a truncated or damaged trace file could). Equality must
+  // reject it instead of indexing out of bounds.
+  Trace Bad = T;
+  bool FoundFork = false;
+  for (TraceEntry &Entry : Bad.Entries)
+    if (Entry.Ev.Kind == EventKind::Fork) {
+      Entry.Ev.ChildTid = 1000;
+      FoundFork = true;
+    }
+  ASSERT_TRUE(FoundFork);
+  Bad.computeFingerprints();
+  for (size_t I = 0; I != T.size(); ++I) {
+    bool IsFork = T.Entries[I].Ev.Kind == EventKind::Fork;
+    EXPECT_EQ(eventEquals(T, T.Entries[I], Bad, Bad.Entries[I]), !IsFork);
+  }
+  // Same checks through the slow path (fingerprints off): the bounds check
+  // itself must reject the pair rather than index past the thread table.
+  Bad.HasFingerprints = false;
+  for (size_t I = 0; I != T.size(); ++I) {
+    bool IsFork = T.Entries[I].Ev.Kind == EventKind::Fork;
+    EXPECT_EQ(eventEquals(T, T.Entries[I], Bad, Bad.Entries[I]), !IsFork);
+  }
+}
+
 } // namespace

@@ -31,6 +31,7 @@
 #include "workload/Corpus.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -47,10 +48,11 @@ int usage() {
       "  rprism run <prog> [--input S]... [--int-input N]... [--trace F]\n"
       "  rprism trace-dump <trace-file>\n"
       "  rprism diff <old-prog> <new-prog> [--engine views|lcs]\n"
-      "              [--input S]... [--html F]\n"
+      "              [--input S]... [--html F] [--jobs N]\n"
       "  rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]\n"
+      "              [--jobs N]\n"
       "  rprism analyze <old-prog> <new-prog> --regr-input S...\n"
-      "              --ok-input S... [--removal] [--html F]\n"
+      "              --ok-input S... [--removal] [--html F] [--jobs N]\n"
       "  rprism views <prog> [--input S]...\n"
       "  rprism protocols <good-prog> <subject-prog> [--input S]...\n");
   return 2;
@@ -75,6 +77,9 @@ struct Args {
   std::vector<std::string> RegrInputs;
   std::vector<std::string> OkInputs;
   std::string HtmlPath;
+  /// Diff-pipeline worker threads; 0 = hardware_concurrency, 1 =
+  /// sequential. Any value produces identical reports (see ViewsDiffOptions).
+  unsigned Jobs = 0;
   bool Removal = false;
   bool Bad = false;
 };
@@ -105,6 +110,17 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       A.Removal = true;
     else if (Arg == "--html")
       A.HtmlPath = Next();
+    else if (Arg == "--jobs") {
+      const char *Value = Next();
+      char *End = nullptr;
+      long long N = std::strtoll(Value, &End, 10);
+      if (N < 0 || End == Value || (End && *End)) {
+        std::fprintf(stderr, "error: --jobs needs a non-negative value\n");
+        A.Bad = true;
+      } else {
+        A.Jobs = static_cast<unsigned>(N);
+      }
+    }
     else if (Arg == "--engine") {
       std::string Engine = Next();
       if (Engine == "lcs")
@@ -184,22 +200,25 @@ int cmdTraceDump(const Args &A) {
   return 0;
 }
 
-int printDiff(const Trace &Left, const Trace &Right, DiffEngineKind Engine,
-              const std::string &HtmlPath) {
-  DiffResult Result = Engine == DiffEngineKind::Lcs
+int printDiff(const Trace &Left, const Trace &Right, const Args &A) {
+  ViewsDiffOptions Options;
+  Options.Jobs = A.Jobs;
+  DiffResult Result = A.Engine == DiffEngineKind::Lcs
                           ? lcsDiff(Left, Right)
-                          : viewsDiff(Left, Right);
+                          : viewsDiff(Left, Right, Options);
   if (Result.Stats.OutOfMemory) {
     std::fprintf(stderr, "error: LCS differencing ran out of memory; "
                          "retry with --engine views\n");
     return 1;
   }
-  if (!HtmlPath.empty()) {
-    if (!writeHtmlFile(renderHtmlDiff(Result), HtmlPath)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", HtmlPath.c_str());
+  if (!A.HtmlPath.empty()) {
+    if (!writeHtmlFile(renderHtmlDiff(Result), A.HtmlPath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   A.HtmlPath.c_str());
       return 1;
     }
-    std::fprintf(stderr, "[html report written to %s]\n", HtmlPath.c_str());
+    std::fprintf(stderr, "[html report written to %s]\n",
+                 A.HtmlPath.c_str());
   }
   std::fputs(Result.render(50, 12).c_str(), stdout);
   std::fprintf(stderr,
@@ -225,7 +244,7 @@ int cmdDiff(const Args &A) {
   RunResult NewRun = runWith(*New, A, A.Inputs, "new");
   if (OldRun.Output != NewRun.Output)
     std::fprintf(stderr, "[outputs differ]\n");
-  return printDiff(OldRun.ExecTrace, NewRun.ExecTrace, A.Engine, A.HtmlPath);
+  return printDiff(OldRun.ExecTrace, NewRun.ExecTrace, A);
 }
 
 int cmdDiffTraces(const Args &A) {
@@ -242,7 +261,7 @@ int cmdDiffTraces(const Args &A) {
     std::fprintf(stderr, "error: %s\n", Right.error().render().c_str());
     return 1;
   }
-  return printDiff(*Left, *Right, A.Engine, A.HtmlPath);
+  return printDiff(*Left, *Right, A);
 }
 
 int cmdAnalyze(const Args &A) {
@@ -273,6 +292,7 @@ int cmdAnalyze(const Args &A) {
                           &NewOk.ExecTrace, &NewRegr.ExecTrace};
   RegressionOptions Options;
   Options.Engine = A.Engine;
+  Options.Views.Jobs = A.Jobs;
   Options.CodeRemoval = A.Removal;
   RegressionReport Report = analyzeRegression(Inputs, Options);
   if (!A.HtmlPath.empty()) {
