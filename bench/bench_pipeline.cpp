@@ -28,6 +28,8 @@
 #include "diff/ViewsDiff.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
+#include "support/MetricsSink.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "workload/Generator.h"
@@ -216,6 +218,45 @@ int main(int Argc, char **Argv) {
         LargestSeedSeconds = Seed.Seconds;
         LargestBestSeconds = Best;
       }
+    }
+  }
+
+  // Telemetry verification pass. The measurements above run with telemetry
+  // disabled — the recording path must cost nothing when off — so one extra
+  // instrumented diff cross-checks the metrics registry against DiffStats
+  // and exports the shared sink schema alongside the timing results.
+  {
+    TracePair Pair = makePair(50, 2);
+    Telemetry::get().reset();
+    Telemetry::get().setEnabled(true);
+    uint64_t StartNanos = Telemetry::nowNanos();
+    ViewsDiffOptions Options;
+    Options.Jobs = 2;
+    DiffResult Result;
+    {
+      TelemetrySpan Root("bench-pipeline");
+      Result = viewsDiff(Pair.Left, Pair.Right, Options);
+    }
+    Telemetry::get().setEnabled(false);
+    TelemetrySnapshot Snap = Telemetry::get().snapshot();
+    if (Snap.counter("diff.compare_ops") != Result.Stats.CompareOps) {
+      std::printf("ERROR: telemetry compare-op counter (%llu) != "
+                  "DiffStats.CompareOps (%llu)\n",
+                  static_cast<unsigned long long>(
+                      Snap.counter("diff.compare_ops")),
+                  static_cast<unsigned long long>(Result.Stats.CompareOps));
+      Exit = 1;
+    }
+    MetricsRunInfo Info;
+    Info.Tool = "bench_pipeline";
+    Info.Command = "verify-jobs2";
+    Info.WallNanos = Telemetry::nowNanos() - StartNanos;
+    const char *MetricsPath = "BENCH_pipeline_metrics.json";
+    if (writeMetricsJson(Snap, Info, MetricsPath)) {
+      std::printf("[telemetry written to %s]\n", MetricsPath);
+    } else {
+      std::printf("error: cannot write %s\n", MetricsPath);
+      Exit = 1;
     }
   }
 

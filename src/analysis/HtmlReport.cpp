@@ -2,6 +2,9 @@
 
 #include "analysis/HtmlReport.h"
 
+#include "support/Telemetry.h"
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -41,6 +44,13 @@ const char *PageHead = R"(<!DOCTYPE html>
   .dmark { background: #ffd54d; border-radius: 3px; padding: 0 4px;
            margin-left: 6px; font-weight: bold; }
   .meta { color: #666; }
+  details.telemetry { margin-top: 18px; }
+  details.telemetry summary { cursor: pointer; color: #666; }
+  table.telemetry { border-collapse: collapse; margin: 8px 0;
+                    background: #fff; border: 1px solid #ddd; }
+  table.telemetry th, table.telemetry td { padding: 2px 10px;
+                    border-bottom: 1px solid #eee; text-align: left; }
+  table.telemetry td.num { text-align: right; }
 </style></head><body>
 )";
 
@@ -89,6 +99,42 @@ void renderSequence(std::ostringstream &OS, const Trace &Left,
   OS << "</tr></table>\n";
 }
 
+/// A collapsible "Run telemetry" section with stage spans and counters.
+/// Rendered only when telemetry is enabled and has data — reports from
+/// uninstrumented runs are unchanged.
+void renderTelemetrySection(std::ostringstream &OS) {
+  if (!Telemetry::enabled())
+    return;
+  TelemetrySnapshot Snap = Telemetry::get().snapshot();
+  if (Snap.empty())
+    return;
+  OS << "<details class=\"telemetry\"><summary>Run telemetry</summary>\n";
+  if (!Snap.Spans.empty()) {
+    OS << "<table class=\"telemetry\"><tr><th>stage</th><th>count</th>"
+       << "<th>total ms</th><th>self ms</th></tr>\n";
+    for (const SpanStat &S : Snap.Spans) {
+      char Total[32], Self[32];
+      std::snprintf(Total, sizeof(Total), "%.3f",
+                    static_cast<double>(S.TotalNanos) / 1e6);
+      std::snprintf(Self, sizeof(Self), "%.3f",
+                    static_cast<double>(S.SelfNanos) / 1e6);
+      OS << "<tr><td>" << escapeHtml(S.Path) << "</td><td class=\"num\">"
+         << S.Count << "</td><td class=\"num\">" << Total
+         << "</td><td class=\"num\">" << Self << "</td></tr>\n";
+    }
+    OS << "</table>\n";
+  }
+  if (!Snap.Counters.empty()) {
+    OS << "<table class=\"telemetry\"><tr><th>counter</th><th>value</th>"
+       << "</tr>\n";
+    for (const auto &[Name, Value] : Snap.Counters)
+      OS << "<tr><td>" << escapeHtml(Name) << "</td><td class=\"num\">"
+         << Value << "</td></tr>\n";
+    OS << "</table>\n";
+  }
+  OS << "</details>\n";
+}
+
 } // namespace
 
 std::string rprism::renderHtmlDiff(const DiffResult &Result,
@@ -114,6 +160,7 @@ std::string rprism::renderHtmlDiff(const DiffResult &Result,
     renderSequence(OS, *Result.Left, *Result.Right, Seq, nullptr, nullptr,
                    Options.MaxEntriesPerSide);
   }
+  renderTelemetrySection(OS);
   OS << "</body></html>\n";
   return OS.str();
 }
@@ -144,6 +191,7 @@ std::string rprism::renderHtmlReport(const RegressionReport &Report,
     renderSequence(OS, *Report.A.Left, *Report.A.Right, Seq, &Report.DLeft,
                    &Report.DRight, Options.MaxEntriesPerSide);
   }
+  renderTelemetrySection(OS);
   OS << "</body></html>\n";
   return OS.str();
 }

@@ -3,6 +3,7 @@
 #include "analysis/Regression.h"
 
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 
 #include <sstream>
 #include <unordered_map>
@@ -60,9 +61,19 @@ DiffResult runDiff(const Trace &Left, const Trace &Right,
 RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
                                            const RegressionOptions &Options) {
   RegressionReport Report;
-  Report.A = runDiff(*Inputs.OrigRegr, *Inputs.NewRegr, Options);
-  Report.B = runDiff(*Inputs.OrigOk, *Inputs.NewOk, Options);
-  Report.C = runDiff(*Inputs.NewOk, *Inputs.NewRegr, Options);
+  {
+    TelemetrySpan S("diff-a");
+    Report.A = runDiff(*Inputs.OrigRegr, *Inputs.NewRegr, Options);
+  }
+  {
+    TelemetrySpan S("diff-b");
+    Report.B = runDiff(*Inputs.OrigOk, *Inputs.NewOk, Options);
+  }
+  {
+    TelemetrySpan S("diff-c");
+    Report.C = runDiff(*Inputs.NewOk, *Inputs.NewRegr, Options);
+  }
+  TelemetrySpan CandidateSpan("candidate-set");
 
   Report.Stats.CompareOps = Report.A.Stats.CompareOps +
                             Report.B.Stats.CompareOps +
@@ -156,6 +167,14 @@ RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
       Related = Related || Report.DRight[Eid];
     if (Related)
       Report.RegressionSequences.push_back(I);
+  }
+  if (Telemetry::enabled()) {
+    Telemetry::counterAdd("analyze.size_a", Report.sizeA);
+    Telemetry::counterAdd("analyze.size_b", Report.sizeB);
+    Telemetry::counterAdd("analyze.size_c", Report.sizeC);
+    Telemetry::counterAdd("analyze.size_d", Report.sizeD);
+    Telemetry::counterAdd("analyze.regression_sequences",
+                          Report.RegressionSequences.size());
   }
   return Report;
 }

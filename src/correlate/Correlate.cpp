@@ -2,6 +2,8 @@
 
 #include "correlate/Correlate.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 
 using namespace rprism;
@@ -185,10 +187,12 @@ void ViewCorrelation::correlateObjects(const ViewWeb &Left,
 }
 
 ViewCorrelation::ViewCorrelation(const ViewWeb &Left, const ViewWeb &Right) {
+  TelemetrySpan Span("correlate");
   LeftToRight.assign(Left.numViews(), -1);
   RightToLeft.assign(Right.numViews(), -1);
   correlateThreads(Left, Right);
   correlateMethods(Left, Right);
   correlateObjects(Left, Right, ViewType::TargetObject);
   correlateObjects(Left, Right, ViewType::ActiveObject);
+  Telemetry::counterAdd("correlate.thread_pairs", ThreadPairs.size());
 }

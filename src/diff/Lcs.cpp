@@ -2,6 +2,7 @@
 
 #include "diff/Lcs.h"
 
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -212,6 +213,7 @@ std::vector<uint32_t> allEids(const Trace &T) {
 
 DiffResult rprism::lcsDiff(const Trace &Left, const Trace &Right,
                            const LcsDiffOptions &Options) {
+  TelemetrySpan Span("lcs-diff");
   Timer Clock;
   DiffResult Result;
   Result.Left = &Left;
@@ -234,6 +236,9 @@ DiffResult rprism::lcsDiff(const Trace &Left, const Trace &Right,
   Result.Stats.CompareOps = Ops.Count;
   Result.Stats.PeakBytes = Mem.peakBytes();
   Result.Stats.OutOfMemory = Lcs.OutOfMemory;
+  Telemetry::counterAdd("diff.compare_ops", Ops.Count);
+  Telemetry::gaugeMax("diff.peak_bytes",
+                      static_cast<double>(Result.Stats.PeakBytes));
   if (Lcs.OutOfMemory) {
     Result.Stats.Seconds = Clock.seconds();
     return Result; // Table 1's "(out of memory failure)" row.

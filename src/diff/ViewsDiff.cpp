@@ -3,6 +3,7 @@
 #include "diff/ViewsDiff.h"
 
 #include "diff/Lcs.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -445,18 +446,26 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   for (size_t K = 0; K != Pairs.size(); ++K)
     Evals.push_back(
         std::make_unique<PairEvaluator>(Left, Right, X, Options));
-  if (Pool->numWorkers() > 1 && Pairs.size() > 1) {
-    for (size_t K = 0; K != Pairs.size(); ++K)
-      Pool->submit([&Evals, &Left, &Right, &Pairs, K] {
+  {
+    TelemetrySpan EvalSpan("evaluate");
+    if (Pool->numWorkers() > 1 && Pairs.size() > 1) {
+      for (size_t K = 0; K != Pairs.size(); ++K)
+        Pool->submit([&Evals, &Left, &Right, &Pairs, K] {
+          TelemetrySpan PairSpan("pair");
+          Evals[K]->evalThreadPair(Left.view(Pairs[K].first),
+                                   Right.view(Pairs[K].second));
+        });
+      Pool->wait();
+    } else {
+      for (size_t K = 0; K != Pairs.size(); ++K) {
+        TelemetrySpan PairSpan("pair");
         Evals[K]->evalThreadPair(Left.view(Pairs[K].first),
                                  Right.view(Pairs[K].second));
-      });
-    Pool->wait();
-  } else {
-    for (size_t K = 0; K != Pairs.size(); ++K)
-      Evals[K]->evalThreadPair(Left.view(Pairs[K].first),
-                               Right.view(Pairs[K].second));
+      }
+    }
   }
+
+  TelemetrySpan MergeSpan("merge");
 
   // Deterministic merge, in correlation (left-tid) order: the union of the
   // per-pair Pi sets is the final similarity set, sequences concatenate,
@@ -523,11 +532,26 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
       WebBytes +
       (LT.Entries.size() + RT.Entries.size()) / 8 * (1 + Pairs.size()) +
       AnchorUnion.size() * 16;
+
+  // Counters are the jobs-invariant core of the diff telemetry (the merge
+  // above makes them deterministic); the peak-bytes figure is a gauge.
+  if (Telemetry::enabled()) {
+    Telemetry::counterAdd("diff.compare_ops", TotalOps);
+    Telemetry::counterAdd("diff.sequences", Result.Sequences.size());
+    Telemetry::counterAdd("diff.anchors", AnchorUnion.size());
+    Telemetry::gaugeMax("diff.peak_bytes",
+                        static_cast<double>(Result.Stats.PeakBytes));
+    for (const DiffSequence &Seq : Result.Sequences)
+      Telemetry::observe(
+          "diff.sequence_entries",
+          static_cast<double>(Seq.LeftEids.size() + Seq.RightEids.size()));
+  }
   return Result;
 }
 
 DiffResult rprism::viewsDiff(const Trace &Left, const Trace &Right,
                              const ViewsDiffOptions &Options) {
+  TelemetrySpan Span("views-diff");
   // One pool for the whole pipeline: both web builds (four index families
   // each) and the thread-pair evaluation stage.
   ThreadPool Pool(Options.Jobs ? Options.Jobs

@@ -3,6 +3,7 @@
 #include "lang/Checker.h"
 
 #include "lang/Parser.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -844,7 +845,10 @@ Expected<CheckedProgram> rprism::checkProgram(Program Ast) {
 }
 
 Expected<CheckedProgram> rprism::parseAndCheck(std::string_view Source) {
-  Expected<Program> Ast = parseProgram(Source);
+  Expected<Program> Ast = [&] {
+    TelemetrySpan Span("parse");
+    return parseProgram(Source);
+  }();
   if (!Ast)
     return Ast.error();
   return checkProgram(Ast.take());

@@ -2,6 +2,8 @@
 
 #include "runtime/Compiler.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 #include <sstream>
 
@@ -481,6 +483,7 @@ rprism::compileProgram(const CheckedProgram &Checked,
 Expected<CompiledProgram>
 rprism::compileSource(std::string_view Source,
                       std::shared_ptr<StringInterner> Strings) {
+  TelemetrySpan Span("compile");
   Expected<CheckedProgram> Checked = parseAndCheck(Source);
   if (!Checked)
     return Checked.error();

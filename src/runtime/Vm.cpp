@@ -5,6 +5,7 @@
 #include "lang/Ast.h" // BinOp/UnOp/BuiltinKind enums.
 #include "runtime/TraceRecorder.h"
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <cstdio>
@@ -715,12 +716,19 @@ RunResult Vm::run() {
     Result.Completed = true;
   }
   Result.Output = std::move(Output);
-  Result.ExecTrace = Recorder.take();
+  {
+    TelemetrySpan RecordSpan("record");
+    Result.ExecTrace = Recorder.take();
+  }
+  Telemetry::counterAdd("vm.steps", Steps);
+  Telemetry::counterAdd("trace.entries_recorded",
+                        Result.ExecTrace.Entries.size());
   return Result;
 }
 
 RunResult rprism::runProgram(const CompiledProgram &Prog,
                              const RunOptions &Options) {
+  TelemetrySpan Span("vm-run");
   Vm Machine(Prog, Options);
   return Machine.run();
 }

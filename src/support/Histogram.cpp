@@ -39,6 +39,22 @@ void Histogram::print(std::ostream &OS, const std::string &Title) const {
   }
 }
 
+uint64_t Histogram::total() const {
+  uint64_t Sum = 0;
+  for (unsigned C : Counts)
+    Sum += C;
+  return Sum;
+}
+
+bool Histogram::merge(const Histogram &Other) {
+  assert(Bounds == Other.Bounds && "histogram shapes must match to merge");
+  if (Bounds != Other.Bounds)
+    return false;
+  for (size_t I = 0; I != Counts.size(); ++I)
+    Counts[I] += Other.Counts[I];
+  return true;
+}
+
 Histogram rprism::makeAccuracyHistogram() {
   return Histogram({0.99, 1.00, 1.05, 1.10, 1.25, 1.50, 2.00},
                    {"99%", "100%", "105%", "110%", "125%", "150%", "200%"});
@@ -48,4 +64,15 @@ Histogram rprism::makeSpeedupHistogram() {
   return Histogram({0.5, 1, 5, 10, 50, 100, 500, 1000, 2500, 5000},
                    {"0.5x", "1x", "5x", "10x", "50x", "100x", "500x",
                     "1000x", "2500x", "5000x"});
+}
+
+Histogram rprism::makePow2Histogram() {
+  std::vector<double> Bounds;
+  std::vector<std::string> Labels;
+  for (unsigned Exp = 0; Exp <= 20; ++Exp) {
+    uint64_t Bound = uint64_t{1} << Exp;
+    Bounds.push_back(static_cast<double>(Bound));
+    Labels.push_back(std::to_string(Bound));
+  }
+  return Histogram(std::move(Bounds), std::move(Labels));
 }

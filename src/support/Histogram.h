@@ -16,6 +16,7 @@
 #ifndef RPRISM_SUPPORT_HISTOGRAM_H
 #define RPRISM_SUPPORT_HISTOGRAM_H
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -36,6 +37,17 @@ public:
   unsigned count(size_t I) const { return Counts[I]; }
   size_t numBuckets() const { return Counts.size(); }
 
+  /// Label of bucket \p I.
+  const std::string &label(size_t I) const { return Labels[I]; }
+
+  /// Sum of all bucket counts.
+  uint64_t total() const;
+
+  /// Adds \p Other's bucket counts into this histogram. The two must have
+  /// the same bucket shape (asserted); returns false on shape mismatch so
+  /// release builds skip the merge instead of corrupting counts.
+  bool merge(const Histogram &Other);
+
   /// Prints "label: count  ###" ASCII-bar rows.
   void print(std::ostream &OS, const std::string &Title) const;
 
@@ -50,6 +62,11 @@ Histogram makeAccuracyHistogram();
 
 /// The speedup buckets of Fig. 14(b): 0.5x..5000x.
 Histogram makeSpeedupHistogram();
+
+/// Power-of-two buckets 1, 2, 4, ..., 2^20 — the telemetry registry's
+/// default shape for size/count distributions (e.g. difference-sequence
+/// lengths). The last bucket is open-ended per Histogram::add.
+Histogram makePow2Histogram();
 
 } // namespace rprism
 

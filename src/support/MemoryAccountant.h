@@ -18,6 +18,9 @@
 #ifndef RPRISM_SUPPORT_MEMORYACCOUNTANT_H
 #define RPRISM_SUPPORT_MEMORYACCOUNTANT_H
 
+#include "support/Telemetry.h"
+
+#include <cassert>
 #include <cstdint>
 
 namespace rprism {
@@ -42,10 +45,23 @@ public:
     return true;
   }
 
-  /// Releases \p Bytes previously charged.
+  /// Releases \p Bytes previously charged. Releasing more than is
+  /// outstanding means charge/release pairing drifted somewhere: debug
+  /// builds assert, release builds clamp to zero and count the event so
+  /// the drift shows up in telemetry instead of silently skewing peaks.
   void release(uint64_t Bytes) {
-    Current = Bytes > Current ? 0 : Current - Bytes;
+    if (Bytes > Current) {
+      assert(false && "MemoryAccountant::release underflow");
+      ++Underflows;
+      Telemetry::counterAdd("mem.release_underflows");
+      Current = 0;
+      return;
+    }
+    Current -= Bytes;
   }
+
+  /// Release-build underflow clamps observed on this accountant.
+  uint64_t underflows() const { return Underflows; }
 
   uint64_t currentBytes() const { return Current; }
   uint64_t peakBytes() const { return Peak; }
@@ -61,6 +77,7 @@ private:
   uint64_t Cap;
   uint64_t Current = 0;
   uint64_t Peak = 0;
+  uint64_t Underflows = 0;
   bool ExhaustedFlag = false;
 };
 

@@ -1,0 +1,187 @@
+//===- support/MetricsSink.cpp --------------------------------------------===//
+
+#include "support/MetricsSink.h"
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace rprism;
+
+namespace {
+
+/// JSON string escaping (metric names are plain identifiers, but the
+/// schema must stay valid for any input).
+std::string jsonEscape(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Doubles rendered with enough precision to round-trip gauge nanos.
+std::string jsonNumber(double Value) {
+  if (!std::isfinite(Value))
+    return "0";
+  if (Value == std::floor(Value) && std::fabs(Value) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Value);
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return Buf;
+}
+
+} // namespace
+
+std::string rprism::renderMetricsJson(const TelemetrySnapshot &Snap,
+                                      const MetricsRunInfo &Info) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"schema\": \"" << kMetricsSchema << "\",\n"
+     << "  \"tool\": \"" << jsonEscape(Info.Tool) << "\",\n"
+     << "  \"command\": \"" << jsonEscape(Info.Command) << "\",\n"
+     << "  \"wall_ns\": " << Info.WallNanos << ",\n";
+
+  OS << "  \"spans\": [";
+  for (size_t I = 0; I != Snap.Spans.size(); ++I) {
+    const SpanStat &S = Snap.Spans[I];
+    OS << (I ? ",\n    " : "\n    ") << "{\"path\": \""
+       << jsonEscape(S.Path) << "\", \"name\": \"" << jsonEscape(S.name())
+       << "\", \"parent\": \"" << jsonEscape(S.parent())
+       << "\", \"count\": " << S.Count << ", \"total_ns\": " << S.TotalNanos
+       << ", \"self_ns\": " << S.SelfNanos << "}";
+  }
+  OS << (Snap.Spans.empty() ? "],\n" : "\n  ],\n");
+
+  OS << "  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Snap.Counters) {
+    OS << (First ? "\n    " : ",\n    ") << "\"" << jsonEscape(Name)
+       << "\": " << Value;
+    First = false;
+  }
+  OS << (First ? "},\n" : "\n  },\n");
+
+  OS << "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Snap.Gauges) {
+    OS << (First ? "\n    " : ",\n    ") << "\"" << jsonEscape(Name)
+       << "\": " << jsonNumber(Value);
+    First = false;
+  }
+  OS << (First ? "},\n" : "\n  },\n");
+
+  OS << "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, Hist] : Snap.Histograms) {
+    OS << (First ? "\n    " : ",\n    ") << "\"" << jsonEscape(Name)
+       << "\": [";
+    bool FirstBucket = true;
+    for (size_t I = 0; I != Hist.numBuckets(); ++I) {
+      if (Hist.count(I) == 0)
+        continue; // Sparse: pow2 shapes have many empty buckets.
+      OS << (FirstBucket ? "" : ", ") << "{\"le\": \""
+         << jsonEscape(Hist.label(I)) << "\", \"count\": " << Hist.count(I)
+         << "}";
+      FirstBucket = false;
+    }
+    OS << "]";
+    First = false;
+  }
+  OS << (First ? "}\n" : "\n  }\n");
+
+  OS << "}\n";
+  return OS.str();
+}
+
+bool rprism::writeMetricsJson(const TelemetrySnapshot &Snap,
+                              const MetricsRunInfo &Info,
+                              const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << renderMetricsJson(Snap, Info);
+  return static_cast<bool>(Out);
+}
+
+std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap) {
+  std::ostringstream OS;
+
+  // Stage table sorted by self-time: where the pipeline actually spends
+  // its time, with the nesting still readable from the path column.
+  std::vector<const SpanStat *> ByLoad;
+  ByLoad.reserve(Snap.Spans.size());
+  uint64_t TotalSelf = 0;
+  for (const SpanStat &S : Snap.Spans) {
+    ByLoad.push_back(&S);
+    TotalSelf += S.SelfNanos;
+  }
+  std::stable_sort(ByLoad.begin(), ByLoad.end(),
+                   [](const SpanStat *A, const SpanStat *B) {
+                     return A->SelfNanos > B->SelfNanos;
+                   });
+
+  TablePrinter Stages;
+  Stages.setHeader({"stage", "count", "total ms", "self ms", "self %"});
+  for (const SpanStat *S : ByLoad) {
+    double Share = TotalSelf
+                       ? 100.0 * static_cast<double>(S->SelfNanos) /
+                             static_cast<double>(TotalSelf)
+                       : 0;
+    Stages.addRow({S->Path, TablePrinter::fmtInt(S->Count),
+                   TablePrinter::fmt(static_cast<double>(S->TotalNanos) / 1e6,
+                                     3),
+                   TablePrinter::fmt(static_cast<double>(S->SelfNanos) / 1e6,
+                                     3),
+                   TablePrinter::fmt(Share, 1)});
+  }
+  OS << "-- stages (by self time) --\n";
+  Stages.print(OS);
+
+  if (!Snap.Counters.empty()) {
+    TablePrinter Counters;
+    Counters.setHeader({"counter", "value"});
+    for (const auto &[Name, Value] : Snap.Counters)
+      Counters.addRow({Name, TablePrinter::fmtInt(Value)});
+    OS << "\n-- counters --\n";
+    Counters.print(OS);
+  }
+
+  if (!Snap.Gauges.empty()) {
+    TablePrinter Gauges;
+    Gauges.setHeader({"gauge", "value"});
+    for (const auto &[Name, Value] : Snap.Gauges)
+      Gauges.addRow({Name, TablePrinter::fmt(Value, 3)});
+    OS << "\n-- gauges --\n";
+    Gauges.print(OS);
+  }
+
+  for (const auto &[Name, Hist] : Snap.Histograms)
+    if (Hist.total() != 0) {
+      OS << '\n';
+      Hist.print(OS, "-- histogram: " + Name + " --");
+    }
+  return OS.str();
+}

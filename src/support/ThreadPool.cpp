@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -10,6 +12,8 @@ using namespace rprism;
 ThreadPool::ThreadPool(unsigned NumThreads) {
   if (NumThreads <= 1)
     return; // Inline mode: no workers, submit() executes directly.
+  if (Telemetry::enabled())
+    StartNanos = Telemetry::nowNanos();
   Workers.reserve(NumThreads);
   for (unsigned I = 0; I != NumThreads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -23,6 +27,16 @@ ThreadPool::~ThreadPool() {
   WorkReady.notify_all();
   for (std::thread &Worker : Workers)
     Worker.join();
+  // Utilization = summed task run time over the pool's whole worker-span
+  // capacity. A gauge (timing-class): it varies across runs and --jobs.
+  uint64_t Lifetime =
+      StartNanos != 0 ? Telemetry::nowNanos() - StartNanos : 0;
+  if (Telemetry::enabled() && Lifetime != 0 && !Workers.empty())
+    Telemetry::gaugeMax(
+        "pool.worker_utilization",
+        static_cast<double>(BusyNanos.load(std::memory_order_relaxed)) /
+            (static_cast<double>(Lifetime) *
+             static_cast<double>(Workers.size())));
 }
 
 unsigned ThreadPool::defaultConcurrency() {
@@ -45,6 +59,23 @@ void ThreadPool::submit(std::function<void()> Task) {
       recordException(std::current_exception());
     }
     return;
+  }
+  if (Telemetry::enabled()) {
+    // Wrap so the worker (a) inherits the submitter's stage path — keeping
+    // the span taxonomy identical for every --jobs value — and (b) accounts
+    // queue wait and busy time to the pool gauges.
+    Task = [this, Inner = std::move(Task), Path = Telemetry::currentPath(),
+            SubmitNanos = Telemetry::nowNanos()]() {
+      uint64_t RunNanos = Telemetry::nowNanos();
+      Telemetry::gaugeSum("pool.tasks", 1);
+      Telemetry::gaugeSum("pool.queue_wait_ns",
+                          static_cast<double>(RunNanos - SubmitNanos));
+      TelemetryTaskScope Scope(Path);
+      Inner();
+      uint64_t Busy = Telemetry::nowNanos() - RunNanos;
+      Telemetry::gaugeSum("pool.busy_ns", static_cast<double>(Busy));
+      BusyNanos.fetch_add(Busy, std::memory_order_relaxed);
+    };
   }
   {
     std::lock_guard<std::mutex> Lock(Mutex);

@@ -32,8 +32,10 @@
 #ifndef RPRISM_SUPPORT_THREADPOOL_H
 #define RPRISM_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -83,6 +85,8 @@ private:
   void recordException(std::exception_ptr E);
 
   std::vector<std::thread> Workers;
+  std::atomic<uint64_t> BusyNanos{0}; ///< Telemetry: summed task run time.
+  uint64_t StartNanos = 0;            ///< Telemetry: pool creation time.
   std::deque<std::function<void()>> Queue;
   std::mutex Mutex;
   std::condition_variable WorkReady;   ///< Queue non-empty or shutdown.

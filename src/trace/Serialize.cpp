@@ -2,6 +2,8 @@
 
 #include "trace/Serialize.h"
 
+#include "support/Telemetry.h"
+
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -194,6 +196,7 @@ bool rprism::writeTrace(const Trace &T, const std::string &Path) {
 
 Expected<Trace> rprism::readTrace(const std::string &Path,
                                   std::shared_ptr<StringInterner> Strings) {
+  TelemetrySpan Span("load");
   Reader R(Path);
   if (!R.ok())
     return makeErr("cannot open trace file '" + Path + "'");
@@ -258,6 +261,7 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
   // Fingerprints hash symbol ids, which re-interning just remapped;
   // recompute so loaded traces hit the =e fast path.
   T.computeFingerprints();
+  Telemetry::counterAdd("trace.entries_loaded", T.Entries.size());
   return T;
 }
 

@@ -3,6 +3,7 @@
 #include "trace/Trace.h"
 
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <sstream>
@@ -142,6 +143,7 @@ uint64_t Trace::entryFingerprint(const TraceEntry &Entry) const {
 }
 
 void Trace::computeFingerprints(ThreadPool *Pool) {
+  TelemetrySpan Span("fingerprint");
   if (Pool && Pool->numWorkers() > 1) {
     Pool->parallelFor(Entries.size(), [this](size_t I) {
       Entries[I].Fp = entryFingerprint(Entries[I]);
@@ -160,6 +162,7 @@ void rprism::fingerprintTracePair(Trace &Left, Trace &Right,
     Right.computeFingerprints();
     return;
   }
+  TelemetrySpan Span("fingerprint");
   // One flat index space over both traces' entries, so both are
   // fingerprinted concurrently and a short left trace doesn't idle the
   // pool while the right one is processed.

@@ -2,6 +2,7 @@
 
 #include "views/Views.h"
 
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -182,13 +183,46 @@ ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool) : T(&TIn) {
   // the deterministic concatenation below assigns the same dense ids
   // regardless of completion order. Without workers the four scans fuse
   // into one pass.
+  TelemetrySpan WebSpan("web-build");
   FamilyBuild Families[4];
   if (Pool && Pool->numWorkers() > 1) {
-    Pool->submit([&] { Families[0] = buildThreadFamily(*T); });
-    Pool->submit([&] { Families[1] = buildMethodFamily(*T); });
-    Pool->submit([&] { Families[2] = buildTargetObjectFamily(*T); });
-    Pool->submit([&] { Families[3] = buildActiveObjectFamily(*T); });
+    Pool->submit([&] {
+      TelemetrySpan S("thread");
+      Families[0] = buildThreadFamily(*T);
+    });
+    Pool->submit([&] {
+      TelemetrySpan S("method");
+      Families[1] = buildMethodFamily(*T);
+    });
+    Pool->submit([&] {
+      TelemetrySpan S("target-object");
+      Families[2] = buildTargetObjectFamily(*T);
+    });
+    Pool->submit([&] {
+      TelemetrySpan S("active-object");
+      Families[3] = buildActiveObjectFamily(*T);
+    });
     Pool->wait();
+  } else if (Telemetry::enabled()) {
+    // Telemetry runs take the four separate scans sequentially so the
+    // per-family spans exist (with identical paths) at --jobs 1 too. The
+    // builders produce exactly what the fused pass produces.
+    {
+      TelemetrySpan S("thread");
+      Families[0] = buildThreadFamily(*T);
+    }
+    {
+      TelemetrySpan S("method");
+      Families[1] = buildMethodFamily(*T);
+    }
+    {
+      TelemetrySpan S("target-object");
+      Families[2] = buildTargetObjectFamily(*T);
+    }
+    {
+      TelemetrySpan S("active-object");
+      Families[3] = buildActiveObjectFamily(*T);
+    }
   } else {
     buildAllFamiliesFused(*T, Families);
   }
@@ -211,6 +245,7 @@ ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool) : T(&TIn) {
       if (F.Dense[Key] != ~0u)
         Indices[FI]->emplace(Key, Offset + F.Dense[Key]);
   }
+  Telemetry::counterAdd("web.views", Views.size());
 }
 
 const View *ViewWeb::threadView(uint32_t Tid) const {

@@ -71,6 +71,11 @@ echo "$AN" | grep -q "|A|=" || fail "analyze header missing"
   2>/dev/null | grep -q "no protocol violations" \
   || fail "self-check reported violations"
 
+# --- version ----------------------------------------------------------------
+VER="$("$RPRISM" --version)" || fail "--version exited non-zero"
+echo "$VER" | grep -q "^rprism [0-9]" || fail "--version output was: $VER"
+"$RPRISM" version > /dev/null || fail "version subcommand exited non-zero"
+
 # --- error handling ----------------------------------------------------------
 if "$RPRISM" run /nonexistent.rp 2>/dev/null; then
   fail "missing file did not error"
@@ -78,6 +83,53 @@ fi
 if "$RPRISM" frobnicate 2>/dev/null; then
   fail "unknown subcommand did not error"
 fi
+set +e
+"$RPRISM" frobnicate > /dev/null 2>"$WORK/err.txt"
+[ $? -eq 2 ] || fail "unknown subcommand exit code was not 2"
+grep -q "usage:" "$WORK/err.txt" || fail "unknown subcommand printed no usage"
+# A flag that exists globally but is invalid for this subcommand.
+"$RPRISM" analyze "$WORK/old.rp" "$WORK/new.rp" --input x > /dev/null 2>&1
+[ $? -eq 2 ] || fail "invalid flag for subcommand was not exit 2"
+"$RPRISM" run "$WORK/old.rp" --no-such-flag > /dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown flag was not exit 2"
+set -e
+
+# --- telemetry: --metrics-out + --profile ------------------------------------
+METRICS="$WORK/metrics.json"
+DIFF_OUT="$("$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 \
+            --jobs 4 --metrics-out "$METRICS" --profile 2>"$WORK/prof.txt")"
+[ -f "$METRICS" ] || fail "--metrics-out wrote no file"
+python3 -m json.tool "$METRICS" > /dev/null || fail "metrics JSON does not parse"
+grep -q '"schema": "rprism-metrics-v1"' "$METRICS" || fail "metrics schema tag missing"
+# The stage span taxonomy covers the pipeline.
+for STAGE in parse compile vm-run record web-build correlate evaluate report; do
+  grep -q "$STAGE" "$METRICS" || fail "metrics JSON missing stage '$STAGE'"
+done
+grep -q "stages (by self time)" "$WORK/prof.txt" || fail "--profile table missing"
+# The compare-op counter must equal the value the report printed (the
+# "[N compare ops, ...]" status line goes to stderr with the profile).
+REPORT_OPS="$(sed -n 's/^\[\([0-9][0-9]*\) compare ops.*/\1/p' "$WORK/prof.txt" | head -1)"
+JSON_OPS="$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['counters']['diff.compare_ops'])" "$METRICS")"
+[ -n "$REPORT_OPS" ] || fail "report printed no compare-op count"
+[ "$REPORT_OPS" = "$JSON_OPS" ] || \
+  fail "compare ops mismatch: report=$REPORT_OPS metrics=$JSON_OPS"
+# --metrics-out must be valid (and produce the schema) for every subcommand.
+"$RPRISM" run "$WORK/old.rp" --int-input 100 \
+  --metrics-out "$WORK/run_metrics.json" > /dev/null 2>&1 \
+  || fail "run --metrics-out failed"
+python3 -m json.tool "$WORK/run_metrics.json" > /dev/null \
+  || fail "run metrics JSON does not parse"
+# Exported for CI artifact collection when requested.
+if [ -n "${RPRISM_METRICS_DIR:-}" ]; then
+  mkdir -p "$RPRISM_METRICS_DIR"
+  cp "$METRICS" "$RPRISM_METRICS_DIR/cli_diff_metrics.json"
+fi
+
+# --- telemetry in html report -------------------------------------------------
+"$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 \
+  --metrics-out "$WORK/m2.json" --html "$WORK/tele.html" > /dev/null 2>&1
+grep -q "Run telemetry" "$WORK/tele.html" \
+  || fail "html diff missing telemetry section"
 
 # --- html reports ------------------------------------------------------------
 "$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 \

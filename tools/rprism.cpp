@@ -27,9 +27,12 @@
 #include "analysis/Regression.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
+#include "support/MetricsSink.h"
+#include "support/Telemetry.h"
 #include "trace/Serialize.h"
 #include "workload/Corpus.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +44,8 @@ using namespace rprism;
 
 namespace {
 
+constexpr const char *kVersion = "0.2.0";
+
 int usage() {
   std::fprintf(
       stderr,
@@ -50,11 +55,17 @@ int usage() {
       "  rprism diff <old-prog> <new-prog> [--engine views|lcs]\n"
       "              [--input S]... [--html F] [--jobs N]\n"
       "  rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]\n"
-      "              [--jobs N]\n"
+      "              [--html F] [--jobs N]\n"
       "  rprism analyze <old-prog> <new-prog> --regr-input S...\n"
       "              --ok-input S... [--removal] [--html F] [--jobs N]\n"
       "  rprism views <prog> [--input S]...\n"
-      "  rprism protocols <good-prog> <subject-prog> [--input S]...\n");
+      "  rprism protocols <good-prog> <subject-prog> [--input S]...\n"
+      "  rprism --version\n"
+      "\n"
+      "telemetry (any subcommand):\n"
+      "  --metrics-out F   write run telemetry as JSON (%s)\n"
+      "  --profile         print a stage/metric profile to stderr\n",
+      kMetricsSchema);
   return 2;
 }
 
@@ -81,6 +92,10 @@ struct Args {
   /// sequential. Any value produces identical reports (see ViewsDiffOptions).
   unsigned Jobs = 0;
   bool Removal = false;
+  std::string MetricsOut;
+  bool Profile = false;
+  /// Every --flag that appeared, for per-subcommand validation.
+  std::vector<std::string> SeenFlags;
   bool Bad = false;
 };
 
@@ -96,6 +111,8 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       }
       return Argv[++I];
     };
+    if (Arg.rfind("--", 0) == 0)
+      A.SeenFlags.push_back(Arg);
     if (Arg == "--input")
       A.Inputs.push_back(Next());
     else if (Arg == "--int-input")
@@ -132,6 +149,10 @@ Args parseArgs(int Argc, char **Argv, int Start) {
                      Engine.c_str());
         A.Bad = true;
       }
+    } else if (Arg == "--metrics-out") {
+      A.MetricsOut = Next();
+    } else if (Arg == "--profile") {
+      A.Profile = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       A.Bad = true;
@@ -140,6 +161,59 @@ Args parseArgs(int Argc, char **Argv, int Start) {
     }
   }
   return A;
+}
+
+/// Flags each subcommand accepts (beyond the telemetry flags, valid
+/// everywhere). A flag outside its subcommand's set is an error, not
+/// silently tolerated — e.g. `analyze --input` (analyze takes --regr-input/
+/// --ok-input) used to parse cleanly and then be ignored.
+const std::vector<const char *> *allowedFlags(const std::string &Command) {
+  static const std::vector<const char *> Run = {"--input", "--int-input",
+                                                "--trace"};
+  static const std::vector<const char *> TraceDump = {};
+  static const std::vector<const char *> Diff = {
+      "--engine", "--input", "--int-input", "--html", "--jobs"};
+  static const std::vector<const char *> DiffTraces = {"--engine", "--html",
+                                                       "--jobs"};
+  static const std::vector<const char *> Analyze = {
+      "--engine",  "--regr-input", "--ok-input", "--int-input",
+      "--removal", "--html",       "--jobs"};
+  static const std::vector<const char *> Views = {"--input", "--int-input"};
+  static const std::vector<const char *> Protocols = {"--input",
+                                                      "--int-input"};
+  if (Command == "run")
+    return &Run;
+  if (Command == "trace-dump")
+    return &TraceDump;
+  if (Command == "diff")
+    return &Diff;
+  if (Command == "diff-traces")
+    return &DiffTraces;
+  if (Command == "analyze")
+    return &Analyze;
+  if (Command == "views")
+    return &Views;
+  if (Command == "protocols")
+    return &Protocols;
+  return nullptr; // Unknown subcommand.
+}
+
+bool validateFlags(const std::string &Command, const Args &A) {
+  const std::vector<const char *> *Allowed = allowedFlags(Command);
+  if (!Allowed)
+    return false;
+  bool Ok = true;
+  for (const std::string &Flag : A.SeenFlags) {
+    if (Flag == "--metrics-out" || Flag == "--profile")
+      continue;
+    if (std::none_of(Allowed->begin(), Allowed->end(),
+                     [&Flag](const char *F) { return Flag == F; })) {
+      std::fprintf(stderr, "error: '%s' does not accept %s\n",
+                   Command.c_str(), Flag.c_str());
+      Ok = false;
+    }
+  }
+  return Ok;
 }
 
 /// Compiles a program file with a shared interner; exits on error.
@@ -211,6 +285,7 @@ int printDiff(const Trace &Left, const Trace &Right, const Args &A) {
                          "retry with --engine views\n");
     return 1;
   }
+  TelemetrySpan ReportSpan("report");
   if (!A.HtmlPath.empty()) {
     if (!writeHtmlFile(renderHtmlDiff(Result), A.HtmlPath)) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
@@ -295,6 +370,7 @@ int cmdAnalyze(const Args &A) {
   Options.Views.Jobs = A.Jobs;
   Options.CodeRemoval = A.Removal;
   RegressionReport Report = analyzeRegression(Inputs, Options);
+  TelemetrySpan ReportSpan("report");
   if (!A.HtmlPath.empty()) {
     HtmlReportOptions HtmlOptions;
     HtmlOptions.Title = "RPrism regression analysis";
@@ -355,16 +431,7 @@ int cmdProtocols(const Args &A) {
   return Violations.empty() ? 0 : 1;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage();
-  std::string Command = Argv[1];
-  Args A = parseArgs(Argc, Argv, 2);
-  if (A.Bad)
-    return 2;
-
+int dispatch(const std::string &Command, const Args &A) {
   if (Command == "run")
     return cmdRun(A);
   if (Command == "trace-dump")
@@ -379,5 +446,68 @@ int main(int Argc, char **Argv) {
     return cmdViews(A);
   if (Command == "protocols")
     return cmdProtocols(A);
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Command.c_str());
   return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Command = Argv[1];
+  if (Command == "--version" || Command == "version") {
+    std::printf("rprism %s\n", kVersion);
+    return 0;
+  }
+  if (Command == "--help" || Command == "help") {
+    usage();
+    return 0;
+  }
+  Args A = parseArgs(Argc, Argv, 2);
+  if (A.Bad)
+    return 2;
+  if (!allowedFlags(Command)) {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n",
+                 Command.c_str());
+    return usage();
+  }
+  if (!validateFlags(Command, A))
+    return usage();
+
+  // Telemetry is recorded only when an export was requested; otherwise
+  // every instrumentation point stays a single relaxed load.
+  bool WantTelemetry = !A.MetricsOut.empty() || A.Profile;
+  if (WantTelemetry) {
+    Telemetry::get().reset();
+    Telemetry::get().setEnabled(true);
+  }
+  uint64_t StartNanos = Telemetry::nowNanos();
+
+  int Exit;
+  {
+    // Root span named after the subcommand: every pipeline stage nests
+    // under it, so span coverage of the run is the root span itself.
+    TelemetrySpan Root(Command.c_str());
+    Exit = dispatch(Command, A);
+  }
+
+  if (WantTelemetry) {
+    Telemetry::get().setEnabled(false);
+    MetricsRunInfo Info;
+    Info.Command = Command;
+    Info.WallNanos = Telemetry::nowNanos() - StartNanos;
+    TelemetrySnapshot Snap = Telemetry::get().snapshot();
+    if (A.Profile)
+      std::fputs(renderProfileTable(Snap).c_str(), stderr);
+    if (!A.MetricsOut.empty()) {
+      if (!writeMetricsJson(Snap, Info, A.MetricsOut)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     A.MetricsOut.c_str());
+        return Exit ? Exit : 1;
+      }
+      std::fprintf(stderr, "[metrics written to %s]\n", A.MetricsOut.c_str());
+    }
+  }
+  return Exit;
 }
