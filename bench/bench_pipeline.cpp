@@ -29,6 +29,7 @@
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
 #include "support/MetricsSink.h"
+#include "trace/Serialize.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -90,6 +91,11 @@ struct Measurement {
   double EntriesPerSec = 0;
   uint64_t CompareOps = 0;
   uint64_t PeakRss = 0;
+  /// Growth of the process RSS high-water mark during this row. The
+  /// absolute peak never resets, so small later rows would otherwise
+  /// inherit the peak of earlier large rows.
+  uint64_t PeakRssDelta = 0;
+  unsigned EffectiveJobs = 0;
   size_t NumDiffs = 0;
 };
 
@@ -102,6 +108,7 @@ Measurement measure(const std::string &Config, const TracePair &Pair,
   M.Config = Config;
   M.Seconds = 1e30;
   uint64_t Entries = Pair.Left.size() + Pair.Right.size();
+  uint64_t PeakBefore = peakRssBytes();
   for (unsigned Rep = 0; Rep != Reps; ++Rep) {
     Trace Left = Pair.Left;
     Trace Right = Pair.Right;
@@ -113,6 +120,8 @@ Measurement measure(const std::string &Config, const TracePair &Pair,
     }
     ViewsDiffOptions Options;
     Options.Jobs = Jobs;
+    M.EffectiveJobs =
+        effectiveDiffJobs(Options, Left.size() + Right.size());
     Timer Clock;
     DiffResult Result = viewsDiff(Left, Right, Options);
     double Seconds = Clock.seconds();
@@ -127,24 +136,75 @@ Measurement measure(const std::string &Config, const TracePair &Pair,
       *RenderOut = Result.render(50, 12);
   }
   M.PeakRss = peakRssBytes();
+  M.PeakRssDelta = M.PeakRss - PeakBefore;
   return M;
 }
 
 void appendJson(std::string &Json, unsigned OuterIters,
                 unsigned WorkloadThreads, uint64_t Entries,
-                const Measurement &M, bool First) {
-  char Buf[512];
+                double BytesPerEntry, const Measurement &M, bool First) {
+  char Buf[768];
   std::snprintf(
       Buf, sizeof(Buf),
       "%s    {\"outer_iters\": %u, \"workload_threads\": %u, "
-      "\"entries\": %llu, \"config\": \"%s\", \"seconds\": %.6f, "
+      "\"entries\": %llu, \"format\": \"memory\", "
+      "\"bytes_per_entry\": %.1f, \"config\": \"%s\", "
+      "\"effective_jobs\": %u, \"seconds\": %.6f, "
       "\"entries_per_sec\": %.1f, \"compare_ops\": %llu, "
-      "\"num_diffs\": %zu, \"peak_rss_bytes\": %llu}",
+      "\"num_diffs\": %zu, \"peak_rss_bytes\": %llu, "
+      "\"peak_rss_delta_bytes\": %llu}",
       First ? "" : ",\n", OuterIters, WorkloadThreads,
-      static_cast<unsigned long long>(Entries), M.Config.c_str(), M.Seconds,
-      M.EntriesPerSec, static_cast<unsigned long long>(M.CompareOps),
-      M.NumDiffs, static_cast<unsigned long long>(M.PeakRss));
+      static_cast<unsigned long long>(Entries), BytesPerEntry,
+      M.Config.c_str(), M.EffectiveJobs, M.Seconds, M.EntriesPerSec,
+      static_cast<unsigned long long>(M.CompareOps), M.NumDiffs,
+      static_cast<unsigned long long>(M.PeakRss),
+      static_cast<unsigned long long>(M.PeakRssDelta));
   Json += Buf;
+}
+
+/// Writes both traces in \p Format ("v1"/"v2"/"v3"), reloads them into one
+/// fresh interner, and re-diffs: the report and compare-op totals must be
+/// identical to the in-memory reference. Returns the JSON fragment.
+std::string checkFormatDeterminism(const TracePair &Pair,
+                                   const std::string &RefRender,
+                                   uint64_t RefOps, unsigned Version,
+                                   bool First, int &Exit) {
+  std::string LPath =
+      "/tmp/bench_pipeline_L_v" + std::to_string(Version) + ".trace";
+  std::string RPath =
+      "/tmp/bench_pipeline_R_v" + std::to_string(Version) + ".trace";
+  bool Wrote = Version == 3
+                   ? writeTrace(Pair.Left, LPath) && writeTrace(Pair.Right, RPath)
+                   : writeTraceLegacy(Pair.Left, LPath, Version) &&
+                         writeTraceLegacy(Pair.Right, RPath, Version);
+  bool ReportIdentical = false, OpsIdentical = false;
+  if (Wrote) {
+    auto Shared = std::make_shared<StringInterner>();
+    Expected<Trace> L = readTrace(LPath, Shared);
+    Expected<Trace> R = readTrace(RPath, Shared);
+    if (L && R) {
+      ViewsDiffOptions Options;
+      Options.Jobs = 1;
+      DiffResult Result = viewsDiff(*L, *R, Options);
+      ReportIdentical = Result.render(50, 12) == RefRender;
+      OpsIdentical = Result.Stats.CompareOps == RefOps;
+    }
+  }
+  if (!ReportIdentical || !OpsIdentical) {
+    std::printf("  ERROR: v%u reload diverged from the in-memory report\n",
+                Version);
+    Exit = 1;
+  }
+  std::remove(LPath.c_str());
+  std::remove(RPath.c_str());
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s    {\"format\": \"v%u\", \"report_identical\": %s, "
+                "\"compare_ops_identical\": %s}",
+                First ? "" : ",\n", Version,
+                ReportIdentical ? "true" : "false",
+                OpsIdentical ? "true" : "false");
+  return Buf;
 }
 
 } // namespace
@@ -175,6 +235,11 @@ int main(int Argc, char **Argv) {
     for (unsigned Size : Sizes) {
       TracePair Pair = makePair(Size, Threads);
       uint64_t Entries = Pair.Left.size() + Pair.Right.size();
+      double BytesPerEntry =
+          Entries ? static_cast<double>(Pair.Left.storageBytes() +
+                                        Pair.Right.storageBytes()) /
+                        static_cast<double>(Entries)
+                  : 0;
       unsigned Reps = Entries > 200000 ? 2 : 3;
       std::printf("== %llu entries (iters=%u, workload threads=%u) ==\n",
                   static_cast<unsigned long long>(Entries), Size, Threads);
@@ -182,7 +247,7 @@ int main(int Argc, char **Argv) {
       std::string SeedRender;
       Measurement Seed = measure("seed", Pair, /*Fingerprints=*/false,
                                  /*Jobs=*/1, Reps, &SeedRender);
-      appendJson(Json, Size, Threads, Entries, Seed, First);
+      appendJson(Json, Size, Threads, Entries, BytesPerEntry, Seed, First);
       First = false;
       std::printf("  %-10s %8.2f ms  %12.0f entries/s  %10llu ops\n",
                   Seed.Config.c_str(), Seed.Seconds * 1e3,
@@ -199,7 +264,7 @@ int main(int Argc, char **Argv) {
         std::string Render;
         Measurement M =
             measure(Name, Pair, Cfg.first, Cfg.second, Reps, &Render);
-        appendJson(Json, Size, Threads, Entries, M, First);
+        appendJson(Json, Size, Threads, Entries, BytesPerEntry, M, First);
         std::printf("  %-10s %8.2f ms  %12.0f entries/s  %10llu ops"
                     "  (%.2fx)\n",
                     M.Config.c_str(), M.Seconds * 1e3, M.EntriesPerSec,
@@ -220,6 +285,24 @@ int main(int Argc, char **Argv) {
       }
     }
   }
+
+  // Cross-format determinism: every on-disk format must reload into a
+  // report byte-identical to the in-memory diff, with identical compare-op
+  // totals.
+  std::string FormatJson = ",\n  \"format_determinism\": [\n";
+  {
+    TracePair Pair = makePair(Quick ? 100 : 400, 2);
+    ViewsDiffOptions RefOptions;
+    RefOptions.Jobs = 1;
+    DiffResult Ref = viewsDiff(Pair.Left, Pair.Right, RefOptions);
+    std::string RefRender = Ref.render(50, 12);
+    for (unsigned Version : {1u, 2u, 3u})
+      FormatJson += checkFormatDeterminism(Pair, RefRender,
+                                           Ref.Stats.CompareOps, Version,
+                                           Version == 1, Exit);
+  }
+  FormatJson += "\n  ],\n  \"determinism_ok\": ";
+  FormatJson += Exit == 0 ? "true" : "false";
 
   // Telemetry verification pass. The measurements above run with telemetry
   // disabled — the recording path must cost nothing when off — so one extra
@@ -260,7 +343,9 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  Json += "\n  ]\n}\n";
+  Json += "\n  ]";
+  Json += FormatJson;
+  Json += "\n}\n";
   const char *Path = "BENCH_pipeline.json";
   if (std::FILE *F = std::fopen(Path, "wb")) {
     std::fwrite(Json.data(), 1, Json.size(), F);

@@ -113,7 +113,7 @@ int main() {
     if (V.Entries.size() > 2) {
       uint32_t Eid = V.Entries[2];
       std::printf("entry [%u] %s\nis linked into:\n", Eid,
-                  T.renderEntry(T.Entries[Eid]).c_str());
+                  T.renderEntry(Eid).c_str());
       for (uint32_t ViewId : Web.viewsOf(Eid)) {
         const View &Linked = Web.view(ViewId);
         std::printf("  - %s view (position %lld of %zu)\n",

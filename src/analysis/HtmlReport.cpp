@@ -65,7 +65,7 @@ void openPage(std::ostringstream &OS, const std::string &Title) {
 void renderEntryCell(std::ostringstream &OS, const Trace &T, uint32_t Eid,
                      bool IsD) {
   OS << "<span class=\"eid\">[" << Eid << "]</span>"
-     << escapeHtml(T.renderEntry(T.Entries[Eid]));
+     << escapeHtml(T.renderEntry(Eid));
   if (IsD)
     OS << "<span class=\"dmark\">D</span>";
   OS << "\n";

@@ -31,9 +31,8 @@ bool expandOnce(const ViewWeb &Web, ImpactSet &Set,
     if (!MV)
       continue;
     for (uint32_t Eid : MV->Entries) {
-      const TraceEntry &Entry = T.Entries[Eid];
-      AddObject(Entry.Ev.Target);
-      AddObject(Entry.Self);
+      AddObject(T.Targets[Eid]);
+      AddObject(T.Selfs[Eid]);
     }
   }
 
@@ -44,10 +43,9 @@ bool expandOnce(const ViewWeb &Web, ImpactSet &Set,
     if (!OV)
       continue;
     for (uint32_t Eid : OV->Entries) {
-      const TraceEntry &Entry = T.Entries[Eid];
-      AddMethod(Entry.Method);
-      if (Entry.Ev.Kind == EventKind::Call)
-        AddMethod(Entry.Ev.Name);
+      AddMethod(T.Methods[Eid]);
+      if (T.kind(Eid) == EventKind::Call)
+        AddMethod(T.Names[Eid]);
     }
   }
   return Grew;
@@ -77,10 +75,9 @@ std::string ImpactSet::render(const Trace &T) const {
   // targets them.
   std::ostringstream ObjectsOS;
   std::set<uint32_t> Pending(Objects);
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const ObjRepr &Target : T.Targets) {
     if (Pending.empty())
       break;
-    const ObjRepr &Target = Entry.Ev.Target;
     if (!Target.isNone() && Pending.erase(Target.Loc))
       ObjectsOS << ' ' << T.renderObj(Target);
   }
@@ -107,12 +104,11 @@ ImpactSet rprism::impactOfEntries(const ViewWeb &Web,
   ImpactSet Seed;
   Seed.SeedEntries = Eids.size();
   for (uint32_t Eid : Eids) {
-    const TraceEntry &Entry = T.Entries[Eid];
-    Seed.Methods.insert(Entry.Method.Id);
-    if (!Entry.Ev.Target.isNone())
-      Seed.Objects.insert(Entry.Ev.Target.Loc);
-    if (!Entry.Self.isNone())
-      Seed.Objects.insert(Entry.Self.Loc);
+    Seed.Methods.insert(T.Methods[Eid].Id);
+    if (!T.Targets[Eid].isNone())
+      Seed.Objects.insert(T.Targets[Eid].Loc);
+    if (!T.Selfs[Eid].isNone())
+      Seed.Objects.insert(T.Selfs[Eid].Loc);
   }
   return closeOver(Web, std::move(Seed), Options);
 }

@@ -18,16 +18,16 @@ std::vector<Symbol> callSequence(const Trace &T, const View &V,
                                  bool IncludeCtor) {
   std::vector<Symbol> Calls;
   for (uint32_t Eid : V.Entries) {
-    const Event &Ev = T.Entries[Eid].Ev;
-    if (Ev.Kind != EventKind::Call)
+    if (T.kind(Eid) != EventKind::Call)
       continue;
+    Symbol Callee = T.Names[Eid];
     if (!IncludeCtor) {
-      const std::string &Name = T.Strings->text(Ev.Name);
+      const std::string &Name = T.Strings->text(Callee);
       if (Name.size() >= 6 &&
           Name.compare(Name.size() - 6, 6, "<init>") == 0)
         continue;
     }
-    Calls.push_back(Ev.Name);
+    Calls.push_back(Callee);
   }
   return Calls;
 }
@@ -119,27 +119,27 @@ rprism::checkProtocols(const std::vector<ProtocolAutomaton> &Reference,
 
     uint32_t Prev = ProtocolAutomaton::StartState;
     for (uint32_t Eid : V.Entries) {
-      const Event &Ev = T.Entries[Eid].Ev;
-      if (Ev.Kind != EventKind::Call)
+      if (T.kind(Eid) != EventKind::Call)
         continue;
+      Symbol Callee = T.Names[Eid];
       if (!Options.IncludeCtor) {
-        const std::string &Name = T.Strings->text(Ev.Name);
+        const std::string &Name = T.Strings->text(Callee);
         if (Name.size() >= 6 &&
             Name.compare(Name.size() - 6, 6, "<init>") == 0)
           continue;
       }
-      if (!Auto.allows(Symbol{Prev}, Ev.Name)) {
-        auto Key = std::make_tuple(Auto.ClassName.Id, Prev, Ev.Name.Id);
+      if (!Auto.allows(Symbol{Prev}, Callee)) {
+        auto Key = std::make_tuple(Auto.ClassName.Id, Prev, Callee.Id);
         auto [Slot, Inserted] = Found.try_emplace(Key);
         if (Inserted) {
           Slot->second.ClassName = Auto.ClassName;
           Slot->second.FromMethod = Symbol{Prev};
-          Slot->second.ToMethod = Ev.Name;
+          Slot->second.ToMethod = Callee;
           Slot->second.Eid = Eid;
         }
         ++Slot->second.Count;
       }
-      Prev = Ev.Name.Id;
+      Prev = Callee.Id;
     }
   }
 
@@ -165,7 +165,7 @@ rprism::renderViolations(const std::vector<ProtocolViolation> &Violations,
                                 : Subject.Strings->text(V.FromMethod))
        << " -> " << Subject.Strings->text(V.ToMethod) << " (x" << V.Count
        << "), first at [" << V.Eid << "] "
-       << Subject.renderEntry(Subject.Entries[V.Eid]) << '\n';
+       << Subject.renderEntry(V.Eid) << '\n';
   }
   return OS.str();
 }

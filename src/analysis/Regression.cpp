@@ -12,26 +12,26 @@ using namespace rprism;
 
 namespace {
 
-/// Version-stable content key of one differing trace entry. `SideTag`
-/// distinguishes original-version from new-version differences when
-/// matching A against B.
-uint64_t diffContentKey(const Trace &T, const TraceEntry &Entry,
-                        bool NewSide) {
-  const Event &Ev = Entry.Ev;
-  uint64_t H = hashCombine(static_cast<uint64_t>(Ev.Kind), Ev.Name.Id,
-                           NewSide ? 0x4eULL : 0x0aULL);
+/// Version-stable content key of one differing trace entry (read from the
+/// columns). `SideTag` distinguishes original-version from new-version
+/// differences when matching A against B.
+uint64_t diffContentKey(const Trace &T, uint32_t Eid, bool NewSide) {
+  uint64_t H = hashCombine(static_cast<uint64_t>(T.Kinds[Eid]),
+                           T.Names[Eid].Id, NewSide ? 0x4eULL : 0x0aULL);
   // Target object: class plus version-stable identity.
-  H = hashMix(H, Ev.Target.ClassName.Id);
-  H = hashMix(H, Ev.Target.HasRepr ? Ev.Target.ValueHash
-                                   : Ev.Target.CreationSeq);
-  H = hashMix(H, static_cast<uint64_t>(Ev.Value.Kind));
-  H = hashMix(H, Ev.Value.Hash);
-  for (const ValueRepr *Arg = T.argsBegin(Ev); Arg != T.argsEnd(Ev); ++Arg) {
+  const ObjRepr &Target = T.Targets[Eid];
+  H = hashMix(H, Target.ClassName.Id);
+  H = hashMix(H, Target.HasRepr ? Target.ValueHash : Target.CreationSeq);
+  const ValueRepr &Value = T.Values[Eid];
+  H = hashMix(H, static_cast<uint64_t>(Value.Kind));
+  H = hashMix(H, Value.Hash);
+  const ValueRepr *Arg = T.args(Eid);
+  for (uint32_t N = T.numArgs(Eid); N != 0; --N, ++Arg) {
     H = hashMix(H, static_cast<uint64_t>(Arg->Kind));
     H = hashMix(H, Arg->Hash);
   }
   // Context: the executing method (not the receiver object — too volatile).
-  H = hashMix(H, Entry.Method.Id);
+  H = hashMix(H, T.Methods[Eid].Id);
   return H;
 }
 
@@ -40,12 +40,10 @@ std::unordered_map<uint64_t, uint32_t> diffKeyCounts(const DiffResult &D) {
   std::unordered_map<uint64_t, uint32_t> Counts;
   for (uint32_t Eid = 0; Eid != D.LeftSimilar.size(); ++Eid)
     if (!D.LeftSimilar[Eid])
-      ++Counts[diffContentKey(*D.Left, D.Left->Entries[Eid],
-                              /*NewSide=*/false)];
+      ++Counts[diffContentKey(*D.Left, Eid, /*NewSide=*/false)];
   for (uint32_t Eid = 0; Eid != D.RightSimilar.size(); ++Eid)
     if (!D.RightSimilar[Eid])
-      ++Counts[diffContentKey(*D.Right, D.Right->Entries[Eid],
-                              /*NewSide=*/true)];
+      ++Counts[diffContentKey(*D.Right, Eid, /*NewSide=*/true)];
   return Counts;
 }
 
@@ -92,8 +90,8 @@ RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
   Report.sizeB = Report.B.numDiffs();
   Report.sizeC = Report.C.numDiffs();
 
-  Report.DLeft.assign(Inputs.OrigRegr->Entries.size(), false);
-  Report.DRight.assign(Inputs.NewRegr->Entries.size(), false);
+  Report.DLeft.assign(Inputs.OrigRegr->size(), false);
+  Report.DRight.assign(Inputs.NewRegr->size(), false);
   if (Report.OutOfMemory)
     return Report; // No candidate set computable.
 
@@ -117,9 +115,7 @@ RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
   std::unordered_map<uint64_t, uint32_t> RegrKeys;
   for (uint32_t Eid = 0; Eid != Report.C.RightSimilar.size(); ++Eid)
     if (!Report.C.RightSimilar[Eid])
-      ++RegrKeys[diffContentKey(*Report.C.Right,
-                                Report.C.Right->Entries[Eid],
-                                /*NewSide=*/true)];
+      ++RegrKeys[diffContentKey(*Report.C.Right, Eid, /*NewSide=*/true)];
   auto InC = [&Report, &RegrKeys](uint32_t Eid, uint64_t Key) {
     if (Eid < Report.C.RightSimilar.size() && !Report.C.RightSimilar[Eid])
       return true; // Same entry of the shared new/regr run.
@@ -133,9 +129,7 @@ RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
   for (uint32_t Eid = 0; Eid != Report.DLeft.size(); ++Eid) {
     if (Report.A.LeftSimilar[Eid])
       continue;
-    uint64_t Key = diffContentKey(*Report.A.Left,
-                                  Report.A.Left->Entries[Eid],
-                                  /*NewSide=*/false);
+    uint64_t Key = diffContentKey(*Report.A.Left, Eid, /*NewSide=*/false);
     if (!SurvivesB(Key))
       continue;
     // Orig-side differences: dropped by ∩C, kept by -C.
@@ -144,9 +138,7 @@ RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
   for (uint32_t Eid = 0; Eid != Report.DRight.size(); ++Eid) {
     if (Report.A.RightSimilar[Eid])
       continue;
-    uint64_t Key = diffContentKey(*Report.A.Right,
-                                  Report.A.Right->Entries[Eid],
-                                  /*NewSide=*/true);
+    uint64_t Key = diffContentKey(*Report.A.Right, Eid, /*NewSide=*/true);
     if (!SurvivesB(Key))
       continue;
     Report.DRight[Eid] = Removal ? !InC(Eid, Key) : InC(Eid, Key);
@@ -204,7 +196,7 @@ std::string RegressionReport::render(size_t MaxSequences,
         OS << "    - ...\n";
         break;
       }
-      OS << "    - " << A.Left->renderEntry(A.Left->Entries[Eid])
+      OS << "    - " << A.Left->renderEntry(Eid)
          << (DLeft[Eid] ? "   [D]" : "") << '\n';
     }
     N = 0;
@@ -213,7 +205,7 @@ std::string RegressionReport::render(size_t MaxSequences,
         OS << "    + ...\n";
         break;
       }
-      OS << "    + " << A.Right->renderEntry(A.Right->Entries[Eid])
+      OS << "    + " << A.Right->renderEntry(Eid)
          << (DRight[Eid] ? "   [D]" : "") << '\n';
     }
   }
@@ -227,19 +219,18 @@ rprism::scoreReport(const RegressionReport &Report,
   Score.ReportedSequences =
       static_cast<unsigned>(Report.RegressionSequences.size());
 
-  auto EntryMatchesChange = [&](const Trace &T, const TraceEntry &Entry,
-                                bool NewSide,
+  auto EntryMatchesChange = [&](const Trace &T, uint32_t Eid, bool NewSide,
                                 const GroundTruthChange &Change) {
     const auto &Nodes = NewSide ? Change.NewNodes : Change.OrigNodes;
-    if (Nodes.count(Entry.Prov))
+    if (Nodes.count(T.Provs[Eid]))
       return true;
-    if (Change.Methods.count(T.Strings->text(Entry.Method)))
+    if (Change.Methods.count(T.Strings->text(T.Methods[Eid])))
       return true;
     // A call/return naming the changed method also counts (the call site
     // observes the change).
-    if ((Entry.Ev.Kind == EventKind::Call ||
-         Entry.Ev.Kind == EventKind::Return) &&
-        Change.Methods.count(T.Strings->text(Entry.Ev.Name)))
+    EventKind Kind = T.kind(Eid);
+    if ((Kind == EventKind::Call || Kind == EventKind::Return) &&
+        Change.Methods.count(T.Strings->text(T.Names[Eid])))
       return true;
     return false;
   };
@@ -247,12 +238,12 @@ rprism::scoreReport(const RegressionReport &Report,
   auto SequenceMatchesChange = [&](const DiffSequence &Seq,
                                    const GroundTruthChange &Change) {
     for (uint32_t Eid : Seq.LeftEids)
-      if (EntryMatchesChange(*Report.A.Left, Report.A.Left->Entries[Eid],
-                             /*NewSide=*/false, Change))
+      if (EntryMatchesChange(*Report.A.Left, Eid, /*NewSide=*/false,
+                             Change))
         return true;
     for (uint32_t Eid : Seq.RightEids)
-      if (EntryMatchesChange(*Report.A.Right, Report.A.Right->Entries[Eid],
-                             /*NewSide=*/true, Change))
+      if (EntryMatchesChange(*Report.A.Right, Eid, /*NewSide=*/true,
+                             Change))
         return true;
     return false;
   };

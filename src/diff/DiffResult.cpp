@@ -16,10 +16,9 @@ std::string rprism::summarizeSequence(const Trace &Left, const Trace &Right,
   std::set<std::string> Objects;
   auto Visit = [&](const Trace &T, const std::vector<uint32_t> &Eids) {
     for (uint32_t Eid : Eids) {
-      const TraceEntry &Entry = T.Entries[Eid];
-      ++MethodCounts[Entry.Method.Id];
-      if (!Entry.Ev.Target.isNone())
-        Objects.insert(T.renderObj(Entry.Ev.Target));
+      ++MethodCounts[T.Methods[Eid].Id];
+      if (!T.Targets[Eid].isNone())
+        Objects.insert(T.renderObj(T.Targets[Eid]));
     }
   };
   Visit(Left, Seq.LeftEids);
@@ -67,7 +66,7 @@ std::string DiffResult::render(size_t MaxSequences, size_t MaxEntries) const {
         OS << "    - ...\n";
         break;
       }
-      OS << "    - " << Left->renderEntry(Left->Entries[Eid]) << '\n';
+      OS << "    - " << Left->renderEntry(Eid) << '\n';
     }
     N = 0;
     for (uint32_t Eid : Seq.RightEids) {
@@ -75,7 +74,7 @@ std::string DiffResult::render(size_t MaxSequences, size_t MaxEntries) const {
         OS << "    + ...\n";
         break;
       }
-      OS << "    + " << Right->renderEntry(Right->Entries[Eid]) << '\n';
+      OS << "    + " << Right->renderEntry(Eid) << '\n';
     }
   }
   return OS.str();

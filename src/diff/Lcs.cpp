@@ -28,13 +28,13 @@ Trim trimEnds(const Trace &Left, EidSpan LeftIds, const Trace &Right,
   size_t M = RightIds.Size;
   size_t Max = std::min(N, M);
   while (T.Prefix < Max &&
-         eventEquals(Left, Left.Entries[LeftIds[T.Prefix]], Right,
-                     Right.Entries[RightIds[T.Prefix]], Ops))
+         eventEquals(Left, LeftIds[T.Prefix], Right, RightIds[T.Prefix],
+                     Ops))
     ++T.Prefix;
   size_t Rem = Max - T.Prefix;
   while (T.Suffix < Rem &&
-         eventEquals(Left, Left.Entries[LeftIds[N - 1 - T.Suffix]], Right,
-                     Right.Entries[RightIds[M - 1 - T.Suffix]], Ops))
+         eventEquals(Left, LeftIds[N - 1 - T.Suffix], Right,
+                     RightIds[M - 1 - T.Suffix], Ops))
     ++T.Suffix;
   return T;
 }
@@ -63,10 +63,10 @@ std::vector<uint32_t> lcsLengthRow(const Trace &Left, EidSpan LeftIds,
   std::vector<uint32_t> Cur(M + 1, 0);
   for (size_t I = 1; I <= N; ++I) {
     size_t Li = Reversed ? N - I : I - 1;
-    const TraceEntry &LE = Left.Entries[LeftIds[Li]];
+    uint32_t LEid = LeftIds[Li];
     for (size_t J = 1; J <= M; ++J) {
       size_t Rj = Reversed ? M - J : J - 1;
-      if (eventEquals(Left, LE, Right, Right.Entries[RightIds[Rj]], Ops))
+      if (eventEquals(Left, LEid, Right, RightIds[Rj], Ops))
         Cur[J] = Prev[J - 1] + 1;
       else
         Cur[J] = std::max(Prev[J], Cur[J - 1]);
@@ -84,9 +84,8 @@ void hirschbergRec(const Trace &Left, EidSpan LeftIds, const Trace &Right,
   if (N == 0 || M == 0)
     return;
   if (N == 1) {
-    const TraceEntry &LE = Left.Entries[LeftIds[0]];
     for (size_t J = 0; J != M; ++J) {
-      if (eventEquals(Left, LE, Right, Right.Entries[RightIds[J]], Ops)) {
+      if (eventEquals(Left, LeftIds[0], Right, RightIds[J], Ops)) {
         Result.Matches.emplace_back(LeftIds[0], RightIds[J]);
         return;
       }
@@ -143,9 +142,9 @@ LcsResult rprism::lcsMatch(const Trace &Left, EidSpan LeftIds,
     std::vector<std::vector<uint32_t>> Table(
         N + 1, std::vector<uint32_t>(M + 1, 0));
     for (size_t I = 1; I <= N; ++I) {
-      const TraceEntry &LE = Left.Entries[LIds[I - 1]];
+      uint32_t LEid = LIds[I - 1];
       for (size_t J = 1; J <= M; ++J) {
-        if (eventEquals(Left, LE, Right, Right.Entries[RIds[J - 1]], Ops))
+        if (eventEquals(Left, LEid, Right, RIds[J - 1], Ops))
           Table[I][J] = Table[I - 1][J - 1] + 1;
         else
           Table[I][J] = std::max(Table[I - 1][J], Table[I][J - 1]);
@@ -156,8 +155,7 @@ LcsResult rprism::lcsMatch(const Trace &Left, EidSpan LeftIds,
     size_t I = N;
     size_t J = M;
     while (I != 0 && J != 0) {
-      if (eventEquals(Left, Left.Entries[LIds[I - 1]], Right,
-                      Right.Entries[RIds[J - 1]], Ops) &&
+      if (eventEquals(Left, LIds[I - 1], Right, RIds[J - 1], Ops) &&
           Table[I][J] == Table[I - 1][J - 1] + 1) {
         Middle.emplace_back(LIds[I - 1], RIds[J - 1]);
         --I;
@@ -203,7 +201,7 @@ namespace {
 
 /// All entry ids of a trace, 0..N-1 (entries are stored eid-ordered).
 std::vector<uint32_t> allEids(const Trace &T) {
-  std::vector<uint32_t> Ids(T.Entries.size());
+  std::vector<uint32_t> Ids(T.size());
   for (uint32_t I = 0; I != Ids.size(); ++I)
     Ids[I] = I;
   return Ids;
@@ -218,8 +216,8 @@ DiffResult rprism::lcsDiff(const Trace &Left, const Trace &Right,
   DiffResult Result;
   Result.Left = &Left;
   Result.Right = &Right;
-  Result.LeftSimilar.assign(Left.Entries.size(), false);
-  Result.RightSimilar.assign(Right.Entries.size(), false);
+  Result.LeftSimilar.assign(Left.size(), false);
+  Result.RightSimilar.assign(Right.size(), false);
 
   std::vector<uint32_t> LeftIds = allEids(Left);
   std::vector<uint32_t> RightIds = allEids(Right);
@@ -256,8 +254,10 @@ DiffResult rprism::lcsDiff(const Trace &Left, const Trace &Right,
     if (Li == LEnd && Ri == REnd)
       return;
     DiffSequence Seq;
-    Seq.LeftTid = Li < LEnd ? Left.Entries[Li].Tid
-                            : (Ri < REnd ? Right.Entries[Ri].Tid : 0);
+    Seq.LeftTid = Li < LEnd
+                      ? Left.Tids[static_cast<uint32_t>(Li)]
+                      : (Ri < REnd ? Right.Tids[static_cast<uint32_t>(Ri)]
+                                   : 0);
     for (; Li < LEnd; ++Li)
       Seq.LeftEids.push_back(static_cast<uint32_t>(Li));
     for (; Ri < REnd; ++Ri)
@@ -269,7 +269,7 @@ DiffResult rprism::lcsDiff(const Trace &Left, const Trace &Right,
     Li = L + 1;
     Ri = R + 1;
   }
-  EmitGap(Left.Entries.size(), Right.Entries.size());
+  EmitGap(Left.size(), Right.size());
 
   Result.Stats.Seconds = Clock.seconds();
   return Result;

@@ -17,6 +17,28 @@ using namespace rprism;
 
 namespace {
 
+/// Length of the equal prefix of A[0..Max) and B[0..Max): a wide-word scan
+/// over two dense fingerprint lanes. Eight 64-bit XORs are OR-folded per
+/// iteration so the match-dominated common case retires one branch per 64
+/// bytes of lane, and the scalar tail pins down the exact boundary. The
+/// lanes are contiguous (gathered per view pair), so this streams at
+/// memory bandwidth instead of chasing strided entry loads.
+size_t matchRun(const uint64_t *A, const uint64_t *B, size_t Max) {
+  size_t K = 0;
+  while (K + 8 <= Max) {
+    uint64_t Diff = (A[K] ^ B[K]) | (A[K + 1] ^ B[K + 1]) |
+                    (A[K + 2] ^ B[K + 2]) | (A[K + 3] ^ B[K + 3]) |
+                    (A[K + 4] ^ B[K + 4]) | (A[K + 5] ^ B[K + 5]) |
+                    (A[K + 6] ^ B[K + 6]) | (A[K + 7] ^ B[K + 7]);
+    if (Diff)
+      break;
+    K += 8;
+  }
+  while (K < Max && A[K] == B[K])
+    ++K;
+  return K;
+}
+
 /// Evaluates ONE correlated thread-view pair with fully isolated state:
 /// its own similarity marks, anchor map, explored-pair dedup set, compare
 /// counter, and difference sequences. Isolation is what makes thread-pair
@@ -30,8 +52,8 @@ public:
                 const ViewCorrelation &X, const ViewsDiffOptions &Options)
       : LeftWeb(Left), RightWeb(Right), X(X), Options(Options),
         LT(Left.trace()), RT(Right.trace()) {
-    LeftSimilar.assign(LT.Entries.size(), false);
-    RightSimilar.assign(RT.Entries.size(), false);
+    LeftSimilar.assign(LT.size(), false);
+    RightSimilar.assign(RT.size(), false);
   }
 
   void evalThreadPair(const View &LV, const View &RV);
@@ -42,11 +64,11 @@ public:
   std::vector<DiffSequence> Sequences;
   std::unordered_map<uint32_t, uint32_t> Anchors; ///< left eid -> right eid.
   CompareCounter Ops;
+  uint64_t RunSkips = 0; ///< Fingerprint-lane runs consumed (telemetry).
 
 private:
   bool eq(uint32_t LeftEid, uint32_t RightEid) {
-    return eventEquals(LT, LT.Entries[LeftEid], RT, RT.Entries[RightEid],
-                       &Ops);
+    return eventEquals(LT, LeftEid, RT, RightEid, &Ops);
   }
 
   /// Records an exploration-produced similar pair: marks both sides and
@@ -87,6 +109,13 @@ private:
   const ViewsDiffOptions &Options;
   const Trace &LT;
   const Trace &RT;
+
+  /// Contiguous per-view fingerprint lanes, gathered once per pair: lane
+  /// position i holds the fingerprint of the view's i-th entry. The
+  /// lock-step loop compares lanes, not entries — matched runs touch 8
+  /// bytes per step instead of the entry payload.
+  std::vector<uint64_t> LLane;
+  std::vector<uint64_t> RLane;
 
   /// View pairs already explored at the current mismatch (dedup).
   std::unordered_set<uint64_t> ExploredPairs;
@@ -286,13 +315,15 @@ void PairEvaluator::emitSequences(const View &LV, const View &RV,
 
 /// True when two entries are the same event *site* — same kind, name, and
 /// target object instance — so a mismatch between them is a value
-/// modification, not an insertion/deletion.
+/// modification, not an insertion/deletion. Reads the kind/name/target
+/// columns only.
 bool PairEvaluator::sameSite(uint32_t LeftEid, uint32_t RightEid) const {
-  const Event &A = LT.Entries[LeftEid].Ev;
-  const Event &B = RT.Entries[RightEid].Ev;
-  return A.Kind == B.Kind && A.Name == B.Name &&
-         A.Target.ClassName == B.Target.ClassName &&
-         A.Target.CreationSeq == B.Target.CreationSeq;
+  if (LT.Kinds[LeftEid] != RT.Kinds[RightEid] ||
+      LT.Names[LeftEid] != RT.Names[RightEid])
+    return false;
+  const ObjRepr &A = LT.Targets[LeftEid];
+  const ObjRepr &B = RT.Targets[RightEid];
+  return A.ClassName == B.ClassName && A.CreationSeq == B.CreationSeq;
 }
 
 /// Fuses consecutive sequences with no matched entry between them (a
@@ -329,40 +360,96 @@ void PairEvaluator::mergeAdjacentSequences(const View &LV, const View &RV) {
 void PairEvaluator::evalThreadPair(const View &LV, const View &RV) {
   size_t N = LV.Entries.size();
   size_t M = RV.Entries.size();
-  size_t I = 0;
-  size_t J = 0;
-  // A thread view's entries are contiguous in the view but strided in the
-  // entry array (other threads' entries interleave), so the lock-step loop
-  // is bound by the latency of two strided loads per step. Prefetching a
-  // few steps ahead overlaps those misses; correctness is unaffected.
+
+  // Gather this pair's fingerprint lanes: one pass of strided loads per
+  // side, after which the lock-step loop runs over two dense uint64_t
+  // arrays. Only possible when both traces are fingerprint-complete; the
+  // laneless fallback below compares entries directly.
+  bool UseLanes = LT.HasFingerprints && RT.HasFingerprints;
+  if (UseLanes) {
+    TelemetrySpan GatherSpan("lane.gather");
+    LLane.resize(N);
+    RLane.resize(M);
+    const uint64_t *LFps = LT.Fps.data();
+    const uint64_t *RFps = RT.Fps.data();
+    for (size_t I = 0; I != N; ++I)
+      LLane[I] = LFps[LV.Entries[I]];
+    for (size_t J = 0; J != M; ++J)
+      RLane[J] = RFps[RV.Entries[J]];
+  }
+
+  // Laneless path: a thread view's entries are strided across the columns,
+  // so prefetch the =e-relevant column bytes a few steps ahead to overlap
+  // the misses; correctness is unaffected.
   constexpr size_t Prefetch = 8;
   auto PrefetchAt = [](const Trace &T, const View &V, size_t Pos) {
     if (Pos < V.Entries.size()) {
-      const char *P =
-          reinterpret_cast<const char *>(&T.Entries[V.Entries[Pos]]);
-      __builtin_prefetch(P);
-      __builtin_prefetch(P + 64);
-      __builtin_prefetch(P + sizeof(TraceEntry) - 1);
+      uint32_t Eid = V.Entries[Pos];
+      __builtin_prefetch(&T.Names[Eid]);
+      __builtin_prefetch(&T.Targets[Eid]);
+      __builtin_prefetch(&T.Values[Eid]);
     }
   };
+
+  size_t I = 0;
+  size_t J = 0;
   while (I < N && J < M) {
-    PrefetchAt(LT, LV, I + Prefetch);
-    PrefetchAt(RT, RV, J + Prefetch);
+    if (UseLanes) {
+      // STEP-VIEW-MATCH, run-skipped: consume the maximal fingerprint-
+      // equal run in one wide-word scan. Equal fingerprints are accepted
+      // as matches without re-reading the entry payload (the fingerprint
+      // hashes exactly the =e components); each matched step still counts
+      // as one compare op, exactly as the per-step =e did.
+      size_t K = matchRun(LLane.data() + I, RLane.data() + J,
+                          std::min(N - I, M - J));
+      if (K != 0) {
+        ++RunSkips;
+        Ops.Count += K;
+        // One side at a time: each pass walks one sequential id array and
+        // one bitset instead of alternating between four streams.
+        for (size_t S = 0; S != K; ++S)
+          LeftSimilar[LV.Entries[I + S]] = true;
+        for (size_t S = 0; S != K; ++S)
+          RightSimilar[RV.Entries[J + S]] = true;
+        I += K;
+        J += K;
+        if (I >= N || J >= M)
+          break;
+      }
+      // Fingerprint mismatch at the run boundary: the per-step =e would
+      // have ticked once and rejected on the fingerprint compare; account
+      // for that op, then consult the anchor map as before.
+      Ops.tick();
+      uint32_t LeftEid = LV.Entries[I];
+      uint32_t RightEid = RV.Entries[J];
+      if (anchoredPair(LeftEid, RightEid)) {
+        markMatched(LeftEid, RightEid);
+        ++I;
+        ++J;
+        continue;
+      }
+    } else {
+      PrefetchAt(LT, LV, I + Prefetch);
+      PrefetchAt(RT, RV, J + Prefetch);
+      uint32_t LeftEid = LV.Entries[I];
+      uint32_t RightEid = RV.Entries[J];
+
+      // STEP-VIEW-MATCH. Compare before consulting the anchor map: anchors
+      // are produced by windowed LCS, whose matches satisfy =e, so the map
+      // lookup can never succeed where the compare fails — it only serves
+      // as the sync-point certificate when exploration already paired
+      // entries. Trying =e first keeps the dominant all-equal path free of
+      // hash probes.
+      if (eq(LeftEid, RightEid) || anchoredPair(LeftEid, RightEid)) {
+        markMatched(LeftEid, RightEid);
+        ++I;
+        ++J;
+        continue;
+      }
+    }
+
     uint32_t LeftEid = LV.Entries[I];
     uint32_t RightEid = RV.Entries[J];
-
-    // STEP-VIEW-MATCH. Compare before consulting the anchor map: anchors
-    // are produced by windowed LCS, whose matches satisfy =e, so the map
-    // lookup can never succeed where the compare fails — it only serves as
-    // the sync-point certificate when exploration already paired entries.
-    // Trying =e first keeps the dominant all-equal path free of hash
-    // probes.
-    if (eq(LeftEid, RightEid) || anchoredPair(LeftEid, RightEid)) {
-      markMatched(LeftEid, RightEid);
-      ++I;
-      ++J;
-      continue;
-    }
 
     // Modification step: the same event site with different values is a
     // paired value difference ("the LCS gravitates towards correlating
@@ -373,10 +460,20 @@ void PairEvaluator::evalThreadPair(const View &LV, const View &RV) {
     if (sameSite(LeftEid, RightEid)) {
       DiffSequence Seq;
       Seq.LeftTid = LV.Tid;
-      while (I < N && J < M && !eq(LV.Entries[I], RV.Entries[J]) &&
+      // Inside a modification run the fingerprints are already gathered:
+      // a lane mismatch is exactly the reject =e's fingerprint fast path
+      // would take (one tick, same verdict), so the full compare only
+      // runs when the lanes agree — where its result is authoritative
+      // either way, keeping op totals identical to the laneless path.
+      auto StepEquals = [&]() {
+        if (UseLanes && LLane[I] != RLane[J]) {
+          Ops.tick();
+          return false;
+        }
+        return eq(LV.Entries[I], RV.Entries[J]);
+      };
+      while (I < N && J < M && !StepEquals() &&
              sameSite(LV.Entries[I], RV.Entries[J])) {
-        PrefetchAt(LT, LV, I + Prefetch);
-        PrefetchAt(RT, RV, J + Prefetch);
         Seq.LeftEids.push_back(LV.Entries[I++]);
         Seq.RightEids.push_back(RV.Entries[J++]);
       }
@@ -426,15 +523,14 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   DiffResult Result;
   Result.Left = &LT;
   Result.Right = &RT;
-  Result.LeftSimilar.assign(LT.Entries.size(), false);
-  Result.RightSimilar.assign(RT.Entries.size(), false);
+  Result.LeftSimilar.assign(LT.size(), false);
+  Result.RightSimilar.assign(RT.size(), false);
 
   const std::vector<std::pair<uint32_t, uint32_t>> &Pairs = X.threadPairs();
 
   std::optional<ThreadPool> OwnPool;
   if (!Pool) {
-    OwnPool.emplace(Options.Jobs ? Options.Jobs
-                                 : ThreadPool::defaultConcurrency());
+    OwnPool.emplace(effectiveDiffJobs(Options, LT.size() + RT.size()));
     Pool = &*OwnPool;
   }
 
@@ -474,6 +570,7 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   std::unordered_set<uint32_t> PairedRight;
   std::unordered_map<uint32_t, uint32_t> AnchorUnion;
   uint64_t TotalOps = 0;
+  uint64_t TotalRunSkips = 0;
   for (size_t K = 0; K != Pairs.size(); ++K) {
     PairedLeft.insert(Pairs[K].first);
     PairedRight.insert(Pairs[K].second);
@@ -487,6 +584,7 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
     for (const auto &[L, R] : E.Anchors)
       AnchorUnion.emplace(L, R);
     TotalOps += E.Ops.Count;
+    TotalRunSkips += E.RunSkips;
     for (DiffSequence &Seq : E.Sequences)
       Result.Sequences.push_back(std::move(Seq));
   }
@@ -520,17 +618,24 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   Result.Stats.CompareOps = TotalOps;
   Result.Stats.Seconds = Clock.seconds();
   // Views-based memory: the per-pair and merged similarity bitsets, the
-  // anchor map, and the view webs' entry indices — all linear in the trace
-  // sizes. Counted as if every pair's state coexists (the full-parallelism
-  // worst case) so the figure does not depend on the worker count.
+  // anchor map, the per-pair fingerprint lanes, and the view webs' entry
+  // indices — all linear in the trace sizes. Counted as if every pair's
+  // state coexists (the full-parallelism worst case) so the figure does
+  // not depend on the worker count.
   uint64_t WebBytes = 0;
   for (const View &V : Left.views())
     WebBytes += V.Entries.size() * sizeof(uint32_t);
   for (const View &V : Right.views())
     WebBytes += V.Entries.size() * sizeof(uint32_t);
+  uint64_t LaneBytes = 0;
+  if (LT.HasFingerprints && RT.HasFingerprints)
+    for (const auto &[L, R] : Pairs)
+      LaneBytes += (Left.view(L).Entries.size() +
+                    Right.view(R).Entries.size()) *
+                   sizeof(uint64_t);
   Result.Stats.PeakBytes =
-      WebBytes +
-      (LT.Entries.size() + RT.Entries.size()) / 8 * (1 + Pairs.size()) +
+      WebBytes + LaneBytes +
+      (LT.size() + RT.size()) / 8 * (1 + Pairs.size()) +
       AnchorUnion.size() * 16;
 
   // Counters are the jobs-invariant core of the diff telemetry (the merge
@@ -539,6 +644,7 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
     Telemetry::counterAdd("diff.compare_ops", TotalOps);
     Telemetry::counterAdd("diff.sequences", Result.Sequences.size());
     Telemetry::counterAdd("diff.anchors", AnchorUnion.size());
+    Telemetry::counterAdd("eval.runskip", TotalRunSkips);
     Telemetry::gaugeMax("diff.peak_bytes",
                         static_cast<double>(Result.Stats.PeakBytes));
     for (const DiffSequence &Seq : Result.Sequences)
@@ -549,13 +655,33 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   return Result;
 }
 
+unsigned rprism::effectiveDiffJobs(const ViewsDiffOptions &Options,
+                                   size_t TotalEntries) {
+  unsigned Requested =
+      Options.Jobs ? Options.Jobs : ThreadPool::defaultConcurrency();
+  if (Requested <= 1 || Options.ParallelCutoffEntries == 0)
+    return Requested;
+  // One hardware thread: workers only add queue latency, for any size.
+  if (ThreadPool::defaultConcurrency() <= 1)
+    return 1;
+  // Below the work threshold the pool round-trips dominate the win.
+  if (TotalEntries < Options.ParallelCutoffEntries)
+    return 1;
+  return Requested;
+}
+
 DiffResult rprism::viewsDiff(const Trace &Left, const Trace &Right,
                              const ViewsDiffOptions &Options) {
   TelemetrySpan Span("views-diff");
   // One pool for the whole pipeline: both web builds (four index families
-  // each) and the thread-pair evaluation stage.
-  ThreadPool Pool(Options.Jobs ? Options.Jobs
-                               : ThreadPool::defaultConcurrency());
+  // each) and the thread-pair evaluation stage. The adaptive cutoff may
+  // clamp the worker count to 1 (sequential path); the result is identical
+  // by the determinism contract, so only the schedule changes. The chosen
+  // mode is recorded as a gauge (gauges are exempt from the jobs-
+  // invariance contract).
+  unsigned Jobs = effectiveDiffJobs(Options, Left.size() + Right.size());
+  Telemetry::gaugeMax("diff.effective_jobs", static_cast<double>(Jobs));
+  ThreadPool Pool(Jobs);
   ViewWeb LeftWeb(Left, &Pool);
   ViewWeb RightWeb(Right, &Pool);
   ViewCorrelation X(LeftWeb, RightWeb);

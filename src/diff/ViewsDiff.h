@@ -52,7 +52,21 @@ struct ViewsDiffOptions {
   /// per-pair results are merged in correlation order, so the DiffResult —
   /// including total compare-op counts — is identical for every value.
   unsigned Jobs = 0;
+  /// Adaptive parallelism cutoff: when the two traces together hold fewer
+  /// entries than this, or the host reports a single hardware thread,
+  /// `Jobs > 1` silently takes the sequential path — below the threshold
+  /// the pool's queue overhead exceeds the win (the result is identical
+  /// either way, so only time changes). 0 disables the adaptation (tests
+  /// that exercise the parallel machinery on tiny traces set 0).
+  size_t ParallelCutoffEntries = 32768;
 };
+
+/// The worker count the pipeline will actually use for \p Options on traces
+/// totalling \p TotalEntries entries: Options.Jobs (0 = hardware
+/// concurrency) clamped to 1 by the adaptive cutoff above. Exposed so
+/// callers owning their pool (benchmarks) make the same choice.
+unsigned effectiveDiffJobs(const ViewsDiffOptions &Options,
+                           size_t TotalEntries);
 
 /// Runs the views-based differencing over two view webs whose traces share
 /// a string interner. \p X supplies the view correlation (including the

@@ -157,15 +157,15 @@ bool TraceRecorder::filtered(const RecordContext &Ctx,
   return false;
 }
 
-TraceEntry &TraceRecorder::append(const RecordContext &Ctx, uint32_t Prov) {
+TraceEntry TraceRecorder::makeEntry(const RecordContext &Ctx,
+                                    uint32_t Prov) const {
   TraceEntry Entry;
-  Entry.Eid = static_cast<uint32_t>(Out.Entries.size());
+  Entry.Eid = static_cast<uint32_t>(Out.size());
   Entry.Tid = Ctx.Tid;
   Entry.Method = Ctx.Method;
   Entry.Self = objRepr(Ctx.SelfLoc);
   Entry.Prov = Prov;
-  Out.Entries.push_back(Entry);
-  return Out.Entries.back();
+  return Entry;
 }
 
 uint32_t TraceRecorder::pushArgs(const Value *Args, size_t NumArgs) {
@@ -183,12 +183,13 @@ void TraceRecorder::recordCall(const RecordContext &Ctx, uint32_t TargetLoc,
   if (filtered(Ctx, TargetClass))
     return;
   uint32_t Begin = pushArgs(Args, NumArgs);
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::Call;
   Entry.Ev.Name = QualMethod;
   Entry.Ev.Target = objRepr(TargetLoc);
   Entry.Ev.ArgsBegin = Begin;
   Entry.Ev.ArgsEnd = static_cast<uint32_t>(Out.ArgPool.size());
+  Out.append(Entry);
 }
 
 void TraceRecorder::recordReturn(const RecordContext &Ctx,
@@ -199,11 +200,12 @@ void TraceRecorder::recordReturn(const RecordContext &Ctx,
   if (filtered(Ctx, TargetClass))
     return;
   ValueRepr RetRepr = valueRepr(Ret);
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::Return;
   Entry.Ev.Name = QualMethod;
   Entry.Ev.Target = objRepr(TargetLoc);
   Entry.Ev.Value = RetRepr;
+  Out.append(Entry);
 }
 
 void TraceRecorder::recordGet(const RecordContext &Ctx, uint32_t TargetLoc,
@@ -211,11 +213,12 @@ void TraceRecorder::recordGet(const RecordContext &Ctx, uint32_t TargetLoc,
   if (filtered(Ctx, Store.get(TargetLoc).ClassId))
     return;
   ValueRepr Repr = valueRepr(V);
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::FieldGet;
   Entry.Ev.Name = Field;
   Entry.Ev.Target = objRepr(TargetLoc);
   Entry.Ev.Value = Repr;
+  Out.append(Entry);
 }
 
 void TraceRecorder::recordSet(const RecordContext &Ctx, uint32_t TargetLoc,
@@ -223,11 +226,12 @@ void TraceRecorder::recordSet(const RecordContext &Ctx, uint32_t TargetLoc,
   if (filtered(Ctx, Store.get(TargetLoc).ClassId))
     return;
   ValueRepr Repr = valueRepr(V);
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::FieldSet;
   Entry.Ev.Name = Field;
   Entry.Ev.Target = objRepr(TargetLoc);
   Entry.Ev.Value = Repr;
+  Out.append(Entry);
 }
 
 void TraceRecorder::recordInit(const RecordContext &Ctx, Symbol ClassName,
@@ -236,30 +240,33 @@ void TraceRecorder::recordInit(const RecordContext &Ctx, Symbol ClassName,
   if (filtered(Ctx, Store.get(NewLoc).ClassId))
     return;
   uint32_t Begin = pushArgs(Args, NumArgs);
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::Init;
   Entry.Ev.Name = ClassName;
   Entry.Ev.Target = objRepr(NewLoc);
   Entry.Ev.ArgsBegin = Begin;
   Entry.Ev.ArgsEnd = static_cast<uint32_t>(Out.ArgPool.size());
+  Out.append(Entry);
 }
 
 void TraceRecorder::recordFork(const RecordContext &Ctx, uint32_t ChildTid,
                                uint32_t Prov) {
   if (filtered(Ctx, ~0u))
     return;
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::Fork;
   Entry.Ev.ChildTid = ChildTid;
   Entry.Ev.Name = Out.Threads[ChildTid].EntryMethod;
+  Out.append(Entry);
 }
 
 void TraceRecorder::recordEnd(const RecordContext &Ctx, uint32_t Tid,
                               uint32_t Prov) {
   if (filtered(Ctx, ~0u))
     return;
-  TraceEntry &Entry = append(Ctx, Prov);
+  TraceEntry Entry = makeEntry(Ctx, Prov);
   Entry.Ev.Kind = EventKind::End;
   Entry.Ev.ChildTid = Tid;
   Entry.Ev.Name = Out.Threads[Tid].EntryMethod;
+  Out.append(Entry);
 }

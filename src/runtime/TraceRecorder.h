@@ -67,7 +67,7 @@ public:
   /// Registers a thread in the trace's thread table.
   void addThread(ThreadInfo Info) { Out.Threads.push_back(std::move(Info)); }
 
-  size_t numEntries() const { return Out.Entries.size(); }
+  size_t numEntries() const { return Out.size(); }
   StringInterner &strings() { return *Out.Strings; }
 
 private:
@@ -75,7 +75,11 @@ private:
   /// context class, or excluded target class).
   bool filtered(const RecordContext &Ctx, uint32_t TargetClassId) const;
 
-  TraceEntry &append(const RecordContext &Ctx, uint32_t Prov);
+  /// Builds an entry carrying the context fields; the caller fills the
+  /// event and hands it to Out.append (the columnar trace scatters fields
+  /// into columns, so entries are built complete rather than mutated in
+  /// place).
+  TraceEntry makeEntry(const RecordContext &Ctx, uint32_t Prov) const;
   uint64_t structuralHash(uint32_t Loc, unsigned Depth,
                           std::vector<uint32_t> &Visiting) const;
   uint32_t pushArgs(const Value *Args, size_t NumArgs);

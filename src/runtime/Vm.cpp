@@ -722,7 +722,7 @@ RunResult Vm::run() {
   }
   Telemetry::counterAdd("vm.steps", Steps);
   Telemetry::counterAdd("trace.entries_recorded",
-                        Result.ExecTrace.Entries.size());
+                        Result.ExecTrace.size());
   return Result;
 }
 

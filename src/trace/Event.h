@@ -24,6 +24,13 @@
 /// paper's "default java.lang.Object hashCode/toString => empty
 /// representation" rule, §5).
 ///
+/// ObjRepr and ValueRepr are stored in the columnar Trace (and written
+/// verbatim into trace format v3), so both are packed, explicitly padded,
+/// trivially copyable value types: every byte of the struct is meaningful
+/// or a zero-initialized pad, and no field is a `bool` (reading an
+/// arbitrary mmap'd byte as bool is undefined behavior; flags are uint8_t
+/// with 0/non-0 semantics instead).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RPRISM_TRACE_EVENT_H
@@ -32,6 +39,7 @@
 #include "support/StringInterner.h"
 
 #include <cstdint>
+#include <type_traits>
 
 namespace rprism {
 
@@ -46,6 +54,10 @@ enum class EventKind : uint8_t {
   End,      // end(S)
 };
 
+/// Largest valid EventKind value; loaders validate untrusted bytes against
+/// this before casting.
+inline constexpr uint8_t MaxEventKind = static_cast<uint8_t>(EventKind::End);
+
 /// Printable name ("get", "call", ...).
 const char *eventKindName(EventKind Kind);
 
@@ -54,15 +66,17 @@ const char *eventKindName(EventKind Kind);
 inline constexpr uint32_t NoLoc = 0xffffffffu;
 
 /// The extended object representation <l, r> of Fig. 8. `r` is summarized
-/// as a 64-bit structural hash (ValueHash); HasRepr is false when the
+/// as a 64-bit structural hash (ValueHash); HasRepr is zero when the
 /// object's class opts out of value representation, in which case identity
 /// across traces falls back to (class name, creation sequence number).
+/// 24 bytes, 8-aligned, written verbatim into trace format v3.
 struct ObjRepr {
-  uint32_t Loc = NoLoc;    ///< Store location; *never* compared cross-trace.
-  Symbol ClassName;        ///< Interned class name.
+  uint64_t ValueHash = 0;   ///< Recursive serialization hash (E'#).
+  uint32_t Loc = NoLoc;     ///< Store location; *never* compared cross-trace.
+  Symbol ClassName;         ///< Interned class name.
   uint32_t CreationSeq = 0; ///< n-th instance of this class in this run.
-  uint64_t ValueHash = 0;  ///< Recursive serialization hash (E'#).
-  bool HasRepr = false;
+  uint8_t HasRepr = 0;      ///< 0/non-0 flag (not bool: mmap-safe).
+  uint8_t Pad[3] = {0, 0, 0};
 
   bool isNone() const { return Loc == NoLoc && ClassName.empty(); }
 
@@ -77,6 +91,9 @@ struct ObjRepr {
   }
 };
 
+static_assert(sizeof(ObjRepr) == 24 && std::is_trivially_copyable_v<ObjRepr>,
+              "ObjRepr is a packed on-disk column element");
+
 /// Kinds of value representations (the nu's of the trace grammar).
 enum class ReprKind : uint8_t {
   None, ///< Absent slot (e.g. return value of a Unit method is Unit, but
@@ -90,18 +107,25 @@ enum class ReprKind : uint8_t {
   Obj,
 };
 
+inline constexpr uint8_t MaxReprKind = static_cast<uint8_t>(ReprKind::Obj);
+
 /// A value representation: a kind, a version-stable hash, and an interned
 /// printable rendering (truncated to 128 characters, mirroring the paper's
-/// toString truncation).
+/// toString truncation). 16 bytes, written verbatim into trace format v3.
 struct ValueRepr {
-  ReprKind Kind = ReprKind::None;
   uint64_t Hash = 0;
   Symbol Text; ///< Printable rendering for reports.
+  ReprKind Kind = ReprKind::None;
+  uint8_t Pad[3] = {0, 0, 0};
 
   friend bool reprEquals(const ValueRepr &A, const ValueRepr &B) {
     return A.Kind == B.Kind && A.Hash == B.Hash;
   }
 };
+
+static_assert(sizeof(ValueRepr) == 16 &&
+                  std::is_trivially_copyable_v<ValueRepr>,
+              "ValueRepr is a packed on-disk column element");
 
 /// One trace event. Argument lists (call/init) live in the owning trace's
 /// argument pool; [ArgsBegin, ArgsEnd) index into it.
@@ -121,6 +145,12 @@ struct Event {
 /// method at the top of the call stack, its receiver) plus the event.
 /// Prov is the AST NodeId of the construct that emitted the entry; it is
 /// used only for scoring against injected ground truth.
+///
+/// Since the columnar storage rework, TraceEntry is a *value type*: the
+/// Trace stores each field in its own contiguous column, and
+/// Trace::entry(eid) materializes this struct on demand (recorders build
+/// one and Trace::append scatters it into the columns). Code on hot paths
+/// reads the columns directly instead.
 struct TraceEntry {
   uint32_t Eid = 0;
   uint32_t Tid = 0;
@@ -136,7 +166,8 @@ struct TraceEntry {
   /// on the slow path. Valid only while the owning Trace's HasFingerprints
   /// flag is set; symbol ids feed the hash, so fingerprints compare only
   /// between traces sharing a StringInterner (the same precondition =e
-  /// already has) and are recomputed when a trace is deserialized.
+  /// already has) and are recomputed when a trace is deserialized into a
+  /// different symbol space.
   uint64_t Fp = 0;
 };
 

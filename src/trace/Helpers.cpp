@@ -32,10 +32,8 @@ EidSequence rprism::intersectByEvent(const Trace &LeftTrace,
                                      CompareCounter *Ops) {
   EidSequence Result;
   for (uint32_t LeftEid : Left) {
-    const TraceEntry &LeftEntry = LeftTrace.Entries[LeftEid];
     for (uint32_t RightEid : Right) {
-      if (eventEquals(LeftTrace, LeftEntry, RightTrace,
-                      RightTrace.Entries[RightEid], Ops)) {
+      if (eventEquals(LeftTrace, LeftEid, RightTrace, RightEid, Ops)) {
         Result.push_back(LeftEid);
         break;
       }
@@ -45,7 +43,7 @@ EidSequence rprism::intersectByEvent(const Trace &LeftTrace,
 }
 
 EidSequence rprism::allEntries(const Trace &T) {
-  EidSequence Ids(T.Entries.size());
+  EidSequence Ids(T.size());
   for (uint32_t I = 0; I != Ids.size(); ++I)
     Ids[I] = I;
   return Ids;

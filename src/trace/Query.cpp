@@ -7,7 +7,7 @@
 using namespace rprism;
 
 TraceQuery::TraceQuery(const Trace &TIn) : T(&TIn) {
-  Eids.resize(T->Entries.size());
+  Eids.resize(T->size());
   for (uint32_t I = 0; I != Eids.size(); ++I)
     Eids[I] = I;
 }
@@ -60,8 +60,10 @@ TraceQuery &TraceQuery::matching(
       [this, &Pred](const TraceEntry &Entry) { return Pred(*T, Entry); });
 }
 
-const TraceEntry *TraceQuery::first() const {
-  return Eids.empty() ? nullptr : &T->Entries[Eids.front()];
+std::optional<TraceEntry> TraceQuery::first() const {
+  if (Eids.empty())
+    return std::nullopt;
+  return T->entry(Eids.front());
 }
 
 std::string TraceQuery::render(size_t MaxEntries) const {
@@ -73,7 +75,7 @@ std::string TraceQuery::render(size_t MaxEntries) const {
       OS << "  ...\n";
       break;
     }
-    OS << "  [" << Eid << "] " << T->renderEntry(T->Entries[Eid]) << '\n';
+    OS << "  [" << Eid << "] " << T->renderEntry(Eid) << '\n';
   }
   return OS.str();
 }

@@ -25,6 +25,7 @@
 #include "trace/Trace.h"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,19 +71,22 @@ public:
   size_t count() const { return Eids.size(); }
   bool empty() const { return Eids.empty(); }
 
-  /// First matching entry, or null.
-  const TraceEntry *first() const;
+  /// First matching entry (materialized from the columns), or nullopt.
+  std::optional<TraceEntry> first() const;
 
   /// Renders the matches, one line each (bounded).
   std::string render(size_t MaxEntries = 25) const;
 
 private:
-  /// Keeps only entries for which \p Keep returns true.
+  /// Keeps only entries for which \p Keep returns true. Entries are
+  /// materialized from the columns per candidate — queries are a cold
+  /// convenience path, and materializing keeps predicate signatures on the
+  /// value type.
   template <typename Fn> TraceQuery &filter(Fn Keep) {
     std::vector<uint32_t> Out;
     Out.reserve(Eids.size());
     for (uint32_t Eid : Eids)
-      if (Keep(T->Entries[Eid]))
+      if (Keep(T->entry(Eid)))
         Out.push_back(Eid);
     Eids = std::move(Out);
     return *this;

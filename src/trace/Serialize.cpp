@@ -2,11 +2,21 @@
 
 #include "trace/Serialize.h"
 
+#include "support/Hashing.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RPRISM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 using namespace rprism;
 
@@ -14,15 +24,47 @@ namespace {
 
 constexpr uint32_t TraceMagic = 0x52505452; // "RPTR"
 // Version history:
-//   1 — seed format.
-//   2 — TraceEntry carries an equality fingerprint (TraceEntry::Fp).
-//       Fingerprints hash interner-local symbol ids, so they are *derived*
-//       data: they are not written to disk and are recomputed after the
-//       file's string table has been re-interned on load. The layout is
-//       unchanged from v1; the bump records the semantic extension so v2
-//       readers know loaded v1/v2 traces are fingerprint-complete.
-constexpr uint32_t TraceVersion = 2;
+//   1 — seed format: one sequential field stream per entry.
+//   2 — TraceEntry carries an equality fingerprint. Fingerprints hash
+//       interner-local symbol ids, so under v1/v2 they are derived data:
+//       not written to disk, recomputed after the file's string table has
+//       been re-interned on load. Layout unchanged from v1.
+//   3 — sectioned columnar layout (see Serialize.h): header + section
+//       table + 8-byte-aligned column payloads written verbatim, with
+//       per-section FNV-1a checksums. Fingerprints *are* stored (their own
+//       column section, flagged in the header) and load zero-copy when
+//       symbol identity holds.
+constexpr uint32_t TraceVersion = 3;
 constexpr uint32_t MinTraceVersion = 1;
+constexpr uint32_t MaxLegacyVersion = 2;
+
+/// Header flag bit: the file carries a fingerprint column.
+constexpr uint32_t FlagHasFingerprints = 1u << 0;
+
+/// v3 section ids. Entry columns are parallel arrays of exactly the
+/// entry-count many elements; side sections have their own framing.
+enum SectionId : uint32_t {
+  SecName = 1,    ///< Raw bytes of Trace::Name.
+  SecStrings = 2, ///< u32 count, then count x (u32 len, bytes).
+  SecThreads = 3, ///< u32 count, then serialized ThreadInfo records.
+  SecArgPool = 4, ///< ValueRepr[] verbatim.
+  SecTid = 10,       ///< uint32_t[]
+  SecMethod = 11,    ///< Symbol[]
+  SecSelf = 12,      ///< ObjRepr[]
+  SecKind = 13,      ///< uint8_t[]  (defines the entry count)
+  SecEvName = 14,    ///< Symbol[]
+  SecTarget = 15,    ///< ObjRepr[]
+  SecValue = 16,     ///< ValueRepr[]
+  SecArgsBegin = 17, ///< uint32_t[]
+  SecArgsEnd = 18,   ///< uint32_t[]
+  SecChildTid = 19,  ///< uint32_t[]
+  SecProv = 20,      ///< uint32_t[]
+  SecFp = 21,        ///< uint64_t[] (present iff FlagHasFingerprints)
+};
+
+constexpr size_t HeaderBytes = 16;       // magic, version, flags, numSections
+constexpr size_t SectionRecordBytes = 32; // id, pad, offset, length, checksum
+constexpr uint32_t MaxSections = 64;
 
 /// Little buffered binary writer over stdio.
 class Writer {
@@ -43,20 +85,27 @@ public:
     u32(static_cast<uint32_t>(S.size()));
     raw(S.data(), S.size());
   }
-
-private:
   void raw(const void *Data, size_t Size) {
     if (!File || Error)
       return;
-    if (std::fwrite(Data, 1, Size, File) != Size)
+    if (Size && std::fwrite(Data, 1, Size, File) != Size)
       Error = true;
   }
+  void zeros(size_t Size) {
+    static const char Pad[8] = {0};
+    while (Size && ok()) {
+      size_t Chunk = Size < sizeof(Pad) ? Size : sizeof(Pad);
+      raw(Pad, Chunk);
+      Size -= Chunk;
+    }
+  }
 
+private:
   std::FILE *File;
   bool Error = false;
 };
 
-/// Matching reader.
+/// Matching stream reader (legacy v1/v2 format).
 class Reader {
 public:
   explicit Reader(const std::string &Path)
@@ -106,6 +155,69 @@ private:
   bool Error = false;
 };
 
+/// Growable byte buffer for the serialized (non-column) v3 sections.
+struct ByteBuffer {
+  std::string Out;
+
+  void u32(uint32_t V) { Out.append(reinterpret_cast<const char *>(&V), 4); }
+  void u64(uint64_t V) { Out.append(reinterpret_cast<const char *>(&V), 8); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+};
+
+/// Bounds-checked, memcpy-based cursor over an untrusted byte range (the
+/// serialized sections of a mapped v3 file). Never forms references into
+/// the mapped memory; all reads copy out, so truncated or misaligned data
+/// cannot cause UB.
+class ByteCursor {
+public:
+  ByteCursor(const uint8_t *Data, size_t Size) : Ptr(Data), Remaining(Size) {}
+
+  bool ok() const { return !Error; }
+  bool atEnd() const { return Remaining == 0; }
+
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t Size = u32();
+    if (Error || Size > Remaining) {
+      Error = true;
+      return "";
+    }
+    std::string S(reinterpret_cast<const char *>(Ptr), Size);
+    Ptr += Size;
+    Remaining -= Size;
+    return S;
+  }
+
+private:
+  void raw(void *Out, size_t Size) {
+    if (Error || Size > Remaining) {
+      Error = true;
+      return;
+    }
+    std::memcpy(Out, Ptr, Size);
+    Ptr += Size;
+    Remaining -= Size;
+  }
+
+  const uint8_t *Ptr;
+  size_t Remaining;
+  bool Error = false;
+};
+
+// --- Legacy v1/v2 stream format -----------------------------------------
+
 void writeObjRepr(Writer &W, const ObjRepr &Obj) {
   W.u32(Obj.Loc);
   W.u32(Obj.ClassName.Id);
@@ -121,7 +233,7 @@ ObjRepr readObjRepr(Reader &R, const std::vector<Symbol> &Map) {
   Obj.ClassName = Sym < Map.size() ? Map[Sym] : Symbol{};
   Obj.CreationSeq = R.u32();
   Obj.ValueHash = R.u64();
-  Obj.HasRepr = R.u8() != 0;
+  Obj.HasRepr = R.u8() != 0 ? 1 : 0;
   return Obj;
 }
 
@@ -140,12 +252,11 @@ ValueRepr readValueRepr(Reader &R, const std::vector<Symbol> &Map) {
   return Value;
 }
 
-/// Writes \p T (possibly a sub-range of entries) to \p Path.
-bool writeTraceImpl(const Trace &T, const std::string &Path, size_t Begin,
-                    size_t End) {
+bool writeTraceLegacyImpl(const Trace &T, const std::string &Path,
+                          uint32_t Version) {
   Writer W(Path);
   W.u32(TraceMagic);
-  W.u32(TraceVersion);
+  W.u32(Version);
   W.str(T.Name);
 
   // Full string table. Traces share interners in-process, so the table can
@@ -169,52 +280,37 @@ bool writeTraceImpl(const Trace &T, const std::string &Path, size_t Begin,
   for (const ValueRepr &Value : T.ArgPool)
     writeValueRepr(W, Value);
 
-  W.u32(static_cast<uint32_t>(End - Begin));
-  for (size_t I = Begin; I != End; ++I) {
-    const TraceEntry &Entry = T.Entries[I];
-    W.u32(Entry.Eid);
-    W.u32(Entry.Tid);
-    W.u32(Entry.Method.Id);
-    writeObjRepr(W, Entry.Self);
-    W.u8(static_cast<uint8_t>(Entry.Ev.Kind));
-    W.u32(Entry.Ev.Name.Id);
-    writeObjRepr(W, Entry.Ev.Target);
-    writeValueRepr(W, Entry.Ev.Value);
-    W.u32(Entry.Ev.ArgsBegin);
-    W.u32(Entry.Ev.ArgsEnd);
-    W.u32(Entry.Ev.ChildTid);
-    W.u32(Entry.Prov);
+  uint32_t NumEntries = static_cast<uint32_t>(T.size());
+  W.u32(NumEntries);
+  for (uint32_t I = 0; I != NumEntries; ++I) {
+    W.u32(I); // Eid (== index in the columnar layout).
+    W.u32(T.Tids[I]);
+    W.u32(T.Methods[I].Id);
+    writeObjRepr(W, T.Selfs[I]);
+    W.u8(T.Kinds[I]);
+    W.u32(T.Names[I].Id);
+    writeObjRepr(W, T.Targets[I]);
+    writeValueRepr(W, T.Values[I]);
+    W.u32(T.ArgsBegins[I]);
+    W.u32(T.ArgsEnds[I]);
+    W.u32(T.ChildTids[I]);
+    W.u32(T.Provs[I]);
   }
   return W.ok();
 }
 
-} // namespace
-
-bool rprism::writeTrace(const Trace &T, const std::string &Path) {
-  return writeTraceImpl(T, Path, 0, T.Entries.size());
-}
-
-Expected<Trace> rprism::readTrace(const std::string &Path,
-                                  std::shared_ptr<StringInterner> Strings) {
-  TelemetrySpan Span("load");
-  Reader R(Path);
-  if (!R.ok())
-    return makeErr("cannot open trace file '" + Path + "'");
-  if (R.u32() != TraceMagic)
-    return makeErr("'" + Path + "' is not a trace file");
-  uint32_t Version = R.u32();
-  if (Version < MinTraceVersion || Version > TraceVersion)
-    return makeErr("'" + Path + "' has an unsupported trace version");
-
+/// Reads the body of a v1/v2 file (the reader is positioned after magic and
+/// version).
+Expected<Trace> readTraceLegacy(Reader &R, const std::string &Path,
+                                std::shared_ptr<StringInterner> Strings) {
   Trace T;
-  T.Strings = Strings ? std::move(Strings)
-                      : std::make_shared<StringInterner>();
+  T.Strings = std::move(Strings);
   T.Name = R.str();
 
   // Re-intern the file's string table; Map translates file symbol ids.
   uint32_t NumStrings = R.u32();
-  std::vector<Symbol> Map(NumStrings);
-  for (uint32_t I = 0; I != NumStrings; ++I)
+  std::vector<Symbol> Map(R.ok() ? NumStrings : 0);
+  for (uint32_t I = 0; I != Map.size(); ++I)
     Map[I] = T.Strings->intern(R.str());
   auto MapSym = [&Map](uint32_t Id) {
     return Id < Map.size() ? Map[Id] : Symbol{};
@@ -238,14 +334,16 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
     T.ArgPool.push_back(readValueRepr(R, Map));
 
   uint32_t NumEntries = R.u32();
-  T.Entries.reserve(NumEntries);
   for (uint32_t I = 0; I != NumEntries && R.ok(); ++I) {
     TraceEntry Entry;
-    Entry.Eid = R.u32();
+    Entry.Eid = R.u32(); // Stored eid is the entry's index; discarded.
     Entry.Tid = R.u32();
     Entry.Method = MapSym(R.u32());
     Entry.Self = readObjRepr(R, Map);
-    Entry.Ev.Kind = static_cast<EventKind>(R.u8());
+    uint8_t Kind = R.u8();
+    if (Kind > MaxEventKind)
+      return makeErr("'" + Path + "' has a corrupt event kind");
+    Entry.Ev.Kind = static_cast<EventKind>(Kind);
     Entry.Ev.Name = MapSym(R.u32());
     Entry.Ev.Target = readObjRepr(R, Map);
     Entry.Ev.Value = readValueRepr(R, Map);
@@ -253,7 +351,10 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
     Entry.Ev.ArgsEnd = R.u32();
     Entry.Ev.ChildTid = R.u32();
     Entry.Prov = R.u32();
-    T.Entries.push_back(Entry);
+    if (Entry.Ev.ArgsBegin > Entry.Ev.ArgsEnd ||
+        Entry.Ev.ArgsEnd > T.ArgPool.size())
+      return makeErr("'" + Path + "' has a corrupt argument slice");
+    T.append(Entry);
   }
 
   if (!R.ok())
@@ -261,8 +362,443 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
   // Fingerprints hash symbol ids, which re-interning just remapped;
   // recompute so loaded traces hit the =e fast path.
   T.computeFingerprints();
-  Telemetry::counterAdd("trace.entries_loaded", T.Entries.size());
   return T;
+}
+
+// --- v3 sectioned columnar format ----------------------------------------
+
+/// One payload the v3 writer emits: raw bytes, possibly a view into a
+/// column (Data) or into a serialized side buffer.
+struct SectionOut {
+  uint32_t Id;
+  const void *Data;
+  uint64_t Length;
+};
+
+bool writeTraceV3Impl(const Trace &T, const std::string &Path, size_t Begin,
+                      size_t End) {
+  size_t N = End - Begin;
+  bool WithFps = T.HasFingerprints && T.Fps.size() == T.size();
+
+  ByteBuffer StringsBuf;
+  StringsBuf.u32(static_cast<uint32_t>(T.Strings->size()));
+  for (uint32_t I = 0; I != T.Strings->size(); ++I)
+    StringsBuf.str(T.Strings->text(Symbol{I}));
+
+  ByteBuffer ThreadsBuf;
+  ThreadsBuf.u32(static_cast<uint32_t>(T.Threads.size()));
+  for (const ThreadInfo &Thread : T.Threads) {
+    ThreadsBuf.u32(Thread.Tid);
+    ThreadsBuf.u32(Thread.ParentTid);
+    ThreadsBuf.u32(Thread.EntryMethod.Id);
+    ThreadsBuf.u64(Thread.AncestryHash);
+    ThreadsBuf.u32(static_cast<uint32_t>(Thread.SpawnStack.size()));
+    for (Symbol Sym : Thread.SpawnStack)
+      ThreadsBuf.u32(Sym.Id);
+  }
+
+  std::vector<SectionOut> Sections = {
+      {SecName, T.Name.data(), T.Name.size()},
+      {SecStrings, StringsBuf.Out.data(), StringsBuf.Out.size()},
+      {SecThreads, ThreadsBuf.Out.data(), ThreadsBuf.Out.size()},
+      {SecArgPool, T.ArgPool.data(), T.ArgPool.byteSize()},
+      {SecTid, T.Tids.data() + Begin, N * sizeof(uint32_t)},
+      {SecMethod, T.Methods.data() + Begin, N * sizeof(Symbol)},
+      {SecSelf, T.Selfs.data() + Begin, N * sizeof(ObjRepr)},
+      {SecKind, T.Kinds.data() + Begin, N * sizeof(uint8_t)},
+      {SecEvName, T.Names.data() + Begin, N * sizeof(Symbol)},
+      {SecTarget, T.Targets.data() + Begin, N * sizeof(ObjRepr)},
+      {SecValue, T.Values.data() + Begin, N * sizeof(ValueRepr)},
+      {SecArgsBegin, T.ArgsBegins.data() + Begin, N * sizeof(uint32_t)},
+      {SecArgsEnd, T.ArgsEnds.data() + Begin, N * sizeof(uint32_t)},
+      {SecChildTid, T.ChildTids.data() + Begin, N * sizeof(uint32_t)},
+      {SecProv, T.Provs.data() + Begin, N * sizeof(uint32_t)},
+  };
+  if (WithFps)
+    Sections.push_back({SecFp, T.Fps.data() + Begin, N * sizeof(uint64_t)});
+
+  // Lay the payloads out 8-byte aligned after the header and table, so
+  // mmap'd column views satisfy their element alignment.
+  uint64_t Offset = HeaderBytes + Sections.size() * SectionRecordBytes;
+  std::vector<uint64_t> Offsets(Sections.size());
+  for (size_t I = 0; I != Sections.size(); ++I) {
+    Offset = (Offset + 7) & ~uint64_t{7};
+    Offsets[I] = Offset;
+    Offset += Sections[I].Length;
+  }
+
+  Writer W(Path);
+  W.u32(TraceMagic);
+  W.u32(TraceVersion);
+  W.u32(WithFps ? FlagHasFingerprints : 0);
+  W.u32(static_cast<uint32_t>(Sections.size()));
+  for (size_t I = 0; I != Sections.size(); ++I) {
+    W.u32(Sections[I].Id);
+    W.u32(0); // pad
+    W.u64(Offsets[I]);
+    W.u64(Sections[I].Length);
+    W.u64(hashBytes(Sections[I].Data, Sections[I].Length));
+  }
+  uint64_t Pos = HeaderBytes + Sections.size() * SectionRecordBytes;
+  for (size_t I = 0; I != Sections.size(); ++I) {
+    W.zeros(Offsets[I] - Pos);
+    W.raw(Sections[I].Data, Sections[I].Length);
+    Pos = Offsets[I] + Sections[I].Length;
+  }
+  return W.ok();
+}
+
+/// The bytes of a trace file, either mmap'd or read into an arena.
+/// `Holder` keeps the bytes alive (and unmaps/frees on release).
+struct FileBytes {
+  std::shared_ptr<void> Holder;
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  bool Mapped = false;
+};
+
+bool loadFileBytes(const std::string &Path, FileBytes &Out) {
+#if RPRISM_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || St.st_size < 0) {
+    ::close(Fd);
+    return false;
+  }
+  size_t Size = static_cast<size_t>(St.st_size);
+  if (Size == 0) {
+    ::close(Fd);
+    Out = FileBytes{std::shared_ptr<void>(), nullptr, 0, false};
+    return true;
+  }
+  void *Map = ::mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // The mapping survives the descriptor.
+  if (Map != MAP_FAILED) {
+    Out.Holder = std::shared_ptr<void>(
+        Map, [Size](void *P) { ::munmap(P, Size); });
+    Out.Data = static_cast<const uint8_t *>(Map);
+    Out.Size = Size;
+    Out.Mapped = true;
+    return true;
+  }
+#endif
+  // Fallback: one read into an arena. operator new guarantees alignment
+  // for every fundamental type, which covers the 8-byte column elements.
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::fseek(File, 0, SEEK_END);
+  long EndPos = std::ftell(File);
+  if (EndPos < 0) {
+    std::fclose(File);
+    return false;
+  }
+  size_t FileSize = static_cast<size_t>(EndPos);
+  std::fseek(File, 0, SEEK_SET);
+  std::shared_ptr<void> Arena(::operator new(FileSize ? FileSize : 1),
+                              [](void *P) { ::operator delete(P); });
+  size_t Got = FileSize ? std::fread(Arena.get(), 1, FileSize, File) : 0;
+  std::fclose(File);
+  if (Got != FileSize)
+    return false;
+  Out.Holder = std::move(Arena);
+  Out.Data = static_cast<const uint8_t *>(Out.Holder.get());
+  Out.Size = FileSize;
+  Out.Mapped = false;
+  return true;
+}
+
+/// A verified v3 section: pointer into the file bytes plus length.
+struct SectionIn {
+  const uint8_t *Data = nullptr;
+  uint64_t Length = 0;
+  bool Present = false;
+};
+
+Expected<Trace> readTraceV3(const std::string &Path,
+                            std::shared_ptr<StringInterner> Strings) {
+  FileBytes File;
+  if (!loadFileBytes(Path, File))
+    return makeErr("cannot open trace file '" + Path + "'");
+  if (File.Mapped)
+    Telemetry::counterAdd("load.mmap", 1);
+
+  auto Truncated = [&] {
+    return makeErr("truncated trace file '" + Path + "'");
+  };
+  auto Corrupt = [&](const char *What) {
+    return makeErr("'" + Path + "' has a corrupt " + What + " section");
+  };
+
+  if (File.Size < HeaderBytes)
+    return Truncated();
+  uint32_t Head[4];
+  std::memcpy(Head, File.Data, sizeof(Head));
+  if (Head[0] != TraceMagic)
+    return makeErr("'" + Path + "' is not a trace file");
+  uint32_t Flags = Head[2], NumSections = Head[3];
+  if (NumSections == 0 || NumSections > MaxSections)
+    return Corrupt("table");
+  uint64_t TableEnd = HeaderBytes + uint64_t{NumSections} * SectionRecordBytes;
+  if (TableEnd > File.Size)
+    return Truncated();
+
+  // Verify the section table: every payload in bounds, aligned, unique id,
+  // and checksum-clean. After this loop the payload bytes are still
+  // *untrusted values* but are safe to address.
+  SectionIn Sections[SecFp + 1] = {};
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    uint8_t Record[SectionRecordBytes];
+    std::memcpy(Record, File.Data + HeaderBytes + I * SectionRecordBytes,
+                SectionRecordBytes);
+    uint32_t Id;
+    uint64_t Offset, Length, Checksum;
+    std::memcpy(&Id, Record, 4);
+    std::memcpy(&Offset, Record + 8, 8);
+    std::memcpy(&Length, Record + 16, 8);
+    std::memcpy(&Checksum, Record + 24, 8);
+    if (Offset % 8 != 0 || Offset < TableEnd || Offset > File.Size ||
+        Length > File.Size - Offset)
+      return Truncated();
+    if (Id > SecFp)
+      continue; // Unknown section: ignore for forward compatibility.
+    if (Sections[Id].Present)
+      return Corrupt("duplicate");
+    if (hashBytes(File.Data + Offset, Length) != Checksum)
+      return Corrupt("checksummed");
+    Sections[Id] = SectionIn{File.Data + Offset, Length, true};
+  }
+
+  static constexpr uint32_t Required[] = {
+      SecStrings, SecThreads, SecArgPool, SecTid,      SecMethod,
+      SecSelf,    SecKind,    SecEvName,  SecTarget,   SecValue,
+      SecArgsBegin, SecArgsEnd, SecChildTid, SecProv};
+  for (uint32_t Id : Required)
+    if (!Sections[Id].Present)
+      return Truncated();
+  bool WithFps = (Flags & FlagHasFingerprints) != 0;
+  if (WithFps && !Sections[SecFp].Present)
+    return Truncated();
+
+  Trace T;
+  T.Strings = std::move(Strings);
+  if (Sections[SecName].Present)
+    T.Name.assign(reinterpret_cast<const char *>(Sections[SecName].Data),
+                  Sections[SecName].Length);
+
+  // String table: re-intern and check for symbol identity (fresh interner,
+  // or one already holding this exact table — the shared-interner diff
+  // session case).
+  ByteCursor SC(Sections[SecStrings].Data, Sections[SecStrings].Length);
+  uint32_t NumStrings = SC.u32();
+  if (!SC.ok() || NumStrings > (1u << 28))
+    return Corrupt("string");
+  std::vector<Symbol> Map(NumStrings);
+  bool Identity = true;
+  for (uint32_t I = 0; I != NumStrings; ++I) {
+    Map[I] = T.Strings->intern(SC.str());
+    Identity &= Map[I].Id == I;
+  }
+  if (!SC.ok())
+    return Corrupt("string");
+  auto MapSym = [&Map](uint32_t Id) {
+    return Id < Map.size() ? Map[Id] : Symbol{};
+  };
+
+  ByteCursor TC(Sections[SecThreads].Data, Sections[SecThreads].Length);
+  uint32_t NumThreads = TC.u32();
+  for (uint32_t I = 0; I != NumThreads && TC.ok(); ++I) {
+    ThreadInfo Thread;
+    Thread.Tid = TC.u32();
+    Thread.ParentTid = TC.u32();
+    uint32_t Method = TC.u32();
+    if (Method >= NumStrings)
+      return Corrupt("thread");
+    Thread.EntryMethod = MapSym(Method);
+    Thread.AncestryHash = TC.u64();
+    uint32_t StackSize = TC.u32();
+    for (uint32_t J = 0; J != StackSize && TC.ok(); ++J) {
+      uint32_t Sym = TC.u32();
+      if (TC.ok() && Sym >= NumStrings)
+        return Corrupt("thread");
+      Thread.SpawnStack.push_back(MapSym(Sym));
+    }
+    T.Threads.push_back(std::move(Thread));
+  }
+  if (!TC.ok())
+    return Corrupt("thread");
+
+  // Entry columns: consistent lengths, then a validation scan over the
+  // untrusted values so nothing downstream needs to distrust them (enum
+  // ranges, symbol ids, argument slices). ChildTid is exempt: its only
+  // consumers bounds-check against the thread table.
+  uint64_t N = Sections[SecKind].Length;
+  if (N > (uint64_t{1} << 32) - 1)
+    return Corrupt("kind");
+  struct {
+    uint32_t Id;
+    uint64_t ElemSize;
+  } ColumnSizes[] = {
+      {SecTid, 4},    {SecMethod, 4},    {SecSelf, 24},   {SecEvName, 4},
+      {SecTarget, 24}, {SecValue, 16},   {SecArgsBegin, 4},
+      {SecArgsEnd, 4}, {SecChildTid, 4}, {SecProv, 4},
+  };
+  for (const auto &Col : ColumnSizes)
+    if (Sections[Col.Id].Length != N * Col.ElemSize)
+      return Corrupt("column");
+  if (WithFps && Sections[SecFp].Length != N * 8)
+    return Corrupt("fingerprint");
+  if (Sections[SecArgPool].Length % sizeof(ValueRepr) != 0)
+    return Corrupt("argument-pool");
+  uint64_t PoolCount = Sections[SecArgPool].Length / sizeof(ValueRepr);
+
+  auto ColPtr = [&](uint32_t Id) { return Sections[Id].Data; };
+  const uint8_t *Kinds = ColPtr(SecKind);
+  const auto *Methods = reinterpret_cast<const Symbol *>(ColPtr(SecMethod));
+  const auto *Names = reinterpret_cast<const Symbol *>(ColPtr(SecEvName));
+  const auto *Selfs = reinterpret_cast<const ObjRepr *>(ColPtr(SecSelf));
+  const auto *Targets = reinterpret_cast<const ObjRepr *>(ColPtr(SecTarget));
+  const auto *Values = reinterpret_cast<const ValueRepr *>(ColPtr(SecValue));
+  const auto *ArgsBegins =
+      reinterpret_cast<const uint32_t *>(ColPtr(SecArgsBegin));
+  const auto *ArgsEnds = reinterpret_cast<const uint32_t *>(ColPtr(SecArgsEnd));
+  const auto *Pool = reinterpret_cast<const ValueRepr *>(ColPtr(SecArgPool));
+
+  for (uint64_t I = 0; I != N; ++I) {
+    if (Kinds[I] > MaxEventKind)
+      return Corrupt("kind");
+    if (Methods[I].Id >= NumStrings || Names[I].Id >= NumStrings)
+      return Corrupt("symbol");
+    if (Selfs[I].ClassName.Id >= NumStrings ||
+        Targets[I].ClassName.Id >= NumStrings)
+      return Corrupt("object");
+    if (static_cast<uint8_t>(Values[I].Kind) > MaxReprKind ||
+        Values[I].Text.Id >= NumStrings)
+      return Corrupt("value");
+    if (ArgsBegins[I] > ArgsEnds[I] || ArgsEnds[I] > PoolCount)
+      return Corrupt("argument-slice");
+  }
+  for (uint64_t I = 0; I != PoolCount; ++I)
+    if (static_cast<uint8_t>(Pool[I].Kind) > MaxReprKind ||
+        Pool[I].Text.Id >= NumStrings)
+      return Corrupt("argument-pool");
+
+  size_t Count = static_cast<size_t>(N);
+  auto BorrowAll = [&](Trace &Out) {
+    Out.Tids.borrow(reinterpret_cast<const uint32_t *>(ColPtr(SecTid)), Count);
+    Out.Methods.borrow(Methods, Count);
+    Out.Selfs.borrow(Selfs, Count);
+    Out.Kinds.borrow(Kinds, Count);
+    Out.Names.borrow(Names, Count);
+    Out.Targets.borrow(Targets, Count);
+    Out.Values.borrow(Values, Count);
+    Out.ArgsBegins.borrow(ArgsBegins, Count);
+    Out.ArgsEnds.borrow(ArgsEnds, Count);
+    Out.ChildTids.borrow(
+        reinterpret_cast<const uint32_t *>(ColPtr(SecChildTid)), Count);
+    Out.Provs.borrow(reinterpret_cast<const uint32_t *>(ColPtr(SecProv)),
+                     Count);
+    if (WithFps)
+      Out.Fps.borrow(reinterpret_cast<const uint64_t *>(ColPtr(SecFp)),
+                     Count);
+    Out.ArgPool.borrow(Pool, static_cast<size_t>(PoolCount));
+  };
+
+  BorrowAll(T);
+  if (Identity) {
+    // Zero-copy: symbol ids in the file are valid in this interner, so the
+    // columns (including stored fingerprints) are used in place; Backing
+    // keeps the mapping alive for the life of the trace.
+    T.Backing = File.Holder;
+    if (WithFps)
+      T.HasFingerprints = true;
+    else
+      T.computeFingerprints();
+  } else {
+    // The interner assigned different ids: materialize every column, remap
+    // the symbol-bearing ones, and recompute fingerprints (they hash
+    // symbol ids). Borrow-then-detach keeps this a straight memcpy per
+    // column; the mapping is released when File goes out of scope.
+    T.Tids.detach();
+    T.Methods.detach();
+    T.Selfs.detach();
+    T.Kinds.detach();
+    T.Names.detach();
+    T.Targets.detach();
+    T.Values.detach();
+    T.ArgsBegins.detach();
+    T.ArgsEnds.detach();
+    T.ChildTids.detach();
+    T.Provs.detach();
+    T.Fps.clear();
+    T.ArgPool.detach();
+    Symbol *M = T.Methods.mutData();
+    Symbol *Nm = T.Names.mutData();
+    ObjRepr *Sf = T.Selfs.mutData();
+    ObjRepr *Tg = T.Targets.mutData();
+    ValueRepr *Vl = T.Values.mutData();
+    for (size_t I = 0; I != Count; ++I) {
+      M[I] = Map[M[I].Id];
+      Nm[I] = Map[Nm[I].Id];
+      Sf[I].ClassName = Map[Sf[I].ClassName.Id];
+      Tg[I].ClassName = Map[Tg[I].ClassName.Id];
+      Vl[I].Text = Map[Vl[I].Text.Id];
+    }
+    ValueRepr *Pl = T.ArgPool.mutData();
+    for (size_t I = 0; I != PoolCount; ++I)
+      Pl[I].Text = Map[Pl[I].Text.Id];
+    T.computeFingerprints();
+  }
+  return T;
+}
+
+} // namespace
+
+bool rprism::writeTrace(const Trace &T, const std::string &Path) {
+  return writeTraceV3Impl(T, Path, 0, T.size());
+}
+
+bool rprism::writeTraceLegacy(const Trace &T, const std::string &Path,
+                              uint32_t Version) {
+  if (Version < MinTraceVersion || Version > MaxLegacyVersion)
+    return false;
+  return writeTraceLegacyImpl(T, Path, Version);
+}
+
+Expected<Trace> rprism::readTrace(const std::string &Path,
+                                  std::shared_ptr<StringInterner> Strings) {
+  TelemetrySpan Span("load");
+  if (!Strings)
+    Strings = std::make_shared<StringInterner>();
+
+  // Peek magic and version to dispatch between the legacy stream reader
+  // and the sectioned v3 reader.
+  uint32_t Version;
+  {
+    Reader R(Path);
+    if (!R.ok())
+      return makeErr("cannot open trace file '" + Path + "'");
+    if (R.u32() != TraceMagic || !R.ok())
+      return makeErr("'" + Path + "' is not a trace file");
+    Version = R.u32();
+    if (!R.ok() || Version < MinTraceVersion || Version > TraceVersion)
+      return makeErr("'" + Path + "' has an unsupported trace version");
+  }
+
+  Expected<Trace> Result = [&]() -> Expected<Trace> {
+    if (Version <= MaxLegacyVersion) {
+      Reader R(Path);
+      R.u32(); // magic
+      R.u32(); // version
+      return readTraceLegacy(R, Path, std::move(Strings));
+    }
+    return readTraceV3(Path, std::move(Strings));
+  }();
+  if (Result)
+    Telemetry::counterAdd("trace.entries_loaded", Result->size());
+  return Result;
 }
 
 unsigned rprism::writeTraceSegments(const Trace &T,
@@ -271,17 +807,17 @@ unsigned rprism::writeTraceSegments(const Trace &T,
   if (MaxEntries == 0)
     return 0;
   unsigned NumSegments = 0;
-  for (size_t Begin = 0; Begin < T.Entries.size() || NumSegments == 0;
+  for (size_t Begin = 0; Begin < T.size() || NumSegments == 0;
        Begin += MaxEntries) {
     size_t End = Begin + MaxEntries;
-    if (End > T.Entries.size())
-      End = T.Entries.size();
+    if (End > T.size())
+      End = T.size();
     char Suffix[16];
     std::snprintf(Suffix, sizeof(Suffix), ".seg%03u", NumSegments);
-    if (!writeTraceImpl(T, BasePath + Suffix, Begin, End))
+    if (!writeTraceV3Impl(T, BasePath + Suffix, Begin, End))
       return 0;
     ++NumSegments;
-    if (End == T.Entries.size())
+    if (End == T.size())
       break;
   }
   return NumSegments;
@@ -308,17 +844,17 @@ rprism::readTraceSegments(const std::string &BasePath, unsigned NumSegments,
     }
     // Entries append directly: the side tables (arg pool, threads, strings)
     // were written whole into every segment, so indices stay valid.
-    for (TraceEntry &Entry : Segment->Entries)
-      Out.Entries.push_back(Entry);
+    Out.appendEntriesFrom(*Segment);
+    Out.HasFingerprints = Out.HasFingerprints && Segment->HasFingerprints;
   }
   return Out;
 }
 
 std::string rprism::dumpTrace(const Trace &T) {
   std::ostringstream OS;
-  OS << "trace '" << T.Name << "': " << T.Entries.size() << " entries, "
+  OS << "trace '" << T.Name << "': " << T.size() << " entries, "
      << T.Threads.size() << " thread(s)\n";
-  for (const TraceEntry &Entry : T.Entries)
-    OS << "  [" << Entry.Eid << "] " << T.renderEntry(Entry) << '\n';
+  for (uint32_t I = 0; I != T.size(); ++I)
+    OS << "  [" << I << "] " << T.renderEntry(I) << '\n';
   return OS.str();
 }

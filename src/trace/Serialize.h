@@ -13,9 +13,21 @@
 /// provides the equivalent: whole-trace write/read plus a segmented writer
 /// that emits numbered segment files and a reader that reassembles them.
 ///
+/// Format v3 (the default) is a sectioned, length-prefixed layout whose
+/// payloads are the columnar Trace's columns written verbatim: a header,
+/// a section table of (id, offset, length, checksum) records, then
+/// 8-byte-aligned payloads. Readers mmap the file (falling back to an
+/// aligned arena read), verify every section checksum, validate the
+/// untrusted bytes (kinds, symbol ids, argument slices), and then *borrow*
+/// the columns zero-copy when the file's string table interns to identical
+/// symbol ids — the common case for a fresh or same-session interner —
+/// including the fingerprint column, so loading skips re-fingerprinting
+/// entirely. Otherwise the columns are materialized and symbols remapped.
+///
 /// Symbols are file-local on disk; readers re-intern through the supplied
 /// StringInterner, so traces written by different runs can be loaded into
-/// one shared interner for differencing.
+/// one shared interner for differencing. v1/v2 stream-format files still
+/// load through the legacy reader.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,10 +41,18 @@
 
 namespace rprism {
 
-/// Writes \p T to \p Path. Returns false on I/O failure.
+/// Writes \p T to \p Path in the current format (v3). Returns false on I/O
+/// failure.
 bool writeTrace(const Trace &T, const std::string &Path);
 
-/// Reads a trace from \p Path, interning all strings into \p Strings.
+/// Writes \p T in a historical stream format (\p Version must be 1 or 2;
+/// both share one layout). Kept so cross-format determinism and
+/// back-compat tests can generate genuine old-format files.
+bool writeTraceLegacy(const Trace &T, const std::string &Path,
+                      uint32_t Version);
+
+/// Reads a trace from \p Path (any supported version), interning all
+/// strings into \p Strings.
 Expected<Trace> readTrace(const std::string &Path,
                           std::shared_ptr<StringInterner> Strings);
 

@@ -23,6 +23,62 @@ const char *rprism::eventKindName(EventKind Kind) {
   return "?";
 }
 
+TraceEntry Trace::entry(uint32_t Eid) const {
+  TraceEntry Entry;
+  Entry.Eid = Eid;
+  Entry.Tid = Tids[Eid];
+  Entry.Method = Methods[Eid];
+  Entry.Self = Selfs[Eid];
+  Entry.Ev.Kind = static_cast<EventKind>(Kinds[Eid]);
+  Entry.Ev.Name = Names[Eid];
+  Entry.Ev.Target = Targets[Eid];
+  Entry.Ev.Value = Values[Eid];
+  Entry.Ev.ArgsBegin = ArgsBegins[Eid];
+  Entry.Ev.ArgsEnd = ArgsEnds[Eid];
+  Entry.Ev.ChildTid = ChildTids[Eid];
+  Entry.Prov = Provs[Eid];
+  Entry.Fp = Eid < Fps.size() ? Fps[Eid] : 0;
+  return Entry;
+}
+
+void Trace::append(const TraceEntry &Entry) {
+  Tids.push_back(Entry.Tid);
+  Methods.push_back(Entry.Method);
+  Selfs.push_back(Entry.Self);
+  Kinds.push_back(static_cast<uint8_t>(Entry.Ev.Kind));
+  Names.push_back(Entry.Ev.Name);
+  Targets.push_back(Entry.Ev.Target);
+  Values.push_back(Entry.Ev.Value);
+  ArgsBegins.push_back(Entry.Ev.ArgsBegin);
+  ArgsEnds.push_back(Entry.Ev.ArgsEnd);
+  ChildTids.push_back(Entry.Ev.ChildTid);
+  Provs.push_back(Entry.Prov);
+  Fps.push_back(Entry.Fp);
+}
+
+void Trace::appendEntriesFrom(const Trace &Other) {
+  Tids.append(Other.Tids.data(), Other.Tids.size());
+  Methods.append(Other.Methods.data(), Other.Methods.size());
+  Selfs.append(Other.Selfs.data(), Other.Selfs.size());
+  Kinds.append(Other.Kinds.data(), Other.Kinds.size());
+  Names.append(Other.Names.data(), Other.Names.size());
+  Targets.append(Other.Targets.data(), Other.Targets.size());
+  Values.append(Other.Values.data(), Other.Values.size());
+  ArgsBegins.append(Other.ArgsBegins.data(), Other.ArgsBegins.size());
+  ArgsEnds.append(Other.ArgsEnds.data(), Other.ArgsEnds.size());
+  ChildTids.append(Other.ChildTids.data(), Other.ChildTids.size());
+  Provs.append(Other.Provs.data(), Other.Provs.size());
+  Fps.append(Other.Fps.data(), Other.Fps.size());
+}
+
+uint64_t Trace::storageBytes() const {
+  return Tids.byteSize() + Methods.byteSize() + Selfs.byteSize() +
+         Kinds.byteSize() + Names.byteSize() + Targets.byteSize() +
+         Values.byteSize() + ArgsBegins.byteSize() + ArgsEnds.byteSize() +
+         ChildTids.byteSize() + Provs.byteSize() + Fps.byteSize() +
+         ArgPool.byteSize();
+}
+
 std::string Trace::renderObj(const ObjRepr &Obj) const {
   if (Obj.isNone())
     return "<none>";
@@ -89,6 +145,10 @@ std::string Trace::renderEntry(const TraceEntry &Entry) const {
   return OS.str();
 }
 
+std::string Trace::renderEntry(uint32_t Eid) const {
+  return renderEntry(entry(Eid));
+}
+
 namespace {
 
 // Branch tags keeping the two reprEquals(ObjRepr) comparison modes (value
@@ -119,6 +179,31 @@ uint64_t valueFingerprint(const ValueRepr &Value) {
 
 } // namespace
 
+uint64_t Trace::entryFingerprint(uint32_t Eid) const {
+  EventKind Kind = kind(Eid);
+  uint64_t H = hashMix(HashInit, static_cast<uint64_t>(Kind));
+  H = hashMix(H, Names[Eid].Id);
+  H = hashMix(H, objFingerprint(Targets[Eid]));
+  H = hashMix(H, valueFingerprint(Values[Eid]));
+  uint32_t Begin = ArgsBegins[Eid], End = ArgsEnds[Eid];
+  H = hashMix(H, End - Begin);
+  for (uint32_t I = Begin; I != End; ++I)
+    H = hashMix(H, valueFingerprint(ArgPool[I]));
+  // Fork/end: =e compares the spawned thread's entry method (not the tid),
+  // so only that symbol feeds the hash. The thread's AncestryHash is
+  // deliberately excluded — =e does not compare it (ancestry drives view
+  // *correlation*, not event equality), and hashing it would make equal
+  // events fingerprint as unequal.
+  if (Kind == EventKind::Fork || Kind == EventKind::End) {
+    uint32_t Child = ChildTids[Eid];
+    if (Child < Threads.size())
+      H = hashMix(H, Threads[Child].EntryMethod.Id);
+    else
+      H = hashMix(H, 0xbadc0deULL); // Corrupt tid; =e rejects on verify.
+  }
+  return H;
+}
+
 uint64_t Trace::entryFingerprint(const TraceEntry &Entry) const {
   const Event &Ev = Entry.Ev;
   uint64_t H = hashMix(HashInit, static_cast<uint64_t>(Ev.Kind));
@@ -128,29 +213,27 @@ uint64_t Trace::entryFingerprint(const TraceEntry &Entry) const {
   H = hashMix(H, Ev.numArgs());
   for (uint32_t I = Ev.ArgsBegin; I != Ev.ArgsEnd; ++I)
     H = hashMix(H, valueFingerprint(ArgPool[I]));
-  // Fork/end: =e compares the spawned thread's entry method (not the tid),
-  // so only that symbol feeds the hash. The thread's AncestryHash is
-  // deliberately excluded — =e does not compare it (ancestry drives view
-  // *correlation*, not event equality), and hashing it would make equal
-  // events fingerprint as unequal.
   if (Ev.Kind == EventKind::Fork || Ev.Kind == EventKind::End) {
     if (Ev.ChildTid < Threads.size())
       H = hashMix(H, Threads[Ev.ChildTid].EntryMethod.Id);
     else
-      H = hashMix(H, 0xbadc0deULL); // Corrupt tid; =e rejects on verify.
+      H = hashMix(H, 0xbadc0deULL);
   }
   return H;
 }
 
 void Trace::computeFingerprints(ThreadPool *Pool) {
   TelemetrySpan Span("fingerprint");
+  size_t N = size();
+  Fps.resize(N);
+  uint64_t *Out = Fps.mutData();
   if (Pool && Pool->numWorkers() > 1) {
-    Pool->parallelFor(Entries.size(), [this](size_t I) {
-      Entries[I].Fp = entryFingerprint(Entries[I]);
+    Pool->parallelFor(N, [this, Out](size_t I) {
+      Out[I] = entryFingerprint(static_cast<uint32_t>(I));
     });
   } else {
-    for (TraceEntry &Entry : Entries)
-      Entry.Fp = entryFingerprint(Entry);
+    for (size_t I = 0; I != N; ++I)
+      Out[I] = entryFingerprint(static_cast<uint32_t>(I));
   }
   HasFingerprints = true;
 }
@@ -166,18 +249,64 @@ void rprism::fingerprintTracePair(Trace &Left, Trace &Right,
   // One flat index space over both traces' entries, so both are
   // fingerprinted concurrently and a short left trace doesn't idle the
   // pool while the right one is processed.
-  size_t NumLeft = Left.Entries.size();
-  Pool->parallelFor(NumLeft + Right.Entries.size(),
-                    [&Left, &Right, NumLeft](size_t I) {
+  size_t NumLeft = Left.size();
+  Left.Fps.resize(NumLeft);
+  Right.Fps.resize(Right.size());
+  uint64_t *LOut = Left.Fps.mutData();
+  uint64_t *ROut = Right.Fps.mutData();
+  Pool->parallelFor(NumLeft + Right.size(),
+                    [&Left, &Right, LOut, ROut, NumLeft](size_t I) {
                       if (I < NumLeft)
-                        Left.Entries[I].Fp =
-                            Left.entryFingerprint(Left.Entries[I]);
+                        LOut[I] = Left.entryFingerprint(
+                            static_cast<uint32_t>(I));
                       else
-                        Right.Entries[I - NumLeft].Fp =
-                            Right.entryFingerprint(Right.Entries[I - NumLeft]);
+                        ROut[I - NumLeft] = Right.entryFingerprint(
+                            static_cast<uint32_t>(I - NumLeft));
                     });
   Left.HasFingerprints = true;
   Right.HasFingerprints = true;
+}
+
+bool rprism::eventEquals(const Trace &TA, uint32_t A, const Trace &TB,
+                         uint32_t B, CompareCounter *Counter) {
+  if (Counter)
+    Counter->tick();
+
+  // Fingerprint fast path: unequal fingerprints prove inequality (the
+  // fingerprint hashes exactly the components compared below). Equal
+  // fingerprints fall through to the slow-path verify, so a 64-bit
+  // collision can never fabricate a match.
+  if (TA.HasFingerprints && TB.HasFingerprints && TA.Fps[A] != TB.Fps[B])
+    return false;
+
+  if (TA.Kinds[A] != TB.Kinds[B] || TA.Names[A] != TB.Names[B])
+    return false;
+  if (!reprEquals(TA.Targets[A], TB.Targets[B]))
+    return false;
+  if (!reprEquals(TA.Values[A], TB.Values[B]))
+    return false;
+  uint32_t NumArgs = TA.numArgs(A);
+  if (NumArgs != TB.numArgs(B))
+    return false;
+  const ValueRepr *ArgsA = TA.args(A);
+  const ValueRepr *ArgsB = TB.args(B);
+  for (uint32_t I = 0; I != NumArgs; ++I)
+    if (!reprEquals(ArgsA[I], ArgsB[I]))
+      return false;
+
+  // Fork/end events compare by the spawned thread's ancestry, not the tid
+  // (tids are assigned in scheduling order and may differ across versions).
+  // A tid outside the thread table (deserialized or corrupt trace) cannot
+  // be validated, so it never matches.
+  EventKind Kind = TA.kind(A);
+  if (Kind == EventKind::Fork || Kind == EventKind::End) {
+    uint32_t ChildA = TA.ChildTids[A], ChildB = TB.ChildTids[B];
+    if (ChildA >= TA.Threads.size() || ChildB >= TB.Threads.size())
+      return false;
+    if (TA.Threads[ChildA].EntryMethod != TB.Threads[ChildB].EntryMethod)
+      return false;
+  }
+  return true;
 }
 
 bool rprism::eventEquals(const Trace &TA, const TraceEntry &A,
@@ -186,10 +315,6 @@ bool rprism::eventEquals(const Trace &TA, const TraceEntry &A,
   if (Counter)
     Counter->tick();
 
-  // Fingerprint fast path: unequal fingerprints prove inequality (the
-  // fingerprint hashes exactly the components compared below). Equal
-  // fingerprints fall through to the slow-path verify, so a 64-bit
-  // collision can never fabricate a match.
   if (TA.HasFingerprints && TB.HasFingerprints && A.Fp != B.Fp)
     return false;
 
@@ -209,10 +334,6 @@ bool rprism::eventEquals(const Trace &TA, const TraceEntry &A,
     if (!reprEquals(ArgsA[I], ArgsB[I]))
       return false;
 
-  // Fork/end events compare by the spawned thread's ancestry, not the tid
-  // (tids are assigned in scheduling order and may differ across versions).
-  // A tid outside the thread table (deserialized or corrupt trace) cannot
-  // be validated, so it never matches.
   if (EA.Kind == EventKind::Fork || EA.Kind == EventKind::End) {
     if (EA.ChildTid >= TA.Threads.size() || EB.ChildTid >= TB.Threads.size())
       return false;

@@ -31,9 +31,9 @@ public:
   static std::optional<ViewCursor> at(const ViewWeb &Web, uint32_t Eid,
                                       ViewType Type);
 
-  /// The entry under the cursor.
-  const TraceEntry &entry() const {
-    return Web->trace().Entries[view().Entries[Pos]];
+  /// The entry under the cursor, materialized from the trace columns.
+  TraceEntry entry() const {
+    return Web->trace().entry(view().Entries[Pos]);
   }
   uint32_t eid() const { return view().Entries[Pos]; }
 

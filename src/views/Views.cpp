@@ -22,14 +22,14 @@ const char *rprism::viewTypeName(ViewType Type) {
 
 /// True if the event kind carries a target object (FE/ME/KE events do;
 /// fork/end do not).
-static bool hasTargetObject(const Event &Ev) {
-  switch (Ev.Kind) {
+static bool hasTargetObject(EventKind Kind, const ObjRepr &Target) {
+  switch (Kind) {
   case EventKind::FieldGet:
   case EventKind::FieldSet:
   case EventKind::Call:
   case EventKind::Return:
   case EventKind::Init:
-    return !Ev.Target.isNone();
+    return !Target.isNone();
   case EventKind::Fork:
   case EventKind::End:
     return false;
@@ -45,6 +45,10 @@ namespace {
 /// direct-indexed vector — one bounds check + load per entry on the build
 /// hot path instead of a hash probe. The web's hash index is built once
 /// per family afterwards (O(views), not O(entries)).
+///
+/// Each builder scans only the column(s) its family keys on — the payoff
+/// of the columnar trace: the thread scan streams 4 bytes/entry, not a
+/// 144-byte struct.
 struct FamilyBuild {
   std::vector<View> Views;
   std::vector<uint32_t> Dense; ///< key -> local id; ~0u = no view yet.
@@ -61,118 +65,136 @@ struct FamilyBuild {
   }
 };
 
-/// nu_TH: every entry belongs to its thread's view.
+/// nu_TH: every entry belongs to its thread's view. Reads the tid column.
 FamilyBuild buildThreadFamily(const Trace &T) {
   FamilyBuild F;
-  for (const TraceEntry &Entry : T.Entries) {
-    View &V = F.getOrCreate(Entry.Tid);
+  const uint32_t *Tids = T.Tids.data();
+  uint32_t N = static_cast<uint32_t>(T.size());
+  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+    View &V = F.getOrCreate(Tids[Eid]);
     if (V.Entries.empty()) {
       V.Type = ViewType::Thread;
-      V.Tid = Entry.Tid;
+      V.Tid = Tids[Eid];
     }
-    V.Entries.push_back(Entry.Eid);
+    V.Entries.push_back(Eid);
   }
   return F;
 }
 
-/// nu_CM: the (qualified) method on top of the call stack.
+/// nu_CM: the (qualified) method on top of the call stack. Reads the
+/// method column.
 FamilyBuild buildMethodFamily(const Trace &T) {
   FamilyBuild F;
-  for (const TraceEntry &Entry : T.Entries) {
-    View &V = F.getOrCreate(Entry.Method.Id);
+  const Symbol *Methods = T.Methods.data();
+  uint32_t N = static_cast<uint32_t>(T.size());
+  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+    View &V = F.getOrCreate(Methods[Eid].Id);
     if (V.Entries.empty()) {
       V.Type = ViewType::Method;
-      V.MethodName = Entry.Method;
+      V.MethodName = Methods[Eid];
     }
-    V.Entries.push_back(Entry.Eid);
+    V.Entries.push_back(Eid);
   }
   return F;
 }
 
-/// nu_TO: the event's target object, when it has one. LastRepr is filled
-/// in one pass at the end (each view's last entry) rather than overwritten
-/// per entry — the per-entry struct copy was measurable on long traces.
+/// nu_TO: the event's target object, when it has one. Reads the kind and
+/// target columns. LastRepr is filled in one pass at the end (each view's
+/// last entry) rather than overwritten per entry — the per-entry struct
+/// copy was measurable on long traces.
 FamilyBuild buildTargetObjectFamily(const Trace &T) {
   FamilyBuild F;
-  for (const TraceEntry &Entry : T.Entries) {
-    if (!hasTargetObject(Entry.Ev))
+  const uint8_t *Kinds = T.Kinds.data();
+  const ObjRepr *Targets = T.Targets.data();
+  uint32_t N = static_cast<uint32_t>(T.size());
+  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+    if (!hasTargetObject(static_cast<EventKind>(Kinds[Eid]), Targets[Eid]))
       continue;
-    View &V = F.getOrCreate(Entry.Ev.Target.Loc);
+    View &V = F.getOrCreate(Targets[Eid].Loc);
     if (V.Entries.empty()) {
       V.Type = ViewType::TargetObject;
-      V.Loc = Entry.Ev.Target.Loc;
-      V.FirstRepr = Entry.Ev.Target;
+      V.Loc = Targets[Eid].Loc;
+      V.FirstRepr = Targets[Eid];
     }
-    V.Entries.push_back(Entry.Eid);
+    V.Entries.push_back(Eid);
   }
   for (View &V : F.Views)
-    V.LastRepr = T.Entries[V.Entries.back()].Ev.Target;
+    V.LastRepr = Targets[V.Entries.back()];
   return F;
 }
 
-/// nu_AO: the receiver of the executing method, when there is one.
+/// nu_AO: the receiver of the executing method, when there is one. Reads
+/// the self column.
 FamilyBuild buildActiveObjectFamily(const Trace &T) {
   FamilyBuild F;
-  for (const TraceEntry &Entry : T.Entries) {
-    if (Entry.Self.isNone())
+  const ObjRepr *Selfs = T.Selfs.data();
+  uint32_t N = static_cast<uint32_t>(T.size());
+  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+    if (Selfs[Eid].isNone())
       continue;
-    View &V = F.getOrCreate(Entry.Self.Loc);
+    View &V = F.getOrCreate(Selfs[Eid].Loc);
     if (V.Entries.empty()) {
       V.Type = ViewType::ActiveObject;
-      V.Loc = Entry.Self.Loc;
-      V.FirstRepr = Entry.Self;
+      V.Loc = Selfs[Eid].Loc;
+      V.FirstRepr = Selfs[Eid];
     }
-    V.Entries.push_back(Entry.Eid);
+    V.Entries.push_back(Eid);
   }
   for (View &V : F.Views)
-    V.LastRepr = T.Entries[V.Entries.back()].Self;
+    V.LastRepr = Selfs[V.Entries.back()];
   return F;
 }
 
 /// Sequential path: all four families in ONE pass over the trace (the
-/// entry array is the dominant memory traffic; four separate scans only
+/// keyed columns are the dominant memory traffic; four separate scans only
 /// pay off when they run on different cores). Produces exactly what the
 /// four independent builders produce.
 void buildAllFamiliesFused(const Trace &T, FamilyBuild Families[4]) {
-  for (const TraceEntry &Entry : T.Entries) {
-    View &TV = Families[0].getOrCreate(Entry.Tid);
+  const uint32_t *Tids = T.Tids.data();
+  const Symbol *Methods = T.Methods.data();
+  const uint8_t *Kinds = T.Kinds.data();
+  const ObjRepr *Targets = T.Targets.data();
+  const ObjRepr *Selfs = T.Selfs.data();
+  uint32_t N = static_cast<uint32_t>(T.size());
+  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+    View &TV = Families[0].getOrCreate(Tids[Eid]);
     if (TV.Entries.empty()) {
       TV.Type = ViewType::Thread;
-      TV.Tid = Entry.Tid;
+      TV.Tid = Tids[Eid];
     }
-    TV.Entries.push_back(Entry.Eid);
+    TV.Entries.push_back(Eid);
 
-    View &MV = Families[1].getOrCreate(Entry.Method.Id);
+    View &MV = Families[1].getOrCreate(Methods[Eid].Id);
     if (MV.Entries.empty()) {
       MV.Type = ViewType::Method;
-      MV.MethodName = Entry.Method;
+      MV.MethodName = Methods[Eid];
     }
-    MV.Entries.push_back(Entry.Eid);
+    MV.Entries.push_back(Eid);
 
-    if (hasTargetObject(Entry.Ev)) {
-      View &OV = Families[2].getOrCreate(Entry.Ev.Target.Loc);
+    if (hasTargetObject(static_cast<EventKind>(Kinds[Eid]), Targets[Eid])) {
+      View &OV = Families[2].getOrCreate(Targets[Eid].Loc);
       if (OV.Entries.empty()) {
         OV.Type = ViewType::TargetObject;
-        OV.Loc = Entry.Ev.Target.Loc;
-        OV.FirstRepr = Entry.Ev.Target;
+        OV.Loc = Targets[Eid].Loc;
+        OV.FirstRepr = Targets[Eid];
       }
-      OV.Entries.push_back(Entry.Eid);
+      OV.Entries.push_back(Eid);
     }
 
-    if (!Entry.Self.isNone()) {
-      View &AV = Families[3].getOrCreate(Entry.Self.Loc);
+    if (!Selfs[Eid].isNone()) {
+      View &AV = Families[3].getOrCreate(Selfs[Eid].Loc);
       if (AV.Entries.empty()) {
         AV.Type = ViewType::ActiveObject;
-        AV.Loc = Entry.Self.Loc;
-        AV.FirstRepr = Entry.Self;
+        AV.Loc = Selfs[Eid].Loc;
+        AV.FirstRepr = Selfs[Eid];
       }
-      AV.Entries.push_back(Entry.Eid);
+      AV.Entries.push_back(Eid);
     }
   }
   for (View &V : Families[2].Views)
-    V.LastRepr = T.Entries[V.Entries.back()].Ev.Target;
+    V.LastRepr = Targets[V.Entries.back()];
   for (View &V : Families[3].Views)
-    V.LastRepr = T.Entries[V.Entries.back()].Self;
+    V.LastRepr = Selfs[V.Entries.back()];
 }
 
 } // namespace
@@ -270,17 +292,16 @@ const View *ViewWeb::activeObjectView(uint32_t Loc) const {
 
 std::vector<uint32_t> ViewWeb::viewsOf(uint32_t Eid) const {
   std::vector<uint32_t> Result;
-  const TraceEntry &Entry = T->Entries[Eid];
-  if (auto It = ThreadIndex.find(Entry.Tid); It != ThreadIndex.end())
+  if (auto It = ThreadIndex.find(T->tid(Eid)); It != ThreadIndex.end())
     Result.push_back(It->second);
-  if (auto It = MethodIndex.find(Entry.Method.Id); It != MethodIndex.end())
+  if (auto It = MethodIndex.find(T->method(Eid).Id); It != MethodIndex.end())
     Result.push_back(It->second);
-  if (hasTargetObject(Entry.Ev))
-    if (auto It = TargetIndex.find(Entry.Ev.Target.Loc);
+  if (hasTargetObject(T->kind(Eid), T->target(Eid)))
+    if (auto It = TargetIndex.find(T->target(Eid).Loc);
         It != TargetIndex.end())
       Result.push_back(It->second);
-  if (!Entry.Self.isNone())
-    if (auto It = ActiveIndex.find(Entry.Self.Loc); It != ActiveIndex.end())
+  if (!T->self(Eid).isNone())
+    if (auto It = ActiveIndex.find(T->self(Eid).Loc); It != ActiveIndex.end())
       Result.push_back(It->second);
   return Result;
 }
@@ -314,7 +335,7 @@ std::string ViewWeb::render(const View &V, size_t MaxEntries) const {
       OS << "  ...\n";
       break;
     }
-    OS << "  [" << Eid << "] " << T->renderEntry(T->Entries[Eid]) << '\n';
+    OS << "  [" << Eid << "] " << T->renderEntry(Eid) << '\n';
   }
   return OS.str();
 }

@@ -128,7 +128,7 @@ TEST(Analysis, CandidateSetIsolatesTheCause) {
     const DiffSequence &Seq = Report.A.Sequences[Index];
     bool OnlyAudit = true;
     auto Check = [&](const Trace &T, uint32_t Eid) {
-      const std::string &Method = T.Strings->text(T.Entries[Eid].Method);
+      const std::string &Method = T.Strings->text(T.Methods[Eid]);
       if (Method.find("Audit") == std::string::npos &&
           Method.find("<init>") == std::string::npos)
         OnlyAudit = false;
@@ -309,9 +309,9 @@ TEST(Scoring, ProvenanceNodeIdsMatchEntries) {
   const DiffSequence &Seq =
       Report.A.Sequences[Report.RegressionSequences.front()];
   for (uint32_t Eid : Seq.RightEids)
-    ByNode.NewNodes.insert(Report.A.Right->Entries[Eid].Prov);
+    ByNode.NewNodes.insert(Report.A.Right->Provs[Eid]);
   for (uint32_t Eid : Seq.LeftEids)
-    ByNode.OrigNodes.insert(Report.A.Left->Entries[Eid].Prov);
+    ByNode.OrigNodes.insert(Report.A.Left->Provs[Eid]);
   RegressionScore Score = scoreReport(Report, {ByNode});
   EXPECT_GT(Score.TruePositives, 0u);
 }

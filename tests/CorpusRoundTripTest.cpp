@@ -115,9 +115,8 @@ TEST_P(FrontEndProperty, DeterministicTraces) {
   RunResult A = runProgram(*Prog, GetParam().Run);
   RunResult B = runProgram(*Prog, GetParam().Run);
   ASSERT_EQ(A.ExecTrace.size(), B.ExecTrace.size());
-  for (size_t I = 0; I != A.ExecTrace.size(); ++I)
-    ASSERT_TRUE(eventEquals(A.ExecTrace, A.ExecTrace.Entries[I],
-                            B.ExecTrace, B.ExecTrace.Entries[I]))
+  for (uint32_t I = 0; I != A.ExecTrace.size(); ++I)
+    ASSERT_TRUE(eventEquals(A.ExecTrace, I, B.ExecTrace, I))
         << "entry " << I;
 }
 

@@ -180,7 +180,7 @@ TEST(CorrelateEdge, ThreadsPairDespiteExtraThread) {
   DiffResult Result = viewsDiff(LW, RW, X);
   bool ExtraFlagged = false;
   for (uint32_t Eid = 0; Eid != R.size(); ++Eid)
-    if (!Result.RightSimilar[Eid] && R.Entries[Eid].Tid == 2)
+    if (!Result.RightSimilar[Eid] && R.tid(Eid) == 2)
       ExtraFlagged = true;
   EXPECT_TRUE(ExtraFlagged);
 }

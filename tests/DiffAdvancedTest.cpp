@@ -165,14 +165,12 @@ TEST(ModificationStep, ValueChangeInReturnIsNotBlurredAway) {
   bool FoundLeftRet = false;
   bool FoundRightRet = false;
   for (uint32_t Eid = 0; Eid != L.size(); ++Eid)
-    if (!Result.LeftSimilar[Eid] &&
-        L.Entries[Eid].Ev.Kind == EventKind::Return &&
-        L.Strings->text(L.Entries[Eid].Ev.Name) == "P.check")
+    if (!Result.LeftSimilar[Eid] && L.kind(Eid) == EventKind::Return &&
+        L.Strings->text(L.Names[Eid]) == "P.check")
       FoundLeftRet = true;
   for (uint32_t Eid = 0; Eid != R.size(); ++Eid)
-    if (!Result.RightSimilar[Eid] &&
-        R.Entries[Eid].Ev.Kind == EventKind::Return &&
-        R.Strings->text(R.Entries[Eid].Ev.Name) == "P.check")
+    if (!Result.RightSimilar[Eid] && R.kind(Eid) == EventKind::Return &&
+        R.Strings->text(R.Names[Eid]) == "P.check")
       FoundRightRet = true;
   EXPECT_TRUE(FoundLeftRet) << Result.render();
   EXPECT_TRUE(FoundRightRet) << Result.render();

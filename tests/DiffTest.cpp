@@ -9,9 +9,13 @@
 #include "diff/ViewsDiff.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
+#include "trace/Serialize.h"
 #include "workload/Generator.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
 
 using namespace rprism;
 
@@ -34,7 +38,7 @@ EidSpan spanOf(const std::vector<uint32_t> &Ids) {
 }
 
 std::vector<uint32_t> allIds(const Trace &T) {
-  std::vector<uint32_t> Ids(T.Entries.size());
+  std::vector<uint32_t> Ids(T.size());
   for (uint32_t I = 0; I != Ids.size(); ++I)
     Ids[I] = I;
   return Ids;
@@ -55,7 +59,7 @@ TEST(Lcs, IdenticalTracesFullyMatch) {
   auto LIds = allIds(L);
   auto RIds = allIds(R);
   LcsResult Lcs = lcsMatch(L, spanOf(LIds), R, spanOf(RIds));
-  EXPECT_EQ(Lcs.Matches.size(), L.Entries.size());
+  EXPECT_EQ(Lcs.Matches.size(), L.size());
 }
 
 TEST(Lcs, PrefixSuffixOptimizationCutsCompareOps) {
@@ -89,10 +93,10 @@ TEST(Lcs, PrefixSuffixOptimizationCutsCompareOps) {
   CompareCounter Ops;
   LcsResult Lcs = lcsMatch(L, spanOf(LIds), R, spanOf(RIds), &Ops);
   // Only the handful of b.s(Mid) entries differ.
-  EXPECT_GE(Lcs.Matches.size(), L.Entries.size() - 8);
+  EXPECT_GE(Lcs.Matches.size(), L.size() - 8);
   // With trimming, compare ops are far below the n*m worst case.
   uint64_t Quadratic =
-      uint64_t(L.Entries.size()) * uint64_t(R.Entries.size());
+      uint64_t(L.size()) * uint64_t(R.size());
   EXPECT_LT(Ops.Count, Quadratic / 10);
 }
 
@@ -150,7 +154,7 @@ TEST(Lcs, MatchesAreStrictlyAscendingOnBothSides) {
       EXPECT_LT(Res.Matches[I - 1].second, Res.Matches[I].second);
     }
     for (auto [LE, RE] : Res.Matches)
-      EXPECT_TRUE(eventEquals(L, L.Entries[LE], R, R.Entries[RE]));
+      EXPECT_TRUE(eventEquals(L, LE, R, RE));
   }
 }
 
@@ -428,7 +432,7 @@ TEST(ViewsDiff, MultithreadedTracesDiffPerThread) {
   bool WorkerDiff = false;
   for (const DiffSequence &Seq : Result.Sequences)
     for (uint32_t Eid : Seq.LeftEids)
-      WorkerDiff = WorkerDiff || L.Entries[Eid].Tid == 1;
+      WorkerDiff = WorkerDiff || L.tid(Eid) == 1;
   EXPECT_TRUE(WorkerDiff) << Result.render();
 }
 
@@ -488,6 +492,9 @@ TEST(ViewsDiff, JobsCountDoesNotChangeResult) {
   for (unsigned Jobs : {2u, 4u, 0u}) {
     ViewsDiffOptions Options;
     Options.Jobs = Jobs;
+    // Small generated traces: keep the adaptive cutoff from silently
+    // collapsing every Jobs value back onto the sequential path.
+    Options.ParallelCutoffEntries = 0;
     DiffResult Parallel = viewsDiff(L, R, Options);
 
     EXPECT_EQ(Parallel.LeftSimilar, Ref.LeftSimilar) << "Jobs=" << Jobs;
@@ -502,6 +509,102 @@ TEST(ViewsDiff, JobsCountDoesNotChangeResult) {
       EXPECT_EQ(Parallel.Sequences[I].LeftTid, Ref.Sequences[I].LeftTid);
     }
     EXPECT_EQ(Parallel.render(50, 12), Ref.render(50, 12)) << "Jobs=" << Jobs;
+  }
+}
+
+
+//===----------------------------------------------------------------------===//
+// Run-skipping and cross-format determinism contracts
+//===----------------------------------------------------------------------===//
+
+std::string diffTempPath(const std::string &Tag) {
+  return "/tmp/rprism_diff_test_" + Tag + "_" + std::to_string(::getpid());
+}
+
+TEST(ViewsDiff, RunSkipMatchesEventEqualsOnGeneratedTraces) {
+  // The fingerprint-lane run-skip is an optimization of the lock-step
+  // scan, not a semantic change: with fingerprints stripped, evaluation
+  // falls back to per-event =e, and the report, similarity sets, and
+  // compare-op totals must all be identical.
+  for (uint64_t Seed : {1ull, 7ull, 23ull}) {
+    GeneratorOptions Base;
+    Base.Seed = Seed;
+    Base.OuterIters = 30;
+    Base.NumThreads = 2;
+    Base.ReorderBlock = (Seed % 2) == 1;
+    GeneratorOptions Perturbed = Base;
+    Perturbed.Perturb = 1 + unsigned(Seed % 3);
+    auto Strings = std::make_shared<StringInterner>();
+    Trace L = traceOf(generateProgram(Base), Strings);
+    Trace R = traceOf(generateProgram(Perturbed), Strings);
+    ASSERT_TRUE(L.HasFingerprints);
+    ASSERT_TRUE(R.HasFingerprints);
+
+    DiffResult Fast = viewsDiff(L, R);
+
+    Trace LSlow = L, RSlow = R;
+    LSlow.HasFingerprints = false;
+    RSlow.HasFingerprints = false;
+    DiffResult Slow = viewsDiff(LSlow, RSlow);
+
+    EXPECT_EQ(Fast.render(100, 16), Slow.render(100, 16)) << "seed " << Seed;
+    EXPECT_EQ(Fast.Stats.CompareOps, Slow.Stats.CompareOps)
+        << "seed " << Seed;
+    EXPECT_EQ(Fast.LeftSimilar, Slow.LeftSimilar) << "seed " << Seed;
+    EXPECT_EQ(Fast.RightSimilar, Slow.RightSimilar) << "seed " << Seed;
+  }
+}
+
+TEST(ViewsDiff, DeterministicAcrossFormatsAndJobs) {
+  // The contract pinned by this PR: byte-identical reports and identical
+  // compare-op totals for every --jobs value and every on-disk format.
+  GeneratorOptions Base;
+  Base.OuterIters = 60;
+  Base.NumThreads = 3;
+  GeneratorOptions Perturbed = Base;
+  Perturbed.Perturb = 2;
+  auto Strings = std::make_shared<StringInterner>();
+  Trace L = traceOf(generateProgram(Base), Strings);
+  Trace R = traceOf(generateProgram(Perturbed), Strings);
+
+  ViewsDiffOptions RefOptions;
+  RefOptions.Jobs = 1;
+  DiffResult Ref = viewsDiff(L, R, RefOptions);
+  ASSERT_GT(Ref.numDiffs(), 0u);
+  const std::string RefRender = Ref.render(50, 12);
+
+  for (unsigned Version : {1u, 2u, 3u}) {
+    std::string LPath = diffTempPath("L_v" + std::to_string(Version));
+    std::string RPath = diffTempPath("R_v" + std::to_string(Version));
+    if (Version == 3) {
+      ASSERT_TRUE(writeTrace(L, LPath));
+      ASSERT_TRUE(writeTrace(R, RPath));
+    } else {
+      ASSERT_TRUE(writeTraceLegacy(L, LPath, Version));
+      ASSERT_TRUE(writeTraceLegacy(R, RPath, Version));
+    }
+    // Loading both sides into one fresh interner: the left trace re-interns
+    // in order (the v3 zero-copy identity path), the right one lands on the
+    // remap path — both must still diff identically to the in-memory pair.
+    auto Shared = std::make_shared<StringInterner>();
+    Expected<Trace> LLoaded = readTrace(LPath, Shared);
+    Expected<Trace> RLoaded = readTrace(RPath, Shared);
+    ASSERT_TRUE(bool(LLoaded)) << LLoaded.error().render();
+    ASSERT_TRUE(bool(RLoaded)) << RLoaded.error().render();
+    EXPECT_TRUE(LLoaded->HasFingerprints);
+    EXPECT_TRUE(RLoaded->HasFingerprints);
+    for (unsigned Jobs : {1u, 4u, 0u}) {
+      ViewsDiffOptions Options;
+      Options.Jobs = Jobs;
+      Options.ParallelCutoffEntries = 0;
+      DiffResult Out = viewsDiff(*LLoaded, *RLoaded, Options);
+      EXPECT_EQ(Out.render(50, 12), RefRender)
+          << "v" << Version << " jobs " << Jobs;
+      EXPECT_EQ(Out.Stats.CompareOps, Ref.Stats.CompareOps)
+          << "v" << Version << " jobs " << Jobs;
+    }
+    std::remove(LPath.c_str());
+    std::remove(RPath.c_str());
   }
 }
 

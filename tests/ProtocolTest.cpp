@@ -251,10 +251,10 @@ TEST(Impact, EntrySeedsWork) {
   ViewWeb Web(T);
   // Seed with the first entry targeting the Shared object.
   std::vector<uint32_t> Seed;
-  for (const TraceEntry &Entry : T.Entries) {
-    if (!Entry.Ev.Target.isNone() &&
-        T.Strings->text(Entry.Ev.Target.ClassName) == "Shared") {
-      Seed.push_back(Entry.Eid);
+  for (uint32_t Eid = 0; Eid != T.size(); ++Eid) {
+    if (!T.Targets[Eid].isNone() &&
+        T.Strings->text(T.Targets[Eid].ClassName) == "Shared") {
+      Seed.push_back(Eid);
       break;
     }
   }

@@ -63,7 +63,7 @@ TEST(Query, StartsWithEverythingAndNarrows) {
   EXPECT_GT(Sets.count(), 0u);
   EXPECT_LT(Sets.count(), T.size());
   for (uint32_t Eid : Sets.eids())
-    EXPECT_EQ(T.Entries[Eid].Ev.Kind, EventKind::FieldSet);
+    EXPECT_EQ(T.kind(Eid), EventKind::FieldSet);
 }
 
 TEST(Query, FiltersCompose) {
@@ -81,13 +81,13 @@ TEST(Query, ByMethodAndThread) {
   TraceQuery InRange = TraceQuery(T).inMethod("Util.inRange");
   EXPECT_GT(InRange.count(), 0u);
   for (uint32_t Eid : InRange.eids())
-    EXPECT_EQ(T.Strings->text(T.Entries[Eid].Method), "Util.inRange");
+    EXPECT_EQ(T.Strings->text(T.Methods[Eid]), "Util.inRange");
 
   // The spawned accept runs in thread 1.
   TraceQuery Spawned = TraceQuery(T).inThread(1);
   EXPECT_GT(Spawned.count(), 0u);
   for (uint32_t Eid : Spawned.eids())
-    EXPECT_EQ(T.Entries[Eid].Tid, 1u);
+    EXPECT_EQ(T.tid(Eid), 1u);
 }
 
 TEST(Query, ByValueAndRange) {
@@ -117,7 +117,7 @@ TEST(Query, EmptyResultBehaves) {
   Trace T = traceOf(Subject);
   TraceQuery Q = TraceQuery(T).onClass("NoSuchClass");
   EXPECT_TRUE(Q.empty());
-  EXPECT_EQ(Q.first(), nullptr);
+  EXPECT_FALSE(Q.first().has_value());
   EXPECT_NE(Q.render().find("0 match(es)"), std::string::npos);
 }
 

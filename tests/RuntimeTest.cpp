@@ -283,11 +283,21 @@ TEST(Vm, ThreadsInterleaveWithSmallQuantum) {
 // Trace emission (the Fig. 6 rules)
 //===----------------------------------------------------------------------===//
 
+/// Materializes every entry of \p T (the columnar trace stores entries
+/// scattered across columns; tests iterate whole entries).
+std::vector<TraceEntry> materialize(const Trace &T) {
+  std::vector<TraceEntry> Out;
+  Out.reserve(T.size());
+  for (uint32_t Eid = 0; Eid != T.size(); ++Eid)
+    Out.push_back(T.entry(Eid));
+  return Out;
+}
+
 /// Counts entries of one kind.
 size_t countKind(const Trace &T, EventKind Kind) {
   size_t N = 0;
-  for (const TraceEntry &Entry : T.Entries)
-    if (Entry.Ev.Kind == Kind)
+  for (uint32_t Eid = 0; Eid != T.size(); ++Eid)
+    if (T.kind(Eid) == Kind)
       ++N;
   return N;
 }
@@ -317,9 +327,9 @@ TEST(Trace, EntryIdsAreDense) {
     main { var a = new A(1); print(a.f); }
   )");
   const Trace &T = Result.ExecTrace;
-  ASSERT_FALSE(T.Entries.empty());
-  for (size_t I = 0; I != T.Entries.size(); ++I)
-    EXPECT_EQ(T.Entries[I].Eid, I);
+  ASSERT_GT(T.size(), 0u);
+  for (uint32_t I = 0; I != T.size(); ++I)
+    EXPECT_EQ(T.entry(I).Eid, I);
 }
 
 TEST(Trace, FieldEventsCarryValuesAndTargets) {
@@ -331,7 +341,7 @@ TEST(Trace, FieldEventsCarryValuesAndTargets) {
   // Find the set in main (b.v = 42).
   bool FoundSet = false;
   bool FoundGet = false;
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     const std::string &Method = T.Strings->text(Entry.Method);
     if (Entry.Ev.Kind == EventKind::FieldSet && Method == "main") {
       FoundSet = true;
@@ -356,7 +366,7 @@ TEST(Trace, CallEventsRecordedInCallersContext) {
   )");
   const Trace &T = Result.ExecTrace;
   bool Found = false;
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     if (Entry.Ev.Kind != EventKind::Call)
       continue;
     if (T.Strings->text(Entry.Ev.Name) == "Util.add") {
@@ -378,7 +388,7 @@ TEST(Trace, ReturnEventsCarryReturnValue) {
   )");
   const Trace &T = Result.ExecTrace;
   bool Found = false;
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     if (Entry.Ev.Kind == EventKind::Return &&
         T.Strings->text(Entry.Ev.Name) == "Util.greet") {
       Found = true;
@@ -396,18 +406,19 @@ TEST(Trace, InitEventsPairWithCtorReturns) {
   )");
   const Trace &T = Result.ExecTrace;
   // Expected: init P, set x (inside ctor), return P.<init>, end.
-  ASSERT_GE(T.Entries.size(), 3u);
-  EXPECT_EQ(T.Entries[0].Ev.Kind, EventKind::Init);
-  EXPECT_EQ(T.Strings->text(T.Entries[0].Ev.Name), "P");
-  ASSERT_EQ(T.Entries[0].Ev.numArgs(), 1u);
-  EXPECT_EQ(T.Strings->text(T.argsBegin(T.Entries[0].Ev)[0].Text), "9");
+  ASSERT_GE(T.size(), 3u);
+  TraceEntry Init = T.entry(0);
+  EXPECT_EQ(Init.Ev.Kind, EventKind::Init);
+  EXPECT_EQ(T.Strings->text(Init.Ev.Name), "P");
+  ASSERT_EQ(Init.Ev.numArgs(), 1u);
+  EXPECT_EQ(T.Strings->text(T.argsBegin(Init.Ev)[0].Text), "9");
 
-  EXPECT_EQ(T.Entries[1].Ev.Kind, EventKind::FieldSet);
+  EXPECT_EQ(T.kind(1), EventKind::FieldSet);
   // The set happens inside the ctor frame: context method is P.<init>.
-  EXPECT_EQ(T.Strings->text(T.Entries[1].Method), "P.<init>");
+  EXPECT_EQ(T.Strings->text(T.method(1)), "P.<init>");
 
-  EXPECT_EQ(T.Entries[2].Ev.Kind, EventKind::Return);
-  EXPECT_EQ(T.Strings->text(T.Entries[2].Ev.Name), "P.<init>");
+  EXPECT_EQ(T.kind(2), EventKind::Return);
+  EXPECT_EQ(T.Strings->text(T.name(2)), "P.<init>");
 }
 
 TEST(Trace, CreationSeqNumbersArePerClass) {
@@ -418,7 +429,7 @@ TEST(Trace, CreationSeqNumbersArePerClass) {
   )");
   const Trace &T = Result.ExecTrace;
   std::vector<std::pair<std::string, uint32_t>> Seen;
-  for (const TraceEntry &Entry : T.Entries)
+  for (const TraceEntry &Entry : materialize(T))
     if (Entry.Ev.Kind == EventKind::Init)
       Seen.emplace_back(T.Strings->text(Entry.Ev.Target.ClassName),
                         Entry.Ev.Target.CreationSeq);
@@ -461,7 +472,7 @@ TEST(Trace, ExcludedClassesAreFiltered) {
   )",
                                Options);
   const Trace &T = Result.ExecTrace;
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     if (Entry.Ev.Target.isNone())
       continue;
     EXPECT_NE(T.Strings->text(Entry.Ev.Target.ClassName), "Noise")
@@ -469,7 +480,7 @@ TEST(Trace, ExcludedClassesAreFiltered) {
   }
   // Signal events are still present.
   bool FoundSignal = false;
-  for (const TraceEntry &Entry : T.Entries)
+  for (const TraceEntry &Entry : materialize(T))
     if (!Entry.Ev.Target.isNone() &&
         T.Strings->text(Entry.Ev.Target.ClassName) == "Signal")
       FoundSignal = true;
@@ -483,7 +494,7 @@ TEST(Trace, TracingDisabledYieldsEmptyTrace) {
       "class A { Int m() { return 1; } } main { print(new A().m()); }",
       Options);
   EXPECT_TRUE(Result.Completed);
-  EXPECT_TRUE(Result.ExecTrace.Entries.empty());
+  EXPECT_EQ(Result.ExecTrace.size(), 0u);
 }
 
 TEST(Trace, ValueReprStableAcrossRuns) {
@@ -498,13 +509,10 @@ TEST(Trace, ValueReprStableAcrossRuns) {
   )";
   RunResult First = runSource(Source);
   RunResult Second = runSource(Source);
-  ASSERT_EQ(First.ExecTrace.Entries.size(), Second.ExecTrace.Entries.size());
-  for (size_t I = 0; I != First.ExecTrace.Entries.size(); ++I) {
-    const TraceEntry &A = First.ExecTrace.Entries[I];
-    const TraceEntry &B = Second.ExecTrace.Entries[I];
-    EXPECT_TRUE(eventEquals(First.ExecTrace, A, Second.ExecTrace, B))
+  ASSERT_EQ(First.ExecTrace.size(), Second.ExecTrace.size());
+  for (uint32_t I = 0; I != First.ExecTrace.size(); ++I)
+    EXPECT_TRUE(eventEquals(First.ExecTrace, I, Second.ExecTrace, I))
         << "entry " << I;
-  }
 }
 
 TEST(Trace, NoReprClassesFallBackToCreationSeq) {
@@ -517,7 +525,7 @@ TEST(Trace, NoReprClassesFallBackToCreationSeq) {
                                Options);
   const Trace &T = Result.ExecTrace;
   bool Found = false;
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     if (Entry.Ev.Kind == EventKind::Init) {
       Found = true;
       EXPECT_FALSE(Entry.Ev.Target.HasRepr);

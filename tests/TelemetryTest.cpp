@@ -167,6 +167,9 @@ TelemetrySnapshot diffSnapshot(const Trace &Left, const Trace &Right,
   Telemetry::get().reset();
   ViewsDiffOptions Options;
   Options.Jobs = Jobs;
+  // The traces here are small; disable the adaptive cutoff so each Jobs
+  // value really runs through the parallel machinery it claims to test.
+  Options.ParallelCutoffEntries = 0;
   viewsDiff(Left, Right, Options);
   return Telemetry::get().snapshot();
 }

@@ -29,6 +29,16 @@ Trace traceOf(const std::string &Source,
   return std::move(Result.ExecTrace);
 }
 
+/// Materializes every entry of \p T (the columnar trace stores entries
+/// scattered across columns; tests iterate whole entries).
+std::vector<TraceEntry> materialize(const Trace &T) {
+  std::vector<TraceEntry> Out;
+  Out.reserve(T.size());
+  for (uint32_t Eid = 0; Eid != T.size(); ++Eid)
+    Out.push_back(T.entry(Eid));
+  return Out;
+}
+
 const char *CounterProgram = R"(
   class Counter {
     Int count;
@@ -53,7 +63,7 @@ const char *CounterProgram = R"(
 TEST(ViewWeb, EveryEntryIsInItsThreadAndMethodViews) {
   Trace T = traceOf(CounterProgram);
   ViewWeb Web(T);
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     const View *TV = Web.threadView(Entry.Tid);
     ASSERT_TRUE(TV != nullptr);
     EXPECT_GE(ViewWeb::positionOf(*TV, Entry.Eid), 0);
@@ -72,7 +82,7 @@ TEST(ViewWeb, SingleThreadViewEqualsWholeTrace) {
   EXPECT_EQ(Web.numThreadViews(), 1u);
   const View *TV = Web.threadView(0);
   ASSERT_TRUE(TV != nullptr);
-  ASSERT_EQ(TV->Entries.size(), T.Entries.size());
+  ASSERT_EQ(TV->Entries.size(), T.size());
   for (size_t I = 0; I != TV->Entries.size(); ++I)
     EXPECT_EQ(TV->Entries[I], I);
 }
@@ -82,7 +92,7 @@ TEST(ViewWeb, TargetObjectViewContainsOnlyThatObjectsEvents) {
   ViewWeb Web(T);
   // Find Counter-1 (object a) via its init event.
   uint32_t Loc = NoLoc;
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     if (Entry.Ev.Kind == EventKind::Init &&
         T.Strings->text(Entry.Ev.Target.ClassName) == "Counter" &&
         Entry.Ev.Target.CreationSeq == 1) {
@@ -94,10 +104,8 @@ TEST(ViewWeb, TargetObjectViewContainsOnlyThatObjectsEvents) {
   const View *OV = Web.targetObjectView(Loc);
   ASSERT_TRUE(OV != nullptr);
   EXPECT_FALSE(OV->Entries.empty());
-  for (uint32_t Eid : OV->Entries) {
-    const TraceEntry &Entry = T.Entries[Eid];
-    EXPECT_EQ(Entry.Ev.Target.Loc, Loc) << T.renderEntry(Entry);
-  }
+  for (uint32_t Eid : OV->Entries)
+    EXPECT_EQ(T.target(Eid).Loc, Loc) << T.renderEntry(Eid);
   // a receives: init, 2 next() calls + returns, 1 peek() call + return,
   // plus field gets/sets targeted at it from inside its methods.
   EXPECT_GE(OV->Entries.size(), 6u);
@@ -110,7 +118,7 @@ TEST(ViewWeb, ActiveObjectViewHoldsEventsWhileObjectExecutes) {
     if (V.Type != ViewType::ActiveObject)
       continue;
     for (uint32_t Eid : V.Entries)
-      EXPECT_EQ(T.Entries[Eid].Self.Loc, V.Loc);
+      EXPECT_EQ(T.self(Eid).Loc, V.Loc);
   }
 }
 
@@ -124,12 +132,11 @@ TEST(ViewWeb, MethodViewMatchesFig2Semantics) {
   const View *MV = Web.methodView(NextSym);
   ASSERT_TRUE(MV != nullptr);
   for (uint32_t Eid : MV->Entries) {
-    const TraceEntry &Entry = T.Entries[Eid];
-    EXPECT_EQ(T.Strings->text(Entry.Method), "Counter.next");
+    EXPECT_EQ(T.Strings->text(T.method(Eid)), "Counter.next");
     // next() performs field gets and sets only.
-    EXPECT_TRUE(Entry.Ev.Kind == EventKind::FieldGet ||
-                Entry.Ev.Kind == EventKind::FieldSet)
-        << T.renderEntry(Entry);
+    EXPECT_TRUE(T.kind(Eid) == EventKind::FieldGet ||
+                T.kind(Eid) == EventKind::FieldSet)
+        << T.renderEntry(Eid);
   }
   EXPECT_EQ(MV->Entries.size(), 9u); // 3 calls x (get, get, set).
 }
@@ -138,7 +145,7 @@ TEST(ViewWeb, ViewsOfEntryLinksAllViewTypes) {
   Trace T = traceOf(CounterProgram);
   ViewWeb Web(T);
   // Pick a field-set inside Counter.next: it belongs to 4 views.
-  for (const TraceEntry &Entry : T.Entries) {
+  for (const TraceEntry &Entry : materialize(T)) {
     if (Entry.Ev.Kind != EventKind::FieldSet)
       continue;
     if (T.Strings->text(Entry.Method) != "Counter.next")
@@ -196,7 +203,7 @@ TEST(ViewWeb, MultiThreadedTracesHaveOneViewPerThread) {
   for (const View &V : Web.views())
     if (V.Type == ViewType::Thread)
       Total += V.Entries.size();
-  EXPECT_EQ(Total, T.Entries.size());
+  EXPECT_EQ(Total, T.size());
 }
 
 //===----------------------------------------------------------------------===//

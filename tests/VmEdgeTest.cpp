@@ -184,12 +184,9 @@ TEST_P(QuantumSweep, SameQuantumSameTrace) {
   RunResult Second = runProgram(*Prog, Options);
   ASSERT_TRUE(First.Completed);
   ASSERT_EQ(First.ExecTrace.size(), Second.ExecTrace.size());
-  for (size_t I = 0; I != First.ExecTrace.size(); ++I) {
-    EXPECT_EQ(First.ExecTrace.Entries[I].Tid,
-              Second.ExecTrace.Entries[I].Tid);
-    EXPECT_TRUE(eventEquals(First.ExecTrace, First.ExecTrace.Entries[I],
-                            Second.ExecTrace,
-                            Second.ExecTrace.Entries[I]));
+  for (uint32_t I = 0; I != First.ExecTrace.size(); ++I) {
+    EXPECT_EQ(First.ExecTrace.tid(I), Second.ExecTrace.tid(I));
+    EXPECT_TRUE(eventEquals(First.ExecTrace, I, Second.ExecTrace, I));
   }
 }
 
@@ -225,16 +222,16 @@ TEST_P(QuantumSweep, PerThreadProjectionIsQuantumInvariant) {
   RunResult Run = runProgram(*Prog, Varied);
 
   for (uint32_t Tid = 0; Tid != 2; ++Tid) {
-    std::vector<const TraceEntry *> A, B;
-    for (const TraceEntry &Entry : Ref.ExecTrace.Entries)
-      if (Entry.Tid == Tid)
-        A.push_back(&Entry);
-    for (const TraceEntry &Entry : Run.ExecTrace.Entries)
-      if (Entry.Tid == Tid)
-        B.push_back(&Entry);
+    std::vector<uint32_t> A, B;
+    for (uint32_t Eid = 0; Eid != Ref.ExecTrace.size(); ++Eid)
+      if (Ref.ExecTrace.tid(Eid) == Tid)
+        A.push_back(Eid);
+    for (uint32_t Eid = 0; Eid != Run.ExecTrace.size(); ++Eid)
+      if (Run.ExecTrace.tid(Eid) == Tid)
+        B.push_back(Eid);
     ASSERT_EQ(A.size(), B.size()) << "thread " << Tid;
     for (size_t I = 0; I != A.size(); ++I)
-      EXPECT_TRUE(eventEquals(Ref.ExecTrace, *A[I], Run.ExecTrace, *B[I]));
+      EXPECT_TRUE(eventEquals(Ref.ExecTrace, A[I], Run.ExecTrace, B[I]));
   }
 }
 
@@ -259,17 +256,17 @@ TEST(Fig9Helpers, IndexWindowAndIntersection) {
   ASSERT_EQ(All.size(), T.size());
 
   // index: position equals eid for the whole-trace gamma.
-  EXPECT_EQ(indexOf(All, T.Entries[3]), 3);
+  EXPECT_EQ(indexOf(All, T.entry(3)), 3);
   TraceEntry Ghost;
   Ghost.Eid = 9999;
   EXPECT_EQ(indexOf(All, Ghost), -1);
 
   // win: clamped at both ends.
-  EidSequence W = window(All, T.Entries[0], 2);
+  EidSequence W = window(All, T.entry(0), 2);
   EXPECT_EQ(W.size(), 3u); // Positions 0..2.
-  W = window(All, T.Entries[T.size() - 1], 2);
+  W = window(All, T.entry(static_cast<uint32_t>(T.size() - 1)), 2);
   EXPECT_EQ(W.size(), 3u); // Last three.
-  W = window(All, T.Entries[5], 2);
+  W = window(All, T.entry(5), 2);
   EXPECT_EQ(W.size(), 5u);
   EXPECT_EQ(W.front(), 3u);
   EXPECT_EQ(W.back(), 7u);
