@@ -18,13 +18,24 @@
 ///   fp-jobsN  — fingerprints on, jobs=N: adds the thread-pool stages
 ///               (web builds, per-pair evaluation, pair fingerprinting).
 ///
+/// A second, on-disk phase measures the repeat-diff warm paths: cold
+/// (load + web build + correlate + diff) versus warm (digest-keyed cache
+/// hits) over v3 files written with and without the persisted view-index
+/// sections.
+///
 /// Every configuration must produce an identical rendered report and
 /// compare-op count (checked here; the determinism contract of
-/// ViewsDiffOptions::Jobs). Results go to BENCH_pipeline.json: wall
-/// seconds, entries/sec, compare ops, and peak RSS.
+/// ViewsDiffOptions::Jobs). Rows record both the requested and the
+/// effective worker count — the adaptive cutoff may clamp silently, and a
+/// benchmark that claims jobs=8 while running sequentially misleads.
+/// Repetitions auto-scale until each row accumulates a minimum wall time,
+/// so sub-millisecond configs aren't drowned by timer noise. Results go
+/// to BENCH_pipeline.json: wall seconds, entries/sec, compare ops, and
+/// peak RSS.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/DiffCache.h"
 #include "diff/ViewsDiff.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
@@ -95,46 +106,76 @@ struct Measurement {
   /// absolute peak never resets, so small later rows would otherwise
   /// inherit the peak of earlier large rows.
   uint64_t PeakRssDelta = 0;
+  /// The worker count asked for (0 resolved to hardware concurrency) and
+  /// the one the adaptive cutoff actually granted. Divergence is expected
+  /// on small traces and single-core hosts, but it must be *visible* in
+  /// every row, never silent.
+  unsigned RequestedJobs = 0;
   unsigned EffectiveJobs = 0;
   size_t NumDiffs = 0;
+  unsigned Reps = 0;
 };
 
-/// Best-of-\p Reps wall time for one configuration. The diff inputs are
+/// Auto-scaled repetition: runs \p Body until the row has accumulated
+/// \p MinWallSeconds of measurement (at least \p MinReps, at most
+/// \p MaxReps repetitions) and returns the best single-rep seconds. Fixed
+/// rep counts under-measure sub-millisecond configs and over-measure the
+/// multi-second ones.
+template <typename BodyFn>
+double bestOf(BodyFn &&Body, unsigned *RepsOut = nullptr,
+              unsigned MinReps = 2, double MinWallSeconds = 0.025,
+              unsigned MaxReps = 16) {
+  double Best = 1e30;
+  double Total = 0;
+  unsigned Rep = 0;
+  while (Rep != MaxReps) {
+    Timer Clock;
+    Body(Rep);
+    double Seconds = Clock.seconds();
+    ++Rep;
+    Best = std::min(Best, Seconds);
+    Total += Seconds;
+    if (Rep >= MinReps && Total >= MinWallSeconds)
+      break;
+  }
+  if (RepsOut)
+    *RepsOut = Rep;
+  return Best;
+}
+
+/// Best wall time for one in-memory configuration. The diff inputs are
 /// copied per rep so fingerprint stripping cannot leak across configs.
 Measurement measure(const std::string &Config, const TracePair &Pair,
-                    bool Fingerprints, unsigned Jobs, unsigned Reps,
+                    bool Fingerprints, unsigned Jobs,
                     std::string *RenderOut) {
   Measurement M;
   M.Config = Config;
-  M.Seconds = 1e30;
   uint64_t Entries = Pair.Left.size() + Pair.Right.size();
   uint64_t PeakBefore = peakRssBytes();
-  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
-    Trace Left = Pair.Left;
-    Trace Right = Pair.Right;
-    if (!Fingerprints) {
-      // The seed pipeline: no fingerprints existed, every =e compare runs
-      // the full field-by-field path.
-      Left.HasFingerprints = false;
-      Right.HasFingerprints = false;
-    }
-    ViewsDiffOptions Options;
-    Options.Jobs = Jobs;
-    M.EffectiveJobs =
-        effectiveDiffJobs(Options, Left.size() + Right.size());
-    Timer Clock;
-    DiffResult Result = viewsDiff(Left, Right, Options);
-    double Seconds = Clock.seconds();
-    if (Seconds < M.Seconds) {
-      M.Seconds = Seconds;
-      M.EntriesPerSec = Seconds > 0 ? static_cast<double>(Entries) / Seconds
-                                    : 0;
-    }
-    M.CompareOps = Result.Stats.CompareOps;
-    M.NumDiffs = Result.numDiffs();
-    if (RenderOut && Rep == 0)
-      *RenderOut = Result.render(50, 12);
-  }
+  M.Seconds = bestOf(
+      [&](unsigned Rep) {
+        Trace Left = Pair.Left;
+        Trace Right = Pair.Right;
+        if (!Fingerprints) {
+          // The seed pipeline: no fingerprints existed, every =e compare
+          // runs the full field-by-field path.
+          Left.HasFingerprints = false;
+          Right.HasFingerprints = false;
+        }
+        ViewsDiffOptions Options;
+        Options.Jobs = Jobs;
+        M.RequestedJobs = Jobs ? Jobs : ThreadPool::defaultConcurrency();
+        M.EffectiveJobs =
+            effectiveDiffJobs(Options, Left.size() + Right.size());
+        DiffResult Result = viewsDiff(Left, Right, Options);
+        M.CompareOps = Result.Stats.CompareOps;
+        M.NumDiffs = Result.numDiffs();
+        if (RenderOut && Rep == 0)
+          *RenderOut = Result.render(50, 12);
+      },
+      &M.Reps);
+  M.EntriesPerSec =
+      M.Seconds > 0 ? static_cast<double>(Entries) / M.Seconds : 0;
   M.PeakRss = peakRssBytes();
   M.PeakRssDelta = M.PeakRss - PeakBefore;
   return M;
@@ -143,40 +184,50 @@ Measurement measure(const std::string &Config, const TracePair &Pair,
 void appendJson(std::string &Json, unsigned OuterIters,
                 unsigned WorkloadThreads, uint64_t Entries,
                 double BytesPerEntry, const Measurement &M, bool First) {
-  char Buf[768];
+  char Buf[896];
   std::snprintf(
       Buf, sizeof(Buf),
       "%s    {\"outer_iters\": %u, \"workload_threads\": %u, "
       "\"entries\": %llu, \"format\": \"memory\", "
       "\"bytes_per_entry\": %.1f, \"config\": \"%s\", "
-      "\"effective_jobs\": %u, \"seconds\": %.6f, "
+      "\"requested_jobs\": %u, \"effective_jobs\": %u, "
+      "\"jobs_diverged\": %s, \"reps\": %u, \"seconds\": %.6f, "
       "\"entries_per_sec\": %.1f, \"compare_ops\": %llu, "
       "\"num_diffs\": %zu, \"peak_rss_bytes\": %llu, "
       "\"peak_rss_delta_bytes\": %llu}",
       First ? "" : ",\n", OuterIters, WorkloadThreads,
       static_cast<unsigned long long>(Entries), BytesPerEntry,
-      M.Config.c_str(), M.EffectiveJobs, M.Seconds, M.EntriesPerSec,
+      M.Config.c_str(), M.RequestedJobs, M.EffectiveJobs,
+      M.EffectiveJobs != M.RequestedJobs ? "true" : "false", M.Reps,
+      M.Seconds, M.EntriesPerSec,
       static_cast<unsigned long long>(M.CompareOps), M.NumDiffs,
       static_cast<unsigned long long>(M.PeakRss),
       static_cast<unsigned long long>(M.PeakRssDelta));
   Json += Buf;
 }
 
-/// Writes both traces in \p Format ("v1"/"v2"/"v3"), reloads them into one
-/// fresh interner, and re-diffs: the report and compare-op totals must be
-/// identical to the in-memory reference. Returns the JSON fragment.
+/// Writes both traces in one on-disk format, reloads them into one fresh
+/// interner, and re-diffs: the report and compare-op totals must be
+/// identical to the in-memory reference. \p Label is "v1"/"v2"/"v3"/
+/// "v3-noindex" (the last writes current-format files *without* the
+/// optional view-index sections — the compatibility shape older writers
+/// produce). Returns the JSON fragment.
 std::string checkFormatDeterminism(const TracePair &Pair,
                                    const std::string &RefRender,
-                                   uint64_t RefOps, unsigned Version,
+                                   uint64_t RefOps, const char *Label,
                                    bool First, int &Exit) {
-  std::string LPath =
-      "/tmp/bench_pipeline_L_v" + std::to_string(Version) + ".trace";
-  std::string RPath =
-      "/tmp/bench_pipeline_R_v" + std::to_string(Version) + ".trace";
-  bool Wrote = Version == 3
-                   ? writeTrace(Pair.Left, LPath) && writeTrace(Pair.Right, RPath)
-                   : writeTraceLegacy(Pair.Left, LPath, Version) &&
-                         writeTraceLegacy(Pair.Right, RPath, Version);
+  std::string Name = Label;
+  std::string LPath = "/tmp/bench_pipeline_L_" + Name + ".trace";
+  std::string RPath = "/tmp/bench_pipeline_R_" + Name + ".trace";
+  bool Wrote;
+  if (Name == "v3")
+    Wrote = writeTrace(Pair.Left, LPath) && writeTrace(Pair.Right, RPath);
+  else if (Name == "v3-noindex")
+    Wrote = writeTrace(Pair.Left, LPath, /*WithViewIndex=*/false) &&
+            writeTrace(Pair.Right, RPath, /*WithViewIndex=*/false);
+  else
+    Wrote = writeTraceLegacy(Pair.Left, LPath, Name == "v1" ? 1 : 2) &&
+            writeTraceLegacy(Pair.Right, RPath, Name == "v1" ? 1 : 2);
   bool ReportIdentical = false, OpsIdentical = false;
   if (Wrote) {
     auto Shared = std::make_shared<StringInterner>();
@@ -191,17 +242,17 @@ std::string checkFormatDeterminism(const TracePair &Pair,
     }
   }
   if (!ReportIdentical || !OpsIdentical) {
-    std::printf("  ERROR: v%u reload diverged from the in-memory report\n",
-                Version);
+    std::printf("  ERROR: %s reload diverged from the in-memory report\n",
+                Label);
     Exit = 1;
   }
   std::remove(LPath.c_str());
   std::remove(RPath.c_str());
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
-                "%s    {\"format\": \"v%u\", \"report_identical\": %s, "
+                "%s    {\"format\": \"%s\", \"report_identical\": %s, "
                 "\"compare_ops_identical\": %s}",
-                First ? "" : ",\n", Version,
+                First ? "" : ",\n", Label,
                 ReportIdentical ? "true" : "false",
                 OpsIdentical ? "true" : "false");
   return Buf;
@@ -240,13 +291,12 @@ int main(int Argc, char **Argv) {
                                         Pair.Right.storageBytes()) /
                         static_cast<double>(Entries)
                   : 0;
-      unsigned Reps = Entries > 200000 ? 2 : 3;
       std::printf("== %llu entries (iters=%u, workload threads=%u) ==\n",
                   static_cast<unsigned long long>(Entries), Size, Threads);
 
       std::string SeedRender;
       Measurement Seed = measure("seed", Pair, /*Fingerprints=*/false,
-                                 /*Jobs=*/1, Reps, &SeedRender);
+                                 /*Jobs=*/1, &SeedRender);
       appendJson(Json, Size, Threads, Entries, BytesPerEntry, Seed, First);
       First = false;
       std::printf("  %-10s %8.2f ms  %12.0f entries/s  %10llu ops\n",
@@ -262,14 +312,16 @@ int main(int Argc, char **Argv) {
                              std::make_pair(true, Jobs));
       for (const auto &[Name, Cfg] : Configs) {
         std::string Render;
-        Measurement M =
-            measure(Name, Pair, Cfg.first, Cfg.second, Reps, &Render);
+        Measurement M = measure(Name, Pair, Cfg.first, Cfg.second, &Render);
         appendJson(Json, Size, Threads, Entries, BytesPerEntry, M, First);
         std::printf("  %-10s %8.2f ms  %12.0f entries/s  %10llu ops"
-                    "  (%.2fx)\n",
+                    "  (%.2fx)%s\n",
                     M.Config.c_str(), M.Seconds * 1e3, M.EntriesPerSec,
                     static_cast<unsigned long long>(M.CompareOps),
-                    Seed.Seconds / M.Seconds);
+                    Seed.Seconds / M.Seconds,
+                    M.EffectiveJobs != M.RequestedJobs
+                        ? "  [adaptive cutoff ran sequential]"
+                        : "");
         Best = std::min(Best, M.Seconds);
         // The determinism contract: every jobs value (and the fingerprint
         // fast path) yields the identical report and compare-op count.
@@ -296,13 +348,171 @@ int main(int Argc, char **Argv) {
     RefOptions.Jobs = 1;
     DiffResult Ref = viewsDiff(Pair.Left, Pair.Right, RefOptions);
     std::string RefRender = Ref.render(50, 12);
-    for (unsigned Version : {1u, 2u, 3u})
+    bool FormatFirst = true;
+    for (const char *Label : {"v1", "v2", "v3", "v3-noindex"}) {
       FormatJson += checkFormatDeterminism(Pair, RefRender,
-                                           Ref.Stats.CompareOps, Version,
-                                           Version == 1, Exit);
+                                           Ref.Stats.CompareOps, Label,
+                                           FormatFirst, Exit);
+      FormatFirst = false;
+    }
   }
   FormatJson += "\n  ],\n  \"determinism_ok\": ";
   FormatJson += Exit == 0 ? "true" : "false";
+
+  // Repeat-diff warm paths: cold (digest + load + web build + correlate +
+  // diff) versus warm (digest-keyed cache hits) over v3 files written with
+  // and without the persisted view-index sections. Every run's report and
+  // compare-op total must match the in-memory reference (the rows carry
+  // the identity flags CI asserts), and an instrumented pass pins the span
+  // contract: on indexed files, web-build never appears — webs come from
+  // the view-index sections cold and from the cache warm.
+  std::string RepeatJson = ",\n  \"repeat_diff\": [\n";
+  {
+    TracePair Pair = makePair(Quick ? 100 : 1600, Quick ? 2 : 8);
+    uint64_t Entries = Pair.Left.size() + Pair.Right.size();
+    ViewsDiffOptions Options;
+    Options.Jobs = 1;
+    DiffResult Ref = viewsDiff(Pair.Left, Pair.Right, Options);
+    std::string RefRender = Ref.render(50, 12);
+    std::printf("== repeat diff, %llu entries ==\n",
+                static_cast<unsigned long long>(Entries));
+
+    bool RowFirst = true;
+    double IndexedCold = 0, IndexedWarm = 0, PlainCold = 0;
+    for (bool Indexed : {true, false}) {
+      const char *FileKind = Indexed ? "v3-indexed" : "v3-plain";
+      std::string LPath =
+          std::string("/tmp/bench_repeat_L_") + FileKind + ".trace";
+      std::string RPath =
+          std::string("/tmp/bench_repeat_R_") + FileKind + ".trace";
+      if (!writeTrace(Pair.Left, LPath, Indexed) ||
+          !writeTrace(Pair.Right, RPath, Indexed)) {
+        std::printf("error: cannot write repeat-diff trace files\n");
+        Exit = 1;
+        break;
+      }
+
+      bool ReportIdentical = true, OpsIdentical = true;
+      auto RunOnce = [&](DiffCache &Cache,
+                         std::shared_ptr<StringInterner> Strings,
+                         bool Check) {
+        std::string Error;
+        auto L = Cache.load(LPath, Strings, &Error);
+        auto R = Cache.load(RPath, std::move(Strings), &Error);
+        if (!L || !R) {
+          std::printf("error: %s\n", Error.c_str());
+          Exit = 1;
+          return;
+        }
+        DiffResult Result = cachedViewsDiff(*L, *R, Options, Cache);
+        if (Check) {
+          ReportIdentical &= Result.render(50, 12) == RefRender;
+          OpsIdentical &= Result.Stats.CompareOps == Ref.Stats.CompareOps;
+        }
+      };
+
+      // Cold: a fresh cache and interner per rep — every rep pays digest,
+      // load, web build (or index reconstruction), correlation, and diff.
+      unsigned ColdReps = 0, WarmReps = 0;
+      double Cold = bestOf(
+          [&](unsigned Rep) {
+            DiffCache Cache;
+            auto Strings = std::make_shared<StringInterner>();
+            RunOnce(Cache, Strings, Rep == 0);
+          },
+          &ColdReps);
+      // Warm: one persistent primed cache — every rep is the repeat-diff
+      // hit path (digest lookups plus the evaluation itself).
+      DiffCache WarmCache;
+      auto WarmStrings = std::make_shared<StringInterner>();
+      RunOnce(WarmCache, WarmStrings, /*Check=*/true);
+      double Warm = bestOf(
+          [&](unsigned Rep) { RunOnce(WarmCache, WarmStrings, Rep == 0); },
+          &WarmReps);
+
+      if (Indexed) {
+        IndexedCold = Cold;
+        IndexedWarm = Warm;
+      } else {
+        PlainCold = Cold;
+      }
+      if (!ReportIdentical || !OpsIdentical) {
+        std::printf("  ERROR: %s repeat diff diverged from the in-memory "
+                    "report\n",
+                    FileKind);
+        Exit = 1;
+      }
+      for (bool WarmRow : {false, true}) {
+        char Buf[512];
+        std::snprintf(
+            Buf, sizeof(Buf),
+            "%s    {\"file\": \"%s\", \"phase\": \"%s\", \"entries\": %llu, "
+            "\"seconds\": %.6f, \"reps\": %u, \"report_identical\": %s, "
+            "\"compare_ops_identical\": %s}",
+            RowFirst ? "" : ",\n", FileKind, WarmRow ? "warm" : "cold",
+            static_cast<unsigned long long>(Entries),
+            WarmRow ? Warm : Cold, WarmRow ? WarmReps : ColdReps,
+            ReportIdentical ? "true" : "false",
+            OpsIdentical ? "true" : "false");
+        RepeatJson += Buf;
+        RowFirst = false;
+        std::printf("  %-10s %-5s %8.2f ms\n", FileKind,
+                    WarmRow ? "warm" : "cold",
+                    (WarmRow ? Warm : Cold) * 1e3);
+      }
+
+      // Span contract on indexed files: web-build must never fire — the
+      // cold path reconstructs from the index ("view-index" span), the
+      // warm path hits the cache.
+      if (Indexed) {
+        Telemetry::get().reset();
+        Telemetry::get().setEnabled(true);
+        {
+          DiffCache Cache;
+          auto Strings = std::make_shared<StringInterner>();
+          RunOnce(Cache, Strings, /*Check=*/false); // cold
+          RunOnce(Cache, Strings, /*Check=*/false); // warm
+        }
+        Telemetry::get().setEnabled(false);
+        TelemetrySnapshot Snap = Telemetry::get().snapshot();
+        bool SawWebBuild = false, SawViewIndex = false;
+        for (const SpanStat &Span : Snap.Spans) {
+          SawWebBuild |= Span.name() == "web-build";
+          SawViewIndex |= Span.name() == "view-index";
+        }
+        if (SawWebBuild || !SawViewIndex ||
+            Snap.counter("web.from_index") != 2 ||
+            Snap.counter("web.cache.hit") != 2 ||
+            Snap.counter("load.cache.hit") != 2) {
+          std::printf("  ERROR: indexed repeat diff violated the span/"
+                      "counter contract (web-build=%d view-index=%d "
+                      "from_index=%llu web_hits=%llu load_hits=%llu)\n",
+                      SawWebBuild, SawViewIndex,
+                      static_cast<unsigned long long>(
+                          Snap.counter("web.from_index")),
+                      static_cast<unsigned long long>(
+                          Snap.counter("web.cache.hit")),
+                      static_cast<unsigned long long>(
+                          Snap.counter("load.cache.hit")));
+          Exit = 1;
+        }
+        Telemetry::get().reset();
+      }
+      std::remove(LPath.c_str());
+      std::remove(RPath.c_str());
+    }
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\n  ],\n  \"repeat_diff_summary\": {\"warm_speedup\": "
+                  "%.2f, \"indexed_cold_speedup\": %.2f}",
+                  IndexedWarm > 0 ? IndexedCold / IndexedWarm : 0,
+                  IndexedCold > 0 ? PlainCold / IndexedCold : 0);
+    RepeatJson += Buf;
+    if (IndexedWarm > 0)
+      std::printf("  warm speedup vs cold: %.2fx; indexed cold speedup vs "
+                  "unindexed cold: %.2fx\n",
+                  IndexedCold / IndexedWarm, PlainCold / IndexedCold);
+  }
 
   // Telemetry verification pass. The measurements above run with telemetry
   // disabled — the recording path must cost nothing when off — so one extra
@@ -345,6 +555,7 @@ int main(int Argc, char **Argv) {
 
   Json += "\n  ]";
   Json += FormatJson;
+  Json += RepeatJson;
   Json += "\n}\n";
   const char *Path = "BENCH_pipeline.json";
   if (std::FILE *F = std::fopen(Path, "wb")) {

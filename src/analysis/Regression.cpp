@@ -2,9 +2,11 @@
 
 #include "analysis/Regression.h"
 
+#include "cache/DiffCache.h"
 #include "support/Hashing.h"
 #include "support/Telemetry.h"
 
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
@@ -48,9 +50,11 @@ std::unordered_map<uint64_t, uint32_t> diffKeyCounts(const DiffResult &D) {
 }
 
 DiffResult runDiff(const Trace &Left, const Trace &Right,
-                   const RegressionOptions &Options) {
+                   const RegressionOptions &Options, DiffCache *Cache) {
   if (Options.Engine == DiffEngineKind::Lcs)
     return lcsDiff(Left, Right, Options.Lcs);
+  if (Cache)
+    return cachedViewsDiff(Left, Right, Options.Views, *Cache);
   return viewsDiff(Left, Right, Options.Views);
 }
 
@@ -59,17 +63,25 @@ DiffResult runDiff(const Trace &Left, const Trace &Right,
 RegressionReport rprism::analyzeRegression(const RegressionInputs &Inputs,
                                            const RegressionOptions &Options) {
   RegressionReport Report;
+  // Scoped cache for the three diffs: its lifetime is contained in the
+  // input traces', so the address-keyed web entries stay valid. NewRegr's
+  // web carries from A into C and NewOk's from B into C — two of the six
+  // web builds become hits.
+  std::optional<DiffCache> Cache;
+  if (Options.Engine == DiffEngineKind::Views && Options.UseDiffCache)
+    Cache.emplace();
+  DiffCache *CachePtr = Cache ? &*Cache : nullptr;
   {
     TelemetrySpan S("diff-a");
-    Report.A = runDiff(*Inputs.OrigRegr, *Inputs.NewRegr, Options);
+    Report.A = runDiff(*Inputs.OrigRegr, *Inputs.NewRegr, Options, CachePtr);
   }
   {
     TelemetrySpan S("diff-b");
-    Report.B = runDiff(*Inputs.OrigOk, *Inputs.NewOk, Options);
+    Report.B = runDiff(*Inputs.OrigOk, *Inputs.NewOk, Options, CachePtr);
   }
   {
     TelemetrySpan S("diff-c");
-    Report.C = runDiff(*Inputs.NewOk, *Inputs.NewRegr, Options);
+    Report.C = runDiff(*Inputs.NewOk, *Inputs.NewRegr, Options, CachePtr);
   }
   TelemetrySpan CandidateSpan("candidate-set");
 

@@ -682,8 +682,8 @@ DiffResult rprism::viewsDiff(const Trace &Left, const Trace &Right,
   unsigned Jobs = effectiveDiffJobs(Options, Left.size() + Right.size());
   Telemetry::gaugeMax("diff.effective_jobs", static_cast<double>(Jobs));
   ThreadPool Pool(Jobs);
-  ViewWeb LeftWeb(Left, &Pool);
-  ViewWeb RightWeb(Right, &Pool);
+  ViewWeb LeftWeb(Left, &Pool, Options.UseViewIndex);
+  ViewWeb RightWeb(Right, &Pool, Options.UseViewIndex);
   ViewCorrelation X(LeftWeb, RightWeb);
   return viewsDiff(LeftWeb, RightWeb, X, Options, &Pool);
 }

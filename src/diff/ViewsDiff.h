@@ -59,6 +59,11 @@ struct ViewsDiffOptions {
   /// either way, so only time changes). 0 disables the adaptation (tests
   /// that exercise the parallel machinery on tiny traces set 0).
   size_t ParallelCutoffEntries = 32768;
+  /// Reconstruct view webs from a trace's persisted ViewIndex when one is
+  /// present (the warm path for indexed v3 files). Off = always build by
+  /// scanning the entries; the result is identical either way (`rprism
+  /// --no-view-cache` sets this off together with the diff cache).
+  bool UseViewIndex = true;
 };
 
 /// The worker count the pipeline will actually use for \p Options on traces

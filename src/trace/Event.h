@@ -127,6 +127,25 @@ static_assert(sizeof(ValueRepr) == 16 &&
                   std::is_trivially_copyable_v<ValueRepr>,
               "ValueRepr is a packed on-disk column element");
 
+/// True if an event of \p Kind with target \p Target belongs to a
+/// target-object view (FE/ME/KE events with a real target do; fork/end
+/// never do). Shared by the view-web builder and the persisted view-index
+/// writer, which must partition entries identically.
+inline bool eventHasTargetObject(EventKind Kind, const ObjRepr &Target) {
+  switch (Kind) {
+  case EventKind::FieldGet:
+  case EventKind::FieldSet:
+  case EventKind::Call:
+  case EventKind::Return:
+  case EventKind::Init:
+    return !Target.isNone();
+  case EventKind::Fork:
+  case EventKind::End:
+    return false;
+  }
+  return false;
+}
+
 /// One trace event. Argument lists (call/init) live in the owning trace's
 /// argument pool; [ArgsBegin, ArgsEnd) index into it.
 struct Event {

@@ -4,10 +4,12 @@
 
 #include "support/Hashing.h"
 #include "support/Telemetry.h"
+#include "trace/ViewIndex.h"
 
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -60,7 +62,16 @@ enum SectionId : uint32_t {
   SecChildTid = 19,  ///< uint32_t[]
   SecProv = 20,      ///< uint32_t[]
   SecFp = 21,        ///< uint64_t[] (present iff FlagHasFingerprints)
+  // Optional persisted view partitioning (see trace/ViewIndex.h). Both
+  // sections appear together or not at all; readers predating them skip
+  // unknown ids, so emitting them needs no version bump.
+  SecViewMeta = 22,    ///< Per family: u32 count, keys[], counts[].
+  SecViewEntries = 23, ///< uint32_t[]: flat per-view entry-id lists.
 };
+
+/// Largest section id this reader understands; higher ids are skipped for
+/// forward compatibility.
+constexpr uint32_t MaxSectionId = SecViewEntries;
 
 constexpr size_t HeaderBytes = 16;       // magic, version, flags, numSections
 constexpr size_t SectionRecordBytes = 32; // id, pad, offset, length, checksum
@@ -376,9 +387,36 @@ struct SectionOut {
 };
 
 bool writeTraceV3Impl(const Trace &T, const std::string &Path, size_t Begin,
-                      size_t End) {
+                      size_t End, bool WithViewIndex) {
   size_t N = End - Begin;
   bool WithFps = T.HasFingerprints && T.Fps.size() == T.size();
+
+  // View-index sections are whole-trace only: the index partitions eids
+  // of the full entry range, so segment sub-ranges never carry one. A
+  // trace that already holds a current index (loaded from an indexed file)
+  // is written back verbatim; otherwise the partitioning is computed here,
+  // at save time — this is the cost the indexed load path amortizes away.
+  ViewIndex LocalIdx;
+  const ViewIndex *Idx = nullptr;
+  if (WithViewIndex && Begin == 0 && End == T.size()) {
+    if (T.ViewIdx.Present) {
+      Idx = &T.ViewIdx;
+    } else {
+      LocalIdx = computeViewIndex(T);
+      Idx = &LocalIdx;
+    }
+  }
+  ByteBuffer ViewMetaBuf;
+  if (Idx) {
+    for (size_t F = 0; F != NumViewFamilies; ++F) {
+      uint32_t NumViews = static_cast<uint32_t>(Idx->Keys[F].size());
+      ViewMetaBuf.u32(NumViews);
+      for (uint32_t Key : Idx->Keys[F])
+        ViewMetaBuf.u32(Key);
+      for (uint32_t Count : Idx->Counts[F])
+        ViewMetaBuf.u32(Count);
+    }
+  }
 
   ByteBuffer StringsBuf;
   StringsBuf.u32(static_cast<uint32_t>(T.Strings->size()));
@@ -416,6 +454,12 @@ bool writeTraceV3Impl(const Trace &T, const std::string &Path, size_t Begin,
   };
   if (WithFps)
     Sections.push_back({SecFp, T.Fps.data() + Begin, N * sizeof(uint64_t)});
+  if (Idx) {
+    Sections.push_back(
+        {SecViewMeta, ViewMetaBuf.Out.data(), ViewMetaBuf.Out.size()});
+    Sections.push_back(
+        {SecViewEntries, Idx->Entries.data(), Idx->Entries.byteSize()});
+  }
 
   // Lay the payloads out 8-byte aligned after the header and table, so
   // mmap'd column views satisfy their element alignment.
@@ -548,7 +592,7 @@ Expected<Trace> readTraceV3(const std::string &Path,
   // Verify the section table: every payload in bounds, aligned, unique id,
   // and checksum-clean. After this loop the payload bytes are still
   // *untrusted values* but are safe to address.
-  SectionIn Sections[SecFp + 1] = {};
+  SectionIn Sections[MaxSectionId + 1] = {};
   for (uint32_t I = 0; I != NumSections; ++I) {
     uint8_t Record[SectionRecordBytes];
     std::memcpy(Record, File.Data + HeaderBytes + I * SectionRecordBytes,
@@ -562,7 +606,7 @@ Expected<Trace> readTraceV3(const std::string &Path,
     if (Offset % 8 != 0 || Offset < TableEnd || Offset > File.Size ||
         Length > File.Size - Offset)
       return Truncated();
-    if (Id > SecFp)
+    if (Id > MaxSectionId)
       continue; // Unknown section: ignore for forward compatibility.
     if (Sections[Id].Present)
       return Corrupt("duplicate");
@@ -686,6 +730,46 @@ Expected<Trace> readTraceV3(const std::string &Path,
       return Corrupt("argument-pool");
 
   size_t Count = static_cast<size_t>(N);
+
+  // Optional view-index sections: parse the small meta section (copied
+  // out), borrow the flat entry lists zero-copy, and validate the whole
+  // structure before trusting it — a structurally broken index is a
+  // corrupt file, not a silent fresh-build fallback. Exactly one of the
+  // two sections present is likewise corrupt.
+  if (Sections[SecViewMeta].Present != Sections[SecViewEntries].Present)
+    return Corrupt("view-index");
+  if (Sections[SecViewMeta].Present) {
+    if (Sections[SecViewEntries].Length % sizeof(uint32_t) != 0)
+      return Corrupt("view-index");
+    ByteCursor VC(Sections[SecViewMeta].Data, Sections[SecViewMeta].Length);
+    for (size_t F = 0; F != NumViewFamilies; ++F) {
+      uint32_t NumViews = VC.u32();
+      if (!VC.ok() || NumViews > N)
+        return Corrupt("view-index");
+      T.ViewIdx.Keys[F].reserve(NumViews);
+      T.ViewIdx.Counts[F].reserve(NumViews);
+      for (uint32_t V = 0; V != NumViews && VC.ok(); ++V) {
+        uint32_t Key = VC.u32();
+        // Method-view keys are symbol ids; validate them against the
+        // string table like every other symbol-bearing field.
+        if (F == 1 && VC.ok() && Key >= NumStrings)
+          return Corrupt("view-index");
+        T.ViewIdx.Keys[F].push_back(Key);
+      }
+      for (uint32_t V = 0; V != NumViews && VC.ok(); ++V)
+        T.ViewIdx.Counts[F].push_back(VC.u32());
+    }
+    if (!VC.ok() || !VC.atEnd())
+      return Corrupt("view-index");
+    T.ViewIdx.Entries.borrow(
+        reinterpret_cast<const uint32_t *>(Sections[SecViewEntries].Data),
+        static_cast<size_t>(Sections[SecViewEntries].Length /
+                            sizeof(uint32_t)));
+    T.ViewIdx.Present = true;
+    if (!viewIndexIsValid(T.ViewIdx, Count))
+      return Corrupt("view-index");
+  }
+
   auto BorrowAll = [&](Trace &Out) {
     Out.Tids.borrow(reinterpret_cast<const uint32_t *>(ColPtr(SecTid)), Count);
     Out.Methods.borrow(Methods, Count);
@@ -734,6 +818,26 @@ Expected<Trace> readTraceV3(const std::string &Path,
     T.Provs.detach();
     T.Fps.clear();
     T.ArgPool.detach();
+    if (T.ViewIdx.Present) {
+      // The index survives the remap: the partition structure and the
+      // first-appearance order are invariant under re-interning — only
+      // the method family's keys are symbol ids and need translation.
+      // Two file-table strings interning to one symbol (possible only in
+      // a hand-crafted table) would collapse two method views into one
+      // identity; the fresh build would merge them, so the index is
+      // dropped rather than reconstructing a diverging web.
+      T.ViewIdx.Entries.detach();
+      uint32_t *MethodKeys = T.ViewIdx.Keys[1].mutData();
+      bool Collapsed = false;
+      std::unordered_set<uint32_t> SeenKeys;
+      SeenKeys.reserve(T.ViewIdx.Keys[1].size());
+      for (size_t I = 0; I != T.ViewIdx.Keys[1].size(); ++I) {
+        MethodKeys[I] = Map[MethodKeys[I]].Id;
+        Collapsed |= !SeenKeys.insert(MethodKeys[I]).second;
+      }
+      if (Collapsed)
+        T.ViewIdx.clear();
+    }
     Symbol *M = T.Methods.mutData();
     Symbol *Nm = T.Names.mutData();
     ObjRepr *Sf = T.Selfs.mutData();
@@ -749,6 +853,10 @@ Expected<Trace> readTraceV3(const std::string &Path,
     ValueRepr *Pl = T.ArgPool.mutData();
     for (size_t I = 0; I != PoolCount; ++I)
       Pl[I].Text = Map[Pl[I].Text.Id];
+    // Stored fingerprints hash the file's symbol ids, which the remap just
+    // invalidated; recompute. Counted so repeat-load pipelines can spot
+    // that sharing one interner across loads would make this free.
+    Telemetry::counterAdd("load.fp_recompute", 1);
     T.computeFingerprints();
   }
   return T;
@@ -756,8 +864,9 @@ Expected<Trace> readTraceV3(const std::string &Path,
 
 } // namespace
 
-bool rprism::writeTrace(const Trace &T, const std::string &Path) {
-  return writeTraceV3Impl(T, Path, 0, T.size());
+bool rprism::writeTrace(const Trace &T, const std::string &Path,
+                        bool WithViewIndex) {
+  return writeTraceV3Impl(T, Path, 0, T.size(), WithViewIndex);
 }
 
 bool rprism::writeTraceLegacy(const Trace &T, const std::string &Path,
@@ -801,6 +910,34 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
   return Result;
 }
 
+Expected<uint64_t> rprism::traceFileDigest(const std::string &Path) {
+  FileBytes File;
+  if (!loadFileBytes(Path, File))
+    return makeErr("cannot open trace file '" + Path + "'");
+  if (File.Size < 8)
+    return makeErr("truncated trace file '" + Path + "'");
+  uint32_t Head[2];
+  std::memcpy(Head, File.Data, sizeof(Head));
+  if (Head[0] != TraceMagic)
+    return makeErr("'" + Path + "' is not a trace file");
+  if (Head[1] >= TraceVersion && File.Size >= HeaderBytes) {
+    // v3: the section table already carries a checksum per payload, so
+    // hashing header + table covers the whole content without touching
+    // the (potentially large) payload bytes.
+    uint32_t NumSections;
+    std::memcpy(&NumSections, File.Data + 12, 4);
+    uint64_t TableEnd =
+        HeaderBytes + uint64_t{NumSections} * SectionRecordBytes;
+    if (NumSections != 0 && NumSections <= MaxSections &&
+        TableEnd <= File.Size)
+      return hashCombine(hashBytes(File.Data, static_cast<size_t>(TableEnd)),
+                         File.Size);
+  }
+  // Legacy stream formats (or a malformed v3 header, which the full read
+  // will reject anyway): hash the entire file.
+  return hashCombine(hashBytes(File.Data, File.Size), File.Size);
+}
+
 unsigned rprism::writeTraceSegments(const Trace &T,
                                     const std::string &BasePath,
                                     size_t MaxEntries) {
@@ -814,7 +951,8 @@ unsigned rprism::writeTraceSegments(const Trace &T,
       End = T.size();
     char Suffix[16];
     std::snprintf(Suffix, sizeof(Suffix), ".seg%03u", NumSegments);
-    if (!writeTraceV3Impl(T, BasePath + Suffix, Begin, End))
+    if (!writeTraceV3Impl(T, BasePath + Suffix, Begin, End,
+                          /*WithViewIndex=*/true))
       return 0;
     ++NumSegments;
     if (End == T.size())

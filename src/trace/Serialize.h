@@ -42,8 +42,13 @@
 namespace rprism {
 
 /// Writes \p T to \p Path in the current format (v3). Returns false on I/O
-/// failure.
-bool writeTrace(const Trace &T, const std::string &Path);
+/// failure. By default the file carries the optional view-index sections
+/// (the trace's ViewIdx when current, else computed here), so a later
+/// `rprism diff` reconstructs the view web without scanning the entries;
+/// \p WithViewIndex = false omits them (the sections are optional — files
+/// load either way, and pre-index readers skip the unknown sections).
+bool writeTrace(const Trace &T, const std::string &Path,
+                bool WithViewIndex = true);
 
 /// Writes \p T in a historical stream format (\p Version must be 1 or 2;
 /// both share one layout). Kept so cross-format determinism and
@@ -68,6 +73,13 @@ unsigned writeTraceSegments(const Trace &T, const std::string &BasePath,
 Expected<Trace> readTraceSegments(const std::string &BasePath,
                                   unsigned NumSegments,
                                   std::shared_ptr<StringInterner> Strings);
+
+/// Content digest of a trace file, for cache keying (DiffCache): two
+/// paths with equal digests hold the same trace bytes. For v3 files this
+/// hashes only the header and section table (whose records embed each
+/// payload's checksum); legacy files hash in full. Errors on unreadable
+/// or non-trace files.
+Expected<uint64_t> traceFileDigest(const std::string &Path);
 
 /// Renders the whole trace as text, one entry per line (debugging aid and
 /// the `trace_inspect` example's output format).

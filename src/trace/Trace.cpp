@@ -42,6 +42,10 @@ TraceEntry Trace::entry(uint32_t Eid) const {
 }
 
 void Trace::append(const TraceEntry &Entry) {
+  // Any entry mutation makes a previously loaded/computed view index
+  // stale; drop it rather than serve a wrong partitioning.
+  if (ViewIdx.Present)
+    ViewIdx.clear();
   Tids.push_back(Entry.Tid);
   Methods.push_back(Entry.Method);
   Selfs.push_back(Entry.Self);
@@ -57,6 +61,8 @@ void Trace::append(const TraceEntry &Entry) {
 }
 
 void Trace::appendEntriesFrom(const Trace &Other) {
+  if (ViewIdx.Present)
+    ViewIdx.clear();
   Tids.append(Other.Tids.data(), Other.Tids.size());
   Methods.append(Other.Methods.data(), Other.Methods.size());
   Selfs.append(Other.Selfs.data(), Other.Selfs.size());

@@ -1,0 +1,113 @@
+//===- trace/ViewIndex.cpp ------------------------------------------------===//
+
+#include "trace/ViewIndex.h"
+
+#include "support/Telemetry.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace rprism;
+
+namespace {
+
+/// One family's partition under construction: per-view keys in
+/// first-appearance order plus per-view entry lists. Keys (tids, interned
+/// symbol ids, store locations) are small dense integers, so key -> local
+/// id is a direct-indexed vector, exactly like the web builder's
+/// FamilyBuild — the two must visit views in the same order.
+struct FamilyScan {
+  std::vector<uint32_t> Keys;
+  std::vector<std::vector<uint32_t>> Lists;
+  std::vector<uint32_t> Dense; ///< key -> local id; ~0u = no view yet.
+
+  std::vector<uint32_t> &listFor(uint32_t Key) {
+    if (Key >= Dense.size())
+      Dense.resize(Key + 1, ~0u);
+    uint32_t &Slot = Dense[Key];
+    if (Slot == ~0u) {
+      Slot = static_cast<uint32_t>(Keys.size());
+      Keys.push_back(Key);
+      Lists.emplace_back();
+    }
+    return Lists[Slot];
+  }
+};
+
+} // namespace
+
+ViewIndex rprism::computeViewIndex(const Trace &T) {
+  TelemetrySpan Span("view-index");
+  const uint32_t *Tids = T.Tids.data();
+  const Symbol *Methods = T.Methods.data();
+  const uint8_t *Kinds = T.Kinds.data();
+  const ObjRepr *Targets = T.Targets.data();
+  const ObjRepr *Selfs = T.Selfs.data();
+  uint32_t N = static_cast<uint32_t>(T.size());
+
+  // One fused pass, the same membership rules as the web builders: every
+  // entry joins its thread and method views; target/active-object views
+  // only when the event has a target / the context has a receiver.
+  FamilyScan Families[NumViewFamilies];
+  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+    Families[0].listFor(Tids[Eid]).push_back(Eid);
+    Families[1].listFor(Methods[Eid].Id).push_back(Eid);
+    if (eventHasTargetObject(static_cast<EventKind>(Kinds[Eid]),
+                             Targets[Eid]))
+      Families[2].listFor(Targets[Eid].Loc).push_back(Eid);
+    if (!Selfs[Eid].isNone())
+      Families[3].listFor(Selfs[Eid].Loc).push_back(Eid);
+  }
+
+  ViewIndex Idx;
+  size_t TotalEntries = 0;
+  for (size_t F = 0; F != NumViewFamilies; ++F)
+    for (const std::vector<uint32_t> &List : Families[F].Lists)
+      TotalEntries += List.size();
+  Idx.Entries.reserve(TotalEntries);
+  for (size_t F = 0; F != NumViewFamilies; ++F) {
+    FamilyScan &Fam = Families[F];
+    Idx.Keys[F].append(Fam.Keys.data(), Fam.Keys.size());
+    Idx.Counts[F].reserve(Fam.Lists.size());
+    for (const std::vector<uint32_t> &List : Fam.Lists) {
+      Idx.Counts[F].push_back(static_cast<uint32_t>(List.size()));
+      Idx.Entries.append(List.data(), List.size());
+    }
+  }
+  Idx.Present = true;
+  return Idx;
+}
+
+bool rprism::viewIndexIsValid(const ViewIndex &Idx, size_t NumEntries) {
+  uint64_t FlatOffset = 0;
+  for (size_t F = 0; F != NumViewFamilies; ++F) {
+    size_t NumViews = Idx.Keys[F].size();
+    if (Idx.Counts[F].size() != NumViews)
+      return false;
+    std::unordered_set<uint32_t> Seen;
+    Seen.reserve(NumViews);
+    uint64_t FamilyTotal = 0;
+    for (size_t V = 0; V != NumViews; ++V) {
+      if (!Seen.insert(Idx.Keys[F][V]).second)
+        return false; // Duplicate key: two views with one identity.
+      uint32_t Count = Idx.Counts[F][V];
+      if (Count == 0)
+        return false; // Builders never create empty views.
+      if (FlatOffset + Count > Idx.Entries.size())
+        return false;
+      const uint32_t *List = Idx.Entries.data() + FlatOffset;
+      if (List[Count - 1] >= NumEntries)
+        return false;
+      for (uint32_t I = 1; I < Count; ++I)
+        if (List[I - 1] >= List[I])
+          return false; // Entry lists are strictly ascending.
+      FlatOffset += Count;
+      FamilyTotal += Count;
+    }
+    // Thread and method views partition the whole trace; object views
+    // cover a subset (events without a target / receiver join none).
+    if (F < 2 ? FamilyTotal != NumEntries : FamilyTotal > NumEntries)
+      return false;
+  }
+  return FlatOffset == Idx.Entries.size();
+}

@@ -21,20 +21,10 @@ const char *rprism::viewTypeName(ViewType Type) {
 }
 
 /// True if the event kind carries a target object (FE/ME/KE events do;
-/// fork/end do not).
+/// fork/end do not). Shared with the view-index writer, which must
+/// partition entries identically (trace/Event.h).
 static bool hasTargetObject(EventKind Kind, const ObjRepr &Target) {
-  switch (Kind) {
-  case EventKind::FieldGet:
-  case EventKind::FieldSet:
-  case EventKind::Call:
-  case EventKind::Return:
-  case EventKind::Init:
-    return !Target.isNone();
-  case EventKind::Fork:
-  case EventKind::End:
-    return false;
-  }
-  return false;
+  return eventHasTargetObject(Kind, Target);
 }
 
 namespace {
@@ -199,7 +189,17 @@ void buildAllFamiliesFused(const Trace &T, FamilyBuild Families[4]) {
 
 } // namespace
 
-ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool) : T(&TIn) {
+ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool, bool UseIndex)
+    : T(&TIn) {
+  // Warm path: a trace carrying its persisted partitioning skips the
+  // entry scans — and the "web-build" span — entirely. The reconstruction
+  // is O(views), not O(entries), and produces the identical web (same
+  // dense ids, same entry lists; pinned by the CacheTest property test).
+  if (UseIndex && TIn.ViewIdx.Present) {
+    buildFromIndex(TIn.ViewIdx);
+    return;
+  }
+
   // The four families are built by independent scans (each touches only
   // its own map and view list), so they parallelize without shared state;
   // the deterministic concatenation below assigns the same dense ids
@@ -268,6 +268,58 @@ ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool) : T(&TIn) {
         Indices[FI]->emplace(Key, Offset + F.Dense[Key]);
   }
   Telemetry::counterAdd("web.views", Views.size());
+}
+
+void ViewWeb::buildFromIndex(const ViewIndex &Idx) {
+  TelemetrySpan Span("view-index");
+  const ObjRepr *Targets = T->Targets.data();
+  const ObjRepr *Selfs = T->Selfs.data();
+  std::unordered_map<uint32_t, uint32_t> *Indices[NumViewFamilies] = {
+      &ThreadIndex, &MethodIndex, &TargetIndex, &ActiveIndex};
+  constexpr ViewType FamilyType[NumViewFamilies] = {
+      ViewType::Thread, ViewType::Method, ViewType::TargetObject,
+      ViewType::ActiveObject};
+
+  Views.reserve(Idx.numViews());
+  const uint32_t *Flat = Idx.Entries.data();
+  size_t Offset = 0;
+  for (size_t F = 0; F != NumViewFamilies; ++F) {
+    size_t NumViews = Idx.Keys[F].size();
+    Indices[F]->reserve(NumViews);
+    for (size_t VI = 0; VI != NumViews; ++VI) {
+      uint32_t Key = Idx.Keys[F][VI];
+      uint32_t Count = Idx.Counts[F][VI];
+      View V;
+      V.Type = FamilyType[F];
+      V.Id = static_cast<uint32_t>(Views.size());
+      V.Entries.borrow(Flat + Offset, Count);
+      switch (FamilyType[F]) {
+      case ViewType::Thread:
+        V.Tid = Key;
+        break;
+      case ViewType::Method:
+        V.MethodName = Symbol{Key};
+        break;
+      case ViewType::TargetObject:
+      case ViewType::ActiveObject: {
+        // The representation endpoints are not persisted — they are two
+        // column loads per view (first and last member entry), the same
+        // values the scan builders record.
+        const ObjRepr *Col =
+            FamilyType[F] == ViewType::TargetObject ? Targets : Selfs;
+        V.Loc = Key;
+        V.FirstRepr = Col[Flat[Offset]];
+        V.LastRepr = Col[Flat[Offset + Count - 1]];
+        break;
+      }
+      }
+      Indices[F]->emplace(Key, V.Id);
+      Views.push_back(std::move(V));
+      Offset += Count;
+    }
+  }
+  Telemetry::counterAdd("web.views", Views.size());
+  Telemetry::counterAdd("web.from_index", 1);
 }
 
 const View *ViewWeb::threadView(uint32_t Tid) const {

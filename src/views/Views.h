@@ -39,10 +39,14 @@ enum class ViewType : uint8_t { Thread, Method, TargetObject, ActiveObject };
 const char *viewTypeName(ViewType Type);
 
 /// One view: its identity plus the (ascending) entry ids it contains.
+/// Entries is a Column so a web reconstructed from a trace's persisted
+/// ViewIndex borrows each view's list zero-copy out of the index's flat
+/// entry column (which itself may borrow the mapped trace file); webs
+/// built by scanning own their lists as before.
 struct View {
   ViewType Type = ViewType::Thread;
   uint32_t Id = 0; ///< Dense id within the owning ViewWeb.
-  std::vector<uint32_t> Entries; ///< Entry ids, ascending.
+  Column<uint32_t> Entries; ///< Entry ids, ascending.
 
   // Identity, depending on Type:
   uint32_t Tid = 0;       ///< Thread views.
@@ -69,7 +73,13 @@ public:
   /// scans run concurrently. View ids are dense and family-grouped (all
   /// thread views first, then method, target-object, active-object, each
   /// in order of first appearance) — identical with and without a pool.
-  explicit ViewWeb(const Trace &T, ThreadPool *Pool = nullptr);
+  ///
+  /// When \p UseIndex is set and the trace carries a current ViewIndex
+  /// (loaded from an indexed v3 file or precomputed), the entry scans are
+  /// skipped entirely: views are reconstructed from the index in O(views)
+  /// with entry lists borrowed zero-copy, producing the identical web.
+  explicit ViewWeb(const Trace &T, ThreadPool *Pool = nullptr,
+                   bool UseIndex = true);
 
   const Trace &trace() const { return *T; }
 
@@ -103,6 +113,10 @@ public:
   const std::vector<View> &views() const { return Views; }
 
 private:
+  /// Reconstructs every view from the trace's persisted ViewIndex:
+  /// O(views) work, entry lists borrowed from the index's flat column.
+  void buildFromIndex(const ViewIndex &Idx);
+
   const Trace *T;
   std::vector<View> Views;
   std::unordered_map<uint32_t, uint32_t> ThreadIndex; ///< tid -> view id.

@@ -1,0 +1,481 @@
+//===- tests/CacheTest.cpp - View-index persistence and DiffCache tests ---===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the two warm-path contracts of the repeat-diff machinery:
+///
+///   1. A view web reconstructed from a trace's ViewIndex — computed in
+///      memory or round-tripped through the v3 sections — is *identical*
+///      to one built by scanning the entries (randomized over generated
+///      workloads), and damaged index sections are rejected, never
+///      half-used.
+///   2. DiffCache returns the exact objects it cached (hits observable via
+///      counters), evicts cold entries with their dependents, and
+///      cachedViewsDiff produces byte-identical reports and identical
+///      compare-op totals across {cold, warm, uncached} × jobs values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/DiffCache.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
+#include "support/Telemetry.h"
+#include "trace/Serialize.h"
+#include "trace/ViewIndex.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+using namespace rprism;
+
+namespace {
+
+Trace traceOf(const std::string &Source,
+              std::shared_ptr<StringInterner> Strings = nullptr,
+              RunOptions Options = RunOptions()) {
+  auto Prog = compileSource(Source, std::move(Strings));
+  EXPECT_TRUE(bool(Prog)) << (Prog ? "" : Prog.error().render());
+  if (!Prog)
+    return Trace();
+  RunResult Result = runProgram(*Prog, Options);
+  EXPECT_TRUE(Result.Completed) << Result.Error;
+  return std::move(Result.ExecTrace);
+}
+
+std::string tempPath(const std::string &Tag) {
+  return "/tmp/rprism_cachetest_" + Tag + "_" + std::to_string(::getpid());
+}
+
+/// Counter window: counters are only recorded while telemetry is enabled.
+struct TelemetryWindow {
+  TelemetryWindow() {
+    Telemetry::get().reset();
+    Telemetry::get().setEnabled(true);
+  }
+  ~TelemetryWindow() {
+    Telemetry::get().setEnabled(false);
+    Telemetry::get().reset();
+  }
+  uint64_t counter(const char *Name) const {
+    return Telemetry::get().snapshot().counter(Name);
+  }
+};
+
+/// Structural equality of two webs over the same trace: same views in the
+/// same order with the same identities and entry lists.
+void expectWebsEqual(const ViewWeb &A, const ViewWeb &B) {
+  ASSERT_EQ(A.numViews(), B.numViews());
+  for (uint32_t Id = 0; Id != A.numViews(); ++Id) {
+    const View &VA = A.view(Id);
+    const View &VB = B.view(Id);
+    EXPECT_EQ(VA.Type, VB.Type) << "view " << Id;
+    EXPECT_EQ(VA.Id, VB.Id) << "view " << Id;
+    EXPECT_EQ(VA.Tid, VB.Tid) << "view " << Id;
+    EXPECT_EQ(VA.MethodName.Id, VB.MethodName.Id) << "view " << Id;
+    EXPECT_EQ(VA.Loc, VB.Loc) << "view " << Id;
+    // Both builds copy the endpoint representations out of the same
+    // columns, so they must agree bit for bit (ObjRepr is a packed POD).
+    EXPECT_EQ(0, std::memcmp(&VA.FirstRepr, &VB.FirstRepr, sizeof(ObjRepr)))
+        << "view " << Id;
+    EXPECT_EQ(0, std::memcmp(&VA.LastRepr, &VB.LastRepr, sizeof(ObjRepr)))
+        << "view " << Id;
+    ASSERT_EQ(VA.Entries.size(), VB.Entries.size()) << "view " << Id;
+    EXPECT_TRUE(std::equal(VA.Entries.begin(), VA.Entries.end(),
+                           VB.Entries.begin()))
+        << "view " << Id;
+  }
+  EXPECT_EQ(A.numThreadViews(), B.numThreadViews());
+  EXPECT_EQ(A.numMethodViews(), B.numMethodViews());
+  EXPECT_EQ(A.numTargetObjectViews(), B.numTargetObjectViews());
+  EXPECT_EQ(A.numActiveObjectViews(), B.numActiveObjectViews());
+}
+
+/// A generated-workload trace for one drawn configuration.
+Trace generatedTrace(std::mt19937_64 &Rng,
+                     std::shared_ptr<StringInterner> Strings = nullptr) {
+  GeneratorOptions G;
+  G.NumClasses = 2 + static_cast<unsigned>(Rng() % 4);
+  G.OuterIters = 4 + static_cast<unsigned>(Rng() % 24);
+  G.NumThreads = 1 + static_cast<unsigned>(Rng() % 3);
+  G.Seed = Rng();
+  G.Perturb = static_cast<unsigned>(Rng() % 3);
+  G.ReorderBlock = (Rng() % 2) != 0;
+  return traceOf(generateProgram(G), std::move(Strings));
+}
+
+const char *ObjectsProgram = R"(
+  class Acc {
+    Int total;
+    Acc(Int start) { this.total = start; }
+    Int add(Int v) { this.total = this.total + v; return this.total; }
+  }
+  main {
+    var a = new Acc(0);
+    var b = new Acc(10);
+    a.add(1); b.add(2); a.add(3);
+    print(a.total + b.total);
+  }
+)";
+
+//===----------------------------------------------------------------------===//
+// Property: index-reconstructed webs are identical to fresh builds
+//===----------------------------------------------------------------------===//
+
+TEST(ViewIndexProperty, ReconstructedWebMatchesFreshBuild) {
+  // Randomized but reproducible: each drawn workload varies classes,
+  // iterations, thread count, perturbation, and reordering.
+  std::mt19937_64 Rng(20260807);
+  for (int Round = 0; Round != 8; ++Round) {
+    Trace T = generatedTrace(Rng);
+    ASSERT_GT(T.size(), 0u) << "round " << Round;
+    T.ViewIdx = computeViewIndex(T);
+    ASSERT_TRUE(T.ViewIdx.Present);
+    EXPECT_TRUE(viewIndexIsValid(T.ViewIdx, T.size())) << "round " << Round;
+
+    ViewWeb Fresh(T, nullptr, /*UseIndex=*/false);
+    ViewWeb FromIndex(T, nullptr, /*UseIndex=*/true);
+    expectWebsEqual(Fresh, FromIndex);
+  }
+}
+
+TEST(ViewIndexProperty, RoundTripThroughV3FileMatchesFreshBuild) {
+  std::mt19937_64 Rng(42);
+  for (int Round = 0; Round != 4; ++Round) {
+    Trace T = generatedTrace(Rng);
+    std::string Path = tempPath("prop_" + std::to_string(Round));
+    ASSERT_TRUE(writeTrace(T, Path));
+
+    Expected<Trace> Loaded = readTrace(Path, nullptr);
+    ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+    ASSERT_TRUE(Loaded->ViewIdx.Present);
+    EXPECT_TRUE(viewIndexIsValid(Loaded->ViewIdx, Loaded->size()));
+
+    ViewWeb Fresh(*Loaded, nullptr, /*UseIndex=*/false);
+    ViewWeb FromIndex(*Loaded, nullptr, /*UseIndex=*/true);
+    expectWebsEqual(Fresh, FromIndex);
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(ViewIndexProperty, IndexSurvivesSymbolRemapIntoBusyInterner) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string Path = tempPath("remap");
+  ASSERT_TRUE(writeTrace(T, Path));
+  // A pre-occupied interner shifts every symbol id: the loader takes the
+  // remap path, rewrites the index's method-view keys, and the
+  // reconstructed web must still match a fresh build over the remapped
+  // columns.
+  auto Busy = std::make_shared<StringInterner>();
+  Busy->intern("occupying-symbol-id-one");
+  Busy->intern("occupying-symbol-id-two");
+  Expected<Trace> Loaded = readTrace(Path, Busy);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  ASSERT_TRUE(Loaded->ViewIdx.Present);
+
+  ViewWeb Fresh(*Loaded, nullptr, /*UseIndex=*/false);
+  ViewWeb FromIndex(*Loaded, nullptr, /*UseIndex=*/true);
+  expectWebsEqual(Fresh, FromIndex);
+  std::remove(Path.c_str());
+}
+
+TEST(ViewIndexProperty, AppendingInvalidatesTheIndex) {
+  Trace T = traceOf(ObjectsProgram);
+  T.ViewIdx = computeViewIndex(T);
+  ASSERT_TRUE(T.ViewIdx.Present);
+  // Any append makes the index stale; the trace must drop it rather than
+  // let a web be reconstructed without the new entries.
+  T.append(T.entry(0));
+  EXPECT_FALSE(T.ViewIdx.Present);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: optional sections, rejection of damage
+//===----------------------------------------------------------------------===//
+
+TEST(ViewIndexSerialize, FileWithoutIndexLoadsWithNoIndex) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string Path = tempPath("noindex");
+  ASSERT_TRUE(writeTrace(T, Path, /*WithViewIndex=*/false));
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  EXPECT_FALSE(Loaded->ViewIdx.Present);
+  // The cold path still works and web-building is unaffected.
+  ViewWeb Fresh(T, nullptr, /*UseIndex=*/false);
+  ViewWeb Web(*Loaded);
+  expectWebsEqual(Fresh, Web);
+  std::remove(Path.c_str());
+}
+
+TEST(ViewIndexSerialize, IndexedFileIsBiggerButSameTrace) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string WithPath = tempPath("with_idx");
+  std::string WithoutPath = tempPath("without_idx");
+  ASSERT_TRUE(writeTrace(T, WithPath, /*WithViewIndex=*/true));
+  ASSERT_TRUE(writeTrace(T, WithoutPath, /*WithViewIndex=*/false));
+
+  auto FileSize = [](const std::string &P) -> long {
+    std::FILE *F = std::fopen(P.c_str(), "rb");
+    EXPECT_TRUE(F != nullptr);
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    std::fclose(F);
+    return Size;
+  };
+  EXPECT_GT(FileSize(WithPath), FileSize(WithoutPath));
+
+  Expected<Trace> A = readTrace(WithPath, nullptr);
+  Expected<Trace> B = readTrace(WithoutPath, nullptr);
+  ASSERT_TRUE(bool(A) && bool(B));
+  ASSERT_EQ(A->size(), B->size());
+  for (uint32_t Eid = 0; Eid != A->size(); ++Eid)
+    EXPECT_EQ(A->renderEntry(Eid), B->renderEntry(Eid));
+  std::remove(WithPath.c_str());
+  std::remove(WithoutPath.c_str());
+}
+
+TEST(ViewIndexSerialize, RejectsCorruptIndexPayload) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string Path = tempPath("badidx");
+  ASSERT_TRUE(writeTrace(T, Path));
+  // The view-entries payload is the last section written, so the file's
+  // final byte sits inside it; flipping it must trip the section checksum.
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_TRUE(F != nullptr);
+  std::fseek(F, -1, SEEK_END);
+  int Byte = std::fgetc(F);
+  std::fseek(F, -1, SEEK_END);
+  std::fputc(Byte ^ 0xff, F);
+  std::fclose(F);
+
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_FALSE(bool(Loaded));
+  EXPECT_NE(Loaded.error().Message.find("corrupt"), std::string::npos)
+      << Loaded.error().Message;
+  std::remove(Path.c_str());
+}
+
+TEST(ViewIndexSerialize, RejectsMetaWithoutEntries) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string Path = tempPath("halfidx");
+  ASSERT_TRUE(writeTrace(T, Path));
+
+  // Rewrite the view-entries section record's id (23) to an unknown id:
+  // the reader skips unknown sections for forward compatibility, so it
+  // sees view-meta without view-entries — which must be rejected whole,
+  // not half-used. Record layout: 16-byte header, then 32-byte records
+  // with the id in the first 4 bytes.
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_TRUE(F != nullptr);
+  uint32_t Head[4];
+  ASSERT_EQ(std::fread(Head, 4, 4, F), 4u);
+  bool Rewrote = false;
+  for (uint32_t I = 0; I != Head[3]; ++I) {
+    std::fseek(F, 16 + static_cast<long>(I) * 32, SEEK_SET);
+    uint32_t Id = 0;
+    ASSERT_EQ(std::fread(&Id, 4, 1, F), 1u);
+    if (Id == 23) {
+      Id = 63;
+      std::fseek(F, 16 + static_cast<long>(I) * 32, SEEK_SET);
+      ASSERT_EQ(std::fwrite(&Id, 4, 1, F), 1u);
+      Rewrote = true;
+    }
+  }
+  std::fclose(F);
+  ASSERT_TRUE(Rewrote) << "view-entries section not found";
+
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_FALSE(bool(Loaded));
+  EXPECT_NE(Loaded.error().Message.find("view-index"), std::string::npos)
+      << Loaded.error().Message;
+  std::remove(Path.c_str());
+}
+
+TEST(ViewIndexSerialize, RejectsTruncatedIndexedFiles) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string Path = tempPath("truncidx");
+  ASSERT_TRUE(writeTrace(T, Path));
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fclose(F);
+  // Cuts landing inside the index sections (near the end) and inside the
+  // table must both fail cleanly.
+  for (long Cut : {Size - 1, Size - 9, Size / 2, long(24)}) {
+    ASSERT_TRUE(truncate(Path.c_str(), Cut) == 0);
+    EXPECT_FALSE(bool(readTrace(Path, nullptr))) << "cut at " << Cut;
+  }
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// DiffCache
+//===----------------------------------------------------------------------===//
+
+TEST(DiffCache, WebHitsReturnTheSameObject) {
+  Trace T = traceOf(ObjectsProgram);
+  DiffCache Cache;
+  TelemetryWindow W;
+  std::shared_ptr<const ViewWeb> First = Cache.web(T);
+  std::shared_ptr<const ViewWeb> Second = Cache.web(T);
+  EXPECT_EQ(First.get(), Second.get());
+  EXPECT_EQ(W.counter("web.cache.miss"), 1u);
+  EXPECT_EQ(W.counter("web.cache.hit"), 1u);
+}
+
+TEST(DiffCache, CorrelationHitsReturnTheSameObject) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace Left = traceOf(ObjectsProgram, Strings);
+  Trace Right = traceOf(ObjectsProgram, Strings);
+  DiffCache Cache;
+  TelemetryWindow W;
+  auto LW = Cache.web(Left);
+  auto RW = Cache.web(Right);
+  auto First = Cache.correlation(*LW, *RW);
+  auto Second = Cache.correlation(*LW, *RW);
+  EXPECT_EQ(First.get(), Second.get());
+  EXPECT_EQ(W.counter("correlate.cache.miss"), 1u);
+  EXPECT_EQ(W.counter("correlate.cache.hit"), 1u);
+  // Orientation matters: the reversed pair is a different correlation.
+  auto Reversed = Cache.correlation(*RW, *LW);
+  EXPECT_NE(Reversed.get(), First.get());
+  EXPECT_EQ(W.counter("correlate.cache.miss"), 2u);
+}
+
+TEST(DiffCache, LoadDedupsByContentDigest) {
+  Trace T = traceOf(ObjectsProgram);
+  std::string PathA = tempPath("loadA");
+  std::string PathB = tempPath("loadB");
+  ASSERT_TRUE(writeTrace(T, PathA));
+  ASSERT_TRUE(writeTrace(T, PathB)); // Identical bytes, different path.
+
+  auto Strings = std::make_shared<StringInterner>();
+  DiffCache Cache;
+  TelemetryWindow W;
+  std::string Error;
+  auto A = Cache.load(PathA, Strings, &Error);
+  ASSERT_TRUE(A != nullptr) << Error;
+  auto B = Cache.load(PathB, Strings, &Error);
+  ASSERT_TRUE(B != nullptr) << Error;
+  EXPECT_EQ(A.get(), B.get()) << "same bytes must dedup to one trace";
+  EXPECT_EQ(W.counter("load.cache.miss"), 1u);
+  EXPECT_EQ(W.counter("load.cache.hit"), 1u);
+
+  // A different interner is a different key: traces must not leak symbols
+  // across interners.
+  auto Other = std::make_shared<StringInterner>();
+  auto C = Cache.load(PathA, Other, &Error);
+  ASSERT_TRUE(C != nullptr) << Error;
+  EXPECT_NE(C.get(), A.get());
+  EXPECT_EQ(W.counter("load.cache.miss"), 2u);
+
+  EXPECT_GT(Cache.bytes(), 0u);
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+TEST(DiffCache, LoadReportsErrors) {
+  DiffCache Cache;
+  std::string Error;
+  EXPECT_EQ(Cache.load("/tmp/definitely/not/here", nullptr, &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(DiffCache, EvictsColdEntriesUnderByteBudget) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace A = traceOf(ObjectsProgram, Strings);
+  Trace B = traceOf(ObjectsProgram, Strings);
+  DiffCache Tiny(/*MaxBytes=*/1); // Any second entry exceeds the budget.
+  TelemetryWindow W;
+  auto WA = Tiny.web(A);
+  // A single oversized entry stays cached (evicting it would thrash).
+  EXPECT_EQ(Tiny.numEntries(), 1u);
+  auto WB = Tiny.web(B);
+  EXPECT_EQ(Tiny.numEntries(), 1u) << "cold entry not evicted";
+  // A's entry was evicted, so re-requesting it is a miss again — and the
+  // previously returned web stays valid through its own shared_ptr.
+  auto WA2 = Tiny.web(A);
+  EXPECT_EQ(W.counter("web.cache.miss"), 3u);
+  EXPECT_EQ(W.counter("web.cache.hit"), 0u);
+  EXPECT_NE(WA.get(), WA2.get());
+  EXPECT_EQ(WA->numViews(), WA2->numViews());
+}
+
+TEST(DiffCache, ClearDropsEverything) {
+  Trace T = traceOf(ObjectsProgram);
+  DiffCache Cache;
+  (void)Cache.web(T);
+  EXPECT_EQ(Cache.numEntries(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.numEntries(), 0u);
+  EXPECT_EQ(Cache.bytes(), 0u);
+  // A post-clear request rebuilds (miss), proving no stale mapping.
+  TelemetryWindow W;
+  (void)Cache.web(T);
+  EXPECT_EQ(W.counter("web.cache.miss"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// cachedViewsDiff determinism
+//===----------------------------------------------------------------------===//
+
+TEST(CachedViewsDiff, ColdWarmAndUncachedAgreeAcrossJobs) {
+  auto Strings = std::make_shared<StringInterner>();
+  std::mt19937_64 Rng(7);
+  Trace Left = generatedTrace(Rng, Strings);
+  GeneratorOptions G;
+  G.NumClasses = 3;
+  G.OuterIters = 16;
+  G.NumThreads = 2;
+  G.Perturb = 1;
+  Trace Right = traceOf(generateProgram(G), Strings);
+
+  for (unsigned Jobs : {1u, 4u}) {
+    ViewsDiffOptions Options;
+    Options.Jobs = Jobs;
+    Options.ParallelCutoffEntries = 0; // Exercise the parallel machinery.
+    DiffResult Reference = viewsDiff(Left, Right, Options);
+
+    DiffCache Cache;
+    DiffResult Cold = cachedViewsDiff(Left, Right, Options, Cache);
+    DiffResult Warm = cachedViewsDiff(Left, Right, Options, Cache);
+
+    EXPECT_EQ(Reference.render(50, 12), Cold.render(50, 12)) << Jobs;
+    EXPECT_EQ(Reference.render(50, 12), Warm.render(50, 12)) << Jobs;
+    EXPECT_EQ(Reference.Stats.CompareOps, Cold.Stats.CompareOps) << Jobs;
+    EXPECT_EQ(Reference.Stats.CompareOps, Warm.Stats.CompareOps) << Jobs;
+  }
+}
+
+TEST(CachedViewsDiff, WarmRepeatSkipsWebBuildAndCorrelation) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace Left = traceOf(ObjectsProgram, Strings);
+  Trace Right = traceOf(ObjectsProgram, Strings);
+  DiffCache Cache;
+  TelemetryWindow W;
+  (void)cachedViewsDiff(Left, Right, ViewsDiffOptions(), Cache);
+  EXPECT_EQ(W.counter("web.cache.miss"), 2u);
+  EXPECT_EQ(W.counter("correlate.cache.miss"), 1u);
+  (void)cachedViewsDiff(Left, Right, ViewsDiffOptions(), Cache);
+  EXPECT_EQ(W.counter("web.cache.miss"), 2u) << "warm repeat rebuilt a web";
+  EXPECT_EQ(W.counter("web.cache.hit"), 2u);
+  EXPECT_EQ(W.counter("correlate.cache.hit"), 1u);
+}
+
+TEST(CachedViewsDiff, SelfDiffBuildsOneWeb) {
+  Trace T = traceOf(ObjectsProgram);
+  DiffCache Cache;
+  TelemetryWindow W;
+  (void)cachedViewsDiff(T, T, ViewsDiffOptions(), Cache);
+  EXPECT_EQ(W.counter("web.cache.miss"), 1u);
+  EXPECT_EQ(W.counter("web.cache.hit"), 1u);
+}
+
+} // namespace

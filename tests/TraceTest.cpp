@@ -7,6 +7,7 @@
 
 #include "diff/ViewsDiff.h"
 #include "runtime/Compiler.h"
+#include "support/Telemetry.h"
 #include "runtime/Vm.h"
 #include "trace/Serialize.h"
 #include "workload/Corpus.h"
@@ -605,6 +606,32 @@ TEST(Fingerprint, RecomputedAfterReinterningIntoBusyInterner) {
     EXPECT_EQ(Loaded->fp(Eid), Loaded->entryFingerprint(Eid));
   }
   EXPECT_FALSE(Loaded->Fps.borrowed());
+  std::remove(Path.c_str());
+}
+
+TEST(Fingerprint, RemapPathIsCountedAndZeroCopyPathIsNot) {
+  Trace T = traceOf(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    main { var a = new A(3); print(a.x); }
+  )");
+  std::string Path = tempPath("fp_counter");
+  ASSERT_TRUE(writeTrace(T, Path));
+
+  Telemetry::get().reset();
+  Telemetry::get().setEnabled(true);
+  // Fresh interner: symbols re-intern to identical ids, fingerprints load
+  // verbatim — the recompute counter must stay untouched.
+  ASSERT_TRUE(bool(readTrace(Path, nullptr)));
+  EXPECT_EQ(Telemetry::get().snapshot().counter("load.fp_recompute"), 0u);
+  // Busy interner: ids shift, so the loader recomputes — once per load.
+  auto Busy = std::make_shared<StringInterner>();
+  Busy->intern("occupying-symbol-id-one");
+  ASSERT_TRUE(bool(readTrace(Path, Busy)));
+  EXPECT_EQ(Telemetry::get().snapshot().counter("load.fp_recompute"), 1u);
+  ASSERT_TRUE(bool(readTrace(Path, Busy)));
+  EXPECT_EQ(Telemetry::get().snapshot().counter("load.fp_recompute"), 2u);
+  Telemetry::get().setEnabled(false);
+  Telemetry::get().reset();
   std::remove(Path.c_str());
 }
 

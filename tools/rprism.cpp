@@ -25,6 +25,7 @@
 #include "analysis/Impact.h"
 #include "analysis/Protocol.h"
 #include "analysis/Regression.h"
+#include "cache/DiffCache.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
 #include "support/MetricsSink.h"
@@ -53,11 +54,12 @@ int usage() {
       "  rprism run <prog> [--input S]... [--int-input N]... [--trace F]\n"
       "  rprism trace-dump <trace-file>\n"
       "  rprism diff <old-prog> <new-prog> [--engine views|lcs]\n"
-      "              [--input S]... [--html F] [--jobs N]\n"
+      "              [--input S]... [--html F] [--jobs N] [--no-view-cache]\n"
       "  rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]\n"
-      "              [--html F] [--jobs N]\n"
+      "              [--html F] [--jobs N] [--no-view-cache]\n"
       "  rprism analyze <old-prog> <new-prog> --regr-input S...\n"
       "              --ok-input S... [--removal] [--html F] [--jobs N]\n"
+      "              [--no-view-cache]\n"
       "  rprism views <prog> [--input S]...\n"
       "  rprism protocols <good-prog> <subject-prog> [--input S]...\n"
       "  rprism --version\n"
@@ -92,6 +94,11 @@ struct Args {
   /// sequential. Any value produces identical reports (see ViewsDiffOptions).
   unsigned Jobs = 0;
   bool Removal = false;
+  /// Escape hatch for the warm paths: skip persisted view indexes and the
+  /// in-process diff cache, rebuilding everything from the entries. The
+  /// report is identical either way; this exists for timing comparisons
+  /// and as a workaround should an index ever be suspect.
+  bool NoViewCache = false;
   std::string MetricsOut;
   bool Profile = false;
   /// Every --flag that appeared, for per-subcommand validation.
@@ -125,6 +132,8 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       A.OkInputs.push_back(Next());
     else if (Arg == "--removal")
       A.Removal = true;
+    else if (Arg == "--no-view-cache")
+      A.NoViewCache = true;
     else if (Arg == "--html")
       A.HtmlPath = Next();
     else if (Arg == "--jobs") {
@@ -172,12 +181,13 @@ const std::vector<const char *> *allowedFlags(const std::string &Command) {
                                                 "--trace"};
   static const std::vector<const char *> TraceDump = {};
   static const std::vector<const char *> Diff = {
-      "--engine", "--input", "--int-input", "--html", "--jobs"};
-  static const std::vector<const char *> DiffTraces = {"--engine", "--html",
-                                                       "--jobs"};
+      "--engine", "--input", "--int-input", "--html", "--jobs",
+      "--no-view-cache"};
+  static const std::vector<const char *> DiffTraces = {
+      "--engine", "--html", "--jobs", "--no-view-cache"};
   static const std::vector<const char *> Analyze = {
       "--engine",  "--regr-input", "--ok-input", "--int-input",
-      "--removal", "--html",       "--jobs"};
+      "--removal", "--html",       "--jobs",     "--no-view-cache"};
   static const std::vector<const char *> Views = {"--input", "--int-input"};
   static const std::vector<const char *> Protocols = {"--input",
                                                       "--int-input"};
@@ -277,9 +287,12 @@ int cmdTraceDump(const Args &A) {
 int printDiff(const Trace &Left, const Trace &Right, const Args &A) {
   ViewsDiffOptions Options;
   Options.Jobs = A.Jobs;
-  DiffResult Result = A.Engine == DiffEngineKind::Lcs
-                          ? lcsDiff(Left, Right)
-                          : viewsDiff(Left, Right, Options);
+  Options.UseViewIndex = !A.NoViewCache;
+  DiffResult Result =
+      A.Engine == DiffEngineKind::Lcs ? lcsDiff(Left, Right)
+      : A.NoViewCache ? viewsDiff(Left, Right, Options)
+                      : cachedViewsDiff(Left, Right, Options,
+                                        DiffCache::global());
   if (Result.Stats.OutOfMemory) {
     std::fprintf(stderr, "error: LCS differencing ran out of memory; "
                          "retry with --engine views\n");
@@ -326,14 +339,33 @@ int cmdDiffTraces(const Args &A) {
   if (A.Positional.size() != 2)
     return usage();
   auto Strings = std::make_shared<StringInterner>();
-  Expected<Trace> Left = readTrace(A.Positional[0], Strings);
+  if (A.NoViewCache) {
+    Expected<Trace> Left = readTrace(A.Positional[0], Strings);
+    if (!Left) {
+      std::fprintf(stderr, "error: %s\n", Left.error().render().c_str());
+      return 1;
+    }
+    Expected<Trace> Right = readTrace(A.Positional[1], Strings);
+    if (!Right) {
+      std::fprintf(stderr, "error: %s\n", Right.error().render().c_str());
+      return 1;
+    }
+    return printDiff(*Left, *Right, A);
+  }
+  // Content-digest-keyed loads: the two sides dedup when they are the same
+  // bytes, and repeat diffs in one process (library callers, future REPL)
+  // reuse loaded traces and their webs.
+  std::string Error;
+  std::shared_ptr<const Trace> Left =
+      DiffCache::global().load(A.Positional[0], Strings, &Error);
   if (!Left) {
-    std::fprintf(stderr, "error: %s\n", Left.error().render().c_str());
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-  Expected<Trace> Right = readTrace(A.Positional[1], Strings);
+  std::shared_ptr<const Trace> Right =
+      DiffCache::global().load(A.Positional[1], Strings, &Error);
   if (!Right) {
-    std::fprintf(stderr, "error: %s\n", Right.error().render().c_str());
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
   return printDiff(*Left, *Right, A);
@@ -368,6 +400,8 @@ int cmdAnalyze(const Args &A) {
   RegressionOptions Options;
   Options.Engine = A.Engine;
   Options.Views.Jobs = A.Jobs;
+  Options.Views.UseViewIndex = !A.NoViewCache;
+  Options.UseDiffCache = !A.NoViewCache;
   Options.CodeRemoval = A.Removal;
   RegressionReport Report = analyzeRegression(Inputs, Options);
   TelemetrySpan ReportSpan("report");
