@@ -396,11 +396,11 @@ int main(int Argc, char **Argv) {
       auto RunOnce = [&](DiffCache &Cache,
                          std::shared_ptr<StringInterner> Strings,
                          bool Check) {
-        std::string Error;
+        Err Error;
         auto L = Cache.load(LPath, Strings, &Error);
         auto R = Cache.load(RPath, std::move(Strings), &Error);
         if (!L || !R) {
-          std::printf("error: %s\n", Error.c_str());
+          std::printf("error: %s\n", Error.render().c_str());
           Exit = 1;
           return;
         }

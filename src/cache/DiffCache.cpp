@@ -7,15 +7,26 @@
 
 #include "cache/DiffCache.h"
 
+#include "robustness/FaultInjector.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "trace/Serialize.h"
 
 #include <mutex>
+#include <new>
 
 using namespace rprism;
 
 namespace {
+
+/// Degradation-ladder rung shared by every insert site: when an insert
+/// cannot happen (injected fault or a real allocation failure), the
+/// computed payload is returned to the caller uncached — correctness is
+/// unaffected, the repeat-use speedup is lost, and the fallback is
+/// observable via `robust.cache_insert_dropped`.
+void countInsertDropped() {
+  Telemetry::counterAdd("robust.cache_insert_dropped");
+}
 
 /// Retained footprint of a web. Borrowed entry lists (index-reconstructed
 /// webs) alias the trace's bytes and are already accounted on the trace
@@ -161,11 +172,11 @@ DiffCache &DiffCache::global() {
 
 std::shared_ptr<const Trace>
 DiffCache::load(const std::string &Path,
-                std::shared_ptr<StringInterner> Strings, std::string *Error) {
+                std::shared_ptr<StringInterner> Strings, Err *Error) {
   Expected<uint64_t> Digest = traceFileDigest(Path);
   if (!Digest) {
     if (Error)
-      *Error = Digest.error().render();
+      *Error = Digest.error();
     return nullptr;
   }
   Impl::LoadKey Key{*Digest, Strings.get()};
@@ -182,7 +193,7 @@ DiffCache::load(const std::string &Path,
   Expected<Trace> Loaded = readTrace(Path, std::move(Strings));
   if (!Loaded) {
     if (Error)
-      *Error = Loaded.error().render();
+      *Error = Loaded.error();
     return nullptr;
   }
   auto T = std::make_shared<const Trace>(Loaded.take());
@@ -195,14 +206,36 @@ DiffCache::load(const std::string &Path,
     M->touch(It->second);
     return It->second->T;
   }
+  if (FaultInjector::fire(FaultSite::CacheInsert)) {
+    countInsertDropped();
+    return T; // Uncached: every later load re-reads the file.
+  }
   Impl::Entry E;
   E.K = Impl::Kind::Trace;
   E.Bytes = T->storageBytes() + T->ViewIdx.byteSize();
   E.LKey = Key;
   E.T = T;
-  auto Pos = M->insertFront(std::move(E));
-  M->LoadMap.emplace(Key, Pos);
-  M->TraceByPtr.emplace(T.get(), Pos);
+  int Step = 0;
+  Impl::List::iterator Pos;
+  try {
+    Pos = M->insertFront(std::move(E));
+    Step = 1;
+    M->LoadMap.emplace(Key, Pos);
+    Step = 2;
+    M->TraceByPtr.emplace(T.get(), Pos);
+    Step = 3;
+  } catch (const std::bad_alloc &) {
+    // Roll back the partial insert so the cache's maps, list, and byte
+    // accounting stay consistent, then serve the load uncached.
+    if (Step >= 2)
+      M->LoadMap.erase(Key);
+    if (Step >= 1) {
+      M->TotalBytes -= Pos->Bytes;
+      M->Lru.erase(Pos);
+    }
+    countInsertDropped();
+    return T;
+  }
   M->evict(Pos);
   return T;
 }
@@ -227,6 +260,10 @@ std::shared_ptr<const ViewWeb> DiffCache::web(const Trace &T, ThreadPool *Pool,
     M->touch(It->second);
     return It->second->Web;
   }
+  if (FaultInjector::fire(FaultSite::CacheInsert)) {
+    countInsertDropped();
+    return W; // Uncached: the next request rebuilds the web.
+  }
   Impl::Entry E;
   E.K = Impl::Kind::Web;
   E.Bytes = webBytes(*W);
@@ -235,8 +272,20 @@ std::shared_ptr<const ViewWeb> DiffCache::web(const Trace &T, ThreadPool *Pool,
   auto TraceIt = M->TraceByPtr.find(&T);
   if (TraceIt != M->TraceByPtr.end())
     E.TracePin = TraceIt->second->T;
-  auto Pos = M->insertFront(std::move(E));
-  M->WebMap.emplace(&T, Pos);
+  bool Listed = false;
+  Impl::List::iterator Pos;
+  try {
+    Pos = M->insertFront(std::move(E));
+    Listed = true;
+    M->WebMap.emplace(&T, Pos);
+  } catch (const std::bad_alloc &) {
+    if (Listed) {
+      M->TotalBytes -= Pos->Bytes;
+      M->Lru.erase(Pos);
+    }
+    countInsertDropped();
+    return W;
+  }
   M->evict(Pos);
   return W;
 }
@@ -262,6 +311,10 @@ DiffCache::correlation(const ViewWeb &Left, const ViewWeb &Right) {
     M->touch(It->second);
     return It->second->Corr;
   }
+  if (FaultInjector::fire(FaultSite::CacheInsert)) {
+    countInsertDropped();
+    return X; // Uncached: the next request recorrelates.
+  }
   Impl::Entry E;
   E.K = Impl::Kind::Correlation;
   E.Bytes = correlationBytes(Left, Right, *X);
@@ -274,8 +327,20 @@ DiffCache::correlation(const ViewWeb &Left, const ViewWeb &Right) {
   auto RightIt = M->WebMap.find(&Right.trace());
   if (RightIt != M->WebMap.end() && RightIt->second->Web.get() == &Right)
     E.WebPinRight = RightIt->second->Web;
-  auto Pos = M->insertFront(std::move(E));
-  M->CorrMap.emplace(Key, Pos);
+  bool Listed = false;
+  Impl::List::iterator Pos;
+  try {
+    Pos = M->insertFront(std::move(E));
+    Listed = true;
+    M->CorrMap.emplace(Key, Pos);
+  } catch (const std::bad_alloc &) {
+    if (Listed) {
+      M->TotalBytes -= Pos->Bytes;
+      M->Lru.erase(Pos);
+    }
+    countInsertDropped();
+    return X;
+  }
   M->evict(Pos);
   return X;
 }

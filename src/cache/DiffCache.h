@@ -42,6 +42,7 @@
 #define RPRISM_CACHE_DIFFCACHE_H
 
 #include "diff/ViewsDiff.h"
+#include "support/Expected.h"
 
 #include <list>
 #include <memory>
@@ -68,10 +69,11 @@ public:
   /// digest plus the interner identity form the key, so re-loading the
   /// same bytes (same path or a copy) into the same interner returns the
   /// already-loaded trace without reading, validating, or fingerprinting
-  /// it again. Returns null on error (message in \p Error).
+  /// it again. Returns null on error (the typed diagnostic — class, code,
+  /// message — in \p Error).
   std::shared_ptr<const Trace> load(const std::string &Path,
                                     std::shared_ptr<StringInterner> Strings,
-                                    std::string *Error = nullptr);
+                                    Err *Error = nullptr);
 
   /// The view web of \p T, built on first request (with \p Pool /
   /// \p UseIndex, see ViewWeb) and returned from cache afterwards.

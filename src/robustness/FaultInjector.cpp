@@ -1,0 +1,121 @@
+//===- robustness/FaultInjector.cpp ---------------------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "robustness/FaultInjector.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace rprism;
+
+const char *rprism::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::FileOpen:
+    return "file-open";
+  case FaultSite::FileRead:
+    return "file-read";
+  case FaultSite::FileMmap:
+    return "file-mmap";
+  case FaultSite::SectionChecksum:
+    return "section-checksum";
+  case FaultSite::ViewIndexBorrow:
+    return "view-index-borrow";
+  case FaultSite::CacheInsert:
+    return "cache-insert";
+  case FaultSite::PoolDispatch:
+    return "pool-dispatch";
+  }
+  return "unknown";
+}
+
+FaultInjector &FaultInjector::get() {
+  static FaultInjector Instance;
+  return Instance;
+}
+
+void FaultInjector::arm(uint64_t NewSeed) {
+  Armed.store(false, std::memory_order_relaxed);
+  Seed = NewSeed;
+  StallMicros = 50;
+  for (SiteState &S : Sites) {
+    S.Occurrences.store(0, std::memory_order_relaxed);
+    S.Injected.store(0, std::memory_order_relaxed);
+    S.Probability = 0.0;
+    S.OneShotAt = -1;
+  }
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  Armed.store(false, std::memory_order_relaxed);
+  for (SiteState &S : Sites) {
+    S.Probability = 0.0;
+    S.OneShotAt = -1;
+  }
+}
+
+void FaultInjector::configure(FaultSite Site, double Probability,
+                              int64_t OneShotAt) {
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  S.Probability = Probability;
+  S.OneShotAt = OneShotAt;
+}
+
+uint64_t FaultInjector::occurrences(FaultSite Site) const {
+  return Sites[static_cast<unsigned>(Site)].Occurrences.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected(FaultSite Site) const {
+  return Sites[static_cast<unsigned>(Site)].Injected.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::decisionHash(FaultSite Site,
+                                     uint64_t Occurrence) const {
+  // splitmix64 over (seed, site, occurrence); self-contained so this
+  // library needs no dependencies.
+  uint64_t X = Seed ^ (uint64_t{static_cast<unsigned>(Site)} << 56) ^
+               (Occurrence * 0x9e3779b97f4a7c15ull);
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+bool FaultInjector::fireSlow(FaultSite Site) {
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  uint64_t N = S.Occurrences.fetch_add(1, std::memory_order_relaxed);
+  bool Hit = S.OneShotAt >= 0 && N == static_cast<uint64_t>(S.OneShotAt);
+  if (!Hit && S.Probability > 0.0) {
+    // Top 53 bits as a uniform double in [0, 1).
+    double U = static_cast<double>(decisionHash(Site, N) >> 11) *
+               (1.0 / 9007199254740992.0);
+    Hit = U < S.Probability;
+  }
+  if (Hit)
+    S.Injected.fetch_add(1, std::memory_order_relaxed);
+  return Hit;
+}
+
+bool FaultInjector::corruptSlow(FaultSite Site, void *Data, size_t Size) {
+  if (Size == 0 || !fireSlow(Site))
+    return false;
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  uint64_t N = S.Occurrences.load(std::memory_order_relaxed);
+  uint64_t H = decisionHash(Site, N + 0x517cc1b727220a95ull);
+  size_t ByteIndex = static_cast<size_t>(H % Size);
+  unsigned Bit = static_cast<unsigned>((H >> 32) % 8);
+  static_cast<uint8_t *>(Data)[ByteIndex] ^= uint8_t{1} << Bit;
+  return true;
+}
+
+void FaultInjector::stallSlow(FaultSite Site) {
+  if (!fireSlow(Site))
+    return;
+  std::this_thread::sleep_for(std::chrono::microseconds(StallMicros));
+}

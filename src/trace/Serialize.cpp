@@ -2,10 +2,15 @@
 
 #include "trace/Serialize.h"
 
+#include "robustness/FaultInjector.h"
+#include "robustness/Retry.h"
 #include "support/Hashing.h"
 #include "support/Telemetry.h"
+#include "trace/TraceError.h"
 #include "trace/ViewIndex.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -116,56 +121,6 @@ private:
   bool Error = false;
 };
 
-/// Matching stream reader (legacy v1/v2 format).
-class Reader {
-public:
-  explicit Reader(const std::string &Path)
-      : File(std::fopen(Path.c_str(), "rb")) {}
-  ~Reader() {
-    if (File)
-      std::fclose(File);
-  }
-
-  bool ok() const { return File && !Error; }
-
-  uint8_t u8() {
-    uint8_t V = 0;
-    raw(&V, 1);
-    return V;
-  }
-  uint32_t u32() {
-    uint32_t V = 0;
-    raw(&V, sizeof(V));
-    return V;
-  }
-  uint64_t u64() {
-    uint64_t V = 0;
-    raw(&V, sizeof(V));
-    return V;
-  }
-  std::string str() {
-    uint32_t Size = u32();
-    if (Error || Size > (1u << 28)) { // Sanity cap: 256 MB per string.
-      Error = true;
-      return "";
-    }
-    std::string S(Size, '\0');
-    raw(S.data(), Size);
-    return S;
-  }
-
-private:
-  void raw(void *Data, size_t Size) {
-    if (!File || Error)
-      return;
-    if (std::fread(Data, 1, Size, File) != Size)
-      Error = true;
-  }
-
-  std::FILE *File;
-  bool Error = false;
-};
-
 /// Growable byte buffer for the serialized (non-column) v3 sections.
 struct ByteBuffer {
   std::string Out;
@@ -189,6 +144,11 @@ public:
   bool ok() const { return !Error; }
   bool atEnd() const { return Remaining == 0; }
 
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, 1);
+    return V;
+  }
   uint32_t u32() {
     uint32_t V = 0;
     raw(&V, sizeof(V));
@@ -237,7 +197,7 @@ void writeObjRepr(Writer &W, const ObjRepr &Obj) {
   W.u8(Obj.HasRepr ? 1 : 0);
 }
 
-ObjRepr readObjRepr(Reader &R, const std::vector<Symbol> &Map) {
+ObjRepr readObjRepr(ByteCursor &R, const std::vector<Symbol> &Map) {
   ObjRepr Obj;
   Obj.Loc = R.u32();
   uint32_t Sym = R.u32();
@@ -254,7 +214,7 @@ void writeValueRepr(Writer &W, const ValueRepr &Value) {
   W.u32(Value.Text.Id);
 }
 
-ValueRepr readValueRepr(Reader &R, const std::vector<Symbol> &Map) {
+ValueRepr readValueRepr(ByteCursor &R, const std::vector<Symbol> &Map) {
   ValueRepr Value;
   Value.Kind = static_cast<ReprKind>(R.u8());
   Value.Hash = R.u64();
@@ -310,19 +270,29 @@ bool writeTraceLegacyImpl(const Trace &T, const std::string &Path,
   return W.ok();
 }
 
-/// Reads the body of a v1/v2 file (the reader is positioned after magic and
-/// version).
-Expected<Trace> readTraceLegacy(Reader &R, const std::string &Path,
-                                std::shared_ptr<StringInterner> Strings) {
+/// Reads the body of a v1/v2 file (the cursor is positioned after magic
+/// and version). In salvage mode the valid entry prefix parsed before any
+/// damage is returned instead of an error; the side tables (strings,
+/// threads, arg pool) precede the entries in this format, so damage there
+/// leaves nothing to salvage.
+Expected<Trace> readTraceLegacy(ByteCursor &R, const std::string &Path,
+                                std::shared_ptr<StringInterner> Strings,
+                                const ReadOptions &Options) {
   Trace T;
   T.Strings = std::move(Strings);
   T.Name = R.str();
 
   // Re-intern the file's string table; Map translates file symbol ids.
+  // The declared count is untrusted: grow incrementally under R.ok()
+  // instead of preallocating (a tampered count must not become a huge
+  // allocation).
   uint32_t NumStrings = R.u32();
-  std::vector<Symbol> Map(R.ok() ? NumStrings : 0);
-  for (uint32_t I = 0; I != Map.size(); ++I)
-    Map[I] = T.Strings->intern(R.str());
+  std::vector<Symbol> Map;
+  for (uint32_t I = 0; I != NumStrings && R.ok(); ++I) {
+    std::string S = R.str();
+    if (R.ok())
+      Map.push_back(T.Strings->intern(S));
+  }
   auto MapSym = [&Map](uint32_t Id) {
     return Id < Map.size() ? Map[Id] : Symbol{};
   };
@@ -337,14 +307,21 @@ Expected<Trace> readTraceLegacy(Reader &R, const std::string &Path,
     uint32_t StackSize = R.u32();
     for (uint32_t J = 0; J != StackSize && R.ok(); ++J)
       Thread.SpawnStack.push_back(MapSym(R.u32()));
-    T.Threads.push_back(std::move(Thread));
+    if (R.ok())
+      T.Threads.push_back(std::move(Thread));
   }
 
   uint32_t PoolSize = R.u32();
-  for (uint32_t I = 0; I != PoolSize && R.ok(); ++I)
-    T.ArgPool.push_back(readValueRepr(R, Map));
+  for (uint32_t I = 0; I != PoolSize && R.ok(); ++I) {
+    ValueRepr Value = readValueRepr(R, Map);
+    if (R.ok())
+      T.ArgPool.push_back(Value);
+  }
+  if (!R.ok())
+    return TraceError::truncated(Path);
 
   uint32_t NumEntries = R.u32();
+  bool Damaged = false;
   for (uint32_t I = 0; I != NumEntries && R.ok(); ++I) {
     TraceEntry Entry;
     Entry.Eid = R.u32(); // Stored eid is the entry's index; discarded.
@@ -352,8 +329,13 @@ Expected<Trace> readTraceLegacy(Reader &R, const std::string &Path,
     Entry.Method = MapSym(R.u32());
     Entry.Self = readObjRepr(R, Map);
     uint8_t Kind = R.u8();
-    if (Kind > MaxEventKind)
-      return makeErr("'" + Path + "' has a corrupt event kind");
+    if (Kind > MaxEventKind) {
+      if (Options.Salvage) {
+        Damaged = true;
+        break;
+      }
+      return TraceError::corruptSection(Path, "event-kind");
+    }
     Entry.Ev.Kind = static_cast<EventKind>(Kind);
     Entry.Ev.Name = MapSym(R.u32());
     Entry.Ev.Target = readObjRepr(R, Map);
@@ -362,14 +344,35 @@ Expected<Trace> readTraceLegacy(Reader &R, const std::string &Path,
     Entry.Ev.ArgsEnd = R.u32();
     Entry.Ev.ChildTid = R.u32();
     Entry.Prov = R.u32();
+    if (!R.ok()) {
+      Damaged = true;
+      break;
+    }
     if (Entry.Ev.ArgsBegin > Entry.Ev.ArgsEnd ||
-        Entry.Ev.ArgsEnd > T.ArgPool.size())
-      return makeErr("'" + Path + "' has a corrupt argument slice");
+        Entry.Ev.ArgsEnd > T.ArgPool.size()) {
+      if (Options.Salvage) {
+        Damaged = true;
+        break;
+      }
+      return TraceError::corruptSection(Path, "argument-slice");
+    }
     T.append(Entry);
   }
+  Damaged |= !R.ok();
 
-  if (!R.ok())
-    return makeErr("truncated trace file '" + Path + "'");
+  if (Damaged && !Options.Salvage)
+    return TraceError::truncated(Path);
+  if (Damaged) {
+    Telemetry::counterAdd("robust.salvage.used");
+    Telemetry::counterAdd("robust.salvage.recovered_entries", T.size());
+    uint64_t Dropped = NumEntries > T.size() ? NumEntries - T.size() : 0;
+    Telemetry::counterAdd("robust.salvage.dropped_entries", Dropped);
+    if (Options.Report) {
+      Options.Report->Salvaged = true;
+      Options.Report->EntriesRecovered = T.size();
+      Options.Report->EntriesDropped = Dropped;
+    }
+  }
   // Fingerprints hash symbol ids, which re-interning just remapped;
   // recompute so loaded traces hit the =e fast path.
   T.computeFingerprints();
@@ -501,43 +504,55 @@ struct FileBytes {
   bool Mapped = false;
 };
 
-bool loadFileBytes(const std::string &Path, FileBytes &Out) {
+/// How a load attempt ended. NotFound is terminal (retrying cannot create
+/// the file); Error covers everything transient-looking and is retried.
+enum class IoStatus { Ok, NotFound, Error };
+
+IoStatus loadFileBytesOnce(const std::string &Path, FileBytes &Out) {
+  if (FaultInjector::fire(FaultSite::FileOpen))
+    return IoStatus::Error; // Injected EIO on open.
 #if RPRISM_HAVE_MMAP
   int Fd = ::open(Path.c_str(), O_RDONLY);
   if (Fd < 0)
-    return false;
+    return errno == ENOENT || errno == ENOTDIR ? IoStatus::NotFound
+                                               : IoStatus::Error;
   struct stat St;
   if (::fstat(Fd, &St) != 0 || St.st_size < 0) {
     ::close(Fd);
-    return false;
+    return IoStatus::Error;
   }
   size_t Size = static_cast<size_t>(St.st_size);
   if (Size == 0) {
     ::close(Fd);
     Out = FileBytes{std::shared_ptr<void>(), nullptr, 0, false};
-    return true;
+    return IoStatus::Ok;
   }
-  void *Map = ::mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, Fd, 0);
-  ::close(Fd); // The mapping survives the descriptor.
-  if (Map != MAP_FAILED) {
-    Out.Holder = std::shared_ptr<void>(
-        Map, [Size](void *P) { ::munmap(P, Size); });
-    Out.Data = static_cast<const uint8_t *>(Map);
-    Out.Size = Size;
-    Out.Mapped = true;
-    return true;
+  // An injected mmap failure exercises the arena fallback below.
+  if (!FaultInjector::fire(FaultSite::FileMmap)) {
+    void *Map = ::mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, Fd, 0);
+    if (Map != MAP_FAILED) {
+      ::close(Fd); // The mapping survives the descriptor.
+      Out.Holder = std::shared_ptr<void>(
+          Map, [Size](void *P) { ::munmap(P, Size); });
+      Out.Data = static_cast<const uint8_t *>(Map);
+      Out.Size = Size;
+      Out.Mapped = true;
+      return IoStatus::Ok;
+    }
   }
+  ::close(Fd);
 #endif
   // Fallback: one read into an arena. operator new guarantees alignment
   // for every fundamental type, which covers the 8-byte column elements.
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
-    return false;
+    return errno == ENOENT || errno == ENOTDIR ? IoStatus::NotFound
+                                               : IoStatus::Error;
   std::fseek(File, 0, SEEK_END);
   long EndPos = std::ftell(File);
   if (EndPos < 0) {
     std::fclose(File);
-    return false;
+    return IoStatus::Error;
   }
   size_t FileSize = static_cast<size_t>(EndPos);
   std::fseek(File, 0, SEEK_SET);
@@ -545,35 +560,56 @@ bool loadFileBytes(const std::string &Path, FileBytes &Out) {
                               [](void *P) { ::operator delete(P); });
   size_t Got = FileSize ? std::fread(Arena.get(), 1, FileSize, File) : 0;
   std::fclose(File);
-  if (Got != FileSize)
-    return false;
+  if (Got != FileSize || FaultInjector::fire(FaultSite::FileRead))
+    return IoStatus::Error; // Real or injected short read.
+  // Injected in-flight bit flip: must be caught downstream by the section
+  // checksums (v3) or the structural validation (legacy), never crash.
+  FaultInjector::corruptByte(FaultSite::FileRead, Arena.get(), FileSize);
   Out.Holder = std::move(Arena);
   Out.Data = static_cast<const uint8_t *>(Out.Holder.get());
   Out.Size = FileSize;
   Out.Mapped = false;
-  return true;
+  return IoStatus::Ok;
 }
 
-/// A verified v3 section: pointer into the file bytes plus length.
+/// Degradation-ladder rung: transient I/O failures get a bounded retry
+/// with backoff (robust.io_retry counts each retry) before surfacing.
+IoStatus loadFileBytes(const std::string &Path, FileBytes &Out) {
+  IoStatus Status = IoStatus::Error;
+  retryWithBackoff(
+      RetryPolicy{},
+      [&] {
+        Status = loadFileBytesOnce(Path, Out);
+        return Status != IoStatus::Error; // NotFound is terminal: no retry.
+      },
+      [](unsigned) { Telemetry::counterAdd("robust.io_retry"); });
+  return Status;
+}
+
+/// A v3 section as parsed from the table: pointer into the file bytes,
+/// recorded length, how many of its leading bytes are actually present,
+/// and whether the payload is fully present and checksum-clean.
 struct SectionIn {
   const uint8_t *Data = nullptr;
-  uint64_t Length = 0;
+  uint64_t Length = 0; ///< Recorded payload length.
+  uint64_t Avail = 0;  ///< Leading bytes of it present in the file.
   bool Present = false;
+  bool Intact = false; ///< Fully present and checksum-verified.
 };
 
-Expected<Trace> readTraceV3(const std::string &Path,
-                            std::shared_ptr<StringInterner> Strings) {
-  FileBytes File;
-  if (!loadFileBytes(Path, File))
-    return makeErr("cannot open trace file '" + Path + "'");
-  if (File.Mapped)
-    Telemetry::counterAdd("load.mmap", 1);
+/// The two view-index sections are derived data (rebuildable from the
+/// columns), so damage to them degrades instead of failing the load.
+bool isViewSection(uint32_t Id) {
+  return Id == SecViewMeta || Id == SecViewEntries;
+}
 
-  auto Truncated = [&] {
-    return makeErr("truncated trace file '" + Path + "'");
-  };
+Expected<Trace> readTraceV3(const std::string &Path, const FileBytes &File,
+                            std::shared_ptr<StringInterner> Strings,
+                            const ReadOptions &Options) {
+  const bool Salvage = Options.Salvage;
+  auto Truncated = [&] { return TraceError::truncated(Path); };
   auto Corrupt = [&](const char *What) {
-    return makeErr("'" + Path + "' has a corrupt " + What + " section");
+    return TraceError::corruptSection(Path, What);
   };
 
   if (File.Size < HeaderBytes)
@@ -581,7 +617,7 @@ Expected<Trace> readTraceV3(const std::string &Path,
   uint32_t Head[4];
   std::memcpy(Head, File.Data, sizeof(Head));
   if (Head[0] != TraceMagic)
-    return makeErr("'" + Path + "' is not a trace file");
+    return TraceError::notATrace(Path);
   uint32_t Flags = Head[2], NumSections = Head[3];
   if (NumSections == 0 || NumSections > MaxSections)
     return Corrupt("table");
@@ -589,10 +625,16 @@ Expected<Trace> readTraceV3(const std::string &Path,
   if (TableEnd > File.Size)
     return Truncated();
 
-  // Verify the section table: every payload in bounds, aligned, unique id,
-  // and checksum-clean. After this loop the payload bytes are still
-  // *untrusted values* but are safe to address.
+  // Parse and verify the section table: every payload in bounds, aligned,
+  // unique id, and checksum-clean. After this loop the payload bytes are
+  // still *untrusted values* but are safe to address. Strict reads reject
+  // any damage to a core section; damage confined to the view-index
+  // sections only drops the index (first rung of the degradation ladder);
+  // salvage additionally tolerates damaged entry columns, tracking how
+  // many leading bytes of each survive.
   SectionIn Sections[MaxSectionId + 1] = {};
+  bool DropViewIndex = false;
+  bool Damaged = false; // Salvage: some core/fingerprint payload was hurt.
   for (uint32_t I = 0; I != NumSections; ++I) {
     uint8_t Record[SectionRecordBytes];
     std::memcpy(Record, File.Data + HeaderBytes + I * SectionRecordBytes,
@@ -603,46 +645,104 @@ Expected<Trace> readTraceV3(const std::string &Path,
     std::memcpy(&Offset, Record + 8, 8);
     std::memcpy(&Length, Record + 16, 8);
     std::memcpy(&Checksum, Record + 24, 8);
-    if (Offset % 8 != 0 || Offset < TableEnd || Offset > File.Size ||
-        Length > File.Size - Offset)
-      return Truncated();
+    if (Offset % 8 != 0 || Offset < TableEnd || Offset > File.Size) {
+      // The record itself is unusable (misaligned or out-of-file offset).
+      if (Id <= MaxSectionId && isViewSection(Id)) {
+        DropViewIndex = true;
+        continue;
+      }
+      if (Salvage) { // Treat the section as absent.
+        Damaged = true;
+        continue;
+      }
+      return TraceError::sectionBounds(Path, Id, Offset);
+    }
     if (Id > MaxSectionId)
       continue; // Unknown section: ignore for forward compatibility.
-    if (Sections[Id].Present)
-      return Corrupt("duplicate");
-    if (hashBytes(File.Data + Offset, Length) != Checksum)
-      return Corrupt("checksummed");
-    Sections[Id] = SectionIn{File.Data + Offset, Length, true};
+    if (Sections[Id].Present) {
+      if (isViewSection(Id)) {
+        DropViewIndex = true;
+        continue;
+      }
+      if (Salvage) // Ambiguous: keep the first record seen.
+        continue;
+      return TraceError::duplicateSection(Path, Id);
+    }
+    uint64_t Avail = std::min(Length, File.Size - Offset);
+    bool Intact = Avail == Length;
+    if (Intact && (hashBytes(File.Data + Offset, Length) != Checksum ||
+                   FaultInjector::fire(FaultSite::SectionChecksum))) {
+      // Checksum mismatch (real or injected): the damage can be anywhere
+      // in the payload, so unlike truncation no prefix is trustworthy.
+      if (isViewSection(Id)) {
+        DropViewIndex = true;
+        continue;
+      }
+      if (!Salvage)
+        return TraceError::sectionChecksum(Path, Id, Offset);
+      Intact = false;
+      Avail = 0;
+      Damaged = true;
+    } else if (!Intact) {
+      // The file ends inside this payload.
+      if (isViewSection(Id)) {
+        DropViewIndex = true;
+        continue;
+      }
+      if (!Salvage)
+        return Truncated();
+      Damaged = true;
+    }
+    Sections[Id] = SectionIn{File.Data + Offset, Length, Avail, true, Intact};
   }
 
-  static constexpr uint32_t Required[] = {
-      SecStrings, SecThreads, SecArgPool, SecTid,      SecMethod,
-      SecSelf,    SecKind,    SecEvName,  SecTarget,   SecValue,
-      SecArgsBegin, SecArgsEnd, SecChildTid, SecProv};
-  for (uint32_t Id : Required)
+  // Side sections frame variable-length data, so no prefix of them is
+  // usable: they must be intact even under salvage.
+  static constexpr uint32_t RequiredSide[] = {SecStrings, SecThreads,
+                                              SecArgPool};
+  for (uint32_t Id : RequiredSide)
+    if (!Sections[Id].Present || !Sections[Id].Intact)
+      return Salvage ? TraceError::unsalvageable(
+                           Path, "side section " + std::to_string(Id) +
+                                     " is missing or damaged")
+                     : Truncated();
+  static constexpr uint32_t RequiredColumns[] = {
+      SecTid,   SecMethod,    SecSelf,    SecKind,     SecEvName, SecTarget,
+      SecValue, SecArgsBegin, SecArgsEnd, SecChildTid, SecProv};
+  for (uint32_t Id : RequiredColumns)
     if (!Sections[Id].Present)
-      return Truncated();
+      return Salvage ? TraceError::unsalvageable(
+                           Path, "entry column " + std::to_string(Id) +
+                                     " is missing")
+                     : Truncated();
   bool WithFps = (Flags & FlagHasFingerprints) != 0;
-  if (WithFps && !Sections[SecFp].Present)
-    return Truncated();
+  if (WithFps && !Sections[SecFp].Present) {
+    if (!Salvage)
+      return Truncated();
+    WithFps = false; // Fingerprints are derived data: recompute below.
+    Damaged = true;
+  }
 
   Trace T;
   T.Strings = std::move(Strings);
-  if (Sections[SecName].Present)
+  if (Sections[SecName].Present && Sections[SecName].Intact)
     T.Name.assign(reinterpret_cast<const char *>(Sections[SecName].Data),
                   Sections[SecName].Length);
 
   // String table: re-intern and check for symbol identity (fresh interner,
   // or one already holding this exact table — the shared-interner diff
-  // session case).
+  // session case). The declared count is untrusted: every string costs at
+  // least its 4-byte length prefix, so a count beyond Length/4 is corrupt
+  // — and can never become a huge up-front allocation.
   ByteCursor SC(Sections[SecStrings].Data, Sections[SecStrings].Length);
   uint32_t NumStrings = SC.u32();
-  if (!SC.ok() || NumStrings > (1u << 28))
+  if (!SC.ok() || uint64_t{NumStrings} > Sections[SecStrings].Length / 4)
     return Corrupt("string");
-  std::vector<Symbol> Map(NumStrings);
+  std::vector<Symbol> Map;
+  Map.reserve(NumStrings);
   bool Identity = true;
   for (uint32_t I = 0; I != NumStrings; ++I) {
-    Map[I] = T.Strings->intern(SC.str());
+    Map.push_back(T.Strings->intern(SC.str()));
     Identity &= Map[I].Id == I;
   }
   if (!SC.ok())
@@ -677,23 +777,43 @@ Expected<Trace> readTraceV3(const std::string &Path,
   // Entry columns: consistent lengths, then a validation scan over the
   // untrusted values so nothing downstream needs to distrust them (enum
   // ranges, symbol ids, argument slices). ChildTid is exempt: its only
-  // consumers bounds-check against the thread table.
-  uint64_t N = Sections[SecKind].Length;
-  if (N > (uint64_t{1} << 32) - 1)
+  // consumers bounds-check against the thread table. Strict mode demands
+  // every column carry exactly the declared entry count; salvage shrinks
+  // the count to the longest prefix every (possibly truncated) column can
+  // cover — a checksum-failed column covers none, so damage that is not a
+  // truncation recovers nothing rather than something wrong.
+  uint64_t DeclaredN = Sections[SecKind].Length;
+  if (DeclaredN > (uint64_t{1} << 32) - 1)
     return Corrupt("kind");
-  struct {
+  struct ColumnSize {
     uint32_t Id;
     uint64_t ElemSize;
-  } ColumnSizes[] = {
-      {SecTid, 4},    {SecMethod, 4},    {SecSelf, 24},   {SecEvName, 4},
-      {SecTarget, 24}, {SecValue, 16},   {SecArgsBegin, 4},
+  };
+  static constexpr ColumnSize ColumnSizes[] = {
+      {SecTid, 4},     {SecMethod, 4},   {SecSelf, 24},     {SecKind, 1},
+      {SecEvName, 4},  {SecTarget, 24},  {SecValue, 16},    {SecArgsBegin, 4},
       {SecArgsEnd, 4}, {SecChildTid, 4}, {SecProv, 4},
   };
-  for (const auto &Col : ColumnSizes)
-    if (Sections[Col.Id].Length != N * Col.ElemSize)
-      return Corrupt("column");
-  if (WithFps && Sections[SecFp].Length != N * 8)
-    return Corrupt("fingerprint");
+  uint64_t N = DeclaredN;
+  if (!Salvage) {
+    for (const ColumnSize &Col : ColumnSizes)
+      if (Sections[Col.Id].Length != DeclaredN * Col.ElemSize)
+        return Corrupt("column");
+    if (WithFps && Sections[SecFp].Length != DeclaredN * 8)
+      return Corrupt("fingerprint");
+  } else {
+    for (const ColumnSize &Col : ColumnSizes)
+      N = std::min(N, Sections[Col.Id].Avail / Col.ElemSize);
+    if (N < DeclaredN)
+      Damaged = true;
+  }
+  // Stored fingerprints are only trusted when their column is intact and
+  // complete; otherwise they are recomputed (they are derived data, and a
+  // wrong fingerprint would corrupt =e instead of merely costing time).
+  bool UseStoredFps = WithFps && Sections[SecFp].Intact &&
+                      Sections[SecFp].Length == DeclaredN * 8;
+  if (Salvage && WithFps && !UseStoredFps)
+    Damaged = true;
   if (Sections[SecArgPool].Length % sizeof(ValueRepr) != 0)
     return Corrupt("argument-pool");
   uint64_t PoolCount = Sections[SecArgPool].Length / sizeof(ValueRepr);
@@ -710,19 +830,31 @@ Expected<Trace> readTraceV3(const std::string &Path,
   const auto *ArgsEnds = reinterpret_cast<const uint32_t *>(ColPtr(SecArgsEnd));
   const auto *Pool = reinterpret_cast<const ValueRepr *>(ColPtr(SecArgPool));
 
-  for (uint64_t I = 0; I != N; ++I) {
-    if (Kinds[I] > MaxEventKind)
-      return Corrupt("kind");
-    if (Methods[I].Id >= NumStrings || Names[I].Id >= NumStrings)
-      return Corrupt("symbol");
-    if (Selfs[I].ClassName.Id >= NumStrings ||
-        Targets[I].ClassName.Id >= NumStrings)
-      return Corrupt("object");
-    if (static_cast<uint8_t>(Values[I].Kind) > MaxReprKind ||
-        Values[I].Text.Id >= NumStrings)
-      return Corrupt("value");
-    if (ArgsBegins[I] > ArgsEnds[I] || ArgsEnds[I] > PoolCount)
-      return Corrupt("argument-slice");
+  {
+    uint64_t ValidN = N;
+    for (uint64_t I = 0; I != N; ++I) {
+      const char *Bad = nullptr;
+      if (Kinds[I] > MaxEventKind)
+        Bad = "kind";
+      else if (Methods[I].Id >= NumStrings || Names[I].Id >= NumStrings)
+        Bad = "symbol";
+      else if (Selfs[I].ClassName.Id >= NumStrings ||
+               Targets[I].ClassName.Id >= NumStrings)
+        Bad = "object";
+      else if (static_cast<uint8_t>(Values[I].Kind) > MaxReprKind ||
+               Values[I].Text.Id >= NumStrings)
+        Bad = "value";
+      else if (ArgsBegins[I] > ArgsEnds[I] || ArgsEnds[I] > PoolCount)
+        Bad = "argument-slice";
+      if (!Bad)
+        continue;
+      if (!Salvage)
+        return Corrupt(Bad);
+      ValidN = I; // Keep the prefix of entries that validate.
+      Damaged = true;
+      break;
+    }
+    N = ValidN;
   }
   for (uint64_t I = 0; I != PoolCount; ++I)
     if (static_cast<uint8_t>(Pool[I].Kind) > MaxReprKind ||
@@ -733,19 +865,24 @@ Expected<Trace> readTraceV3(const std::string &Path,
 
   // Optional view-index sections: parse the small meta section (copied
   // out), borrow the flat entry lists zero-copy, and validate the whole
-  // structure before trusting it — a structurally broken index is a
-  // corrupt file, not a silent fresh-build fallback. Exactly one of the
-  // two sections present is likewise corrupt.
-  if (Sections[SecViewMeta].Present != Sections[SecViewEntries].Present)
-    return Corrupt("view-index");
-  if (Sections[SecViewMeta].Present) {
+  // structure before trusting it. The index is derived data — rebuildable
+  // from the columns — so *any* damage to it (checksum, structure, one
+  // section without the other, an injected borrow failure) degrades to an
+  // index-less load: the view web is rebuilt from the entries, and the
+  // fallback is observable via `robust.view_index_dropped`.
+  bool FileHasViewIndex = DropViewIndex || Sections[SecViewMeta].Present ||
+                          Sections[SecViewEntries].Present;
+  auto ParseViewIndex = [&]() -> bool {
+    if (DropViewIndex || !Sections[SecViewMeta].Present ||
+        !Sections[SecViewEntries].Present)
+      return false;
     if (Sections[SecViewEntries].Length % sizeof(uint32_t) != 0)
-      return Corrupt("view-index");
+      return false;
     ByteCursor VC(Sections[SecViewMeta].Data, Sections[SecViewMeta].Length);
     for (size_t F = 0; F != NumViewFamilies; ++F) {
       uint32_t NumViews = VC.u32();
-      if (!VC.ok() || NumViews > N)
-        return Corrupt("view-index");
+      if (!VC.ok() || NumViews > DeclaredN)
+        return false;
       T.ViewIdx.Keys[F].reserve(NumViews);
       T.ViewIdx.Counts[F].reserve(NumViews);
       for (uint32_t V = 0; V != NumViews && VC.ok(); ++V) {
@@ -753,21 +890,28 @@ Expected<Trace> readTraceV3(const std::string &Path,
         // Method-view keys are symbol ids; validate them against the
         // string table like every other symbol-bearing field.
         if (F == 1 && VC.ok() && Key >= NumStrings)
-          return Corrupt("view-index");
+          return false;
         T.ViewIdx.Keys[F].push_back(Key);
       }
       for (uint32_t V = 0; V != NumViews && VC.ok(); ++V)
         T.ViewIdx.Counts[F].push_back(VC.u32());
     }
     if (!VC.ok() || !VC.atEnd())
-      return Corrupt("view-index");
+      return false;
+    if (FaultInjector::fire(FaultSite::ViewIndexBorrow))
+      return false;
     T.ViewIdx.Entries.borrow(
         reinterpret_cast<const uint32_t *>(Sections[SecViewEntries].Data),
         static_cast<size_t>(Sections[SecViewEntries].Length /
                             sizeof(uint32_t)));
     T.ViewIdx.Present = true;
-    if (!viewIndexIsValid(T.ViewIdx, Count))
-      return Corrupt("view-index");
+    return viewIndexIsValid(T.ViewIdx, Count);
+  };
+  if (FileHasViewIndex && !ParseViewIndex()) {
+    T.ViewIdx.clear();
+    Telemetry::counterAdd("robust.view_index_dropped");
+    if (Options.Report)
+      Options.Report->ViewIndexDropped = true;
   }
 
   auto BorrowAll = [&](Trace &Out) {
@@ -784,7 +928,7 @@ Expected<Trace> readTraceV3(const std::string &Path,
         reinterpret_cast<const uint32_t *>(ColPtr(SecChildTid)), Count);
     Out.Provs.borrow(reinterpret_cast<const uint32_t *>(ColPtr(SecProv)),
                      Count);
-    if (WithFps)
+    if (UseStoredFps)
       Out.Fps.borrow(reinterpret_cast<const uint64_t *>(ColPtr(SecFp)),
                      Count);
     Out.ArgPool.borrow(Pool, static_cast<size_t>(PoolCount));
@@ -794,9 +938,10 @@ Expected<Trace> readTraceV3(const std::string &Path,
   if (Identity) {
     // Zero-copy: symbol ids in the file are valid in this interner, so the
     // columns (including stored fingerprints) are used in place; Backing
-    // keeps the mapping alive for the life of the trace.
+    // keeps the mapping alive for the life of the trace. Salvaged prefix
+    // borrows work the same way — a column prefix is contiguous.
     T.Backing = File.Holder;
-    if (WithFps)
+    if (UseStoredFps)
       T.HasFingerprints = true;
     else
       T.computeFingerprints();
@@ -859,6 +1004,17 @@ Expected<Trace> readTraceV3(const std::string &Path,
     Telemetry::counterAdd("load.fp_recompute", 1);
     T.computeFingerprints();
   }
+
+  if (Salvage && Damaged) {
+    Telemetry::counterAdd("robust.salvage.used");
+    Telemetry::counterAdd("robust.salvage.recovered_entries", N);
+    Telemetry::counterAdd("robust.salvage.dropped_entries", DeclaredN - N);
+    if (Options.Report) {
+      Options.Report->Salvaged = true;
+      Options.Report->EntriesRecovered = N;
+      Options.Report->EntriesDropped = DeclaredN - N;
+    }
+  }
   return T;
 }
 
@@ -878,32 +1034,46 @@ bool rprism::writeTraceLegacy(const Trace &T, const std::string &Path,
 
 Expected<Trace> rprism::readTrace(const std::string &Path,
                                   std::shared_ptr<StringInterner> Strings) {
+  return readTrace(Path, std::move(Strings), ReadOptions{});
+}
+
+Expected<Trace> rprism::readTrace(const std::string &Path,
+                                  std::shared_ptr<StringInterner> Strings,
+                                  const ReadOptions &Options) {
   TelemetrySpan Span("load");
   if (!Strings)
     Strings = std::make_shared<StringInterner>();
 
-  // Peek magic and version to dispatch between the legacy stream reader
-  // and the sectioned v3 reader.
-  uint32_t Version;
-  {
-    Reader R(Path);
-    if (!R.ok())
-      return makeErr("cannot open trace file '" + Path + "'");
-    if (R.u32() != TraceMagic || !R.ok())
-      return makeErr("'" + Path + "' is not a trace file");
-    Version = R.u32();
-    if (!R.ok() || Version < MinTraceVersion || Version > TraceVersion)
-      return makeErr("'" + Path + "' has an unsupported trace version");
-  }
+  // One load of the file bytes serves the format dispatch and both
+  // readers; the legacy stream reader parses the same arena/mapping the
+  // v3 reader borrows from, so retry and fault-injection behavior is
+  // uniform across formats.
+  FileBytes File;
+  IoStatus Status = loadFileBytes(Path, File);
+  if (Status == IoStatus::NotFound)
+    return TraceError::notFound(Path);
+  if (Status == IoStatus::Error)
+    return TraceError::cannotOpen(Path);
+  if (File.Mapped)
+    Telemetry::counterAdd("load.mmap", 1);
+
+  uint32_t Magic = 0;
+  if (File.Size >= 4)
+    std::memcpy(&Magic, File.Data, 4);
+  if (Magic != TraceMagic)
+    return TraceError::notATrace(Path);
+  uint32_t Version = 0;
+  if (File.Size >= 8)
+    std::memcpy(&Version, File.Data + 4, 4);
+  if (Version < MinTraceVersion || Version > TraceVersion)
+    return TraceError::unsupportedVersion(Path, Version);
 
   Expected<Trace> Result = [&]() -> Expected<Trace> {
     if (Version <= MaxLegacyVersion) {
-      Reader R(Path);
-      R.u32(); // magic
-      R.u32(); // version
-      return readTraceLegacy(R, Path, std::move(Strings));
+      ByteCursor R(File.Data + 8, File.Size - 8);
+      return readTraceLegacy(R, Path, std::move(Strings), Options);
     }
-    return readTraceV3(Path, std::move(Strings));
+    return readTraceV3(Path, File, std::move(Strings), Options);
   }();
   if (Result)
     Telemetry::counterAdd("trace.entries_loaded", Result->size());
@@ -912,14 +1082,17 @@ Expected<Trace> rprism::readTrace(const std::string &Path,
 
 Expected<uint64_t> rprism::traceFileDigest(const std::string &Path) {
   FileBytes File;
-  if (!loadFileBytes(Path, File))
-    return makeErr("cannot open trace file '" + Path + "'");
+  IoStatus Status = loadFileBytes(Path, File);
+  if (Status == IoStatus::NotFound)
+    return TraceError::notFound(Path);
+  if (Status == IoStatus::Error)
+    return TraceError::cannotOpen(Path);
   if (File.Size < 8)
-    return makeErr("truncated trace file '" + Path + "'");
+    return TraceError::truncated(Path);
   uint32_t Head[2];
   std::memcpy(Head, File.Data, sizeof(Head));
   if (Head[0] != TraceMagic)
-    return makeErr("'" + Path + "' is not a trace file");
+    return TraceError::notATrace(Path);
   if (Head[1] >= TraceVersion && File.Size >= HeaderBytes) {
     // v3: the section table already carries a checksum per payload, so
     // hashing header + table covers the whole content without touching
@@ -974,8 +1147,10 @@ rprism::readTraceSegments(const std::string &BasePath, unsigned NumSegments,
     char Suffix[16];
     std::snprintf(Suffix, sizeof(Suffix), ".seg%03u", I);
     Expected<Trace> Segment = readTrace(BasePath + Suffix, Strings);
-    if (!Segment)
-      return Segment.error();
+    if (!Segment) {
+      Err E = Segment.error();
+      return std::move(E).note("while reading segment " + std::to_string(I));
+    }
     if (I == 0) {
       Out = Segment.take();
       continue;

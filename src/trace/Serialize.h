@@ -56,10 +56,44 @@ bool writeTrace(const Trace &T, const std::string &Path,
 bool writeTraceLegacy(const Trace &T, const std::string &Path,
                       uint32_t Version);
 
+/// What actually happened during a read — filled in when ReadOptions
+/// carries a Report pointer. Degradations are also counted process-wide
+/// (`robust.view_index_dropped`, `robust.salvage.*`, `robust.io_retry`).
+struct TraceReadReport {
+  /// Salvage mode dropped damaged trailing data and returned a prefix.
+  bool Salvaged = false;
+  /// Entries in the returned trace (salvage mode only).
+  uint64_t EntriesRecovered = 0;
+  /// Entries the file declared but salvage could not recover.
+  uint64_t EntriesDropped = 0;
+  /// The persisted view index was damaged and dropped; the trace loads
+  /// without it and view webs rebuild from the columns.
+  bool ViewIndexDropped = false;
+};
+
+/// Options for readTrace.
+struct ReadOptions {
+  /// Recover the valid entry prefix of a damaged file instead of failing:
+  /// v3 files keep every fully-checksummed leading column range (side
+  /// tables must be intact), legacy files keep the entries that parsed
+  /// before the damage. Off by default — strict reads reject damage.
+  bool Salvage = false;
+  /// Optional out-param describing degradations taken.
+  TraceReadReport *Report = nullptr;
+};
+
 /// Reads a trace from \p Path (any supported version), interning all
-/// strings into \p Strings.
+/// strings into \p Strings. Errors carry an ErrClass and a stable
+/// `trace.*` code (see trace/TraceError.h); a damaged persisted view
+/// index alone is not an error — the index is dropped and the trace
+/// loads without it.
 Expected<Trace> readTrace(const std::string &Path,
                           std::shared_ptr<StringInterner> Strings);
+
+/// As above, with salvage/reporting options.
+Expected<Trace> readTrace(const std::string &Path,
+                          std::shared_ptr<StringInterner> Strings,
+                          const ReadOptions &Options);
 
 /// Splits \p T into segments of at most \p MaxEntries entries and writes
 /// them as "<BasePath>.segNNN". Returns the number of segments written, or

@@ -346,19 +346,6 @@ TEST(Serialize, SegmentationReassemblesExactly) {
   }
 }
 
-TEST(Serialize, EmptyTraceRoundTrips) {
-  Trace T;
-  T.Name = "empty";
-  T.Strings = std::make_shared<StringInterner>();
-  std::string Path = tempPath("empty");
-  ASSERT_TRUE(writeTrace(T, Path));
-  Expected<Trace> Loaded = readTrace(Path, nullptr);
-  ASSERT_TRUE(bool(Loaded));
-  EXPECT_EQ(Loaded->size(), 0u);
-  EXPECT_EQ(Loaded->Name, "empty");
-  std::remove(Path.c_str());
-}
-
 TEST(Serialize, RejectsMissingAndCorruptFiles) {
   EXPECT_FALSE(bool(readTrace("/tmp/definitely/not/here", nullptr)));
 
@@ -397,7 +384,9 @@ TEST(Serialize, RejectsCorruptSectionBytes) {
     main { var a = new A(5); print(a.x); }
   )");
   std::string Path = tempPath("badsec");
-  ASSERT_TRUE(writeTrace(T, Path));
+  // Without the optional view-index sections the file's last payload byte
+  // belongs to a core section, so the flip must be a hard error.
+  ASSERT_TRUE(writeTrace(T, Path, /*WithViewIndex=*/false));
 
   // Flip one payload byte (the last byte of the file sits inside the last
   // section's payload): the section checksum must catch it.
@@ -411,9 +400,108 @@ TEST(Serialize, RejectsCorruptSectionBytes) {
 
   Expected<Trace> Loaded = readTrace(Path, nullptr);
   ASSERT_FALSE(bool(Loaded));
-  EXPECT_NE(Loaded.error().Message.find("corrupt"), std::string::npos)
-      << Loaded.error().Message;
+  EXPECT_EQ(Loaded.error().Class, ErrClass::Corrupt);
+  EXPECT_EQ(Loaded.error().Code, "trace.section_checksum");
   std::remove(Path.c_str());
+}
+
+TEST(Serialize, CorruptViewIndexByteDegradesNotFails) {
+  Trace T = traceOf(R"(
+    class A { Int x; A(Int x) { this.x = x; } }
+    main { var a = new A(5); print(a.x); }
+  )");
+  std::string Path = tempPath("badidx");
+  // With the view index on, the file's last payload byte sits inside the
+  // index sections — derived data, so damage there must degrade (index
+  // dropped, web rebuilt from the columns), never fail the load.
+  ASSERT_TRUE(writeTrace(T, Path, /*WithViewIndex=*/true));
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_TRUE(F != nullptr);
+  std::fseek(F, -1, SEEK_END);
+  int Byte = std::fgetc(F);
+  std::fseek(F, -1, SEEK_END);
+  std::fputc(Byte ^ 0xff, F);
+  std::fclose(F);
+
+  TraceReadReport Report;
+  ReadOptions Options;
+  Options.Report = &Report;
+  Expected<Trace> Loaded = readTrace(Path, nullptr, Options);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  EXPECT_FALSE(Loaded->ViewIdx.Present);
+  EXPECT_TRUE(Report.ViewIndexDropped);
+  EXPECT_EQ(Loaded->size(), T.size());
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, EmptyTraceRoundTrips) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T;
+  T.Strings = Strings;
+  T.Name = "empty";
+  T.computeFingerprints();
+  // Zero entries is a legal trace; both with and without the optional
+  // index sections it must round-trip and diff cleanly.
+  for (bool WithIndex : {false, true}) {
+    std::string Path = tempPath(WithIndex ? "empty_idx" : "empty_plain");
+    ASSERT_TRUE(writeTrace(T, Path, WithIndex)) << WithIndex;
+    Expected<Trace> Loaded = readTrace(Path, Strings);
+    ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+    EXPECT_EQ(Loaded->size(), 0u);
+    EXPECT_EQ(Loaded->Name, "empty");
+    DiffResult SelfDiff = viewsDiff(*Loaded, *Loaded);
+    EXPECT_EQ(SelfDiff.numLeftDiffs() + SelfDiff.numRightDiffs(), 0u);
+    // Empty against a real trace must not crash either direction.
+    Trace Real = traceOf("class A { } main { var a = new A(); }", Strings);
+    (void)viewsDiff(*Loaded, Real);
+    (void)viewsDiff(Real, *Loaded);
+    std::remove(Path.c_str());
+  }
+}
+
+/// A hand-built one-entry trace (the smallest trace with any payload).
+Trace singleEntryTrace(std::shared_ptr<StringInterner> Strings) {
+  Trace T;
+  T.Strings = Strings;
+  T.Name = "single";
+  ThreadInfo Main;
+  Main.Tid = 0;
+  Main.ParentTid = 0;
+  Main.EntryMethod = Strings->intern("main");
+  T.Threads.push_back(Main);
+  TraceEntry E;
+  E.Tid = 0;
+  E.Method = Strings->intern("main");
+  E.Ev.Kind = EventKind::Call;
+  E.Ev.Name = Strings->intern("A.m");
+  E.Ev.Target.ClassName = Strings->intern("A");
+  E.Ev.Target.Loc = 1;
+  E.Ev.Target.HasRepr = 1;
+  E.Ev.Target.ValueHash = 42;
+  T.append(E);
+  T.computeFingerprints();
+  return T;
+}
+
+TEST(Serialize, SingleEntryTraceRoundTrips) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = singleEntryTrace(Strings);
+  for (bool WithIndex : {false, true}) {
+    std::string Path = tempPath(WithIndex ? "one_idx" : "one_plain");
+    ASSERT_TRUE(writeTrace(T, Path, WithIndex)) << WithIndex;
+    // Same interner: symbol ids are preserved, so the columns borrow
+    // zero-copy from the file bytes.
+    Expected<Trace> Loaded = readTrace(Path, Strings);
+    ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+    ASSERT_EQ(Loaded->size(), 1u);
+    EXPECT_TRUE(Loaded->Kinds.borrowed());
+    EXPECT_TRUE(Loaded->Backing != nullptr);
+    EXPECT_EQ(Loaded->renderEntry(0u), T.renderEntry(0u));
+    EXPECT_EQ(Loaded->fp(0), T.fp(0));
+    DiffResult SelfDiff = viewsDiff(T, *Loaded);
+    EXPECT_EQ(SelfDiff.numLeftDiffs() + SelfDiff.numRightDiffs(), 0u);
+    std::remove(Path.c_str());
+  }
 }
 
 TEST(Serialize, SharedInternerMergesSymbolSpaces) {

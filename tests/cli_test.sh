@@ -92,7 +92,49 @@ grep -q "usage:" "$WORK/err.txt" || fail "unknown subcommand printed no usage"
 [ $? -eq 2 ] || fail "invalid flag for subcommand was not exit 2"
 "$RPRISM" run "$WORK/old.rp" --no-such-flag > /dev/null 2>&1
 [ $? -eq 2 ] || fail "unknown flag was not exit 2"
+# Exit 4: I/O error (trace file that does not exist).
+"$RPRISM" trace-dump "$WORK/no_such.rpt" > /dev/null 2>&1
+[ $? -eq 4 ] || fail "missing trace file was not exit 4"
+# Exit 3: corrupt input. Flip a byte in the checksum field of the first
+# section record (header is 16 bytes, checksum lives at record offset 24).
+cp "$WORK/old.rpt" "$WORK/corrupt.rpt"
+printf '\377' | dd of="$WORK/corrupt.rpt" bs=1 seek=40 conv=notrunc 2>/dev/null
+"$RPRISM" trace-dump "$WORK/corrupt.rpt" > /dev/null 2>&1
+[ $? -eq 3 ] || fail "corrupt trace was not exit 3"
+# A file that is not a trace at all is also exit 3.
+echo "this is not a trace" > "$WORK/garbage.rpt"
+"$RPRISM" diff-traces "$WORK/garbage.rpt" "$WORK/old.rpt" > /dev/null 2>&1
+[ $? -eq 3 ] || fail "garbage trace was not exit 3"
 set -e
+
+# --- salvage ------------------------------------------------------------------
+# Truncate the trace until a strict read fails, then confirm --salvage
+# recovers the prefix, reports the degradation, and counts it.
+SIZE="$(wc -c < "$WORK/old.rpt")"
+SALVAGED=""
+for PCT in 90 80 70 60 50; do
+  CUT=$((SIZE * PCT / 100))
+  dd if="$WORK/old.rpt" of="$WORK/cut.rpt" bs=1 count="$CUT" 2>/dev/null
+  if "$RPRISM" trace-dump "$WORK/cut.rpt" > /dev/null 2>&1; then
+    continue  # cut only clipped derived sections; strict still fine
+  fi
+  if "$RPRISM" trace-dump "$WORK/cut.rpt" --salvage \
+       --metrics-out "$WORK/salvage_metrics.json" \
+       > /dev/null 2>"$WORK/salvage_err.txt"; then
+    grep -q "salvaged" "$WORK/salvage_err.txt" \
+      || fail "--salvage printed no degradation notice"
+    grep -q '"robust.salvage.used"' "$WORK/salvage_metrics.json" \
+      || fail "salvage metrics missing robust.salvage.used counter"
+    SALVAGED=yes
+    break
+  fi
+  # Deeper cuts can remove whole entry columns: refusal is exit 3.
+  set +e
+  "$RPRISM" trace-dump "$WORK/cut.rpt" --salvage > /dev/null 2>&1
+  [ $? -eq 3 ] || fail "unsalvageable cut was not exit 3"
+  set -e
+done
+[ -n "$SALVAGED" ] || fail "no truncation level exercised --salvage recovery"
 
 # --- telemetry: --metrics-out + --profile ------------------------------------
 METRICS="$WORK/metrics.json"

@@ -52,11 +52,11 @@ int usage() {
       stderr,
       "usage:\n"
       "  rprism run <prog> [--input S]... [--int-input N]... [--trace F]\n"
-      "  rprism trace-dump <trace-file>\n"
+      "  rprism trace-dump <trace-file> [--salvage]\n"
       "  rprism diff <old-prog> <new-prog> [--engine views|lcs]\n"
       "              [--input S]... [--html F] [--jobs N] [--no-view-cache]\n"
       "  rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]\n"
-      "              [--html F] [--jobs N] [--no-view-cache]\n"
+      "              [--html F] [--jobs N] [--no-view-cache] [--salvage]\n"
       "  rprism analyze <old-prog> <new-prog> --regr-input S...\n"
       "              --ok-input S... [--removal] [--html F] [--jobs N]\n"
       "              [--no-view-cache]\n"
@@ -66,15 +66,40 @@ int usage() {
       "\n"
       "telemetry (any subcommand):\n"
       "  --metrics-out F   write run telemetry as JSON (%s)\n"
-      "  --profile         print a stage/metric profile to stderr\n",
+      "  --profile         print a stage/metric profile to stderr\n"
+      "\n"
+      "exit codes: 0 success, 1 failure, 2 usage error,\n"
+      "            3 corrupt input, 4 I/O error\n",
       kMetricsSchema);
   return 2;
+}
+
+/// Maps an error's class onto the exit-code contract printed by usage():
+/// scripts can tell a corrupt trace (retry won't help; 3) from a transient
+/// I/O failure (retry might; 4) without parsing stderr.
+int exitCodeFor(const Err &E) {
+  switch (E.Class) {
+  case ErrClass::Usage:
+    return 2;
+  case ErrClass::Corrupt:
+    return 3;
+  case ErrClass::Io:
+    return 4;
+  default:
+    return 1;
+  }
+}
+
+int fail(const Err &E) {
+  std::fprintf(stderr, "error: %s\n", E.render().c_str());
+  return exitCodeFor(E);
 }
 
 Expected<std::string> readFile(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return makeErr("cannot open '" + Path + "'");
+    return makeClassErr(ErrClass::Io, "file.open",
+                        "cannot open '" + Path + "'");
   std::ostringstream SS;
   SS << In.rdbuf();
   return SS.str();
@@ -99,6 +124,9 @@ struct Args {
   /// report is identical either way; this exists for timing comparisons
   /// and as a workaround should an index ever be suspect.
   bool NoViewCache = false;
+  /// Recover the valid prefix of a damaged trace instead of failing
+  /// (readTrace salvage mode); what was dropped is reported on stderr.
+  bool Salvage = false;
   std::string MetricsOut;
   bool Profile = false;
   /// Every --flag that appeared, for per-subcommand validation.
@@ -134,6 +162,8 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       A.Removal = true;
     else if (Arg == "--no-view-cache")
       A.NoViewCache = true;
+    else if (Arg == "--salvage")
+      A.Salvage = true;
     else if (Arg == "--html")
       A.HtmlPath = Next();
     else if (Arg == "--jobs") {
@@ -179,12 +209,12 @@ Args parseArgs(int Argc, char **Argv, int Start) {
 const std::vector<const char *> *allowedFlags(const std::string &Command) {
   static const std::vector<const char *> Run = {"--input", "--int-input",
                                                 "--trace"};
-  static const std::vector<const char *> TraceDump = {};
+  static const std::vector<const char *> TraceDump = {"--salvage"};
   static const std::vector<const char *> Diff = {
       "--engine", "--input", "--int-input", "--html", "--jobs",
       "--no-view-cache"};
   static const std::vector<const char *> DiffTraces = {
-      "--engine", "--html", "--jobs", "--no-view-cache"};
+      "--engine", "--html", "--jobs", "--no-view-cache", "--salvage"};
   static const std::vector<const char *> Analyze = {
       "--engine",  "--regr-input", "--ok-input", "--int-input",
       "--removal", "--html",       "--jobs",     "--no-view-cache"};
@@ -251,10 +281,8 @@ int cmdRun(const Args &A) {
   if (A.Positional.size() != 1)
     return usage();
   auto Prog = compileFile(A.Positional[0], nullptr);
-  if (!Prog) {
-    std::fprintf(stderr, "error: %s\n", Prog.error().render().c_str());
-    return 1;
-  }
+  if (!Prog)
+    return fail(Prog.error());
   RunResult Result = runWith(*Prog, A, A.Inputs, "run");
   std::fputs(Result.Output.c_str(), stdout);
   std::fprintf(stderr, "[%zu trace entries, %llu steps%s]\n",
@@ -272,14 +300,31 @@ int cmdRun(const Args &A) {
   return Result.Completed ? 0 : 1;
 }
 
+/// Tells the user (on stderr, like the other bracketed notes) what a
+/// degraded read dropped, so salvage never silently passes off a prefix
+/// as the whole trace.
+void reportDegradations(const std::string &Path,
+                        const TraceReadReport &Report) {
+  if (Report.Salvaged)
+    std::fprintf(stderr, "[%s: salvaged %llu entries (%llu dropped)]\n",
+                 Path.c_str(),
+                 static_cast<unsigned long long>(Report.EntriesRecovered),
+                 static_cast<unsigned long long>(Report.EntriesDropped));
+  if (Report.ViewIndexDropped)
+    std::fprintf(stderr, "[%s: damaged view index dropped]\n", Path.c_str());
+}
+
 int cmdTraceDump(const Args &A) {
   if (A.Positional.size() != 1)
     return usage();
-  Expected<Trace> T = readTrace(A.Positional[0], nullptr);
-  if (!T) {
-    std::fprintf(stderr, "error: %s\n", T.error().render().c_str());
-    return 1;
-  }
+  TraceReadReport Report;
+  ReadOptions Options;
+  Options.Salvage = A.Salvage;
+  Options.Report = &Report;
+  Expected<Trace> T = readTrace(A.Positional[0], nullptr, Options);
+  if (!T)
+    return fail(T.error());
+  reportDegradations(A.Positional[0], Report);
   std::fputs(dumpTrace(*T).c_str(), stdout);
   return 0;
 }
@@ -288,11 +333,14 @@ int printDiff(const Trace &Left, const Trace &Right, const Args &A) {
   ViewsDiffOptions Options;
   Options.Jobs = A.Jobs;
   Options.UseViewIndex = !A.NoViewCache;
+  // Salvaged traces stay out of the process-wide cache: its entries are
+  // keyed by content digest and trace address, and a salvaged prefix must
+  // never be served where the intact bytes are expected.
   DiffResult Result =
       A.Engine == DiffEngineKind::Lcs ? lcsDiff(Left, Right)
-      : A.NoViewCache ? viewsDiff(Left, Right, Options)
-                      : cachedViewsDiff(Left, Right, Options,
-                                        DiffCache::global());
+      : A.NoViewCache || A.Salvage
+          ? viewsDiff(Left, Right, Options)
+          : cachedViewsDiff(Left, Right, Options, DiffCache::global());
   if (Result.Stats.OutOfMemory) {
     std::fprintf(stderr, "error: LCS differencing ran out of memory; "
                          "retry with --engine views\n");
@@ -323,11 +371,8 @@ int cmdDiff(const Args &A) {
   auto Strings = std::make_shared<StringInterner>();
   auto Old = compileFile(A.Positional[0], Strings);
   auto New = compileFile(A.Positional[1], Strings);
-  if (!Old || !New) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!Old ? Old.error() : New.error()).render().c_str());
-    return 1;
-  }
+  if (!Old || !New)
+    return fail(!Old ? Old.error() : New.error());
   RunResult OldRun = runWith(*Old, A, A.Inputs, "old");
   RunResult NewRun = runWith(*New, A, A.Inputs, "new");
   if (OldRun.Output != NewRun.Output)
@@ -339,35 +384,35 @@ int cmdDiffTraces(const Args &A) {
   if (A.Positional.size() != 2)
     return usage();
   auto Strings = std::make_shared<StringInterner>();
-  if (A.NoViewCache) {
-    Expected<Trace> Left = readTrace(A.Positional[0], Strings);
-    if (!Left) {
-      std::fprintf(stderr, "error: %s\n", Left.error().render().c_str());
-      return 1;
-    }
-    Expected<Trace> Right = readTrace(A.Positional[1], Strings);
-    if (!Right) {
-      std::fprintf(stderr, "error: %s\n", Right.error().render().c_str());
-      return 1;
-    }
+  if (A.NoViewCache || A.Salvage) {
+    ReadOptions Options;
+    Options.Salvage = A.Salvage;
+    TraceReadReport LeftReport;
+    Options.Report = &LeftReport;
+    Expected<Trace> Left = readTrace(A.Positional[0], Strings, Options);
+    if (!Left)
+      return fail(Left.error());
+    TraceReadReport RightReport;
+    Options.Report = &RightReport;
+    Expected<Trace> Right = readTrace(A.Positional[1], Strings, Options);
+    if (!Right)
+      return fail(Right.error());
+    reportDegradations(A.Positional[0], LeftReport);
+    reportDegradations(A.Positional[1], RightReport);
     return printDiff(*Left, *Right, A);
   }
   // Content-digest-keyed loads: the two sides dedup when they are the same
   // bytes, and repeat diffs in one process (library callers, future REPL)
   // reuse loaded traces and their webs.
-  std::string Error;
+  Err Error;
   std::shared_ptr<const Trace> Left =
       DiffCache::global().load(A.Positional[0], Strings, &Error);
-  if (!Left) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
-  }
+  if (!Left)
+    return fail(Error);
   std::shared_ptr<const Trace> Right =
       DiffCache::global().load(A.Positional[1], Strings, &Error);
-  if (!Right) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
-  }
+  if (!Right)
+    return fail(Error);
   return printDiff(*Left, *Right, A);
 }
 
@@ -378,11 +423,8 @@ int cmdAnalyze(const Args &A) {
   auto Strings = std::make_shared<StringInterner>();
   auto Old = compileFile(A.Positional[0], Strings);
   auto New = compileFile(A.Positional[1], Strings);
-  if (!Old || !New) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!Old ? Old.error() : New.error()).render().c_str());
-    return 1;
-  }
+  if (!Old || !New)
+    return fail(!Old ? Old.error() : New.error());
   RunResult OrigOk = runWith(*Old, A, A.OkInputs, "orig-ok");
   RunResult OrigRegr = runWith(*Old, A, A.RegrInputs, "orig-regr");
   RunResult NewOk = runWith(*New, A, A.OkInputs, "new-ok");
@@ -424,10 +466,8 @@ int cmdViews(const Args &A) {
   if (A.Positional.size() != 1)
     return usage();
   auto Prog = compileFile(A.Positional[0], nullptr);
-  if (!Prog) {
-    std::fprintf(stderr, "error: %s\n", Prog.error().render().c_str());
-    return 1;
-  }
+  if (!Prog)
+    return fail(Prog.error());
   RunResult Result = runWith(*Prog, A, A.Inputs, "views");
   ViewWeb Web(Result.ExecTrace);
   std::printf("%zu entries; %zu views (%zu thread, %zu method, %zu "
@@ -446,11 +486,8 @@ int cmdProtocols(const Args &A) {
   auto Strings = std::make_shared<StringInterner>();
   auto Good = compileFile(A.Positional[0], Strings);
   auto Subject = compileFile(A.Positional[1], Strings);
-  if (!Good || !Subject) {
-    std::fprintf(stderr, "error: %s\n",
-                 (!Good ? Good.error() : Subject.error()).render().c_str());
-    return 1;
-  }
+  if (!Good || !Subject)
+    return fail(!Good ? Good.error() : Subject.error());
   RunResult GoodRun = runWith(*Good, A, A.Inputs, "good");
   RunResult SubjectRun = runWith(*Subject, A, A.Inputs, "subject");
   ViewWeb GoodWeb(GoodRun.ExecTrace);
