@@ -16,24 +16,193 @@
 /// The paper's histogram covers 14 usable iBugs cases; this harness
 /// produces 14 injected cases (seeds 1..14 over four input pairs).
 ///
+/// A second phase runs the same mutation workload the way a mutation
+/// study consumes it — ONE baseline vs N mutants over one input — both
+/// pairwise (N independent viewsDiff calls) and variationally (nwayDiff,
+/// which hoists the baseline web and lanes). The phase verifies the
+/// determinism contract (byte-identical per-mutant reports, identical
+/// compare-op totals) and exports both wall-clocks to BENCH_fig14.json
+/// plus an rprism-metrics-v1 telemetry block to BENCH_fig14_metrics.json.
+/// `--quick` shrinks both phases for CI smoke runs.
+///
 //===----------------------------------------------------------------------===//
 
 #include "diff/Lcs.h"
+#include "diff/NWayDiff.h"
 #include "diff/ViewsDiff.h"
 #include "support/Histogram.h"
+#include "support/MetricsSink.h"
+#include "support/SimdDispatch.h"
 #include "support/TablePrinter.h"
+#include "support/Timer.h"
 #include "workload/Mutator.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 using namespace rprism;
 
-int main() {
+namespace {
+
+/// Best-of-reps wall clock: repeats \p Body until at least \p MinReps runs
+/// and \p MinWallSeconds accumulated, returns the best single rep.
+template <typename BodyFn>
+double bestOf(BodyFn &&Body, unsigned MinReps = 2,
+              double MinWallSeconds = 0.05, unsigned MaxReps = 12) {
+  double Best = 1e30;
+  double Total = 0;
+  unsigned Rep = 0;
+  while (Rep != MaxReps) {
+    Timer Clock;
+    Body();
+    double Seconds = Clock.seconds();
+    ++Rep;
+    Best = std::min(Best, Seconds);
+    Total += Seconds;
+    if (Rep >= MinReps && Total >= MinWallSeconds)
+      break;
+  }
+  return Best;
+}
+
+/// The 1-vs-N phase: generates a shared-baseline mutant set, times the N
+/// pairwise diffs against nwayDiff, verifies the identity contract, and
+/// writes both JSON artifacts. Returns 0 on success.
+int runNWayStudy(unsigned NumMutants, std::string &Json) {
+  std::printf("== 1-vs-N variational study (%u mutants, SIMD tier: %s) "
+              "==\n\n",
+              NumMutants, simdTierName(activeSimdTier()));
+
+  RunOptions Run, Unused;
+  rhinoInputs(0, Run, Unused);
+  Expected<MutantSet> Set =
+      generateMutantSet(rhinoBaseSource(), Run, NumMutants, /*Seed=*/4242);
+  if (!Set) {
+    std::printf("ERROR: %s\n", Set.error().render().c_str());
+    return 1;
+  }
+  std::vector<const Trace *> Mutants;
+  for (const MutantTrace &M : Set->Mutants)
+    Mutants.push_back(&M.ExecTrace);
+
+  // Pairwise: N independent trace-level diffs, each rebuilding the
+  // baseline web and re-gathering its lanes (what a study loop without
+  // the variational mode runs).
+  std::vector<std::string> PairwiseReports(Mutants.size());
+  std::vector<uint64_t> PairwiseOps(Mutants.size());
+  double PairwiseSeconds = bestOf([&] {
+    for (size_t M = 0; M != Mutants.size(); ++M) {
+      DiffResult R = viewsDiff(Set->Base, *Mutants[M]);
+      PairwiseOps[M] = R.Stats.CompareOps;
+      PairwiseReports[M] = R.render(50, 12);
+    }
+  });
+
+  // Variational: one nwayDiff call over the same inputs.
+  NWayResult NWay;
+  double NWaySeconds = bestOf([&] {
+    NWay = nwayDiff(Set->Base, Mutants);
+  });
+
+  // Identity contract: per-mutant compare ops and rendered reports must
+  // match the pairwise run exactly.
+  int Exit = 0;
+  uint64_t PairwiseTotalOps = 0;
+  for (size_t M = 0; M != Mutants.size(); ++M) {
+    PairwiseTotalOps += PairwiseOps[M];
+    if (NWay.Mutants[M].Result.Stats.CompareOps != PairwiseOps[M]) {
+      std::printf("ERROR: mutant %zu compare ops diverge: nway %llu vs "
+                  "pairwise %llu\n",
+                  M,
+                  static_cast<unsigned long long>(
+                      NWay.Mutants[M].Result.Stats.CompareOps),
+                  static_cast<unsigned long long>(PairwiseOps[M]));
+      Exit = 1;
+    }
+    if (NWay.Mutants[M].Result.render(50, 12) != PairwiseReports[M]) {
+      std::printf("ERROR: mutant %zu report bytes diverge from the "
+                  "pairwise diff\n",
+                  M);
+      Exit = 1;
+    }
+  }
+  if (!Exit)
+    std::printf("identity: all %zu per-mutant reports byte-identical to "
+                "pairwise; op totals match (%llu)\n",
+                Mutants.size(),
+                static_cast<unsigned long long>(PairwiseTotalOps));
+
+  double Speedup = NWaySeconds > 0 ? PairwiseSeconds / NWaySeconds : 0;
+  std::printf("pairwise: %.4fs   1-vs-N: %.4fs   speedup: %.2fx   "
+              "(%zu agree, %zu clusters, %.1f KiB shared lanes)\n\n",
+              PairwiseSeconds, NWaySeconds, Speedup, NWay.NumAgreeing,
+              NWay.Clusters.size(),
+              static_cast<double>(NWay.SharedLaneBytes) / 1024);
+  std::fputs(NWay.render().c_str(), stdout);
+  std::printf("\n");
+
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      ",\n  \"nway\": {\"mutants\": %zu, \"base_entries\": %zu, "
+      "\"pairwise_seconds\": %.6f, \"nway_seconds\": %.6f, "
+      "\"speedup\": %.3f, \"compare_ops\": %llu, "
+      "\"ops_identical\": %s, \"reports_identical\": %s, "
+      "\"agreeing\": %zu, \"clusters\": %zu, \"simd_tier\": \"%s\"}",
+      Mutants.size(), Set->Base.size(), PairwiseSeconds, NWaySeconds,
+      Speedup, static_cast<unsigned long long>(PairwiseTotalOps),
+      Exit ? "false" : "true", Exit ? "false" : "true", NWay.NumAgreeing,
+      NWay.Clusters.size(), simdTierName(activeSimdTier()));
+  Json += Buf;
+
+  // One instrumented nway run for the rprism-metrics-v1 block: the nway.*
+  // counters, diff.simd_tier gauge, and stage spans CI asserts on.
+  Telemetry::get().reset();
+  Telemetry::get().setEnabled(true);
+  uint64_t StartNanos = Telemetry::nowNanos();
+  {
+    TelemetrySpan Root("bench-fig14");
+    NWayResult Instrumented = nwayDiff(Set->Base, Mutants);
+    if (Instrumented.totalCompareOps() != PairwiseTotalOps) {
+      std::printf("ERROR: instrumented nway op total diverges\n");
+      Exit = 1;
+    }
+  }
+  Telemetry::get().setEnabled(false);
+  MetricsRunInfo Info;
+  Info.Tool = "bench_fig14";
+  Info.Command = "nway-study";
+  Info.WallNanos = Telemetry::nowNanos() - StartNanos;
+  const char *MetricsPath = "BENCH_fig14_metrics.json";
+  if (writeMetricsJson(Telemetry::get().snapshot(), Info, MetricsPath)) {
+    std::printf("[telemetry written to %s]\n", MetricsPath);
+  } else {
+    std::printf("error: cannot write %s\n", MetricsPath);
+    Exit = 1;
+  }
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0) {
+      Quick = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_fig14 [--quick]\n");
+      return 2;
+    }
+  }
+
   std::printf("== Fig. 14: RPrism vs optimized LCS on injected "
               "regressions ==\n\n");
 
-  constexpr unsigned NumCases = 14;
+  const unsigned NumCases = Quick ? 4 : 14;
   Histogram Accuracy = makeAccuracyHistogram();
   Histogram Speedup = makeSpeedupHistogram();
   TablePrinter Table;
@@ -101,6 +270,26 @@ int main() {
   Speedup.print(std::cout, "Fig. 14(b) Speedup (RPrism vs LCS)");
   std::printf("\npaper reference: accuracy > 100%% in all but 3 of 14 "
               "cases (those 3 above 99%%); speedups up to >100x, below 1x "
-              "only for two very small traces\n");
-  return 0;
+              "only for two very small traces\n\n");
+
+  std::string Json = "{\n  \"schema\": \"rprism-bench-fig14-v1\"";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                ",\n  \"fig14\": {\"cases\": %u, \"usable\": %u, "
+                "\"under_50_seqs\": %u, \"max_seqs\": %u}",
+                NumCases, Produced, Under50Seqs, MaxSeqs);
+  Json += Buf;
+
+  int Exit = runNWayStudy(Quick ? 3 : 8, Json);
+  Json += "\n}\n";
+
+  const char *JsonPath = "BENCH_fig14.json";
+  std::ofstream Out(JsonPath, std::ios::binary);
+  if (Out && (Out << Json)) {
+    std::printf("[results written to %s]\n", JsonPath);
+  } else {
+    std::printf("error: cannot write %s\n", JsonPath);
+    Exit = 1;
+  }
+  return Exit;
 }

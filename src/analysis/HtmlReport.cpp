@@ -196,6 +196,64 @@ std::string rprism::renderHtmlReport(const RegressionReport &Report,
   return OS.str();
 }
 
+std::string rprism::renderHtmlNWay(const NWayResult &Result,
+                                   const HtmlReportOptions &Options) {
+  std::ostringstream OS;
+  openPage(OS, Options.Title);
+  OS << "<div class=\"summary\">1 baseline ("
+     << (Result.Base ? Result.Base->size() : 0) << " entries) vs "
+     << Result.Mutants.size() << " mutant(s) &middot; "
+     << Result.NumAgreeing << " agree, "
+     << (Result.Mutants.size() - Result.NumAgreeing) << " diverge in "
+     << Result.Clusters.size() << " cluster(s) &middot; "
+     << Result.totalCompareOps() << " compare ops</div>\n";
+
+  if (!Result.Clusters.empty()) {
+    OS << "<h2>divergence clusters</h2>\n<table class=\"telemetry\">"
+       << "<tr><th>cluster</th><th>site</th><th>mutants</th></tr>\n";
+    size_t Index = 0;
+    for (const NWayCluster &C : Result.Clusters) {
+      OS << "<tr><td class=\"num\">#" << Index++ << "</td><td>thread "
+         << C.SiteTid;
+      if (C.SiteEid != UINT32_MAX)
+        OS << ", eid " << C.SiteEid;
+      OS << " &mdash; " << escapeHtml(C.Site) << "</td><td>";
+      for (size_t M : C.Mutants)
+        OS << " #" << M;
+      OS << "</td></tr>\n";
+    }
+    OS << "</table>\n";
+  }
+
+  for (const NWayMutantReport &M : Result.Mutants) {
+    OS << "<h2>mutant #" << M.Index << " <span class=\"meta\">(";
+    if (M.Agrees) {
+      OS << "agrees with baseline";
+      if (M.LanesIdentical)
+        OS << ", lanes bit-identical";
+      OS << ")</span></h2>\n";
+      continue;
+    }
+    OS << M.Result.numDiffs() << " differences in "
+       << M.Result.Sequences.size() << " sequence(s), diverges "
+       << escapeHtml(M.Site) << ")</span></h2>\n";
+    size_t Shown = 0;
+    for (const DiffSequence &Seq : M.Result.Sequences) {
+      if (Shown++ == Options.MaxSequences) {
+        OS << "<p class=\"meta\">&hellip; "
+           << (M.Result.Sequences.size() - Options.MaxSequences)
+           << " more sequences</p>\n";
+        break;
+      }
+      renderSequence(OS, *M.Result.Left, *M.Result.Right, Seq, nullptr,
+                     nullptr, Options.MaxEntriesPerSide);
+    }
+  }
+  renderTelemetrySection(OS);
+  OS << "</body></html>\n";
+  return OS.str();
+}
+
 bool rprism::writeHtmlFile(const std::string &Html,
                            const std::string &Path) {
   std::ofstream Out(Path, std::ios::binary);

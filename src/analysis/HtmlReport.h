@@ -21,6 +21,7 @@
 
 #include "analysis/Regression.h"
 #include "diff/DiffResult.h"
+#include "diff/NWayDiff.h"
 
 #include <string>
 
@@ -43,6 +44,13 @@ std::string renderHtmlDiff(const DiffResult &Result,
 std::string renderHtmlReport(const RegressionReport &Report,
                              const HtmlReportOptions &Options =
                                  HtmlReportOptions());
+
+/// The page for a 1-vs-N variational diff: the agreement summary,
+/// divergence-site clusters with their member mutants, and each divergent
+/// mutant's difference sequences (agreeing mutants collapse to one line).
+std::string renderHtmlNWay(const NWayResult &Result,
+                           const HtmlReportOptions &Options =
+                               HtmlReportOptions());
 
 /// Writes \p Html to \p Path; false on I/O failure.
 bool writeHtmlFile(const std::string &Html, const std::string &Path);

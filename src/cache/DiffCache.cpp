@@ -385,3 +385,17 @@ DiffResult rprism::cachedViewsDiff(const Trace &Left, const Trace &Right,
       Cache.correlation(*LeftWeb, *RightWeb);
   return viewsDiff(*LeftWeb, *RightWeb, *X, Options, &Pool);
 }
+
+NWayResult rprism::cachedNWayDiff(const Trace &Base,
+                                  const std::vector<const Trace *> &Mutants,
+                                  const ViewsDiffOptions &Options,
+                                  DiffCache &Cache) {
+  NWayProviders Providers;
+  Providers.Web = [&Cache](const Trace &T, ThreadPool *Pool, bool UseIndex) {
+    return Cache.web(T, Pool, UseIndex);
+  };
+  Providers.Correlation = [&Cache](const ViewWeb &L, const ViewWeb &R) {
+    return Cache.correlation(L, R);
+  };
+  return nwayDiff(Base, Mutants, Options, Providers);
+}

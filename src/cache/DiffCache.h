@@ -41,6 +41,7 @@
 #ifndef RPRISM_CACHE_DIFFCACHE_H
 #define RPRISM_CACHE_DIFFCACHE_H
 
+#include "diff/NWayDiff.h"
 #include "diff/ViewsDiff.h"
 #include "support/Expected.h"
 
@@ -105,6 +106,14 @@ private:
 /// identical to the uncached path for every jobs value.
 DiffResult cachedViewsDiff(const Trace &Left, const Trace &Right,
                            const ViewsDiffOptions &Options, DiffCache &Cache);
+
+/// 1-vs-N variational diff with webs and correlations routed through
+/// \p Cache (the NWayProviders hook): the baseline web is built at most
+/// once across repeated studies, and mutants re-used between calls skip
+/// their web builds too. Results are identical to the uncached nwayDiff.
+NWayResult cachedNWayDiff(const Trace &Base,
+                          const std::vector<const Trace *> &Mutants,
+                          const ViewsDiffOptions &Options, DiffCache &Cache);
 
 } // namespace rprism
 

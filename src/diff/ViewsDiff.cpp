@@ -3,6 +3,7 @@
 #include "diff/ViewsDiff.h"
 
 #include "diff/Lcs.h"
+#include "support/SimdDispatch.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -17,26 +18,15 @@ using namespace rprism;
 
 namespace {
 
-/// Length of the equal prefix of A[0..Max) and B[0..Max): a wide-word scan
-/// over two dense fingerprint lanes. Eight 64-bit XORs are OR-folded per
-/// iteration so the match-dominated common case retires one branch per 64
-/// bytes of lane, and the scalar tail pins down the exact boundary. The
-/// lanes are contiguous (gathered per view pair), so this streams at
-/// memory bandwidth instead of chasing strided entry loads.
+/// Length of the equal prefix of A[0..Max) and B[0..Max) over two dense
+/// fingerprint lanes. The kernel itself lives in support/SimdDispatch:
+/// XOR-OR blocks at the widest tier the host supports (AVX2 32-byte, SSE2
+/// 16-byte, or the original scalar 8x64-bit loop), selected once per
+/// process by CPUID and forced scalar under RPRISM_NO_SIMD. Every tier
+/// returns the identical boundary — the lanes are contiguous (gathered per
+/// view pair), so this streams at memory bandwidth either way.
 size_t matchRun(const uint64_t *A, const uint64_t *B, size_t Max) {
-  size_t K = 0;
-  while (K + 8 <= Max) {
-    uint64_t Diff = (A[K] ^ B[K]) | (A[K + 1] ^ B[K + 1]) |
-                    (A[K + 2] ^ B[K + 2]) | (A[K + 3] ^ B[K + 3]) |
-                    (A[K + 4] ^ B[K + 4]) | (A[K + 5] ^ B[K + 5]) |
-                    (A[K + 6] ^ B[K + 6]) | (A[K + 7] ^ B[K + 7]);
-    if (Diff)
-      break;
-    K += 8;
-  }
-  while (K < Max && A[K] == B[K])
-    ++K;
-  return K;
+  return laneMatchRun(A, B, Max);
 }
 
 /// Evaluates ONE correlated thread-view pair with fully isolated state:
@@ -49,9 +39,10 @@ size_t matchRun(const uint64_t *A, const uint64_t *B, size_t Max) {
 class PairEvaluator {
 public:
   PairEvaluator(const ViewWeb &Left, const ViewWeb &Right,
-                const ViewCorrelation &X, const ViewsDiffOptions &Options)
+                const ViewCorrelation &X, const ViewsDiffOptions &Options,
+                const BaselineLanes *SharedLeft = nullptr)
       : LeftWeb(Left), RightWeb(Right), X(X), Options(Options),
-        LT(Left.trace()), RT(Right.trace()) {
+        SharedLeft(SharedLeft), LT(Left.trace()), RT(Right.trace()) {
     LeftSimilar.assign(LT.size(), false);
     RightSimilar.assign(RT.size(), false);
   }
@@ -64,7 +55,8 @@ public:
   std::vector<DiffSequence> Sequences;
   std::unordered_map<uint32_t, uint32_t> Anchors; ///< left eid -> right eid.
   CompareCounter Ops;
-  uint64_t RunSkips = 0; ///< Fingerprint-lane runs consumed (telemetry).
+  uint64_t RunSkips = 0;       ///< Fingerprint-lane runs consumed (telemetry).
+  uint64_t SharedLaneHits = 0; ///< Left lanes served by SharedLeft.
 
 private:
   bool eq(uint32_t LeftEid, uint32_t RightEid) {
@@ -107,15 +99,21 @@ private:
   const ViewWeb &RightWeb;
   const ViewCorrelation &X;
   const ViewsDiffOptions &Options;
+  /// Pre-gathered left-side lanes (1-vs-N variational mode), or null.
+  const BaselineLanes *SharedLeft;
   const Trace &LT;
   const Trace &RT;
 
   /// Contiguous per-view fingerprint lanes, gathered once per pair: lane
   /// position i holds the fingerprint of the view's i-th entry. The
   /// lock-step loop compares lanes, not entries — matched runs touch 8
-  /// bytes per step instead of the entry payload.
+  /// bytes per step instead of the entry payload. When SharedLeft serves
+  /// the left view, LLane stays empty and LLaneData aliases the shared
+  /// storage instead — the contents are identical either way.
   std::vector<uint64_t> LLane;
   std::vector<uint64_t> RLane;
+  const uint64_t *LLaneData = nullptr;
+  const uint64_t *RLaneData = nullptr;
 
   /// View pairs already explored at the current mismatch (dedup).
   std::unordered_set<uint64_t> ExploredPairs;
@@ -368,14 +366,25 @@ void PairEvaluator::evalThreadPair(const View &LV, const View &RV) {
   bool UseLanes = LT.HasFingerprints && RT.HasFingerprints;
   if (UseLanes) {
     TelemetrySpan GatherSpan("lane.gather");
-    LLane.resize(N);
+    const std::vector<uint64_t> *Shared =
+        SharedLeft ? SharedLeft->lane(LV.Id) : nullptr;
+    if (Shared && Shared->size() == N) {
+      // 1-vs-N: the baseline's lane was gathered once up front; alias it
+      // instead of re-gathering. Same contents, so same results.
+      LLaneData = Shared->data();
+      ++SharedLaneHits;
+    } else {
+      LLane.resize(N);
+      const uint64_t *LFps = LT.Fps.data();
+      for (size_t I = 0; I != N; ++I)
+        LLane[I] = LFps[LV.Entries[I]];
+      LLaneData = LLane.data();
+    }
     RLane.resize(M);
-    const uint64_t *LFps = LT.Fps.data();
     const uint64_t *RFps = RT.Fps.data();
-    for (size_t I = 0; I != N; ++I)
-      LLane[I] = LFps[LV.Entries[I]];
     for (size_t J = 0; J != M; ++J)
       RLane[J] = RFps[RV.Entries[J]];
+    RLaneData = RLane.data();
   }
 
   // Laneless path: a thread view's entries are strided across the columns,
@@ -400,7 +409,7 @@ void PairEvaluator::evalThreadPair(const View &LV, const View &RV) {
       // as matches without re-reading the entry payload (the fingerprint
       // hashes exactly the =e components); each matched step still counts
       // as one compare op, exactly as the per-step =e did.
-      size_t K = matchRun(LLane.data() + I, RLane.data() + J,
+      size_t K = matchRun(LLaneData + I, RLaneData + J,
                           std::min(N - I, M - J));
       if (K != 0) {
         ++RunSkips;
@@ -466,7 +475,7 @@ void PairEvaluator::evalThreadPair(const View &LV, const View &RV) {
       // runs when the lanes agree — where its result is authoritative
       // either way, keeping op totals identical to the laneless path.
       auto StepEquals = [&]() {
-        if (UseLanes && LLane[I] != RLane[J]) {
+        if (UseLanes && LLaneData[I] != RLaneData[J]) {
           Ops.tick();
           return false;
         }
@@ -515,10 +524,16 @@ static void emitWholeViewSequence(DiffResult &Result, const View &V,
 DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
                              const ViewCorrelation &X,
                              const ViewsDiffOptions &Options,
-                             ThreadPool *Pool) {
+                             ThreadPool *Pool,
+                             const BaselineLanes *SharedLeft) {
   Timer Clock;
   const Trace &LT = Left.trace();
   const Trace &RT = Right.trace();
+
+  // Shared lanes only apply when they were gathered over this exact left
+  // web (address identity: lanes index into that web's views).
+  if (SharedLeft && &SharedLeft->web() != &Left)
+    SharedLeft = nullptr;
 
   DiffResult Result;
   Result.Left = &LT;
@@ -541,7 +556,7 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   Evals.reserve(Pairs.size());
   for (size_t K = 0; K != Pairs.size(); ++K)
     Evals.push_back(
-        std::make_unique<PairEvaluator>(Left, Right, X, Options));
+        std::make_unique<PairEvaluator>(Left, Right, X, Options, SharedLeft));
   {
     TelemetrySpan EvalSpan("evaluate");
     if (Pool->numWorkers() > 1 && Pairs.size() > 1) {
@@ -571,6 +586,7 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
   std::unordered_map<uint32_t, uint32_t> AnchorUnion;
   uint64_t TotalOps = 0;
   uint64_t TotalRunSkips = 0;
+  uint64_t TotalSharedHits = 0;
   for (size_t K = 0; K != Pairs.size(); ++K) {
     PairedLeft.insert(Pairs[K].first);
     PairedRight.insert(Pairs[K].second);
@@ -585,6 +601,7 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
       AnchorUnion.emplace(L, R);
     TotalOps += E.Ops.Count;
     TotalRunSkips += E.RunSkips;
+    TotalSharedHits += E.SharedLaneHits;
     for (DiffSequence &Seq : E.Sequences)
       Result.Sequences.push_back(std::move(Seq));
   }
@@ -645,6 +662,12 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
     Telemetry::counterAdd("diff.sequences", Result.Sequences.size());
     Telemetry::counterAdd("diff.anchors", AnchorUnion.size());
     Telemetry::counterAdd("eval.runskip", TotalRunSkips);
+    if (TotalSharedHits)
+      Telemetry::counterAdd("lane.shared_hit", TotalSharedHits);
+    // Which kernel tier the lock-step scans dispatched to (0 scalar,
+    // 1 sse2, 2 avx2). A gauge — host capability, not algorithmic work.
+    Telemetry::gaugeMax("diff.simd_tier",
+                        static_cast<double>(activeSimdTier()));
     Telemetry::gaugeMax("diff.peak_bytes",
                         static_cast<double>(Result.Stats.PeakBytes));
     for (const DiffSequence &Seq : Result.Sequences)
@@ -653,6 +676,34 @@ DiffResult rprism::viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
           static_cast<double>(Seq.LeftEids.size() + Seq.RightEids.size()));
   }
   return Result;
+}
+
+BaselineLanes::BaselineLanes(const ViewWeb &W) : Web(&W) {
+  const Trace &T = W.trace();
+  if (!T.HasFingerprints)
+    return; // Every lane lookup stays null; evaluators gather as usual.
+  TelemetrySpan GatherSpan("lane.gather");
+  const uint64_t *Fps = T.Fps.data();
+  for (const View &V : W.views()) {
+    if (V.Type != ViewType::Thread)
+      continue; // The lock-step core only scans thread-view lanes.
+    std::vector<uint64_t> &Lane = Lanes[V.Id];
+    Lane.resize(V.Entries.size());
+    for (size_t I = 0; I != V.Entries.size(); ++I)
+      Lane[I] = Fps[V.Entries[I]];
+  }
+}
+
+const std::vector<uint64_t> *BaselineLanes::lane(uint32_t ViewId) const {
+  auto It = Lanes.find(ViewId);
+  return It == Lanes.end() ? nullptr : &It->second;
+}
+
+uint64_t BaselineLanes::bytes() const {
+  uint64_t Total = 0;
+  for (const auto &[Id, Lane] : Lanes)
+    Total += Lane.size() * sizeof(uint64_t);
+  return Total;
 }
 
 unsigned rprism::effectiveDiffJobs(const ViewsDiffOptions &Options,

@@ -73,15 +73,47 @@ struct ViewsDiffOptions {
 unsigned effectiveDiffJobs(const ViewsDiffOptions &Options,
                            size_t TotalEntries);
 
+/// Per-thread-view fingerprint lanes of one web, gathered once up front.
+/// A pairwise diff gathers each side's lanes inside the pair evaluation;
+/// when one baseline is differenced against N mutants (the 1-vs-N
+/// variational mode), that re-gathers the baseline's lanes N times.
+/// BaselineLanes hoists the gather: build it once from the baseline web
+/// and pass it to every viewsDiff against that web — evaluators reuse the
+/// shared lane (counted as `lane.shared_hit`) instead of re-gathering.
+/// Purely an amortization: lane contents are identical to a fresh gather,
+/// so results stay byte-identical to the pairwise path.
+class BaselineLanes {
+public:
+  /// Gathers the lane of every thread view of \p Web. Empty (every lane
+  /// lookup null) when the web's trace has no fingerprints.
+  explicit BaselineLanes(const ViewWeb &Web);
+
+  const ViewWeb &web() const { return *Web; }
+
+  /// Dense fingerprint lane of thread view \p ViewId, or null when the
+  /// view has no gathered lane.
+  const std::vector<uint64_t> *lane(uint32_t ViewId) const;
+
+  uint64_t bytes() const; ///< Total lane payload (telemetry/accounting).
+
+private:
+  const ViewWeb *Web;
+  std::unordered_map<uint32_t, std::vector<uint64_t>> Lanes;
+};
+
 /// Runs the views-based differencing over two view webs whose traces share
 /// a string interner. \p X supplies the view correlation (including the
 /// X_TH thread pairs that seed the evaluation). \p Pool, when non-null,
 /// overrides Options.Jobs for the evaluation stage (the caller keeps
 /// ownership); otherwise a pool of Options.Jobs workers is used.
+/// \p SharedLeft, when non-null and built over \p Left, supplies the left
+/// side's pre-gathered fingerprint lanes (see BaselineLanes); the result
+/// is identical with and without it.
 DiffResult viewsDiff(const ViewWeb &Left, const ViewWeb &Right,
                      const ViewCorrelation &X,
                      const ViewsDiffOptions &Options = ViewsDiffOptions(),
-                     ThreadPool *Pool = nullptr);
+                     ThreadPool *Pool = nullptr,
+                     const BaselineLanes *SharedLeft = nullptr);
 
 /// Convenience: builds webs + correlation internally (web index families
 /// build concurrently on the Options.Jobs pool).

@@ -7,8 +7,11 @@
 
 #include "robustness/FaultInjector.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
+#include <vector>
 
 using namespace rprism;
 
@@ -118,4 +121,102 @@ void FaultInjector::stallSlow(FaultSite Site) {
   if (!fireSlow(Site))
     return;
   std::this_thread::sleep_for(std::chrono::microseconds(StallMicros));
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+
+  // Parse everything before touching state: a malformed spec must not
+  // leave the injector half-armed.
+  uint64_t NewSeed = 0;
+  int64_t NewStall = -1;
+  struct Clause {
+    FaultSite Site;
+    double Probability;
+    int64_t OneShotAt;
+  };
+  std::vector<Clause> Clauses;
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Part = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Part.empty())
+      continue;
+
+    auto ParseU64 = [&Fail](const std::string &Text, const char *What,
+                            uint64_t &Out) {
+      char *EndPtr = nullptr;
+      errno = 0;
+      unsigned long long V = std::strtoull(Text.c_str(), &EndPtr, 10);
+      if (Text.empty() || *EndPtr || errno)
+        return Fail(std::string("fault-spec: bad ") + What + " '" + Text +
+                    "'");
+      Out = V;
+      return true;
+    };
+
+    if (Part.rfind("seed=", 0) == 0) {
+      if (!ParseU64(Part.substr(5), "seed", NewSeed))
+        return false;
+      continue;
+    }
+    if (Part.rfind("stall=", 0) == 0) {
+      uint64_t Micros = 0;
+      if (!ParseU64(Part.substr(6), "stall", Micros))
+        return false;
+      NewStall = static_cast<int64_t>(Micros);
+      continue;
+    }
+
+    size_t Colon = Part.find(':');
+    if (Colon == std::string::npos)
+      return Fail("fault-spec: clause '" + Part +
+                  "' is not seed=, stall=, or <site>:<prob>[@N]");
+    std::string SiteName = Part.substr(0, Colon);
+    std::string Rest = Part.substr(Colon + 1);
+
+    int SiteIndex = -1;
+    for (unsigned I = 0; I != NumFaultSites; ++I)
+      if (SiteName == faultSiteName(static_cast<FaultSite>(I))) {
+        SiteIndex = static_cast<int>(I);
+        break;
+      }
+    if (SiteIndex < 0)
+      return Fail("fault-spec: unknown site '" + SiteName + "'");
+
+    int64_t OneShotAt = -1;
+    size_t At = Rest.find('@');
+    if (At != std::string::npos) {
+      uint64_t N = 0;
+      if (!ParseU64(Rest.substr(At + 1), "occurrence", N))
+        return false;
+      OneShotAt = static_cast<int64_t>(N);
+      Rest = Rest.substr(0, At);
+    }
+
+    char *EndPtr = nullptr;
+    errno = 0;
+    double Probability = std::strtod(Rest.c_str(), &EndPtr);
+    if (Rest.empty() || *EndPtr || errno || Probability < 0.0 ||
+        Probability > 1.0)
+      return Fail("fault-spec: probability '" + Rest +
+                  "' is not a number in [0, 1]");
+    Clauses.push_back(
+        {static_cast<FaultSite>(SiteIndex), Probability, OneShotAt});
+  }
+
+  arm(NewSeed);
+  if (NewStall >= 0)
+    setStallMicros(static_cast<unsigned>(NewStall));
+  for (const Clause &C : Clauses)
+    configure(C.Site, C.Probability, C.OneShotAt);
+  return true;
 }

@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace rprism {
 
@@ -80,6 +81,23 @@ public:
 
   /// Stall duration for maybeStall() hits, in microseconds.
   void setStallMicros(unsigned Micros) { StallMicros = Micros; }
+
+  /// Arms and configures from a textual spec — the `--fault-spec` /
+  /// RPRISM_FAULT_SPEC surface. Comma-separated clauses:
+  ///
+  ///   seed=N              arm seed (default 0)
+  ///   stall=MICROS        stall duration for pool-dispatch hits
+  ///   <site>:<prob>       per-site fire probability in [0, 1]
+  ///   <site>:<prob>@<N>   additionally fire exactly occurrence N
+  ///
+  /// Site names are faultSiteName()'s ("file-open", "file-read",
+  /// "file-mmap", "section-checksum", "view-index-borrow", "cache-insert",
+  /// "pool-dispatch"). Example:
+  ///   seed=7,file-read:0.01,section-checksum:0@2,stall=100
+  /// On success the injector is armed exactly as arm()+configure() calls
+  /// would leave it. On a malformed spec nothing is armed, false is
+  /// returned, and \p Error (when non-null) gets a one-line diagnostic.
+  bool armFromSpec(const std::string &Spec, std::string *Error = nullptr);
 
   /// Times the site hook was reached while armed / times it fired.
   uint64_t occurrences(FaultSite Site) const;

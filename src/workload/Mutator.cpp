@@ -536,3 +536,66 @@ Expected<InjectedCase> rprism::injectRegression(const std::string &BaseSource,
   return makeErr("no discriminating mutation found in " +
                  std::to_string(MaxAttempts) + " attempts");
 }
+
+Expected<MutantSet> rprism::generateMutantSet(const std::string &BaseSource,
+                                              const RunOptions &Run,
+                                              unsigned Count, uint64_t Seed) {
+  auto Strings = std::make_shared<StringInterner>();
+  Expected<CompiledProgram> Base = compileSource(BaseSource, Strings);
+  if (!Base)
+    return makeErr("base program: " + Base.error().render());
+
+  RunOptions BaseRun = Run;
+  BaseRun.TraceName += "/base";
+  RunResult BaseResult = runProgram(*Base, BaseRun);
+  if (!BaseResult.Completed)
+    return makeErr("base program does not run cleanly");
+
+  MutantSet Set;
+  Set.Strings = Strings;
+  Set.Base = std::move(BaseResult.ExecTrace);
+  Set.BaseOutput = BaseResult.Output;
+
+  // Same budgets as injectRegression: a generous step-cap multiple of the
+  // base run, and a bounded sampling loop so pathological sources fail
+  // instead of spinning.
+  uint64_t StepCap = std::max<uint64_t>(BaseResult.Steps * 8, 1u << 20);
+  unsigned MaxAttempts = 60 * std::max(Count, 1u);
+
+  Rng R(Seed);
+  for (unsigned Attempt = 1;
+       Attempt <= MaxAttempts && Set.Mutants.size() < Count; ++Attempt) {
+    MutationKind Kind = sampleMutationKind(R);
+    Expected<Program> Fresh = parseProgram(BaseSource);
+    if (!Fresh)
+      return makeErr("base program re-parse failed");
+    MutationOutcome Outcome;
+    if (!applyMutation(*Fresh, Kind, R, Outcome))
+      continue;
+    Expected<CheckedProgram> Checked = checkProgram(Fresh.take());
+    if (!Checked)
+      continue;
+    Expected<CompiledProgram> Compiled = compileProgram(*Checked, Strings);
+    if (!Compiled)
+      continue;
+
+    RunOptions MutRun = Run;
+    MutRun.MaxSteps = StepCap;
+    MutRun.TraceName += "/mutant-" + std::to_string(Set.Mutants.size());
+    RunResult Result = runProgram(*Compiled, MutRun);
+    if (Result.Error.find("step limit") != std::string::npos)
+      continue; // Runaway mutant.
+
+    MutantTrace M;
+    M.ExecTrace = std::move(Result.ExecTrace);
+    M.Output = Result.Output;
+    M.Mutation = Outcome;
+    M.OutputChanged = Result.Output != Set.BaseOutput;
+    Set.Mutants.push_back(std::move(M));
+  }
+  if (Set.Mutants.size() < Count)
+    return makeErr("only " + std::to_string(Set.Mutants.size()) + " of " +
+                   std::to_string(Count) +
+                   " mutants accepted within the sampling budget");
+  return Set;
+}

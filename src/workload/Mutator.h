@@ -80,6 +80,37 @@ Expected<InjectedCase> injectRegression(const std::string &BaseSource,
                                         const RunOptions &OkRun,
                                         uint64_t Seed);
 
+/// One mutant of a shared-baseline set: its trace over the common input,
+/// what the mutation did, and whether the program output changed. Even
+/// output-agreeing mutants matter to the variational study — their traces
+/// can still silently diverge from the baseline's.
+struct MutantTrace {
+  Trace ExecTrace;
+  std::string Output;
+  MutationOutcome Mutation;
+  bool OutputChanged = false;
+};
+
+/// A 1-vs-N study input: ONE baseline trace plus N mutant traces, all over
+/// the same input and sharing one StringInterner — the shape nwayDiff
+/// amortizes (unlike injectRegression cases, whose inputs vary per case).
+struct MutantSet {
+  std::shared_ptr<StringInterner> Strings;
+  Trace Base;
+  std::string BaseOutput;
+  std::vector<MutantTrace> Mutants;
+};
+
+/// Generates \p Count seeded mutants of \p BaseSource, all traced over
+/// \p Run's input against one shared baseline trace. Mutants that fail to
+/// compile or run away (step cap) are skipped and re-sampled; accepted
+/// mutants may agree or diverge behaviorally (both populate the
+/// variational report). Fails when the base program does not run cleanly
+/// or the sampling budget is exhausted before \p Count mutants accept.
+Expected<MutantSet> generateMutantSet(const std::string &BaseSource,
+                                      const RunOptions &Run, unsigned Count,
+                                      uint64_t Seed);
+
 } // namespace rprism
 
 #endif // RPRISM_WORKLOAD_MUTATOR_H

@@ -1,0 +1,301 @@
+//===- tests/NWayDiffTest.cpp - SIMD tiers & 1-vs-N variational diff ------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two contracts under test:
+///
+///   1. Every SIMD tier of the lane kernels (laneMatchRun, laneMismatchRun,
+///      lanesEqual) returns bit-identical results to the scalar oracle, on
+///      randomized lanes at unaligned offsets and awkward lengths (0, 1,
+///      one-past-a-block, tails).
+///
+///   2. nwayDiff is pure amortization: per-mutant reports are byte-identical
+///      to the pairwise viewsDiff and compare-op totals match exactly, with
+///      or without the cache route, at any jobs count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/DiffCache.h"
+#include "diff/NWayDiff.h"
+#include "diff/ViewsDiff.h"
+#include "support/SimdDispatch.h"
+#include "workload/Corpus.h"
+#include "workload/Mutator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace rprism;
+
+namespace {
+
+/// splitmix64: deterministic lane filler (no global RNG state).
+uint64_t nextRand(uint64_t &State) {
+  uint64_t X = (State += 0x9e3779b97f4a7c15ull);
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// The tiers above scalar the host can run (SSE2 on any x86-64; AVX2 when
+/// the CPU reports it).
+std::vector<SimdTier> vectorTiers() {
+  std::vector<SimdTier> Tiers;
+  for (SimdTier T : {SimdTier::Sse2, SimdTier::Avx2})
+    if (simdTierSupported(T))
+      Tiers.push_back(T);
+  return Tiers;
+}
+
+/// Lengths that straddle every kernel block boundary: empty, single,
+/// 16/32-byte block edges (2 and 4 uint64s), and tails past them.
+const size_t AwkwardLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                                 15, 16, 17, 31, 32, 33, 63, 64, 65,
+                                 100, 127, 128, 129, 256};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SIMD tier equivalence (scalar is the oracle)
+//===----------------------------------------------------------------------===//
+
+TEST(SimdDispatch, MatchRunAllTiersEqualScalar) {
+  uint64_t Rng = 0xfeedface;
+  std::vector<SimdTier> Tiers = vectorTiers();
+  // Backing buffers with slack so every offset 0..3 stays in bounds.
+  std::vector<uint64_t> A(300), B(300);
+  for (size_t Round = 0; Round != 50; ++Round) {
+    for (size_t I = 0; I != A.size(); ++I) {
+      A[I] = nextRand(Rng);
+      // Mostly-equal lanes so planted prefixes of every length occur.
+      B[I] = (nextRand(Rng) % 8 == 0) ? nextRand(Rng) : A[I];
+    }
+    for (size_t Offset = 0; Offset != 4; ++Offset) {
+      for (size_t Len : AwkwardLengths) {
+        const uint64_t *PA = A.data() + Offset;
+        const uint64_t *PB = B.data() + Offset;
+        size_t Want = laneMatchRun(SimdTier::Scalar, PA, PB, Len);
+        for (SimdTier T : Tiers)
+          ASSERT_EQ(laneMatchRun(T, PA, PB, Len), Want)
+              << simdTierName(T) << " len " << Len << " off " << Offset;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, MismatchRunAllTiersEqualScalar) {
+  uint64_t Rng = 0xdeadbeef;
+  std::vector<SimdTier> Tiers = vectorTiers();
+  std::vector<uint64_t> A(300), B(300);
+  for (size_t Round = 0; Round != 50; ++Round) {
+    for (size_t I = 0; I != A.size(); ++I) {
+      A[I] = nextRand(Rng);
+      // Mostly-differing lanes so unequal prefixes of every length occur.
+      B[I] = (nextRand(Rng) % 8 == 0) ? A[I] : nextRand(Rng);
+    }
+    for (size_t Offset = 0; Offset != 4; ++Offset) {
+      for (size_t Len : AwkwardLengths) {
+        const uint64_t *PA = A.data() + Offset;
+        const uint64_t *PB = B.data() + Offset;
+        size_t Want = laneMismatchRun(SimdTier::Scalar, PA, PB, Len);
+        for (SimdTier T : Tiers)
+          ASSERT_EQ(laneMismatchRun(T, PA, PB, Len), Want)
+              << simdTierName(T) << " len " << Len << " off " << Offset;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, LanesEqualAllTiersEqualScalar) {
+  uint64_t Rng = 0xabad1dea;
+  std::vector<SimdTier> Tiers = vectorTiers();
+  for (size_t Len : AwkwardLengths) {
+    std::vector<uint64_t> A(Len ? Len : 1), B;
+    for (uint64_t &V : A)
+      V = nextRand(Rng);
+    B = A;
+    // Equal case, then a single flipped element at each position (first,
+    // last, every block edge in between).
+    EXPECT_TRUE(lanesEqual(SimdTier::Scalar, A.data(), B.data(), Len));
+    for (SimdTier T : Tiers)
+      EXPECT_TRUE(lanesEqual(T, A.data(), B.data(), Len));
+    for (size_t Flip = 0; Flip < Len; ++Flip) {
+      B[Flip] ^= 1;
+      bool Want = lanesEqual(SimdTier::Scalar, A.data(), B.data(), Len);
+      EXPECT_FALSE(Want);
+      for (SimdTier T : Tiers)
+        ASSERT_EQ(lanesEqual(T, A.data(), B.data(), Len), Want)
+            << simdTierName(T) << " len " << Len << " flip " << Flip;
+      B[Flip] ^= 1;
+    }
+  }
+}
+
+TEST(SimdDispatch, DispatchedFormsMatchScalar) {
+  // The production entry points (function-pointer dispatch, honoring
+  // RPRISM_NO_SIMD) agree with an explicit scalar call.
+  uint64_t Rng = 0x5eed;
+  std::vector<uint64_t> A(128), B(128);
+  for (size_t I = 0; I != A.size(); ++I) {
+    A[I] = nextRand(Rng);
+    B[I] = (I % 3 == 0) ? nextRand(Rng) : A[I];
+  }
+  EXPECT_EQ(laneMatchRun(A.data(), B.data(), A.size()),
+            laneMatchRun(SimdTier::Scalar, A.data(), B.data(), A.size()));
+  EXPECT_EQ(laneMismatchRun(A.data(), B.data(), A.size()),
+            laneMismatchRun(SimdTier::Scalar, A.data(), B.data(), A.size()));
+  EXPECT_EQ(lanesEqual(A.data(), B.data(), A.size()),
+            lanesEqual(SimdTier::Scalar, A.data(), B.data(), A.size()));
+  EXPECT_TRUE(simdTierSupported(SimdTier::Scalar));
+  EXPECT_TRUE(simdTierSupported(activeSimdTier()));
+  EXPECT_STREQ(simdTierName(SimdTier::Scalar), "scalar");
+}
+
+//===----------------------------------------------------------------------===//
+// 1-vs-N variational diff vs the pairwise path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One shared mutant set for the whole suite: generation compiles and runs
+/// N+1 programs, so build it once.
+const MutantSet &sharedMutantSet() {
+  static MutantSet Set = [] {
+    RunOptions Run, Unused;
+    rhinoInputs(0, Run, Unused);
+    Expected<MutantSet> E =
+        generateMutantSet(rhinoBaseSource(), Run, /*Count=*/4, /*Seed=*/99);
+    EXPECT_TRUE(bool(E)) << (E ? "" : E.error().render());
+    return E ? std::move(*E) : MutantSet();
+  }();
+  return Set;
+}
+
+std::vector<const Trace *> mutantPtrs(const MutantSet &Set) {
+  std::vector<const Trace *> Ptrs;
+  for (const MutantTrace &M : Set.Mutants)
+    Ptrs.push_back(&M.ExecTrace);
+  return Ptrs;
+}
+
+} // namespace
+
+TEST(NWayDiff, MatchesPairwiseOpsAndBytes) {
+  const MutantSet &Set = sharedMutantSet();
+  ASSERT_FALSE(Set.Mutants.empty());
+  std::vector<const Trace *> Mutants = mutantPtrs(Set);
+
+  NWayResult NWay = nwayDiff(Set.Base, Mutants);
+  ASSERT_EQ(NWay.Mutants.size(), Mutants.size());
+
+  uint64_t TotalOps = 0;
+  for (size_t M = 0; M != Mutants.size(); ++M) {
+    DiffResult Pairwise = viewsDiff(Set.Base, *Mutants[M]);
+    EXPECT_EQ(NWay.Mutants[M].Result.Stats.CompareOps,
+              Pairwise.Stats.CompareOps)
+        << "mutant " << M;
+    EXPECT_EQ(NWay.Mutants[M].Result.render(50, 12), Pairwise.render(50, 12))
+        << "mutant " << M;
+    TotalOps += Pairwise.Stats.CompareOps;
+  }
+  EXPECT_EQ(NWay.totalCompareOps(), TotalOps);
+}
+
+TEST(NWayDiff, SelfDiffAgreesWithIdenticalLanes) {
+  const MutantSet &Set = sharedMutantSet();
+  NWayResult R = nwayDiff(Set.Base, {&Set.Base});
+  ASSERT_EQ(R.Mutants.size(), 1u);
+  EXPECT_TRUE(R.Mutants[0].Agrees);
+  EXPECT_TRUE(R.Mutants[0].LanesIdentical);
+  EXPECT_FALSE(R.Mutants[0].FirstDivergence.has_value());
+  EXPECT_EQ(R.NumAgreeing, 1u);
+  EXPECT_TRUE(R.Clusters.empty());
+  EXPECT_GT(R.SharedLaneBytes, 0u);
+}
+
+TEST(NWayDiff, ClusterInvariants) {
+  const MutantSet &Set = sharedMutantSet();
+  std::vector<const Trace *> Mutants = mutantPtrs(Set);
+  NWayResult R = nwayDiff(Set.Base, Mutants);
+
+  size_t Agreeing = 0;
+  for (const NWayMutantReport &M : R.Mutants)
+    Agreeing += M.Agrees;
+  EXPECT_EQ(R.NumAgreeing, Agreeing);
+
+  // Every divergent mutant is in exactly one cluster; agreeing mutants in
+  // none.
+  std::vector<unsigned> Membership(R.Mutants.size(), 0);
+  for (const NWayCluster &C : R.Clusters) {
+    EXPECT_FALSE(C.Mutants.empty());
+    for (size_t M : C.Mutants) {
+      ASSERT_LT(M, Membership.size());
+      ++Membership[M];
+      EXPECT_EQ(R.Mutants[M].Site, C.Site);
+    }
+  }
+  for (size_t M = 0; M != R.Mutants.size(); ++M)
+    EXPECT_EQ(Membership[M], R.Mutants[M].Agrees ? 0u : 1u) << "mutant " << M;
+}
+
+TEST(NWayDiff, DeterministicAcrossRepeatsAndJobs) {
+  const MutantSet &Set = sharedMutantSet();
+  std::vector<const Trace *> Mutants = mutantPtrs(Set);
+
+  NWayResult First = nwayDiff(Set.Base, Mutants);
+  NWayResult Second = nwayDiff(Set.Base, Mutants);
+  EXPECT_EQ(First.render(), Second.render());
+  EXPECT_EQ(First.totalCompareOps(), Second.totalCompareOps());
+
+  // Forcing the parallel evaluation path on these small traces must not
+  // change a byte (the jobs-determinism contract).
+  ViewsDiffOptions Par;
+  Par.Jobs = 3;
+  Par.ParallelCutoffEntries = 0;
+  NWayResult Parallel = nwayDiff(Set.Base, Mutants, Par);
+  EXPECT_EQ(Parallel.render(), First.render());
+  EXPECT_EQ(Parallel.totalCompareOps(), First.totalCompareOps());
+}
+
+TEST(NWayDiff, SharedBaselineLanesChangeNothingAtWebLevel) {
+  const MutantSet &Set = sharedMutantSet();
+  ASSERT_FALSE(Set.Mutants.empty());
+  const Trace &Mut = Set.Mutants.front().ExecTrace;
+
+  ViewWeb BaseWeb(Set.Base), MutWeb(Mut);
+  ViewCorrelation X(BaseWeb, MutWeb);
+  BaselineLanes Lanes(BaseWeb);
+  EXPECT_GT(Lanes.bytes(), 0u);
+
+  DiffResult Without = viewsDiff(BaseWeb, MutWeb, X);
+  DiffResult With =
+      viewsDiff(BaseWeb, MutWeb, X, ViewsDiffOptions(), nullptr, &Lanes);
+  EXPECT_EQ(With.render(50, 12), Without.render(50, 12));
+  EXPECT_EQ(With.Stats.CompareOps, Without.Stats.CompareOps);
+}
+
+TEST(NWayDiff, CachedRouteMatchesDirect) {
+  const MutantSet &Set = sharedMutantSet();
+  std::vector<const Trace *> Mutants = mutantPtrs(Set);
+
+  NWayResult Direct = nwayDiff(Set.Base, Mutants);
+  {
+    // Scoped cache: outside traces are keyed by address and must outlive
+    // it (they do — the set is static).
+    DiffCache Cache;
+    NWayResult Cold = cachedNWayDiff(Set.Base, Mutants,
+                                     ViewsDiffOptions(), Cache);
+    NWayResult Warm = cachedNWayDiff(Set.Base, Mutants,
+                                     ViewsDiffOptions(), Cache);
+    EXPECT_EQ(Cold.render(), Direct.render());
+    EXPECT_EQ(Warm.render(), Direct.render());
+    EXPECT_EQ(Cold.totalCompareOps(), Direct.totalCompareOps());
+    EXPECT_EQ(Warm.totalCompareOps(), Direct.totalCompareOps());
+  }
+}

@@ -595,4 +595,80 @@ TEST(Salvage, IntactFilesReadIdenticallyWithSalvageOn) {
   std::remove(Path.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// armFromSpec (the --fault-spec / RPRISM_FAULT_SPEC surface)
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpec, ValidSpecArmsExactlyLikeArmPlusConfigure) {
+  FaultInjector &FI = FaultInjector::get();
+  std::string Error;
+  ASSERT_TRUE(FI.armFromSpec("seed=7,file-open:1.0", &Error)) << Error;
+  EXPECT_TRUE(FaultInjector::enabled());
+  EXPECT_TRUE(FaultInjector::fire(FaultSite::FileOpen));
+  // Unconfigured sites stay quiet.
+  EXPECT_FALSE(FaultInjector::fire(FaultSite::CacheInsert));
+  FI.disarm();
+}
+
+TEST(FaultSpec, OneShotClauseFiresExactlyThatOccurrence) {
+  FaultInjector &FI = FaultInjector::get();
+  std::string Error;
+  ASSERT_TRUE(FI.armFromSpec("seed=1,cache-insert:0@2", &Error)) << Error;
+  EXPECT_FALSE(FaultInjector::fire(FaultSite::CacheInsert));
+  EXPECT_FALSE(FaultInjector::fire(FaultSite::CacheInsert));
+  EXPECT_TRUE(FaultInjector::fire(FaultSite::CacheInsert));
+  EXPECT_FALSE(FaultInjector::fire(FaultSite::CacheInsert));
+  EXPECT_EQ(FI.injected(FaultSite::CacheInsert), 1u);
+  FI.disarm();
+}
+
+TEST(FaultSpec, SameSpecSeedReplaysTheSameSchedule) {
+  FaultInjector &FI = FaultInjector::get();
+  auto Schedule = [&] {
+    std::vector<bool> Fires;
+    for (unsigned I = 0; I != 64; ++I)
+      Fires.push_back(FaultInjector::fire(FaultSite::FileRead));
+    return Fires;
+  };
+  ASSERT_TRUE(FI.armFromSpec("seed=42,file-read:0.3"));
+  std::vector<bool> First = Schedule();
+  ASSERT_TRUE(FI.armFromSpec("seed=42,file-read:0.3"));
+  EXPECT_EQ(Schedule(), First);
+  FI.disarm();
+}
+
+TEST(FaultSpec, MalformedSpecsNeverArm) {
+  FaultInjector &FI = FaultInjector::get();
+  FI.disarm();
+  const char *Bad[] = {
+      "bogus",                    // not a clause at all
+      "nope:0.5",                 // unknown site
+      "file-open:2.0",            // probability out of range
+      "file-open:x",              // probability not a number
+      "seed=z",                   // bad seed
+      "stall=z",                  // bad stall
+      "file-open:0.5@y",          // bad occurrence index
+      "seed=3,file-open:0.5,junk" // valid prefix, malformed tail
+  };
+  for (const char *Spec : Bad) {
+    std::string Error;
+    EXPECT_FALSE(FI.armFromSpec(Spec, &Error)) << Spec;
+    EXPECT_FALSE(Error.empty()) << Spec;
+    EXPECT_FALSE(FaultInjector::enabled())
+        << "malformed spec '" << Spec << "' must not leave the injector armed";
+  }
+}
+
+TEST(FaultSpec, EmptyAndWhitespaceFreeClausesAreTolerated) {
+  // Empty spec and stray commas arm with defaults (seed 0, nothing
+  // configured) — a no-op injector, not an error.
+  FaultInjector &FI = FaultInjector::get();
+  ASSERT_TRUE(FI.armFromSpec(""));
+  EXPECT_TRUE(FaultInjector::enabled());
+  EXPECT_FALSE(FaultInjector::fire(FaultSite::FileOpen));
+  ASSERT_TRUE(FI.armFromSpec("seed=5,,file-mmap:1.0"));
+  EXPECT_TRUE(FaultInjector::fire(FaultSite::FileMmap));
+  FI.disarm();
+}
+
 } // namespace

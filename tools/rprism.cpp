@@ -26,6 +26,7 @@
 #include "analysis/Protocol.h"
 #include "analysis/Regression.h"
 #include "cache/DiffCache.h"
+#include "robustness/FaultInjector.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
 #include "support/MetricsSink.h"
@@ -57,6 +58,8 @@ int usage() {
       "              [--input S]... [--html F] [--jobs N] [--no-view-cache]\n"
       "  rprism diff-traces <left.rpt> <right.rpt> [--engine views|lcs]\n"
       "              [--html F] [--jobs N] [--no-view-cache] [--salvage]\n"
+      "  rprism diff-nway <base.rpt> <mutant.rpt>... [--html F] [--jobs N]\n"
+      "              [--no-view-cache] [--salvage]\n"
       "  rprism analyze <old-prog> <new-prog> --regr-input S...\n"
       "              --ok-input S... [--removal] [--html F] [--jobs N]\n"
       "              [--no-view-cache]\n"
@@ -67,6 +70,10 @@ int usage() {
       "telemetry (any subcommand):\n"
       "  --metrics-out F   write run telemetry as JSON (%s)\n"
       "  --profile         print a stage/metric profile to stderr\n"
+      "\n"
+      "robustness (any subcommand; or RPRISM_FAULT_SPEC in the env):\n"
+      "  --fault-spec S    arm the fault injector, e.g.\n"
+      "                    'seed=7,file-read:0.01,section-checksum:0@2'\n"
       "\n"
       "exit codes: 0 success, 1 failure, 2 usage error,\n"
       "            3 corrupt input, 4 I/O error\n",
@@ -129,6 +136,7 @@ struct Args {
   bool Salvage = false;
   std::string MetricsOut;
   bool Profile = false;
+  std::string FaultSpec;
   /// Every --flag that appeared, for per-subcommand validation.
   std::vector<std::string> SeenFlags;
   bool Bad = false;
@@ -192,6 +200,8 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       A.MetricsOut = Next();
     } else if (Arg == "--profile") {
       A.Profile = true;
+    } else if (Arg == "--fault-spec") {
+      A.FaultSpec = Next();
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       A.Bad = true;
@@ -215,6 +225,8 @@ const std::vector<const char *> *allowedFlags(const std::string &Command) {
       "--no-view-cache"};
   static const std::vector<const char *> DiffTraces = {
       "--engine", "--html", "--jobs", "--no-view-cache", "--salvage"};
+  static const std::vector<const char *> DiffNWay = {
+      "--html", "--jobs", "--no-view-cache", "--salvage"};
   static const std::vector<const char *> Analyze = {
       "--engine",  "--regr-input", "--ok-input", "--int-input",
       "--removal", "--html",       "--jobs",     "--no-view-cache"};
@@ -229,6 +241,8 @@ const std::vector<const char *> *allowedFlags(const std::string &Command) {
     return &Diff;
   if (Command == "diff-traces")
     return &DiffTraces;
+  if (Command == "diff-nway")
+    return &DiffNWay;
   if (Command == "analyze")
     return &Analyze;
   if (Command == "views")
@@ -244,7 +258,8 @@ bool validateFlags(const std::string &Command, const Args &A) {
     return false;
   bool Ok = true;
   for (const std::string &Flag : A.SeenFlags) {
-    if (Flag == "--metrics-out" || Flag == "--profile")
+    if (Flag == "--metrics-out" || Flag == "--profile" ||
+        Flag == "--fault-spec")
       continue;
     if (std::none_of(Allowed->begin(), Allowed->end(),
                      [&Flag](const char *F) { return Flag == F; })) {
@@ -416,6 +431,71 @@ int cmdDiffTraces(const Args &A) {
   return printDiff(*Left, *Right, A);
 }
 
+int cmdDiffNWay(const Args &A) {
+  if (A.Positional.size() < 2)
+    return usage();
+  auto Strings = std::make_shared<StringInterner>();
+
+  // Load the baseline plus every mutant, all sharing one interner. The
+  // cached path dedups identical bytes and keeps the loaded traces (and
+  // the baseline's web) for repeat studies in one process; salvage and
+  // --no-view-cache read directly, as in diff-traces.
+  std::vector<std::shared_ptr<const Trace>> Owned;
+  std::vector<const Trace *> Traces;
+  for (const std::string &Path : A.Positional) {
+    if (A.NoViewCache || A.Salvage) {
+      ReadOptions Options;
+      Options.Salvage = A.Salvage;
+      TraceReadReport Report;
+      Options.Report = &Report;
+      Expected<Trace> T = readTrace(Path, Strings, Options);
+      if (!T)
+        return fail(T.error());
+      reportDegradations(Path, Report);
+      Owned.push_back(std::make_shared<const Trace>(T.take()));
+    } else {
+      Err Error;
+      std::shared_ptr<const Trace> T =
+          DiffCache::global().load(Path, Strings, &Error);
+      if (!T)
+        return fail(Error);
+      Owned.push_back(std::move(T));
+    }
+    Traces.push_back(Owned.back().get());
+  }
+
+  ViewsDiffOptions Options;
+  Options.Jobs = A.Jobs;
+  Options.UseViewIndex = !A.NoViewCache;
+  std::vector<const Trace *> Mutants(Traces.begin() + 1, Traces.end());
+  NWayResult Result =
+      A.NoViewCache || A.Salvage
+          ? nwayDiff(*Traces[0], Mutants, Options)
+          : cachedNWayDiff(*Traces[0], Mutants, Options,
+                           DiffCache::global());
+
+  TelemetrySpan ReportSpan("report");
+  if (!A.HtmlPath.empty()) {
+    HtmlReportOptions HtmlOptions;
+    HtmlOptions.Title = "RPrism variational diff";
+    if (!writeHtmlFile(renderHtmlNWay(Result, HtmlOptions), A.HtmlPath)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   A.HtmlPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[html report written to %s]\n",
+                 A.HtmlPath.c_str());
+  }
+  std::fputs(Result.render().c_str(), stdout);
+  std::fprintf(stderr,
+               "[%llu compare ops across %zu mutants, %.3fs, "
+               "%.1f KiB shared lanes]\n",
+               static_cast<unsigned long long>(Result.totalCompareOps()),
+               Result.Mutants.size(), Result.Seconds,
+               static_cast<double>(Result.SharedLaneBytes) / 1024);
+  return 0;
+}
+
 int cmdAnalyze(const Args &A) {
   if (A.Positional.size() != 2 || A.RegrInputs.empty() ||
       A.OkInputs.empty())
@@ -511,6 +591,8 @@ int dispatch(const std::string &Command, const Args &A) {
     return cmdDiff(A);
   if (Command == "diff-traces")
     return cmdDiffTraces(A);
+  if (Command == "diff-nway")
+    return cmdDiffNWay(A);
   if (Command == "analyze")
     return cmdAnalyze(A);
   if (Command == "views")
@@ -545,6 +627,22 @@ int main(int Argc, char **Argv) {
   }
   if (!validateFlags(Command, A))
     return usage();
+
+  // Fault injection: the flag wins over the environment (so a script can
+  // override a session-wide RPRISM_FAULT_SPEC per invocation). A bad spec
+  // is a usage error — never run half-armed.
+  std::string FaultSpec = A.FaultSpec;
+  if (FaultSpec.empty())
+    if (const char *Env = std::getenv("RPRISM_FAULT_SPEC"))
+      FaultSpec = Env;
+  if (!FaultSpec.empty()) {
+    std::string SpecError;
+    if (!FaultInjector::get().armFromSpec(FaultSpec, &SpecError)) {
+      std::fprintf(stderr, "error: %s\n", SpecError.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "[fault injector armed: %s]\n", FaultSpec.c_str());
+  }
 
   // Telemetry is recorded only when an export was requested; otherwise
   // every instrumentation point stays a single relaxed load.
