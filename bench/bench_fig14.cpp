@@ -30,6 +30,7 @@
 #include "diff/Lcs.h"
 #include "diff/NWayDiff.h"
 #include "diff/ViewsDiff.h"
+#include "support/BenchHistory.h"
 #include "support/Histogram.h"
 #include "support/MetricsSink.h"
 #include "support/SimdDispatch.h"
@@ -70,8 +71,10 @@ double bestOf(BodyFn &&Body, unsigned MinReps = 2,
 
 /// The 1-vs-N phase: generates a shared-baseline mutant set, times the N
 /// pairwise diffs against nwayDiff, verifies the identity contract, and
-/// writes both JSON artifacts. Returns 0 on success.
-int runNWayStudy(unsigned NumMutants, std::string &Json) {
+/// writes both JSON artifacts. Returns 0 on success; \p SpeedupOut and
+/// \p BaseEntriesOut feed the history record's key metrics.
+int runNWayStudy(unsigned NumMutants, std::string &Json, double &SpeedupOut,
+                 uint64_t &BaseEntriesOut) {
   std::printf("== 1-vs-N variational study (%u mutants, SIMD tier: %s) "
               "==\n\n",
               NumMutants, simdTierName(activeSimdTier()));
@@ -136,6 +139,8 @@ int runNWayStudy(unsigned NumMutants, std::string &Json) {
                 static_cast<unsigned long long>(PairwiseTotalOps));
 
   double Speedup = NWaySeconds > 0 ? PairwiseSeconds / NWaySeconds : 0;
+  SpeedupOut = Speedup;
+  BaseEntriesOut = Set->Base.size();
   std::printf("pairwise: %.4fs   1-vs-N: %.4fs   speedup: %.2fx   "
               "(%zu agree, %zu clusters, %.1f KiB shared lanes)\n\n",
               PairwiseSeconds, NWaySeconds, Speedup, NWay.NumAgreeing,
@@ -190,11 +195,18 @@ int runNWayStudy(unsigned NumMutants, std::string &Json) {
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
+  std::string GitSha;
+  std::string HistoryPath = "BENCH_fig14.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0) {
       Quick = true;
+    } else if (std::strcmp(Argv[I], "--git-sha") == 0 && I + 1 < Argc) {
+      GitSha = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--history") == 0 && I + 1 < Argc) {
+      HistoryPath = Argv[++I];
     } else {
-      std::fprintf(stderr, "usage: bench_fig14 [--quick]\n");
+      std::fprintf(stderr, "usage: bench_fig14 [--quick] [--git-sha SHA] "
+                           "[--history FILE]\n");
       return 2;
     }
   }
@@ -213,6 +225,7 @@ int main(int Argc, char **Argv) {
   unsigned Produced = 0;
   unsigned Under50Seqs = 0;
   unsigned MaxSeqs = 0;
+  uint64_t MaxCaseEntries = 0;
   for (unsigned Index = 0; Index != NumCases; ++Index) {
     RunOptions RegrRun, OkRun;
     rhinoInputs(Index, RegrRun, OkRun);
@@ -234,6 +247,7 @@ int main(int Argc, char **Argv) {
     Under50Seqs += Views.Sequences.size() < 50;
     MaxSeqs = std::max(MaxSeqs,
                        static_cast<unsigned>(Views.Sequences.size()));
+    MaxCaseEntries = std::max<uint64_t>(MaxCaseEntries, L.size() + R.size());
 
     double Total = static_cast<double>(L.size() + R.size());
     double AccuracyValue =
@@ -272,23 +286,35 @@ int main(int Argc, char **Argv) {
               "cases (those 3 above 99%%); speedups up to >100x, below 1x "
               "only for two very small traces\n\n");
 
-  std::string Json = "{\n  \"schema\": \"rprism-bench-fig14-v1\"";
+  std::string Json;
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
-                ",\n  \"fig14\": {\"cases\": %u, \"usable\": %u, "
+                "  \"fig14\": {\"cases\": %u, \"usable\": %u, "
                 "\"under_50_seqs\": %u, \"max_seqs\": %u}",
                 NumCases, Produced, Under50Seqs, MaxSeqs);
   Json += Buf;
 
-  int Exit = runNWayStudy(Quick ? 3 : 8, Json);
+  double NWaySpeedup = 0;
+  uint64_t BaseEntries = 0;
+  int Exit = runNWayStudy(Quick ? 3 : 8, Json, NWaySpeedup, BaseEntries);
+
+  std::snprintf(Buf, sizeof(Buf),
+                ",\n  \"key_metrics\": {\"usable_cases\": %u, "
+                "\"max_seqs\": %u, \"nway_speedup\": %.3f}",
+                Produced, MaxSeqs, NWaySpeedup);
+  Json += Buf;
   Json += "\n}\n";
 
-  const char *JsonPath = "BENCH_fig14.json";
-  std::ofstream Out(JsonPath, std::ios::binary);
-  if (Out && (Out << Json)) {
-    std::printf("[results written to %s]\n", JsonPath);
+  BenchRunInfo Run;
+  Run.Bench = "fig14";
+  Run.GitSha = GitSha;
+  Run.Quick = Quick;
+  Run.CorpusEntries = std::max(MaxCaseEntries, BaseEntries);
+  std::string Record = "{\n" + renderBenchHeader(Run) + Json;
+  if (appendBenchRecordLine(HistoryPath, Record)) {
+    std::printf("[history record appended to %s]\n", HistoryPath.c_str());
   } else {
-    std::printf("error: cannot write %s\n", JsonPath);
+    std::printf("error: cannot append to %s\n", HistoryPath.c_str());
     Exit = 1;
   }
   return Exit;

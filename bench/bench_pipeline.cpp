@@ -39,6 +39,7 @@
 #include "diff/ViewsDiff.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
+#include "support/BenchHistory.h"
 #include "support/MetricsSink.h"
 #include "trace/Serialize.h"
 #include "support/Telemetry.h"
@@ -46,6 +47,7 @@
 #include "support/Timer.h"
 #include "workload/Generator.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -262,8 +264,27 @@ std::string checkFormatDeterminism(const TracePair &Pair,
 
 int main(int Argc, char **Argv) {
   // Sweep sizes (OuterIters) x workload thread counts. `--quick` trims the
-  // sweep for CI smoke runs.
-  bool Quick = Argc > 1 && std::string(Argv[1]) == "--quick";
+  // sweep for CI smoke runs; `--git-sha` stamps the history record (the
+  // harness never shells out to git itself); `--history` overrides the
+  // output path.
+  bool Quick = false;
+  std::string GitSha;
+  std::string HistoryPath = "BENCH_pipeline.json";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--quick") {
+      Quick = true;
+    } else if (Arg == "--git-sha" && I + 1 < Argc) {
+      GitSha = Argv[++I];
+    } else if (Arg == "--history" && I + 1 < Argc) {
+      HistoryPath = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_pipeline [--quick] [--git-sha SHA] "
+                   "[--history FILE]\n");
+      return 2;
+    }
+  }
   std::vector<unsigned> Sizes =
       Quick ? std::vector<unsigned>{50, 200}
             : std::vector<unsigned>{50, 400, 1600};
@@ -274,18 +295,22 @@ int main(int Argc, char **Argv) {
   if (Hw > 4)
     JobCounts.push_back(Hw);
 
-  std::string Json = "{\n  \"bench\": \"pipeline\",\n  \"hardware_"
-                     "concurrency\": " +
-                     std::to_string(Hw) + ",\n  \"results\": [\n";
+  // The record body; the history header (schema/git_sha/corpus size) is
+  // prepended once the sweep has established the corpus size.
+  std::string Json = "  \"hardware_concurrency\": " + std::to_string(Hw) +
+                     ",\n  \"results\": [\n";
   bool First = true;
   int Exit = 0;
   double LargestSeedSeconds = 0;
   double LargestBestSeconds = 0;
+  uint64_t LargestEntries = 0;
+  double WarmSpeedup = 0, IndexedColdSpeedup = 0;
 
   for (unsigned Threads : WorkloadThreads) {
     for (unsigned Size : Sizes) {
       TracePair Pair = makePair(Size, Threads);
       uint64_t Entries = Pair.Left.size() + Pair.Right.size();
+      LargestEntries = std::max(LargestEntries, Entries);
       double BytesPerEntry =
           Entries ? static_cast<double>(Pair.Left.storageBytes() +
                                         Pair.Right.storageBytes()) /
@@ -501,12 +526,13 @@ int main(int Argc, char **Argv) {
       std::remove(LPath.c_str());
       std::remove(RPath.c_str());
     }
+    WarmSpeedup = IndexedWarm > 0 ? IndexedCold / IndexedWarm : 0;
+    IndexedColdSpeedup = IndexedCold > 0 ? PlainCold / IndexedCold : 0;
     char Buf[256];
     std::snprintf(Buf, sizeof(Buf),
                   "\n  ],\n  \"repeat_diff_summary\": {\"warm_speedup\": "
                   "%.2f, \"indexed_cold_speedup\": %.2f}",
-                  IndexedWarm > 0 ? IndexedCold / IndexedWarm : 0,
-                  IndexedCold > 0 ? PlainCold / IndexedCold : 0);
+                  WarmSpeedup, IndexedColdSpeedup);
     RepeatJson += Buf;
     if (IndexedWarm > 0)
       std::printf("  warm speedup vs cold: %.2fx; indexed cold speedup vs "
@@ -556,18 +582,38 @@ int main(int Argc, char **Argv) {
   Json += "\n  ]";
   Json += FormatJson;
   Json += RepeatJson;
+
+  // Headline numbers the regression trajectory tracks, pulled up front so
+  // history consumers don't have to re-derive them from the row arrays.
+  double LargestSpeedup = LargestBestSeconds > 0
+                              ? LargestSeedSeconds / LargestBestSeconds
+                              : 0;
+  {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n  \"key_metrics\": {\"largest_speedup\": %.2f, "
+                  "\"warm_speedup\": %.2f, \"indexed_cold_speedup\": %.2f, "
+                  "\"determinism_ok\": %s}",
+                  LargestSpeedup, WarmSpeedup, IndexedColdSpeedup,
+                  Exit == 0 ? "true" : "false");
+    Json += Buf;
+  }
   Json += "\n}\n";
-  const char *Path = "BENCH_pipeline.json";
-  if (std::FILE *F = std::fopen(Path, "wb")) {
-    std::fwrite(Json.data(), 1, Json.size(), F);
-    std::fclose(F);
-    std::printf("\n[results written to %s]\n", Path);
+
+  BenchRunInfo Run;
+  Run.Bench = "pipeline";
+  Run.GitSha = GitSha;
+  Run.Quick = Quick;
+  Run.CorpusEntries = LargestEntries;
+  std::string Record = "{\n" + renderBenchHeader(Run) + Json;
+  if (appendBenchRecordLine(HistoryPath, Record)) {
+    std::printf("\n[history record appended to %s]\n", HistoryPath.c_str());
   } else {
-    std::printf("\nerror: cannot write %s\n", Path);
+    std::printf("\nerror: cannot append to %s\n", HistoryPath.c_str());
     Exit = 1;
   }
   if (LargestBestSeconds > 0)
     std::printf("largest-size speedup vs seed sequential: %.2fx\n",
-                LargestSeedSeconds / LargestBestSeconds);
+                LargestSpeedup);
   return Exit;
 }

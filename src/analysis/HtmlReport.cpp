@@ -132,6 +132,28 @@ void renderTelemetrySection(std::ostringstream &OS) {
          << Value << "</td></tr>\n";
     OS << "</table>\n";
   }
+  // Distribution quantiles (bucket-bound estimates, deterministic like
+  // the counters above).
+  bool AnyHist = false;
+  for (const auto &[Name, Hist] : Snap.Histograms)
+    AnyHist = AnyHist || Hist.total() != 0;
+  if (AnyHist) {
+    OS << "<table class=\"telemetry\"><tr><th>distribution</th><th>n</th>"
+       << "<th>p50&le;</th><th>p95&le;</th><th>p99&le;</th></tr>\n";
+    for (const auto &[Name, Hist] : Snap.Histograms) {
+      if (Hist.total() == 0)
+        continue;
+      char P50[32], P95[32], P99[32];
+      std::snprintf(P50, sizeof(P50), "%g", Hist.quantile(0.50));
+      std::snprintf(P95, sizeof(P95), "%g", Hist.quantile(0.95));
+      std::snprintf(P99, sizeof(P99), "%g", Hist.quantile(0.99));
+      OS << "<tr><td>" << escapeHtml(Name) << "</td><td class=\"num\">"
+         << Hist.total() << "</td><td class=\"num\">" << P50
+         << "</td><td class=\"num\">" << P95 << "</td><td class=\"num\">"
+         << P99 << "</td></tr>\n";
+    }
+    OS << "</table>\n";
+  }
   OS << "</details>\n";
 }
 

@@ -712,8 +712,11 @@ unsigned rprism::effectiveDiffJobs(const ViewsDiffOptions &Options,
       Options.Jobs ? Options.Jobs : ThreadPool::defaultConcurrency();
   if (Requested <= 1 || Options.ParallelCutoffEntries == 0)
     return Requested;
-  // One hardware thread: workers only add queue latency, for any size.
-  if (ThreadPool::defaultConcurrency() <= 1)
+  // One hardware thread: workers only add queue latency, so auto mode
+  // stays sequential. An explicit Jobs request is honored anyway — the
+  // caller asked for workers (e.g. to observe pool overlap in a
+  // timeline trace), and the result is identical either way.
+  if (ThreadPool::defaultConcurrency() <= 1 && Options.Jobs == 0)
     return 1;
   // Below the work threshold the pool round-trips dominate the win.
   if (TotalEntries < Options.ParallelCutoffEntries)

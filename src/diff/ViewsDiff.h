@@ -53,11 +53,13 @@ struct ViewsDiffOptions {
   /// including total compare-op counts — is identical for every value.
   unsigned Jobs = 0;
   /// Adaptive parallelism cutoff: when the two traces together hold fewer
-  /// entries than this, or the host reports a single hardware thread,
-  /// `Jobs > 1` silently takes the sequential path — below the threshold
-  /// the pool's queue overhead exceeds the win (the result is identical
-  /// either way, so only time changes). 0 disables the adaptation (tests
-  /// that exercise the parallel machinery on tiny traces set 0).
+  /// entries than this, `Jobs > 1` silently takes the sequential path —
+  /// below the threshold the pool's queue overhead exceeds the win (the
+  /// result is identical either way, so only time changes). Auto mode
+  /// (`Jobs == 0`) also goes sequential when the host reports a single
+  /// hardware thread; an explicit Jobs request is honored there. 0
+  /// disables the adaptation (tests that exercise the parallel machinery
+  /// on tiny traces set 0).
   size_t ParallelCutoffEntries = 32768;
   /// Reconstruct view webs from a trace's persisted ViewIndex when one is
   /// present (the warm path for indexed v3 files). Off = always build by

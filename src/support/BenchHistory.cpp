@@ -1,0 +1,85 @@
+//===- support/BenchHistory.cpp -------------------------------------------===//
+
+#include "support/BenchHistory.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace rprism;
+
+namespace {
+
+std::string jsonEscapeField(const std::string &Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (char C : Raw) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string rprism::renderBenchHeader(const BenchRunInfo &Info) {
+  std::string Out;
+  Out += "  \"schema\": \"";
+  Out += kBenchSchema;
+  Out += "\",\n  \"bench\": \"" + jsonEscapeField(Info.Bench) + "\",\n";
+  Out += "  \"git_sha\": \"" + jsonEscapeField(Info.GitSha) + "\",\n";
+  Out += std::string("  \"quick\": ") + (Info.Quick ? "true" : "false") +
+         ",\n";
+  Out += "  \"corpus_entries\": " + std::to_string(Info.CorpusEntries) +
+         ",\n";
+  return Out;
+}
+
+std::string rprism::compactJsonLine(const std::string &Doc) {
+  std::string Out;
+  Out.reserve(Doc.size());
+  bool InString = false;
+  bool Escaped = false;
+  for (char C : Doc) {
+    if (InString) {
+      Out.push_back(C);
+      if (Escaped)
+        Escaped = false;
+      else if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      Out.push_back(C);
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+      continue;
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+bool rprism::appendBenchRecordLine(const std::string &Path,
+                                   const std::string &Doc) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::app);
+  if (!Out)
+    return false;
+  Out << compactJsonLine(Doc) << '\n';
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,62 @@
+//===- support/BenchHistory.h - Append-only bench record trajectory -------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bench trajectory: each bench run appends one self-contained JSON
+/// record (a single line) to its `BENCH_*.json` file, so perf history
+/// accumulates across commits instead of being overwritten. Record
+/// shape (`rprism-bench-v1`):
+///
+///   {"schema": "rprism-bench-v1", "bench": "pipeline",
+///    "git_sha": "<passed via --git-sha, \"\" when unknown>",
+///    "quick": false, "corpus_entries": 125562,
+///    "key_metrics": {...},      // bench-chosen headline numbers
+///    ...bench-specific body...}
+///
+/// Files are JSON-Lines: one record per line, newest last. Consumers
+/// take the latest record with `jq -s 'last'` and the whole trajectory
+/// by reading every line. Benches pass the SHA in by flag (`--git-sha`)
+/// — the harness never shells out to git.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_BENCHHISTORY_H
+#define RPRISM_SUPPORT_BENCHHISTORY_H
+
+#include <cstdint>
+#include <string>
+
+namespace rprism {
+
+/// Schema identifier stamped into every bench history record.
+inline constexpr const char *kBenchSchema = "rprism-bench-v1";
+
+/// Identification fields for one bench run.
+struct BenchRunInfo {
+  std::string Bench;       ///< "pipeline", "fig14", ...
+  std::string GitSha;      ///< From --git-sha; empty when not provided.
+  bool Quick = false;      ///< CI smoke sweep vs the full sweep.
+  uint64_t CorpusEntries = 0; ///< Generated corpus size (largest config).
+};
+
+/// Renders the leading record fields (schema/bench/git_sha/quick/
+/// corpus_entries), ending with ",\n" so a bench can prepend this to its
+/// existing document body right after the opening '{'.
+std::string renderBenchHeader(const BenchRunInfo &Info);
+
+/// Collapses a pretty-printed JSON document to one line (whitespace
+/// outside string literals removed) — the JSON-Lines shape history files
+/// require.
+std::string compactJsonLine(const std::string &Doc);
+
+/// Appends compactJsonLine(\p Doc) plus a newline to \p Path (created if
+/// absent); false on I/O failure.
+bool appendBenchRecordLine(const std::string &Path, const std::string &Doc);
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_BENCHHISTORY_H

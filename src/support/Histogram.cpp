@@ -46,6 +46,27 @@ uint64_t Histogram::total() const {
   return Sum;
 }
 
+double Histogram::quantile(double Q) const {
+  uint64_t Total = total();
+  if (Total == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Smallest rank that covers Q of the distribution (ceiling, min 1).
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(Total) || Rank == 0)
+    ++Rank;
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I != Counts.size(); ++I) {
+    Cumulative += Counts[I];
+    if (Cumulative >= Rank)
+      return Bounds[I];
+  }
+  return Bounds.back();
+}
+
 bool Histogram::merge(const Histogram &Other) {
   assert(Bounds == Other.Bounds && "histogram shapes must match to merge");
   if (Bounds != Other.Bounds)

@@ -43,6 +43,13 @@ public:
   /// Sum of all bucket counts.
   uint64_t total() const;
 
+  /// Bucket-bound quantile estimate: the upper bound of the first bucket
+  /// whose cumulative count reaches \p Q (in [0, 1]) of total(). A
+  /// deterministic summary of bucketed data — exact values inside a
+  /// bucket are not retained, so this is an upper bound, stable across
+  /// runs and merge order. Returns 0 on an empty histogram.
+  double quantile(double Q) const;
+
   /// Adds \p Other's bucket counts into this histogram. The two must have
   /// the same bucket shape (asserted); returns false on shape mismatch so
   /// release builds skip the merge instead of corrupting counts.

@@ -1,0 +1,270 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace rprism;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+double JsonValue::numberOr(const std::string &Key, double Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isNumber() ? V->number() : Default;
+}
+
+std::string JsonValue::stringOr(const std::string &Key,
+                                const std::string &Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isString() ? V->str() : Default;
+}
+
+namespace {
+
+/// Recursive-descent parser over the raw text. Tracks a byte cursor for
+/// error offsets and a depth counter against nesting bombs.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  Expected<JsonValue> parse() {
+    skipSpace();
+    Expected<JsonValue> V = parseValue();
+    if (!V)
+      return V;
+    skipSpace();
+    if (Pos != Text.size())
+      return err("trailing content after JSON document");
+    return V;
+  }
+
+private:
+  static constexpr unsigned kMaxDepth = 200;
+
+  Err err(const std::string &What) const {
+    return makeClassErr(ErrClass::Corrupt, "json.parse",
+                        What + " at byte " + std::to_string(Pos));
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  Expected<JsonValue> parseValue() {
+    if (Depth >= kMaxDepth)
+      return err("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return err("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return parseString();
+    if (C == 't' || C == 'f')
+      return parseBool();
+    if (C == 'n') {
+      if (!consumeWord("null"))
+        return err("bad literal");
+      return JsonValue();
+    }
+    return parseNumber();
+  }
+
+  Expected<JsonValue> parseBool() {
+    JsonValue V;
+    V.K = JsonValue::Kind::Bool;
+    if (consumeWord("true")) {
+      V.B = true;
+      return V;
+    }
+    if (consumeWord("false")) {
+      V.B = false;
+      return V;
+    }
+    return err("bad literal");
+  }
+
+  Expected<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return err("expected a value");
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double Value = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return err("malformed number");
+    JsonValue V;
+    V.K = JsonValue::Kind::Number;
+    V.Num = Value;
+    return V;
+  }
+
+  Expected<JsonValue> parseString() {
+    if (!consume('"'))
+      return err("expected '\"'");
+    JsonValue V;
+    V.K = JsonValue::Kind::String;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return V;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return err("unescaped control character in string");
+      if (C != '\\') {
+        V.Str.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':  V.Str.push_back('"'); break;
+      case '\\': V.Str.push_back('\\'); break;
+      case '/':  V.Str.push_back('/'); break;
+      case 'b':  V.Str.push_back('\b'); break;
+      case 'f':  V.Str.push_back('\f'); break;
+      case 'n':  V.Str.push_back('\n'); break;
+      case 'r':  V.Str.push_back('\r'); break;
+      case 't':  V.Str.push_back('\t'); break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return err("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return err("bad \\u escape digit");
+        }
+        // UTF-8 encode the code point. Surrogate pairs are passed through
+        // as two 3-byte sequences — the emitters never produce them.
+        if (Code < 0x80) {
+          V.Str.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          V.Str.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          V.Str.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          V.Str.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          V.Str.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          V.Str.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return err("bad escape character");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Expected<JsonValue> parseArray() {
+    consume('[');
+    ++Depth;
+    JsonValue V;
+    V.K = JsonValue::Kind::Array;
+    skipSpace();
+    if (consume(']')) {
+      --Depth;
+      return V;
+    }
+    for (;;) {
+      Expected<JsonValue> Elem = parseValue();
+      if (!Elem)
+        return Elem;
+      V.Arr.push_back(Elem.take());
+      skipSpace();
+      if (consume(']'))
+        break;
+      if (!consume(','))
+        return err("expected ',' or ']'");
+    }
+    --Depth;
+    return V;
+  }
+
+  Expected<JsonValue> parseObject() {
+    consume('{');
+    ++Depth;
+    JsonValue V;
+    V.K = JsonValue::Kind::Object;
+    skipSpace();
+    if (consume('}')) {
+      --Depth;
+      return V;
+    }
+    for (;;) {
+      skipSpace();
+      Expected<JsonValue> Key = parseString();
+      if (!Key)
+        return Key.error();
+      skipSpace();
+      if (!consume(':'))
+        return err("expected ':'");
+      Expected<JsonValue> Value = parseValue();
+      if (!Value)
+        return Value;
+      V.Obj.emplace_back(Key->Str, Value.take());
+      skipSpace();
+      if (consume('}'))
+        break;
+      if (!consume(','))
+        return err("expected ',' or '}'");
+    }
+    --Depth;
+    return V;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+Expected<JsonValue> rprism::parseJson(const std::string &Text) {
+  return Parser(Text).parse();
+}

@@ -1,0 +1,83 @@
+//===- support/Json.h - Minimal JSON value parser -------------------------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser for the documents the pipeline
+/// itself emits and consumes: `rprism-metrics-v1` run reports (the
+/// metrics-diff regression gate reads two of them), Chrome trace-event
+/// exports (tests validate the recorder's output through it), and bench
+/// history records. It parses into an owning DOM value; no streaming, no
+/// writing (each emitter renders its own schema directly).
+///
+/// Deliberately strict where it matters (rejects trailing garbage,
+/// unterminated strings, bad escapes, depth bombs) and tolerant where it
+/// does not (any finite JSON number, duplicate object keys keep the first
+/// occurrence for find()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_JSON_H
+#define RPRISM_SUPPORT_JSON_H
+
+#include "support/Expected.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rprism {
+
+/// An owning JSON value. Objects preserve insertion order (serialization
+/// order of the emitting tool), which keeps reports stable.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  const std::string &str() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, JsonValue>> &object() const {
+    return Obj;
+  }
+
+  /// First member with \p Key, or nullptr (nullptr too when not an
+  /// object) — chains safely over optional paths.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Member \p Key as a number, or \p Default when absent / non-numeric.
+  double numberOr(const std::string &Key, double Default) const;
+
+  /// Member \p Key as a string, or \p Default when absent / non-string.
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing content rejected). Errors carry ErrClass::Corrupt and a
+/// byte offset in the message.
+Expected<JsonValue> parseJson(const std::string &Text);
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_JSON_H

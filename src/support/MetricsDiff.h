@@ -1,0 +1,109 @@
+//===- support/MetricsDiff.h - rprism-metrics-v1 regression comparator ----===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two `rprism-metrics-v1` documents (a checked-in baseline and
+/// a fresh run) metric by metric and decides whether the run regressed.
+/// This is the library behind `rprism metrics-diff`, the CI perf gate.
+///
+/// Metrics are flattened to dotted names before comparison:
+///
+///   counters.diff.compare_ops      -> "diff.compare_ops"       (counter)
+///   gauges.pool.busy_ns            -> "gauge.pool.busy_ns"     (gauge)
+///   histograms.X {total,p50,...}   -> "histogram.X.total", ... (counter)
+///   wall_ns                        -> "wall_ns"                (wall)
+///
+/// Each class carries its own default tolerance: counters are
+/// deterministic by the telemetry contract (jobs-/machine-invariant), so
+/// they default to 0% — any growth is a regression. Gauges and wall time
+/// are timing-class and vary run to run, so they are skipped unless a
+/// tolerance is set explicitly. Regressions are one-sided by default
+/// (only increases fail: these are cost metrics); `TwoSided` also fails
+/// decreases beyond tolerance, for pinning exact expectations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_SUPPORT_METRICSDIFF_H
+#define RPRISM_SUPPORT_METRICSDIFF_H
+
+#include "support/Expected.h"
+
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// Metric classes, each with its own default tolerance policy.
+enum class MetricClass : uint8_t {
+  Counter, ///< Deterministic by contract; default tolerance 0%.
+  Gauge,   ///< Timing/scheduling detail; skipped by default.
+  Wall,    ///< Whole-run wall time; skipped by default.
+};
+
+/// A per-pattern tolerance override. Patterns are literal metric names,
+/// optionally with one trailing '*' wildcard ("histogram.*"). The first
+/// matching rule wins; a negative tolerance skips the metric entirely.
+struct ToleranceRule {
+  std::string Pattern;
+  double TolerancePct = 0;
+};
+
+struct MetricsDiffOptions {
+  /// Per-metric overrides, checked before the class defaults.
+  std::vector<ToleranceRule> Rules;
+  /// Class defaults; a negative value skips the whole class.
+  double CounterTolerancePct = 0;
+  double GaugeTolerancePct = -1;
+  double WallTolerancePct = -1;
+  /// Also fail decreases beyond tolerance (default: increases only).
+  bool TwoSided = false;
+  /// Fail when a baseline metric is absent from the run (default: the
+  /// disappearance is reported but does not gate).
+  bool FailOnMissing = false;
+};
+
+/// One compared metric.
+struct MetricDelta {
+  std::string Name;
+  MetricClass Class = MetricClass::Counter;
+  double Baseline = 0;
+  double Current = 0;
+  double TolerancePct = 0; ///< Applied tolerance (<0 when skipped).
+  bool Skipped = false;    ///< Excluded from gating by tolerance policy.
+  bool Regressed = false;
+
+  /// Percent change vs the baseline; 0 when the baseline is 0 and the
+  /// current value matches, +inf-like 100 steps otherwise handled by
+  /// the comparator directly.
+  double deltaPct() const;
+};
+
+struct MetricsDiffResult {
+  std::vector<MetricDelta> Deltas;    ///< Sorted by metric name.
+  std::vector<std::string> Missing;   ///< In baseline, absent from run.
+  std::vector<std::string> Appeared;  ///< In run, absent from baseline.
+  size_t RegressedCount = 0;
+  bool MissingGated = false; ///< Missing metrics counted as failures.
+
+  bool regressed() const {
+    return RegressedCount != 0 || (MissingGated && !Missing.empty());
+  }
+
+  /// Human-readable comparison table plus a verdict line.
+  std::string render(bool OnlyInteresting = true) const;
+};
+
+/// Parses both documents (must carry `"schema": "rprism-metrics-v1"`) and
+/// compares them under \p Options. Errors are classified: Corrupt for
+/// malformed JSON / wrong schema.
+Expected<MetricsDiffResult> diffMetricsJson(const std::string &BaselineText,
+                                            const std::string &CurrentText,
+                                            const MetricsDiffOptions &Options);
+
+} // namespace rprism
+
+#endif // RPRISM_SUPPORT_METRICSDIFF_H

@@ -97,7 +97,11 @@ std::string rprism::renderMetricsJson(const TelemetrySnapshot &Snap,
   First = true;
   for (const auto &[Name, Hist] : Snap.Histograms) {
     OS << (First ? "\n    " : ",\n    ") << "\"" << jsonEscape(Name)
-       << "\": [";
+       << "\": {\"total\": " << Hist.total()
+       << ", \"p50\": " << jsonNumber(Hist.quantile(0.50))
+       << ", \"p95\": " << jsonNumber(Hist.quantile(0.95))
+       << ", \"p99\": " << jsonNumber(Hist.quantile(0.99))
+       << ", \"buckets\": [";
     bool FirstBucket = true;
     for (size_t I = 0; I != Hist.numBuckets(); ++I) {
       if (Hist.count(I) == 0)
@@ -107,7 +111,7 @@ std::string rprism::renderMetricsJson(const TelemetrySnapshot &Snap,
          << "}";
       FirstBucket = false;
     }
-    OS << "]";
+    OS << "]}";
     First = false;
   }
   OS << (First ? "}\n" : "\n  }\n");
@@ -126,7 +130,8 @@ bool rprism::writeMetricsJson(const TelemetrySnapshot &Snap,
   return static_cast<bool>(Out);
 }
 
-std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap) {
+std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap,
+                                       size_t MaxStages) {
   std::ostringstream OS;
 
   // Stage table sorted by self-time: where the pipeline actually spends
@@ -143,9 +148,14 @@ std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap) {
                      return A->SelfNanos > B->SelfNanos;
                    });
 
+  size_t Shown = ByLoad.size();
+  if (MaxStages != 0 && MaxStages < Shown)
+    Shown = MaxStages;
+
   TablePrinter Stages;
   Stages.setHeader({"stage", "count", "total ms", "self ms", "self %"});
-  for (const SpanStat *S : ByLoad) {
+  for (size_t I = 0; I != Shown; ++I) {
+    const SpanStat *S = ByLoad[I];
     double Share = TotalSelf
                        ? 100.0 * static_cast<double>(S->SelfNanos) /
                              static_cast<double>(TotalSelf)
@@ -157,8 +167,12 @@ std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap) {
                                      3),
                    TablePrinter::fmt(Share, 1)});
   }
-  OS << "-- stages (by self time) --\n";
+  OS << "-- stages (top " << Shown << " by self time) --\n";
   Stages.print(OS);
+  if (Shown != ByLoad.size())
+    OS << "(" << ByLoad.size() - Shown << " more stage"
+       << (ByLoad.size() - Shown == 1 ? "" : "s") << " elided; see"
+       << " --metrics-out for the full list)\n";
 
   if (!Snap.Counters.empty()) {
     TablePrinter Counters;
@@ -182,6 +196,10 @@ std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap) {
     if (Hist.total() != 0) {
       OS << '\n';
       Hist.print(OS, "-- histogram: " + Name + " --");
+      OS << "  n=" << Hist.total()
+         << "  p50<=" << TablePrinter::fmt(Hist.quantile(0.50), 0)
+         << "  p95<=" << TablePrinter::fmt(Hist.quantile(0.95), 0)
+         << "  p99<=" << TablePrinter::fmt(Hist.quantile(0.99), 0) << '\n';
     }
   return OS.str();
 }

@@ -26,8 +26,13 @@
 ///     "counters":   {"diff.compare_ops": 15918, ...},  // deterministic
 ///     "gauges":     {"pool.busy_ns": 1e6, ...},        // timing-class
 ///     "histograms": {"diff.sequence_entries":
-///                      [{"le": "4", "count": 3}, ...]}
+///                      {"total": 7, "p50": 4, "p95": 16, "p99": 16,
+///                       "buckets": [{"le": "4", "count": 3}, ...]}}
 ///   }
+///
+/// Histogram quantiles are bucket-bound estimates (Histogram::quantile):
+/// deterministic like the bucket counts, so the metrics-diff gate can
+/// compare them with zero tolerance.
 ///
 /// Counters (and histogram buckets) are jobs-invariant by contract; spans
 /// and gauges carry timings and scheduling detail that legitimately vary
@@ -63,8 +68,12 @@ bool writeMetricsJson(const TelemetrySnapshot &Snap,
                       const MetricsRunInfo &Info, const std::string &Path);
 
 /// Human-readable profile: a stage table (sorted by self-time, descending)
-/// followed by counters, gauges, and non-empty histograms.
-std::string renderProfileTable(const TelemetrySnapshot &Snap);
+/// followed by counters, gauges, and non-empty histograms. \p MaxStages
+/// limits the stage table to the top N rows by self time (0 = all) with
+/// an elision footer; `rprism --profile` passes a small cap so the table
+/// fits a terminal.
+std::string renderProfileTable(const TelemetrySnapshot &Snap,
+                               size_t MaxStages = 0);
 
 } // namespace rprism
 

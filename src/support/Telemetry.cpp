@@ -2,6 +2,8 @@
 
 #include "support/Telemetry.h"
 
+#include "support/TraceEventRecorder.h"
+
 #include <algorithm>
 #include <chrono>
 #include <unordered_map>
@@ -182,6 +184,10 @@ std::string Telemetry::currentPath() {
 }
 
 TelemetrySpan::TelemetrySpan(const char *Name) {
+  if (TraceEventRecorder::armed()) {
+    EventName = Name;
+    TraceEventRecorder::begin(Name);
+  }
   if (!Telemetry::enabled())
     return;
   Active = true;
@@ -197,6 +203,8 @@ TelemetrySpan::TelemetrySpan(const char *Name) {
 }
 
 TelemetrySpan::~TelemetrySpan() {
+  if (EventName)
+    TraceEventRecorder::end(EventName);
   if (!Active)
     return;
   uint64_t Duration = Telemetry::nowNanos() - StartNanos;

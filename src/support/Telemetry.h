@@ -152,6 +152,12 @@ private:
 /// inherited pool-task path); closing records count/total/self time into
 /// the thread's buffer. Inactive (and allocation-free) when telemetry is
 /// disabled at construction time.
+///
+/// Every span site also doubles as a timeline event source: when the
+/// TraceEventRecorder is armed at construction, the span emits a
+/// begin/end pair onto the calling thread's event ring — independently
+/// of whether aggregate telemetry is enabled, so `--trace-out` works
+/// without `--metrics-out`.
 class TelemetrySpan {
 public:
   explicit TelemetrySpan(const char *Name);
@@ -165,6 +171,9 @@ private:
 
   std::string Path;          ///< Full path; empty when inactive.
   TelemetrySpan *Parent = nullptr;
+  /// Borrowed literal for the timeline end event; nullptr when the
+  /// recorder was disarmed at construction.
+  const char *EventName = nullptr;
   uint64_t StartNanos = 0;
   uint64_t ChildNanos = 0;   ///< Accumulated by directly nested spans.
   bool Active = false;

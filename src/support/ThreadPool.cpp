@@ -4,6 +4,7 @@
 
 #include "robustness/FaultInjector.h"
 #include "support/Telemetry.h"
+#include "support/TraceEventRecorder.h"
 
 #include <algorithm>
 #include <utility>
@@ -65,21 +66,54 @@ void ThreadPool::submit(std::function<void()> Task) {
     }
     return;
   }
-  if (Telemetry::enabled()) {
+  const bool TelemetryOn = Telemetry::enabled();
+  const bool TracingOn = TraceEventRecorder::armed();
+  if (TelemetryOn || TracingOn) {
     // Wrap so the worker (a) inherits the submitter's stage path — keeping
-    // the span taxonomy identical for every --jobs value — and (b) accounts
-    // queue wait and busy time to the pool gauges.
-    Task = [this, Inner = std::move(Task), Path = Telemetry::currentPath(),
+    // the span taxonomy identical for every --jobs value — (b) accounts
+    // queue wait and busy time to the pool gauges, and (c) stitches the
+    // submit→run handoff with timeline flow events. Flow tail + queue
+    // depth are emitted here (submitter side); the head fires when the
+    // worker dequeues.
+    uint64_t FlowId = 0;
+    if (TracingOn) {
+      FlowId = TraceEventRecorder::flowBegin("pool.task");
+      TraceEventRecorder::poolQueueAdd(1);
+    }
+    Task = [this, Inner = std::move(Task), TelemetryOn, TracingOn, FlowId,
+            Path = TelemetryOn ? Telemetry::currentPath() : std::string(),
             SubmitNanos = Telemetry::nowNanos()]() {
+      if (TracingOn) {
+        TraceEventRecorder::poolQueueAdd(-1);
+        TraceEventRecorder::setThreadName("pool-worker");
+        TraceEventRecorder::flowEnd("pool.task", FlowId);
+      }
+      // RAII so a throwing task still closes its timeline slice — the
+      // exporter relies on per-thread begin/end balance.
+      struct TaskSlice {
+        bool On;
+        explicit TaskSlice(bool On) : On(On) {
+          if (On)
+            TraceEventRecorder::begin("pool.task", "pool");
+        }
+        ~TaskSlice() {
+          if (On)
+            TraceEventRecorder::end("pool.task", "pool");
+        }
+      } Slice(TracingOn);
       uint64_t RunNanos = Telemetry::nowNanos();
-      Telemetry::gaugeSum("pool.tasks", 1);
-      Telemetry::gaugeSum("pool.queue_wait_ns",
-                          static_cast<double>(RunNanos - SubmitNanos));
+      if (TelemetryOn) {
+        Telemetry::gaugeSum("pool.tasks", 1);
+        Telemetry::gaugeSum("pool.queue_wait_ns",
+                            static_cast<double>(RunNanos - SubmitNanos));
+      }
       TelemetryTaskScope Scope(Path);
       Inner();
-      uint64_t Busy = Telemetry::nowNanos() - RunNanos;
-      Telemetry::gaugeSum("pool.busy_ns", static_cast<double>(Busy));
-      BusyNanos.fetch_add(Busy, std::memory_order_relaxed);
+      if (TelemetryOn) {
+        uint64_t Busy = Telemetry::nowNanos() - RunNanos;
+        Telemetry::gaugeSum("pool.busy_ns", static_cast<double>(Busy));
+        BusyNanos.fetch_add(Busy, std::memory_order_relaxed);
+      }
     };
   }
   {

@@ -4,6 +4,7 @@
 
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "support/TraceEventRecorder.h"
 
 #include <algorithm>
 #include <sstream>
@@ -225,10 +226,11 @@ ViewWeb::ViewWeb(const Trace &TIn, ThreadPool *Pool, bool UseIndex)
       Families[3] = buildActiveObjectFamily(*T);
     });
     Pool->wait();
-  } else if (Telemetry::enabled()) {
-    // Telemetry runs take the four separate scans sequentially so the
-    // per-family spans exist (with identical paths) at --jobs 1 too. The
-    // builders produce exactly what the fused pass produces.
+  } else if (Telemetry::enabled() || TraceEventRecorder::armed()) {
+    // Instrumented runs (telemetry or timeline tracing) take the four
+    // separate scans sequentially so the per-family spans exist (with
+    // identical paths and names) at --jobs 1 too. The builders produce
+    // exactly what the fused pass produces.
     {
       TelemetrySpan S("thread");
       Families[0] = buildThreadFamily(*T);

@@ -194,7 +194,7 @@ grep -q '"schema": "rprism-metrics-v1"' "$METRICS" || fail "metrics schema tag m
 for STAGE in parse compile vm-run record web-build correlate evaluate report; do
   grep -q "$STAGE" "$METRICS" || fail "metrics JSON missing stage '$STAGE'"
 done
-grep -q "stages (by self time)" "$WORK/prof.txt" || fail "--profile table missing"
+grep -q "stages (top" "$WORK/prof.txt" || fail "--profile table missing"
 # The compare-op counter must equal the value the report printed (the
 # "[N compare ops, ...]" status line goes to stderr with the profile).
 REPORT_OPS="$(sed -n 's/^\[\([0-9][0-9]*\) compare ops.*/\1/p' "$WORK/prof.txt" | head -1)"
@@ -213,6 +213,88 @@ if [ -n "${RPRISM_METRICS_DIR:-}" ]; then
   mkdir -p "$RPRISM_METRICS_DIR"
   cp "$METRICS" "$RPRISM_METRICS_DIR/cli_diff_metrics.json"
 fi
+
+# --- timeline tracing: --trace-out -------------------------------------------
+TRACE_JSON="$WORK/timeline.json"
+BASE_OUT="$("$RPRISM" diff-traces "$WORK/old.rpt" "$WORK/new.rpt" --jobs 4 \
+            2>/dev/null)"
+TRACED_OUT="$("$RPRISM" diff-traces "$WORK/old.rpt" "$WORK/new.rpt" --jobs 4 \
+              --trace-out "$TRACE_JSON" 2>"$WORK/trace_err.txt")"
+# Tracing is observability only: the report must be byte-identical.
+[ "$BASE_OUT" = "$TRACED_OUT" ] || fail "--trace-out changed the report output"
+[ -f "$TRACE_JSON" ] || fail "--trace-out wrote no file"
+grep -q "timeline written to" "$WORK/trace_err.txt" \
+  || fail "--trace-out printed no confirmation"
+python3 -m json.tool "$TRACE_JSON" > /dev/null \
+  || fail "timeline JSON does not parse"
+# Chrome trace-event structure: traceEvents array whose events carry
+# ph/pid/tid (and ts on non-metadata events).
+python3 - "$TRACE_JSON" <<'EOF' || fail "timeline structure invalid"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents missing/empty"
+for e in events:
+    assert "ph" in e and "pid" in e and "tid" in e, e
+    if e["ph"] != "M":
+        assert "ts" in e and e["ts"] >= 0, e
+phases = {e["ph"] for e in events}
+assert {"M", "B", "E"} <= phases, phases
+names = {e["args"]["name"] for e in events
+         if e["ph"] == "M" and e.get("name") == "thread_name"}
+assert "main" in names, names
+assert doc["otherData"]["dropped_events"] == 0, doc["otherData"]
+EOF
+# --trace-out works with --metrics-out off and on any subcommand.
+"$RPRISM" run "$WORK/old.rp" --int-input 100 --trace-out "$WORK/run_tl.json" \
+  > /dev/null 2>&1 || fail "run --trace-out failed"
+python3 -m json.tool "$WORK/run_tl.json" > /dev/null \
+  || fail "run timeline JSON does not parse"
+# Unwritable destination is an I/O error (exit 4).
+set +e
+"$RPRISM" run "$WORK/old.rp" --int-input 100 \
+  --trace-out "$WORK/no_such_dir/t.json" > /dev/null 2>&1
+[ $? -eq 4 ] || fail "unwritable --trace-out was not exit 4"
+set -e
+
+# --- metrics-diff: perf-regression gate ---------------------------------------
+# Identical documents pass (exit 0, quiet gate).
+"$RPRISM" metrics-diff "$METRICS" "$METRICS" > /dev/null 2>&1 \
+  || fail "metrics-diff on identical documents failed"
+# Inflate one deterministic counter: the gate must trip with exit 5.
+python3 - "$METRICS" "$WORK/inflated.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["counters"]["diff.compare_ops"] = int(doc["counters"]["diff.compare_ops"] * 2) + 1
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+set +e
+"$RPRISM" metrics-diff "$METRICS" "$WORK/inflated.json" \
+  > /dev/null 2>"$WORK/md_err.txt"
+[ $? -eq 5 ] || fail "metrics-diff regression was not exit 5"
+grep -q "REGRESSED" "$WORK/md_err.txt" || fail "metrics-diff verdict missing"
+# A generous tolerance band absorbs the same delta.
+"$RPRISM" metrics-diff "$METRICS" "$WORK/inflated.json" \
+  --tolerance 'diff.compare_ops=500' > /dev/null 2>&1
+[ $? -eq 0 ] || fail "metrics-diff tolerance band did not absorb the delta"
+# An improvement passes one-sided but trips --two-sided.
+"$RPRISM" metrics-diff "$WORK/inflated.json" "$METRICS" > /dev/null 2>&1
+[ $? -eq 0 ] || fail "metrics-diff flagged an improvement"
+"$RPRISM" metrics-diff "$WORK/inflated.json" "$METRICS" --two-sided \
+  > /dev/null 2>&1
+[ $? -eq 5 ] || fail "metrics-diff --two-sided missed the decrease"
+# Error taxonomy: missing file 4, garbage JSON 3, bad usage 2.
+"$RPRISM" metrics-diff "$WORK/absent.json" "$METRICS" > /dev/null 2>&1
+[ $? -eq 4 ] || fail "metrics-diff missing file was not exit 4"
+echo "not json" > "$WORK/garbage.json"
+"$RPRISM" metrics-diff "$WORK/garbage.json" "$METRICS" > /dev/null 2>&1
+[ $? -eq 3 ] || fail "metrics-diff garbage JSON was not exit 3"
+"$RPRISM" metrics-diff "$METRICS" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "metrics-diff with one file was not usage exit 2"
+"$RPRISM" metrics-diff "$METRICS" "$METRICS" --tolerance 'nopct' \
+  > /dev/null 2>&1
+[ $? -eq 2 ] || fail "metrics-diff malformed --tolerance was not exit 2"
+set -e
 
 # --- telemetry in html report -------------------------------------------------
 "$RPRISM" diff "$WORK/old.rp" "$WORK/new.rp" --int-input 100 \

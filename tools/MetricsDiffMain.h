@@ -1,0 +1,23 @@
+//===- tools/MetricsDiffMain.h - `rprism metrics-diff` entry point --------===//
+//
+// Part of the RPrism/C++ reproduction of "Semantics-Aware Trace Analysis"
+// (Hoffman, Eugster, Jagannathan; PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RPRISM_TOOLS_METRICSDIFFMAIN_H
+#define RPRISM_TOOLS_METRICSDIFFMAIN_H
+
+#include <string>
+#include <vector>
+
+namespace rprism {
+
+/// Runs `rprism metrics-diff <baseline.json> <current.json> [flags]`.
+/// \p Args is everything after the subcommand name. Exit codes follow
+/// the rprism contract plus code 5 for a perf regression.
+int metricsDiffMain(const std::vector<std::string> &Args);
+
+} // namespace rprism
+
+#endif // RPRISM_TOOLS_METRICSDIFFMAIN_H

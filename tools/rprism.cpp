@@ -31,8 +31,11 @@
 #include "runtime/Vm.h"
 #include "support/MetricsSink.h"
 #include "support/Telemetry.h"
+#include "support/TraceEventRecorder.h"
 #include "trace/Serialize.h"
 #include "workload/Corpus.h"
+
+#include "MetricsDiffMain.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -65,18 +68,22 @@ int usage() {
       "              [--no-view-cache]\n"
       "  rprism views <prog> [--input S]...\n"
       "  rprism protocols <good-prog> <subject-prog> [--input S]...\n"
+      "  rprism metrics-diff <baseline.json> <current.json> [--tolerance\n"
+      "              PAT=PCT]... [--two-sided] [--fail-on-missing]\n"
       "  rprism --version\n"
       "\n"
       "telemetry (any subcommand):\n"
       "  --metrics-out F   write run telemetry as JSON (%s)\n"
       "  --profile         print a stage/metric profile to stderr\n"
+      "  --trace-out F     write a per-thread timeline as Chrome\n"
+      "                    trace-event JSON (open in Perfetto)\n"
       "\n"
       "robustness (any subcommand; or RPRISM_FAULT_SPEC in the env):\n"
       "  --fault-spec S    arm the fault injector, e.g.\n"
       "                    'seed=7,file-read:0.01,section-checksum:0@2'\n"
       "\n"
       "exit codes: 0 success, 1 failure, 2 usage error,\n"
-      "            3 corrupt input, 4 I/O error\n",
+      "            3 corrupt input, 4 I/O error, 5 perf regression\n",
       kMetricsSchema);
   return 2;
 }
@@ -136,6 +143,7 @@ struct Args {
   bool Salvage = false;
   std::string MetricsOut;
   bool Profile = false;
+  std::string TraceOut;
   std::string FaultSpec;
   /// Every --flag that appeared, for per-subcommand validation.
   std::vector<std::string> SeenFlags;
@@ -200,6 +208,8 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       A.MetricsOut = Next();
     } else if (Arg == "--profile") {
       A.Profile = true;
+    } else if (Arg == "--trace-out") {
+      A.TraceOut = Next();
     } else if (Arg == "--fault-spec") {
       A.FaultSpec = Next();
     } else if (Arg.rfind("--", 0) == 0) {
@@ -259,7 +269,7 @@ bool validateFlags(const std::string &Command, const Args &A) {
   bool Ok = true;
   for (const std::string &Flag : A.SeenFlags) {
     if (Flag == "--metrics-out" || Flag == "--profile" ||
-        Flag == "--fault-spec")
+        Flag == "--trace-out" || Flag == "--fault-spec")
       continue;
     if (std::none_of(Allowed->begin(), Allowed->end(),
                      [&Flag](const char *F) { return Flag == F; })) {
@@ -617,6 +627,10 @@ int main(int Argc, char **Argv) {
     usage();
     return 0;
   }
+  // metrics-diff has its own flag grammar (--tolerance PAT=PCT), so it is
+  // dispatched before the shared parser.
+  if (Command == "metrics-diff")
+    return metricsDiffMain({Argv + 2, Argv + Argc});
   Args A = parseArgs(Argc, Argv, 2);
   if (A.Bad)
     return 2;
@@ -651,6 +665,16 @@ int main(int Argc, char **Argv) {
     Telemetry::get().reset();
     Telemetry::get().setEnabled(true);
   }
+  // The timeline recorder is independent of aggregate telemetry:
+  // --trace-out works without --metrics-out. The DiffCache source gives
+  // the sampler a cache-footprint counter track.
+  bool WantTrace = !A.TraceOut.empty();
+  if (WantTrace) {
+    TraceEventRecorder::get().registerCounterSource(
+        "diffcache.bytes",
+        [] { return static_cast<double>(DiffCache::global().bytes()); });
+    TraceEventRecorder::get().arm();
+  }
   uint64_t StartNanos = Telemetry::nowNanos();
 
   int Exit;
@@ -661,6 +685,16 @@ int main(int Argc, char **Argv) {
     Exit = dispatch(Command, A);
   }
 
+  if (WantTrace) {
+    TraceEventRecorder::get().disarm();
+    TraceEventRecorder::get().clearCounterSources();
+    if (!TraceEventRecorder::get().writeChromeTrace(A.TraceOut)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", A.TraceOut.c_str());
+      return Exit ? Exit : 4;
+    }
+    std::fprintf(stderr, "[timeline written to %s]\n", A.TraceOut.c_str());
+  }
+
   if (WantTelemetry) {
     Telemetry::get().setEnabled(false);
     MetricsRunInfo Info;
@@ -668,12 +702,12 @@ int main(int Argc, char **Argv) {
     Info.WallNanos = Telemetry::nowNanos() - StartNanos;
     TelemetrySnapshot Snap = Telemetry::get().snapshot();
     if (A.Profile)
-      std::fputs(renderProfileTable(Snap).c_str(), stderr);
+      std::fputs(renderProfileTable(Snap, /*MaxStages=*/16).c_str(), stderr);
     if (!A.MetricsOut.empty()) {
       if (!writeMetricsJson(Snap, Info, A.MetricsOut)) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      A.MetricsOut.c_str());
-        return Exit ? Exit : 1;
+        return Exit ? Exit : 4;
       }
       std::fprintf(stderr, "[metrics written to %s]\n", A.MetricsOut.c_str());
     }
