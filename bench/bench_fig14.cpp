@@ -30,6 +30,8 @@
 #include "diff/Lcs.h"
 #include "diff/NWayDiff.h"
 #include "diff/ViewsDiff.h"
+#include "runtime/Compiler.h"
+#include "runtime/Vm.h"
 #include "support/BenchHistory.h"
 #include "support/Histogram.h"
 #include "support/MetricsSink.h"
@@ -44,9 +46,23 @@
 #include <fstream>
 #include <iostream>
 
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
 using namespace rprism;
 
 namespace {
+
+/// Peak resident set size in bytes (0 where unsupported).
+uint64_t peakRssBytes() {
+#if defined(__unix__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) == 0)
+    return static_cast<uint64_t>(Usage.ru_maxrss) * 1024;
+#endif
+  return 0;
+}
 
 /// Best-of-reps wall clock: repeats \p Body until at least \p MinReps runs
 /// and \p MinWallSeconds accumulated, returns the best single rep.
@@ -298,10 +314,44 @@ int main(int Argc, char **Argv) {
   uint64_t BaseEntries = 0;
   int Exit = runNWayStudy(Quick ? 3 : 8, Json, NWaySpeedup, BaseEntries);
 
+  // Trace production over the Rhino base program: the VM+recorder
+  // throughput (and run-stage RSS growth) behind every trace this harness
+  // consumes.
+  double TraceGenRate = 0;
+  {
+    RunOptions RegrRun, OkRun;
+    rhinoInputs(0, RegrRun, OkRun);
+    auto Prog = compileSource(rhinoBaseSource());
+    if (Prog) {
+      uint64_t PeakBefore = peakRssBytes();
+      uint64_t Entries = 0;
+      double Seconds = bestOf(
+          [&] { Entries = runProgram(*Prog, RegrRun).ExecTrace.size(); });
+      uint64_t Peak = peakRssBytes();
+      TraceGenRate =
+          Seconds > 0 ? static_cast<double>(Entries) / Seconds : 0;
+      char GenBuf[320];
+      std::snprintf(
+          GenBuf, sizeof(GenBuf),
+          ",\n  \"trace_gen\": {\"entries\": %llu, \"seconds\": %.6f, "
+          "\"entries_per_sec\": %.1f, \"peak_rss_bytes\": %llu, "
+          "\"peak_rss_delta_bytes\": %llu}",
+          static_cast<unsigned long long>(Entries), Seconds, TraceGenRate,
+          static_cast<unsigned long long>(Peak),
+          static_cast<unsigned long long>(Peak - PeakBefore));
+      Json += GenBuf;
+      std::printf("trace generation (rhino base): %llu entries, %.2f ms, "
+                  "%.0f entries/s\n\n",
+                  static_cast<unsigned long long>(Entries), Seconds * 1e3,
+                  TraceGenRate);
+    }
+  }
+
   std::snprintf(Buf, sizeof(Buf),
                 ",\n  \"key_metrics\": {\"usable_cases\": %u, "
-                "\"max_seqs\": %u, \"nway_speedup\": %.3f}",
-                Produced, MaxSeqs, NWaySpeedup);
+                "\"max_seqs\": %u, \"nway_speedup\": %.3f, "
+                "\"trace_gen_entries_per_sec\": %.1f}",
+                Produced, MaxSeqs, NWaySpeedup, TraceGenRate);
   Json += Buf;
   Json += "\n}\n";
 

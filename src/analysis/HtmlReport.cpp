@@ -130,6 +130,9 @@ void renderTelemetrySection(std::ostringstream &OS) {
     for (const auto &[Name, Value] : Snap.Counters)
       OS << "<tr><td>" << escapeHtml(Name) << "</td><td class=\"num\">"
          << Value << "</td></tr>\n";
+    if (double Rate = Snap.traceProductionRate(); Rate > 0)
+      OS << "<tr><td>vm-run entries/sec (derived)</td><td class=\"num\">"
+         << static_cast<uint64_t>(Rate) << "</td></tr>\n";
     OS << "</table>\n";
   }
   // Distribution quantiles (bucket-bound estimates, deterministic like

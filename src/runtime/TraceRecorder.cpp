@@ -15,10 +15,9 @@ namespace {
 /// toString cap (§5).
 constexpr size_t MaxPrintable = 128;
 
-std::string truncated(std::string Text) {
-  if (Text.size() > MaxPrintable)
-    Text.resize(MaxPrintable);
-  return Text;
+std::string_view truncated(const std::string &Text) {
+  std::string_view View(Text);
+  return View.size() > MaxPrintable ? View.substr(0, MaxPrintable) : View;
 }
 
 // Distinct seeds per value kind so e.g. Int 0 and Bool false don't collide.
@@ -34,22 +33,50 @@ constexpr uint64_t SeedObj = 0x77u;
 
 TraceRecorder::TraceRecorder(const CompiledProgram &ProgIn,
                              const ObjectStore &StoreIn,
+                             const StringInterner &RtStringsIn,
                              const TraceOptions &OptionsIn,
                              std::string TraceName)
-    : Prog(ProgIn), Store(StoreIn), Options(OptionsIn) {
+    : Prog(ProgIn), Store(StoreIn), RtStrings(RtStringsIn),
+      Options(OptionsIn) {
   Out.Name = std::move(TraceName);
   Out.Strings = Prog.Strings;
   ClassExcluded.resize(Prog.Classes.size(), false);
   ClassNoRepr.resize(Prog.Classes.size(), false);
+  ClassScalarOnly.resize(Prog.Classes.size(), false);
   for (size_t I = 0; I != Prog.Classes.size(); ++I) {
     const std::string &Name = Prog.Strings->text(Prog.Classes[I].Name);
     ClassExcluded[I] = Options.ExcludeClasses.count(Name) != 0;
     ClassNoRepr[I] = Options.NoReprClasses.count(Name) != 0;
+    // A field defaulting to Null is the only way a field can hold an
+    // object; everything else is a scalar, so the object's structural
+    // hash depends only on its own slots (validated by its own version).
+    bool ScalarOnly = true;
+    for (FieldDefaultKind Kind : Prog.Classes[I].FieldDefaults)
+      ScalarOnly &= Kind != FieldDefaultKind::Null;
+    ClassScalarOnly[I] = ScalarOnly;
   }
+  SmallIntMemo.resize(static_cast<size_t>(SmallIntMax - SmallIntMin + 1));
+  BigIntMemo.resize(BigIntMemoSize);
+
+  // Pre-size the entry columns and argument pool from the program's code
+  // size — a floor, not an estimate (entry counts scale with executed
+  // instructions), but it removes the first reallocation doublings.
+  size_t CodeUnits = 0;
+  for (const CompiledMethod &M : Prog.Methods)
+    CodeUnits += M.Code.size();
+  size_t EntryHint =
+      std::min<size_t>(std::max<size_t>(CodeUnits * 8, 1024), 1u << 20);
+  Out.reserveEntries(EntryHint);
+  Out.ArgPool.reserve(EntryHint / 2);
+  EntryCap = EntryHint;
+  ArgCap = EntryHint / 2;
+  // Bucket reservation only — interning order and symbol ids (and thus
+  // trace bytes) are unaffected.
+  Out.Strings->reserve(Out.Strings->size() + EntryHint / 8);
 }
 
 uint64_t TraceRecorder::structuralHash(uint32_t Loc, unsigned Depth,
-                                       std::vector<uint32_t> &Visiting) const {
+                                       std::vector<uint32_t> &Visiting) {
   const HeapObj &Obj = Store.get(Loc);
   uint64_t H = hashMix(SeedObj, Prog.Classes[Obj.ClassId].Name.Id);
   if (Depth == 0)
@@ -74,52 +101,121 @@ uint64_t TraceRecorder::structuralHash(uint32_t Loc, unsigned Depth,
   return H;
 }
 
-ObjRepr TraceRecorder::objRepr(uint32_t Loc) const {
-  ObjRepr Repr;
+ObjRepr TraceRecorder::objRepr(uint32_t Loc) {
   if (Loc == NoLoc)
-    return Repr;
+    return ObjRepr();
+  if (Loc >= ObjMemo.size())
+    ObjMemo.resize(Store.size());
+  ObjMemoEntry &Memo = ObjMemo[Loc];
   const HeapObj &Obj = Store.get(Loc);
+  if (ClassNoRepr[Obj.ClassId]) {
+    // The paper's "empty representation" rule: correlation falls back to
+    // the class-specific creation sequence number — immutable, so the
+    // memo never invalidates.
+    if (Memo.ReprValid) {
+      ++MemoHits;
+      return Memo.Repr;
+    }
+    ObjRepr Repr;
+    Repr.Loc = Loc;
+    Repr.ClassName = Prog.Classes[Obj.ClassId].Name;
+    Repr.CreationSeq = Obj.CreationSeq;
+    Repr.HasRepr = false;
+    Repr.ValueHash = 0;
+    Memo.Repr = Repr;
+    Memo.ReprValid = 1;
+    return Repr;
+  }
+  // +1 keeps a version-0 snapshot distinguishable from an empty memo.
+  uint64_t Snap = ClassScalarOnly[Obj.ClassId]
+                      ? static_cast<uint64_t>(Obj.Version) + 1
+                      : Store.globalVersion() + 1;
+  if (Memo.ReprValid && Memo.Snap == Snap) {
+    ++MemoHits;
+    return Memo.Repr;
+  }
+  ObjRepr Repr;
   Repr.Loc = Loc;
   Repr.ClassName = Prog.Classes[Obj.ClassId].Name;
   Repr.CreationSeq = Obj.CreationSeq;
-  if (ClassNoRepr[Obj.ClassId]) {
-    // The paper's "empty representation" rule: correlation falls back to
-    // the class-specific creation sequence number.
-    Repr.HasRepr = false;
-    Repr.ValueHash = 0;
-  } else {
-    std::vector<uint32_t> Visiting;
-    Repr.HasRepr = true;
-    Repr.ValueHash = structuralHash(Loc, Options.ReprDepth, Visiting);
-  }
+  std::vector<uint32_t> Visiting;
+  Repr.HasRepr = true;
+  Repr.ValueHash = structuralHash(Loc, Options.ReprDepth, Visiting);
+  Memo.Repr = Repr;
+  Memo.Snap = Snap;
+  Memo.ReprValid = 1;
   return Repr;
 }
 
-ValueRepr TraceRecorder::valueRepr(const Value &V) const {
+ValueRepr TraceRecorder::valueRepr(const Value &V) {
   ValueRepr Repr;
   auto &Strings = *Out.Strings;
   switch (V.K) {
   case Value::Kind::Unit:
+    if (UnitMemo.Kind != ReprKind::None) {
+      ++MemoHits;
+      return UnitMemo;
+    }
     Repr.Kind = ReprKind::Unit;
     Repr.Hash = SeedUnit;
     Repr.Text = Strings.intern("unit");
+    UnitMemo = Repr;
     break;
   case Value::Kind::Null:
+    if (NullMemo.Kind != ReprKind::None) {
+      ++MemoHits;
+      return NullMemo;
+    }
     Repr.Kind = ReprKind::Null;
     Repr.Hash = SeedNull;
     Repr.Text = Strings.intern("null");
+    NullMemo = Repr;
     break;
-  case Value::Kind::Int:
+  case Value::Kind::Int: {
+    if (V.I >= SmallIntMin && V.I <= SmallIntMax) {
+      ValueRepr &Slot = SmallIntMemo[static_cast<size_t>(V.I - SmallIntMin)];
+      if (Slot.Kind != ReprKind::None) {
+        ++MemoHits;
+        return Slot;
+      }
+      Repr.Kind = ReprKind::Int;
+      Repr.Hash = hashMix(SeedInt, static_cast<uint64_t>(V.I));
+      Repr.Text = Strings.intern(std::to_string(V.I));
+      Slot = Repr;
+      break;
+    }
+    // Direct-mapped probe for large ints (accumulators and counters leave
+    // the small range immediately; each distinct value recurs across the
+    // get/set/return/structural-hash sites that touch it).
+    static_assert(BigIntMemoSize == (size_t{1} << 13));
+    size_t Idx =
+        (static_cast<uint64_t>(V.I) * 0x9E3779B97F4A7C15ull) >> (64 - 13);
+    IntMemoEntry &Slot = BigIntMemo[Idx];
+    if (Slot.Repr.Kind != ReprKind::None && Slot.Key == V.I) {
+      ++MemoHits;
+      return Slot.Repr;
+    }
     Repr.Kind = ReprKind::Int;
     Repr.Hash = hashMix(SeedInt, static_cast<uint64_t>(V.I));
     Repr.Text = Strings.intern(std::to_string(V.I));
+    Slot.Key = V.I;
+    Slot.Repr = Repr;
     break;
-  case Value::Kind::Bool:
+  }
+  case Value::Kind::Bool: {
+    ValueRepr &Slot = V.I != 0 ? TrueMemo : FalseMemo;
+    if (Slot.Kind != ReprKind::None) {
+      ++MemoHits;
+      return Slot;
+    }
     Repr.Kind = ReprKind::Bool;
     Repr.Hash = hashMix(SeedBool, V.I != 0);
     Repr.Text = Strings.intern(V.I != 0 ? "true" : "false");
+    Slot = Repr;
     break;
+  }
   case Value::Kind::Float: {
+    // Floats are rare in workloads; left unmemoized.
     Repr.Kind = ReprKind::Float;
     Repr.Hash = hashDouble(V.F, SeedFloat);
     char Buf[48];
@@ -127,19 +223,44 @@ ValueRepr TraceRecorder::valueRepr(const Value &V) const {
     Repr.Text = Strings.intern(Buf);
     break;
   }
-  case Value::Kind::Str:
+  case Value::Kind::Str: {
+    uint32_t Id = V.strId();
+    if (Id >= StrMemo.size())
+      StrMemo.resize(RtStrings.size());
+    ValueRepr &Slot = StrMemo[Id];
+    if (Slot.Kind != ReprKind::None) {
+      ++MemoHits;
+      return Slot;
+    }
+    const std::string &Text = RtStrings.text(Symbol{Id});
     Repr.Kind = ReprKind::Str;
-    Repr.Hash = hashString(V.S, SeedStr);
-    Repr.Text = Strings.intern(truncated(V.S));
+    Repr.Hash = hashString(Text, SeedStr);
+    Repr.Text = Strings.intern(truncated(Text));
+    Slot = Repr;
     break;
+  }
   case Value::Kind::Obj: {
     Repr.Kind = ReprKind::Obj;
-    ObjRepr Obj = objRepr(V.loc());
+    uint32_t Loc = V.loc();
+    ObjRepr Obj = objRepr(Loc);
     Repr.Hash = Obj.HasRepr
                     ? Obj.ValueHash
                     : hashCombine(Obj.ClassName.Id, Obj.CreationSeq);
-    Repr.Text = Strings.intern(Strings.text(Obj.ClassName) + "-" +
-                               std::to_string(Obj.CreationSeq));
+    if (Loc == NoLoc) {
+      Repr.Text = Strings.intern(Strings.text(Obj.ClassName) + "-" +
+                                 std::to_string(Obj.CreationSeq));
+      break;
+    }
+    // The "Class-Seq" rendering is immutable per location.
+    ObjMemoEntry &Memo = ObjMemo[Loc];
+    if (!Memo.TextValid) {
+      Memo.Text = Strings.intern(Strings.text(Obj.ClassName) + "-" +
+                                 std::to_string(Obj.CreationSeq));
+      Memo.TextValid = 1;
+    } else {
+      ++MemoHits;
+    }
+    Repr.Text = Memo.Text;
     break;
   }
   }
@@ -157,19 +278,59 @@ bool TraceRecorder::filtered(const RecordContext &Ctx,
   return false;
 }
 
-TraceEntry TraceRecorder::makeEntry(const RecordContext &Ctx,
-                                    uint32_t Prov) const {
-  TraceEntry Entry;
-  Entry.Eid = static_cast<uint32_t>(Out.size());
-  Entry.Tid = Ctx.Tid;
-  Entry.Method = Ctx.Method;
-  Entry.Self = objRepr(Ctx.SelfLoc);
-  Entry.Prov = Prov;
-  return Entry;
+void TraceRecorder::emit(const RecordContext &Ctx, EventKind Kind,
+                         Symbol Name, const ObjRepr &Self,
+                         const ObjRepr &Target, const ValueRepr &Value,
+                         uint32_t ArgsBegin, uint32_t ArgsEnd,
+                         uint32_t ChildTid, uint32_t Prov) {
+  // Any entry mutation makes a previously loaded/computed view index
+  // stale; drop it rather than serve a wrong partitioning.
+  if (Out.ViewIdx.Present)
+    Out.ViewIdx.clear();
+  size_t I = StageLen;
+  StTids[I] = Ctx.Tid;
+  StMethods[I] = Ctx.Method;
+  StSelfs[I] = Self;
+  StKinds[I] = static_cast<uint8_t>(Kind);
+  StNames[I] = Name;
+  StTargets[I] = Target;
+  StValues[I] = Value;
+  StArgsBegins[I] = ArgsBegin;
+  StArgsEnds[I] = ArgsEnd;
+  StChildTids[I] = ChildTid;
+  StProvs[I] = Prov;
+  if (++StageLen == StageCap)
+    flushStage();
+  // Fps is filled once by computeFingerprints at take().
+}
+
+void TraceRecorder::flushStage() {
+  if (StageLen == 0)
+    return;
+  if (Out.size() + StageLen > EntryCap) {
+    EntryCap = std::max(EntryCap * 4, Out.size() + StageLen);
+    Out.reserveEntries(EntryCap);
+  }
+  Out.Tids.append(StTids, StageLen);
+  Out.Methods.append(StMethods, StageLen);
+  Out.Selfs.append(StSelfs, StageLen);
+  Out.Kinds.append(StKinds, StageLen);
+  Out.Names.append(StNames, StageLen);
+  Out.Targets.append(StTargets, StageLen);
+  Out.Values.append(StValues, StageLen);
+  Out.ArgsBegins.append(StArgsBegins, StageLen);
+  Out.ArgsEnds.append(StArgsEnds, StageLen);
+  Out.ChildTids.append(StChildTids, StageLen);
+  Out.Provs.append(StProvs, StageLen);
+  StageLen = 0;
 }
 
 uint32_t TraceRecorder::pushArgs(const Value *Args, size_t NumArgs) {
   uint32_t Begin = static_cast<uint32_t>(Out.ArgPool.size());
+  if (Out.ArgPool.size() + NumArgs > ArgCap) {
+    ArgCap = std::max(ArgCap * 4, Out.ArgPool.size() + NumArgs);
+    Out.ArgPool.reserve(ArgCap);
+  }
   for (size_t I = 0; I != NumArgs; ++I)
     Out.ArgPool.push_back(valueRepr(Args[I]));
   return Begin;
@@ -183,13 +344,10 @@ void TraceRecorder::recordCall(const RecordContext &Ctx, uint32_t TargetLoc,
   if (filtered(Ctx, TargetClass))
     return;
   uint32_t Begin = pushArgs(Args, NumArgs);
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::Call;
-  Entry.Ev.Name = QualMethod;
-  Entry.Ev.Target = objRepr(TargetLoc);
-  Entry.Ev.ArgsBegin = Begin;
-  Entry.Ev.ArgsEnd = static_cast<uint32_t>(Out.ArgPool.size());
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  ObjRepr Target = objRepr(TargetLoc);
+  emit(Ctx, EventKind::Call, QualMethod, Self, Target, ValueRepr(), Begin,
+       static_cast<uint32_t>(Out.ArgPool.size()), 0, Prov);
 }
 
 void TraceRecorder::recordReturn(const RecordContext &Ctx,
@@ -200,12 +358,10 @@ void TraceRecorder::recordReturn(const RecordContext &Ctx,
   if (filtered(Ctx, TargetClass))
     return;
   ValueRepr RetRepr = valueRepr(Ret);
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::Return;
-  Entry.Ev.Name = QualMethod;
-  Entry.Ev.Target = objRepr(TargetLoc);
-  Entry.Ev.Value = RetRepr;
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  ObjRepr Target = objRepr(TargetLoc);
+  emit(Ctx, EventKind::Return, QualMethod, Self, Target, RetRepr, 0, 0, 0,
+       Prov);
 }
 
 void TraceRecorder::recordGet(const RecordContext &Ctx, uint32_t TargetLoc,
@@ -213,12 +369,9 @@ void TraceRecorder::recordGet(const RecordContext &Ctx, uint32_t TargetLoc,
   if (filtered(Ctx, Store.get(TargetLoc).ClassId))
     return;
   ValueRepr Repr = valueRepr(V);
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::FieldGet;
-  Entry.Ev.Name = Field;
-  Entry.Ev.Target = objRepr(TargetLoc);
-  Entry.Ev.Value = Repr;
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  ObjRepr Target = objRepr(TargetLoc);
+  emit(Ctx, EventKind::FieldGet, Field, Self, Target, Repr, 0, 0, 0, Prov);
 }
 
 void TraceRecorder::recordSet(const RecordContext &Ctx, uint32_t TargetLoc,
@@ -226,12 +379,9 @@ void TraceRecorder::recordSet(const RecordContext &Ctx, uint32_t TargetLoc,
   if (filtered(Ctx, Store.get(TargetLoc).ClassId))
     return;
   ValueRepr Repr = valueRepr(V);
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::FieldSet;
-  Entry.Ev.Name = Field;
-  Entry.Ev.Target = objRepr(TargetLoc);
-  Entry.Ev.Value = Repr;
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  ObjRepr Target = objRepr(TargetLoc);
+  emit(Ctx, EventKind::FieldSet, Field, Self, Target, Repr, 0, 0, 0, Prov);
 }
 
 void TraceRecorder::recordInit(const RecordContext &Ctx, Symbol ClassName,
@@ -240,33 +390,26 @@ void TraceRecorder::recordInit(const RecordContext &Ctx, Symbol ClassName,
   if (filtered(Ctx, Store.get(NewLoc).ClassId))
     return;
   uint32_t Begin = pushArgs(Args, NumArgs);
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::Init;
-  Entry.Ev.Name = ClassName;
-  Entry.Ev.Target = objRepr(NewLoc);
-  Entry.Ev.ArgsBegin = Begin;
-  Entry.Ev.ArgsEnd = static_cast<uint32_t>(Out.ArgPool.size());
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  ObjRepr Target = objRepr(NewLoc);
+  emit(Ctx, EventKind::Init, ClassName, Self, Target, ValueRepr(), Begin,
+       static_cast<uint32_t>(Out.ArgPool.size()), 0, Prov);
 }
 
 void TraceRecorder::recordFork(const RecordContext &Ctx, uint32_t ChildTid,
                                uint32_t Prov) {
   if (filtered(Ctx, ~0u))
     return;
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::Fork;
-  Entry.Ev.ChildTid = ChildTid;
-  Entry.Ev.Name = Out.Threads[ChildTid].EntryMethod;
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  emit(Ctx, EventKind::Fork, Out.Threads[ChildTid].EntryMethod, Self,
+       ObjRepr(), ValueRepr(), 0, 0, ChildTid, Prov);
 }
 
 void TraceRecorder::recordEnd(const RecordContext &Ctx, uint32_t Tid,
                               uint32_t Prov) {
   if (filtered(Ctx, ~0u))
     return;
-  TraceEntry Entry = makeEntry(Ctx, Prov);
-  Entry.Ev.Kind = EventKind::End;
-  Entry.Ev.ChildTid = Tid;
-  Entry.Ev.Name = Out.Threads[Tid].EntryMethod;
-  Out.append(Entry);
+  ObjRepr Self = objRepr(Ctx.SelfLoc);
+  emit(Ctx, EventKind::End, Out.Threads[Tid].EntryMethod, Self, ObjRepr(),
+       ValueRepr(), 0, 0, Tid, Prov);
 }

@@ -12,6 +12,16 @@
 /// paper's toString approximation) and applies the pointcut-style class
 /// exclusion filter.
 ///
+/// Recording is built for throughput: entries append straight into the
+/// trace's columnar builders (no intermediate TraceEntry), and the
+/// representation builders are memoized — small-int/bool/unit/null texts,
+/// per-runtime-string-id value reprs, and per-(loc, store-version) object
+/// reprs — so the steady state is id lookups and column appends, not
+/// string formatting. Memo hits are by construction state-identical to
+/// recomputation (a valid memo implies the same computation ran before and
+/// already interned the same strings), so traces are byte-for-byte what
+/// the unmemoized recorder produced.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RPRISM_RUNTIME_TRACERECORDER_H
@@ -32,20 +42,26 @@ struct RecordContext {
 /// Accumulates trace entries for one run.
 class TraceRecorder {
 public:
+  /// \p RtStrings is the VM's private runtime string table (Str values
+  /// carry ids into it); the recorder reads texts from it and re-interns
+  /// what it records into the trace's shared interner.
   TraceRecorder(const CompiledProgram &Prog, const ObjectStore &Store,
-                const TraceOptions &Options, std::string TraceName);
+                const StringInterner &RtStrings, const TraceOptions &Options,
+                std::string TraceName);
 
-  /// The finished trace; call once after the run. Finalization computes
-  /// the per-entry equality fingerprints (recording appends entries, so
-  /// the hashes are taken once here rather than maintained online).
+  /// The finished trace; call once after the run. Finalization flushes
+  /// the staged rows and computes the per-entry equality fingerprints
+  /// (recording appends entries, so the hashes are taken once here rather
+  /// than maintained online).
   Trace take() {
+    flushStage();
     Out.computeFingerprints();
     return std::move(Out);
   }
 
-  // -- Representation builders -------------------------------------------
-  ObjRepr objRepr(uint32_t Loc) const;
-  ValueRepr valueRepr(const Value &V) const;
+  // -- Representation builders (memoized) --------------------------------
+  ObjRepr objRepr(uint32_t Loc);
+  ValueRepr valueRepr(const Value &V);
 
   // -- Event recording (one per Fig. 6 rule) ------------------------------
   void recordCall(const RecordContext &Ctx, uint32_t TargetLoc,
@@ -67,29 +83,106 @@ public:
   /// Registers a thread in the trace's thread table.
   void addThread(ThreadInfo Info) { Out.Threads.push_back(std::move(Info)); }
 
-  size_t numEntries() const { return Out.size(); }
+  size_t numEntries() const { return Out.size() + StageLen; }
   StringInterner &strings() { return *Out.Strings; }
+
+  /// Representation-memo hits so far (vm.repr_memo_hits telemetry).
+  uint64_t memoHits() const { return MemoHits; }
 
 private:
   /// True when the event must be dropped (tracing disabled, excluded
   /// context class, or excluded target class).
   bool filtered(const RecordContext &Ctx, uint32_t TargetClassId) const;
 
-  /// Builds an entry carrying the context fields; the caller fills the
-  /// event and hands it to Out.append (the columnar trace scatters fields
-  /// into columns, so entries are built complete rather than mutated in
-  /// place).
-  TraceEntry makeEntry(const RecordContext &Ctx, uint32_t Prov) const;
+  /// Appends one entry directly to the trace's columns. \p Self must be
+  /// computed by the caller (record order of the representation builders
+  /// is part of the byte-stable trace contract: interning happens in the
+  /// same first-sight order as the entry fields are populated).
+  void emit(const RecordContext &Ctx, EventKind Kind, Symbol Name,
+            const ObjRepr &Self, const ObjRepr &Target,
+            const ValueRepr &Value, uint32_t ArgsBegin, uint32_t ArgsEnd,
+            uint32_t ChildTid, uint32_t Prov);
+
+  /// Scatters the staged rows into the trace columns (one bulk append per
+  /// column) and resets the stage. Called when the stage fills and at
+  /// take().
+  void flushStage();
   uint64_t structuralHash(uint32_t Loc, unsigned Depth,
-                          std::vector<uint32_t> &Visiting) const;
+                          std::vector<uint32_t> &Visiting);
   uint32_t pushArgs(const Value *Args, size_t NumArgs);
+
+  /// Memoized representation of one heap object. Snap is the mutation
+  /// version the repr was computed at: the object's own version for
+  /// scalar-only classes (no field can reference another object), the
+  /// store's global version otherwise (any assignment anywhere could
+  /// mutate the reachable subgraph). Text is the "Class-Seq" rendering,
+  /// immutable once interned.
+  struct ObjMemoEntry {
+    ObjRepr Repr;
+    uint64_t Snap = 0;
+    Symbol Text;
+    uint8_t ReprValid = 0;
+    uint8_t TextValid = 0;
+  };
+
+  static constexpr int64_t SmallIntMin = -1024;
+  static constexpr int64_t SmallIntMax = 1024;
+
+  /// Direct-mapped cache slot for integers outside the small-int range
+  /// (counters and accumulators blow past it quickly). Collisions evict;
+  /// recomputation re-interns the same text (the interner dedups), so
+  /// eviction affects speed only, never trace bytes.
+  struct IntMemoEntry {
+    int64_t Key = 0;
+    ValueRepr Repr; ///< Kind == None marks an empty slot.
+  };
+  static constexpr size_t BigIntMemoSize = 8192; // Power of two.
 
   const CompiledProgram &Prog;
   const ObjectStore &Store;
+  const StringInterner &RtStrings;
   const TraceOptions &Options;
   Trace Out;
-  std::vector<bool> ClassExcluded; ///< Per class id.
-  std::vector<bool> ClassNoRepr;
+  std::vector<uint8_t> ClassExcluded; ///< Per class id.
+  std::vector<uint8_t> ClassNoRepr;
+  std::vector<uint8_t> ClassScalarOnly; ///< No obj-typed fields.
+
+  // -- Representation memos (ReprKind::None / *Valid == 0 mark empty) -----
+  ValueRepr UnitMemo, NullMemo, TrueMemo, FalseMemo;
+  std::vector<ValueRepr> SmallIntMemo; ///< [SmallIntMin, SmallIntMax].
+  std::vector<IntMemoEntry> BigIntMemo; ///< Direct-mapped, by value hash.
+  std::vector<ValueRepr> StrMemo;      ///< By runtime string id.
+  std::vector<ObjMemoEntry> ObjMemo;   ///< By store location.
+  uint64_t MemoHits = 0;
+
+  /// Reserved capacities of the entry columns / argument pool. Growth goes
+  /// through reserveEntries in 4x steps (see flushStage): the bulk-append
+  /// path otherwise re-doubles each multi-megabyte column, and the copy +
+  /// page-fault churn of 2x doubling is the single largest recording cost
+  /// on large traces.
+  size_t EntryCap = 0;
+  size_t ArgCap = 0;
+
+  // -- Row staging ---------------------------------------------------------
+  // Entries are first written into these small structure-of-arrays buffers
+  // (resident in cache, plain indexed stores) and batch-flushed into the
+  // trace columns with one bulk append per column: 11 capacity checks and
+  // pointer updates per StageCap rows instead of per row. Flush order is
+  // emit order, so the resulting columns are byte-identical to direct
+  // per-row appends.
+  static constexpr size_t StageCap = 256;
+  size_t StageLen = 0;
+  uint32_t StTids[StageCap];
+  Symbol StMethods[StageCap];
+  ObjRepr StSelfs[StageCap];
+  uint8_t StKinds[StageCap];
+  Symbol StNames[StageCap];
+  ObjRepr StTargets[StageCap];
+  ValueRepr StValues[StageCap];
+  uint32_t StArgsBegins[StageCap];
+  uint32_t StArgsEnds[StageCap];
+  uint32_t StChildTids[StageCap];
+  uint32_t StProvs[StageCap];
 };
 
 } // namespace rprism

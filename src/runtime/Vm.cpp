@@ -9,6 +9,8 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 
 using namespace rprism;
@@ -17,37 +19,64 @@ namespace {
 
 constexpr size_t MaxFrameDepth = 4096;
 
-/// An activation record.
+/// An activation record. Locals and operand stack live in the owning
+/// thread's shared slot array: locals occupy [LocalBase, LocalBase +
+/// NumLocals) and the operand stack grows above them, so calls pass
+/// arguments by leaving them in place (they become the callee's first
+/// locals) instead of copying through per-frame vectors.
 struct Frame {
   uint32_t Method = 0;
   uint32_t Ip = 0;
   uint32_t SelfLoc = NoLoc;
+  uint32_t LocalBase = 0;
+  /// Slot height to restore when this frame returns; the return value (if
+  /// kept) lands there. For plain calls this is the receiver's slot, so
+  /// the receiver is consumed and replaced by the result.
+  uint32_t RetBase = 0;
   /// Constructor frames and thread roots discard their return value (the
-  /// `new` result was pushed by the caller before the frame started).
+  /// `new` result was placed below the frame before it started).
   bool DiscardRet = false;
-  std::vector<Value> Locals;
-  std::vector<Value> Stack;
 };
 
-/// Execution state of one thread.
+/// Execution state of one thread: the frame stack plus one contiguous
+/// slot array shared by every frame's locals and operand stack.
 struct ThreadExec {
   uint32_t Tid = 0;
   std::vector<Frame> Frames;
+  std::vector<Value> Slots;
+  uint32_t Top = 0; ///< Slots in use; the operand stack top.
   bool Done = false;
 };
+
+/// True when RPRISM_NO_THREADED_DISPATCH is set to anything but "" or "0"
+/// (same convention as RPRISM_NO_SIMD). Read per run so tests can compare
+/// the tiers in-process.
+bool threadedDispatchDisabled() {
+  const char *Env = std::getenv("RPRISM_NO_THREADED_DISPATCH");
+  return Env && *Env && std::strcmp(Env, "0") != 0;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+constexpr bool ThreadedDispatchSupported = true;
+#else
+constexpr bool ThreadedDispatchSupported = false;
+#endif
 
 class Vm {
 public:
   Vm(const CompiledProgram &ProgIn, const RunOptions &OptionsIn)
       : Prog(ProgIn), Options(OptionsIn), Store(ProgIn.Classes.size()),
-        Recorder(ProgIn, Store, OptionsIn.Tracing, OptionsIn.TraceName) {}
+        Recorder(ProgIn, Store, RtStrings, OptionsIn.Tracing,
+                 OptionsIn.TraceName) {}
 
   RunResult run();
 
 private:
   void fail(const std::string &Message) {
-    if (ErrorMsg.empty())
+    if (!HasError) {
+      HasError = true;
       ErrorMsg = Message;
+    }
   }
 
   RecordContext ctxOf(const ThreadExec &T) const {
@@ -56,32 +85,59 @@ private:
     return {T.Tid, M.QualName, M.ClassId, F.SelfLoc};
   }
 
+  /// Grows \p T's slot array; outlined so the inline push stays tiny.
+  void growSlots(ThreadExec &T) {
+    T.Slots.resize(std::max<size_t>(T.Slots.size() * 2, 64));
+  }
+
+  void pushVal(ThreadExec &T, Value V) {
+    if (T.Top == T.Slots.size())
+      growSlots(T);
+    T.Slots[T.Top++] = V;
+  }
+
+  /// Runtime text of a string value.
+  const std::string &str(const Value &V) const {
+    return RtStrings.text(Symbol{V.strId()});
+  }
+
+  Value strOf(std::string_view Text) {
+    return Value::ofStr(RtStrings.intern(Text).Id);
+  }
+
+  /// Runtime string id of the PushStr literal with compile-time symbol
+  /// \p Sym, interned into the runtime table on first use.
+  uint32_t litStrId(uint32_t Sym) {
+    uint32_t &Id = LitStrIds[Sym];
+    if (Id == ~0u)
+      Id = RtStrings.intern(Prog.Strings->text(Symbol{Sym})).Id;
+    return Id;
+  }
+
+  /// Enters \p MethodIndex. The arguments are already in place at
+  /// [ArgsBase, Top): they become the callee's first locals; the remaining
+  /// locals are cleared to Unit.
   void pushFrame(ThreadExec &T, uint32_t MethodIndex, uint32_t SelfLoc,
-                 std::vector<Value> Args, bool DiscardRet) {
+                 uint32_t ArgsBase, uint32_t RetBase, bool DiscardRet) {
     if (T.Frames.size() >= MaxFrameDepth) {
       fail("call stack overflow");
       return;
     }
     const CompiledMethod &M = Prog.Methods[MethodIndex];
+    assert(T.Top - ArgsBase == M.NumParams && "argument count mismatch");
+    uint32_t NewTop = ArgsBase + static_cast<uint32_t>(M.NumLocals);
+    if (NewTop > T.Slots.size())
+      T.Slots.resize(std::max<size_t>(T.Slots.size() * 2, NewTop));
+    for (uint32_t I = T.Top; I < NewTop; ++I)
+      T.Slots[I] = Value::unit();
+    T.Top = NewTop;
     Frame F;
     F.Method = MethodIndex;
     F.SelfLoc = SelfLoc;
+    F.LocalBase = ArgsBase;
+    F.RetBase = RetBase;
     F.DiscardRet = DiscardRet;
-    F.Locals.resize(M.NumLocals);
-    assert(Args.size() == M.NumParams && "argument count mismatch");
-    for (size_t I = 0; I != Args.size(); ++I)
-      F.Locals[I] = std::move(Args[I]);
-    T.Frames.push_back(std::move(F));
-  }
-
-  /// Pops \p Argc arguments (in declaration order) off the frame's stack.
-  std::vector<Value> popArgs(Frame &F, uint32_t Argc) {
-    std::vector<Value> Args(Argc);
-    for (uint32_t I = 0; I != Argc; ++I) {
-      Args[Argc - 1 - I] = std::move(F.Stack.back());
-      F.Stack.pop_back();
-    }
-    return Args;
+    T.Frames.push_back(F);
   }
 
   Value defaultFieldValue(FieldDefaultKind Kind) {
@@ -90,30 +146,41 @@ private:
     case FieldDefaultKind::Int:   return Value::ofInt(0);
     case FieldDefaultKind::Bool:  return Value::ofBool(false);
     case FieldDefaultKind::Float: return Value::ofFloat(0);
-    case FieldDefaultKind::Str:   return Value::ofStr("");
+    case FieldDefaultKind::Str:   return Value::ofStr(0); // Id 0 = "".
     case FieldDefaultKind::Unit:  return Value::unit();
     }
     return Value::unit();
   }
 
-  void doBinary(Frame &F, BinOp OpCode);
-  void doBuiltin(Frame &F, BuiltinKind Kind, uint32_t Argc);
-  void doCall(ThreadExec &T, Frame &F, const Instr &In);
-  void doSpawn(ThreadExec &T, Frame &F, const Instr &In);
-  void doNew(ThreadExec &T, Frame &F, const Instr &In);
-  void doSuperCtor(ThreadExec &T, Frame &F, const Instr &In);
+  void doBinary(ThreadExec &T, BinOp OpCode);
+  void doBuiltin(ThreadExec &T, BuiltinKind Kind, uint32_t Argc);
+  void doCall(ThreadExec &T, const Instr &In);
+  void doSpawn(ThreadExec &T, const Instr &In);
+  void doNew(ThreadExec &T, const Instr &In);
+  void doSuperCtor(ThreadExec &T, const Instr &In);
   void doRet(ThreadExec &T, const Instr &In);
-  void step(ThreadExec &T);
+  uint64_t runSliceThreaded(ThreadExec &T, uint64_t Budget);
+  uint64_t runSliceSwitch(ThreadExec &T, uint64_t Budget);
   void renderForPrint(const Value &V);
 
   const CompiledProgram &Prog;
   const RunOptions &Options;
   ObjectStore Store;
+  /// VM-private runtime string table. Kept separate from the shared trace
+  /// interner on purpose: trace format v3 serializes the shared table and
+  /// fingerprints hash its symbol ids, so interning transient runtime
+  /// strings there would change trace bytes. The recorder re-interns only
+  /// the texts that actually reach the trace, in record order, exactly as
+  /// the string-carrying VM did.
+  StringInterner RtStrings;
   TraceRecorder Recorder;
   std::deque<ThreadExec> Threads;
   std::vector<uint64_t> AncestryHashes;
+  std::vector<uint32_t> LitStrIds; ///< Compile symbol -> runtime string id.
+  std::vector<uint32_t> InputIds;  ///< Pre-interned Options.Inputs.
   std::string Output;
   std::string ErrorMsg;
+  bool HasError = false;
   uint64_t Steps = 0;
 };
 
@@ -140,7 +207,7 @@ void Vm::renderForPrint(const Value &V) {
     break;
   }
   case Value::Kind::Str:
-    Output += V.S;
+    Output += str(V);
     break;
   case Value::Kind::Obj:
     Output += "<object>";
@@ -149,11 +216,11 @@ void Vm::renderForPrint(const Value &V) {
   Output += '\n';
 }
 
-void Vm::doBinary(Frame &F, BinOp OpCode) {
-  Value R = std::move(F.Stack.back());
-  F.Stack.pop_back();
-  Value L = std::move(F.Stack.back());
-  F.Stack.pop_back();
+void Vm::doBinary(ThreadExec &T, BinOp OpCode) {
+  Value R = T.Slots[T.Top - 1];
+  Value L = T.Slots[T.Top - 2];
+  --T.Top; // The result overwrites L's slot.
+  Value *Res = &T.Slots[T.Top - 1];
 
   auto BothInt = [&] {
     return L.K == Value::Kind::Int && R.K == Value::Kind::Int;
@@ -183,27 +250,27 @@ void Vm::doBinary(Frame &F, BinOp OpCode) {
   switch (OpCode) {
   case BinOp::Add:
     if (BothInt())
-      F.Stack.push_back(Value::ofInt(WrapAdd(L.I, R.I)));
+      *Res = Value::ofInt(WrapAdd(L.I, R.I));
     else if (BothFloat())
-      F.Stack.push_back(Value::ofFloat(L.F + R.F));
+      *Res = Value::ofFloat(L.F + R.F);
     else if (BothStr())
-      F.Stack.push_back(Value::ofStr(L.S + R.S));
+      *Res = strOf(str(L) + str(R));
     else
       fail("'+' on incompatible runtime values");
     return;
   case BinOp::Sub:
     if (BothInt())
-      F.Stack.push_back(Value::ofInt(WrapSub(L.I, R.I)));
+      *Res = Value::ofInt(WrapSub(L.I, R.I));
     else if (BothFloat())
-      F.Stack.push_back(Value::ofFloat(L.F - R.F));
+      *Res = Value::ofFloat(L.F - R.F);
     else
       fail("'-' on incompatible runtime values");
     return;
   case BinOp::Mul:
     if (BothInt())
-      F.Stack.push_back(Value::ofInt(WrapMul(L.I, R.I)));
+      *Res = Value::ofInt(WrapMul(L.I, R.I));
     else if (BothFloat())
-      F.Stack.push_back(Value::ofFloat(L.F * R.F));
+      *Res = Value::ofFloat(L.F * R.F);
     else
       fail("'*' on incompatible runtime values");
     return;
@@ -213,11 +280,11 @@ void Vm::doBinary(Frame &F, BinOp OpCode) {
         return fail("division by zero");
       // INT64_MIN / -1 overflows; wrap to INT64_MIN like Java.
       if (R.I == -1)
-        F.Stack.push_back(Value::ofInt(WrapSub(0, L.I)));
+        *Res = Value::ofInt(WrapSub(0, L.I));
       else
-        F.Stack.push_back(Value::ofInt(L.I / R.I));
+        *Res = Value::ofInt(L.I / R.I);
     } else if (BothFloat()) {
-      F.Stack.push_back(Value::ofFloat(L.F / R.F));
+      *Res = Value::ofFloat(L.F / R.F);
     } else {
       fail("'/' on incompatible runtime values");
     }
@@ -227,7 +294,7 @@ void Vm::doBinary(Frame &F, BinOp OpCode) {
       if (R.I == 0)
         return fail("remainder by zero");
       // INT64_MIN % -1 traps in hardware; the result is 0.
-      F.Stack.push_back(Value::ofInt(R.I == -1 ? 0 : L.I % R.I));
+      *Res = Value::ofInt(R.I == -1 ? 0 : L.I % R.I);
     } else {
       fail("'%' on incompatible runtime values");
     }
@@ -241,15 +308,17 @@ void Vm::doBinary(Frame &F, BinOp OpCode) {
       Cmp = L.I < R.I ? -1 : (L.I == R.I ? 0 : 1);
     else if (BothFloat())
       Cmp = L.F < R.F ? -1 : (L.F == R.F ? 0 : 1);
-    else if (BothStr())
-      Cmp = L.S < R.S ? -1 : (L.S == R.S ? 0 : 1);
-    else
+    else if (BothStr()) {
+      // Interned ids make equality O(1); order still compares texts.
+      const std::string &LS = str(L), &RS = str(R);
+      Cmp = L.I == R.I ? 0 : (LS < RS ? -1 : (LS == RS ? 0 : 1));
+    } else
       return fail("comparison on incompatible runtime values");
     bool Result = OpCode == BinOp::Lt     ? Cmp < 0
                   : OpCode == BinOp::LtEq ? Cmp <= 0
                   : OpCode == BinOp::Gt   ? Cmp > 0
                                           : Cmp >= 0;
-    F.Stack.push_back(Value::ofBool(Result));
+    *Res = Value::ofBool(Result);
     return;
   }
   case BinOp::Eq:
@@ -265,12 +334,12 @@ void Vm::doBinary(Frame &F, BinOp OpCode) {
       case Value::Kind::Int:
       case Value::Kind::Bool:  Equal = L.I == R.I; break;
       case Value::Kind::Float: Equal = L.F == R.F; break;
-      case Value::Kind::Str:   Equal = L.S == R.S; break;
+      case Value::Kind::Str:   Equal = L.I == R.I; break; // Interned ids.
       case Value::Kind::Obj:   Equal = L.loc() == R.loc(); break;
       default:                 Equal = false; break;
       }
     }
-    F.Stack.push_back(Value::ofBool(OpCode == BinOp::Eq ? Equal : !Equal));
+    *Res = Value::ofBool(OpCode == BinOp::Eq ? Equal : !Equal);
     return;
   }
   case BinOp::And:
@@ -281,69 +350,72 @@ void Vm::doBinary(Frame &F, BinOp OpCode) {
   }
 }
 
-void Vm::doBuiltin(Frame &F, BuiltinKind Kind, uint32_t Argc) {
-  std::vector<Value> Args = popArgs(F, Argc);
+void Vm::doBuiltin(ThreadExec &T, BuiltinKind Kind, uint32_t Argc) {
+  // Arguments are consumed in place: read at [Top - Argc, Top), then the
+  // result overwrites the lowest argument slot.
+  const Value *Args = T.Slots.data() + (T.Top - Argc);
   auto ClampIndex = [](int64_t I, size_t Size) -> size_t {
     if (I < 0)
       return 0;
     return I > static_cast<int64_t>(Size) ? Size : static_cast<size_t>(I);
   };
 
+  Value Result;
   switch (Kind) {
   case BuiltinKind::Input: {
     size_t Index = static_cast<size_t>(Args[0].I);
-    F.Stack.push_back(Value::ofStr(
-        Index < Options.Inputs.size() ? Options.Inputs[Index] : ""));
-    return;
+    Result = Value::ofStr(Index < InputIds.size() ? InputIds[Index] : 0);
+    break;
   }
   case BuiltinKind::InputInt: {
     size_t Index = static_cast<size_t>(Args[0].I);
-    F.Stack.push_back(Value::ofInt(
-        Index < Options.IntInputs.size() ? Options.IntInputs[Index] : 0));
-    return;
+    Result = Value::ofInt(
+        Index < Options.IntInputs.size() ? Options.IntInputs[Index] : 0);
+    break;
   }
   case BuiltinKind::Len:
-    F.Stack.push_back(Value::ofInt(static_cast<int64_t>(Args[0].S.size())));
-    return;
+    Result = Value::ofInt(static_cast<int64_t>(str(Args[0]).size()));
+    break;
   case BuiltinKind::CharAt: {
-    const std::string &S = Args[0].S;
+    const std::string &S = str(Args[0]);
     int64_t I = Args[1].I;
-    F.Stack.push_back(Value::ofInt(
+    Result = Value::ofInt(
         I >= 0 && I < static_cast<int64_t>(S.size())
             ? static_cast<unsigned char>(S[static_cast<size_t>(I)])
-            : -1));
-    return;
+            : -1);
+    break;
   }
   case BuiltinKind::Substr: {
-    const std::string &S = Args[0].S;
+    const std::string &S = str(Args[0]);
     size_t Begin = ClampIndex(Args[1].I, S.size());
     size_t Len = ClampIndex(Args[2].I, S.size() - Begin);
-    F.Stack.push_back(Value::ofStr(S.substr(Begin, Len)));
-    return;
+    Result = strOf(std::string_view(S).substr(Begin, Len));
+    break;
   }
-  case BuiltinKind::Chr:
-    F.Stack.push_back(Value::ofStr(
-        std::string(1, static_cast<char>(Args[0].I & 0xff))));
-    return;
-  case BuiltinKind::Ord:
-    F.Stack.push_back(Value::ofInt(
-        Args[0].S.empty() ? -1
-                          : static_cast<unsigned char>(Args[0].S[0])));
-    return;
+  case BuiltinKind::Chr: {
+    char C = static_cast<char>(Args[0].I & 0xff);
+    Result = strOf(std::string_view(&C, 1));
+    break;
+  }
+  case BuiltinKind::Ord: {
+    const std::string &S = str(Args[0]);
+    Result = Value::ofInt(S.empty() ? -1 : static_cast<unsigned char>(S[0]));
+    break;
+  }
   case BuiltinKind::StrOfInt:
-    F.Stack.push_back(Value::ofStr(std::to_string(Args[0].I)));
-    return;
+    Result = strOf(std::to_string(Args[0].I));
+    break;
   case BuiltinKind::StrOfFloat: {
     char Buf[48];
     std::snprintf(Buf, sizeof(Buf), "%.6g", Args[0].F);
-    F.Stack.push_back(Value::ofStr(Buf));
-    return;
+    Result = strOf(Buf);
+    break;
   }
   case BuiltinKind::ParseInt: {
     // Total: malformed input parses as 0; overlong digit strings wrap
     // (unsigned accumulation keeps the arithmetic defined).
-    const std::string &S = Args[0].S;
-    uint64_t Result = 0;
+    const std::string &S = str(Args[0]);
+    uint64_t Acc = 0;
     bool Negative = false;
     size_t I = 0;
     if (I < S.size() && (S[I] == '-' || S[I] == '+')) {
@@ -351,36 +423,37 @@ void Vm::doBuiltin(Frame &F, BuiltinKind Kind, uint32_t Argc) {
       ++I;
     }
     for (; I < S.size() && S[I] >= '0' && S[I] <= '9'; ++I)
-      Result = Result * 10 + static_cast<uint64_t>(S[I] - '0');
-    int64_t Signed = static_cast<int64_t>(Negative ? 0 - Result : Result);
-    F.Stack.push_back(Value::ofInt(Signed));
-    return;
+      Acc = Acc * 10 + static_cast<uint64_t>(S[I] - '0');
+    Result = Value::ofInt(static_cast<int64_t>(Negative ? 0 - Acc : Acc));
+    break;
   }
   case BuiltinKind::Contains:
-    F.Stack.push_back(
-        Value::ofBool(Args[0].S.find(Args[1].S) != std::string::npos));
-    return;
+    Result = Value::ofBool(str(Args[0]).find(str(Args[1])) !=
+                           std::string::npos);
+    break;
   case BuiltinKind::IndexOf: {
-    size_t Pos = Args[0].S.find(Args[1].S);
-    F.Stack.push_back(Value::ofInt(
-        Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos)));
-    return;
+    size_t Pos = str(Args[0]).find(str(Args[1]));
+    Result = Value::ofInt(
+        Pos == std::string::npos ? -1 : static_cast<int64_t>(Pos));
+    break;
   }
   case BuiltinKind::IntOfFloat:
-    F.Stack.push_back(Value::ofInt(static_cast<int64_t>(Args[0].F)));
-    return;
+    Result = Value::ofInt(static_cast<int64_t>(Args[0].F));
+    break;
   case BuiltinKind::FloatOfInt:
-    F.Stack.push_back(Value::ofFloat(static_cast<double>(Args[0].I)));
-    return;
+    Result = Value::ofFloat(static_cast<double>(Args[0].I));
+    break;
+  default:
+    return fail("unknown builtin");
   }
-  fail("unknown builtin");
+  T.Top -= Argc;
+  pushVal(T, Result);
 }
 
-void Vm::doCall(ThreadExec &T, Frame &F, const Instr &In) {
+void Vm::doCall(ThreadExec &T, const Instr &In) {
   uint32_t Argc = static_cast<uint32_t>(In.B);
-  std::vector<Value> Args = popArgs(F, Argc);
-  Value Recv = std::move(F.Stack.back());
-  F.Stack.pop_back();
+  uint32_t ArgsBase = T.Top - Argc;
+  Value Recv = T.Slots[ArgsBase - 1];
   if (!Recv.isObj()) {
     fail("method call on null");
     return;
@@ -394,18 +467,19 @@ void Vm::doCall(ThreadExec &T, Frame &F, const Instr &In) {
     return;
   }
   const CompiledMethod &Callee = Prog.Methods[It->second];
-  // METH-E: record in the caller's context, then enter the callee.
-  Recorder.recordCall(ctxOf(T), Recv.loc(), Callee.QualName, Args.data(),
-                      Args.size(), In.Prov);
-  pushFrame(T, It->second, Recv.loc(), std::move(Args),
+  // METH-E: record in the caller's context, then enter the callee. The
+  // arguments stay in place and become the callee's locals; the receiver
+  // slot below them receives the return value.
+  Recorder.recordCall(ctxOf(T), Recv.loc(), Callee.QualName,
+                      T.Slots.data() + ArgsBase, Argc, In.Prov);
+  pushFrame(T, It->second, Recv.loc(), ArgsBase, /*RetBase=*/ArgsBase - 1,
             /*DiscardRet=*/false);
 }
 
-void Vm::doSpawn(ThreadExec &T, Frame &F, const Instr &In) {
+void Vm::doSpawn(ThreadExec &T, const Instr &In) {
   uint32_t Argc = static_cast<uint32_t>(In.B);
-  std::vector<Value> Args = popArgs(F, Argc);
-  Value Recv = std::move(F.Stack.back());
-  F.Stack.pop_back();
+  uint32_t ArgsBase = T.Top - Argc;
+  Value Recv = T.Slots[ArgsBase - 1];
   if (!Recv.isObj()) {
     fail("spawn on null");
     return;
@@ -442,48 +516,63 @@ void Vm::doSpawn(ThreadExec &T, Frame &F, const Instr &In) {
 
   ThreadExec Child;
   Child.Tid = ChildTid;
+  // The child's root frame takes the arguments as its first locals.
+  Child.Slots.assign(T.Slots.data() + ArgsBase, T.Slots.data() + T.Top);
+  Child.Top = Argc;
+  T.Top = ArgsBase - 1; // Consume receiver + arguments.
   Threads.push_back(std::move(Child));
-  // Note: Threads is a deque, so &T and F stay valid across push_back.
-  pushFrame(Threads.back(), It->second, Recv.loc(), std::move(Args),
-            /*DiscardRet=*/true);
+  // Note: Threads is a deque, so &T stays valid across push_back.
+  pushFrame(Threads.back(), It->second, Recv.loc(), /*ArgsBase=*/0,
+            /*RetBase=*/0, /*DiscardRet=*/true);
 }
 
-void Vm::doNew(ThreadExec &T, Frame &F, const Instr &In) {
+void Vm::doNew(ThreadExec &T, const Instr &In) {
   uint32_t ClassId = static_cast<uint32_t>(In.A);
   uint32_t Argc = static_cast<uint32_t>(In.B);
   const RtClass &Class = Prog.Classes[ClassId];
+  uint32_t ArgsBase = T.Top - Argc;
 
-  std::vector<Value> Args = popArgs(F, Argc);
   uint32_t Loc = Store.alloc(ClassId, Class.FieldNames.size());
-  HeapObj &Obj = Store.get(Loc);
-  for (size_t I = 0; I != Class.FieldDefaults.size(); ++I)
-    Obj.Fields[I] = defaultFieldValue(Class.FieldDefaults[I]);
+  {
+    HeapObj &Obj = Store.get(Loc);
+    for (size_t I = 0; I != Class.FieldDefaults.size(); ++I)
+      Obj.Fields[I] = defaultFieldValue(Class.FieldDefaults[I]);
+  }
 
   // CONS-E: the init entry is the "--> C.new(...)" marker of Fig. 13.
-  Recorder.recordInit(ctxOf(T), Class.Name, Loc, Args.data(), Args.size(),
-                      In.Prov);
-
-  // The result is pushed *before* the ctor frame runs; the ctor frame
-  // discards its return value.
-  F.Stack.push_back(Value::ofObj(Loc));
+  Recorder.recordInit(ctxOf(T), Class.Name, Loc, T.Slots.data() + ArgsBase,
+                      Argc, In.Prov);
 
   if (Class.CtorMethod >= 0) {
+    // The result sits *below* the ctor frame: slide the arguments up one
+    // slot and park the object where the discarded ctor return pops to.
+    if (T.Top == T.Slots.size())
+      growSlots(T);
+    for (uint32_t I = T.Top; I > ArgsBase; --I)
+      T.Slots[I] = T.Slots[I - 1];
+    T.Slots[ArgsBase] = Value::ofObj(Loc);
+    ++T.Top;
     pushFrame(T, static_cast<uint32_t>(Class.CtorMethod), Loc,
-              std::move(Args), /*DiscardRet=*/true);
+              /*ArgsBase=*/ArgsBase + 1, /*RetBase=*/ArgsBase + 1,
+              /*DiscardRet=*/true);
   } else {
     // No constructor body anywhere in the chain: emit the matching
     // "<-- C.new" immediately.
+    T.Top = ArgsBase;
+    pushVal(T, Value::ofObj(Loc));
     Symbol Qual = Prog.Strings->intern(Prog.Strings->text(Class.Name) +
                                        ".<init>");
     Recorder.recordReturn(ctxOf(T), Loc, Qual, Value::unit(), In.Prov);
   }
 }
 
-void Vm::doSuperCtor(ThreadExec &T, Frame &F, const Instr &In) {
+void Vm::doSuperCtor(ThreadExec &T, const Instr &In) {
   uint32_t Argc = static_cast<uint32_t>(In.A);
-  std::vector<Value> Args = popArgs(F, Argc);
+  uint32_t ArgsBase = T.Top - Argc;
+  const Frame &F = T.Frames.back();
   const CompiledMethod &M = Prog.Methods[F.Method];
   assert(M.IsCtor && "SuperCtor outside a constructor");
+  (void)M;
 
   // Nearest ancestor with its own constructor.
   int32_t Target = -1;
@@ -494,23 +583,25 @@ void Vm::doSuperCtor(ThreadExec &T, Frame &F, const Instr &In) {
       break;
     }
   }
-  if (Target < 0)
-    return; // Root of the ctor chain: nothing to run.
+  if (Target < 0) {
+    T.Top = ArgsBase; // Root of the ctor chain: args consumed, nothing runs.
+    return;
+  }
 
   const CompiledMethod &Callee = Prog.Methods[Target];
-  Recorder.recordCall(ctxOf(T), F.SelfLoc, Callee.QualName, Args.data(),
-                      Args.size(), In.Prov);
-  pushFrame(T, static_cast<uint32_t>(Target), F.SelfLoc, std::move(Args),
-            /*DiscardRet=*/true);
+  uint32_t SelfLoc = F.SelfLoc;
+  Recorder.recordCall(ctxOf(T), SelfLoc, Callee.QualName,
+                      T.Slots.data() + ArgsBase, Argc, In.Prov);
+  pushFrame(T, static_cast<uint32_t>(Target), SelfLoc, ArgsBase,
+            /*RetBase=*/ArgsBase, /*DiscardRet=*/true);
 }
 
 void Vm::doRet(ThreadExec &T, const Instr &In) {
-  Frame Finished = std::move(T.Frames.back());
+  Frame Finished = T.Frames.back();
   T.Frames.pop_back();
-  assert(!Finished.Stack.empty() && "Ret with empty stack");
-  Value Ret = std::move(Finished.Stack.back());
-
+  Value Ret = T.Slots[T.Top - 1];
   const CompiledMethod &M = Prog.Methods[Finished.Method];
+  T.Top = Finished.RetBase;
 
   if (T.Frames.empty()) {
     // END-E: thread root returned.
@@ -524,142 +615,30 @@ void Vm::doRet(ThreadExec &T, const Instr &In) {
   Recorder.recordReturn(ctxOf(T), Finished.SelfLoc, M.QualName,
                         M.IsCtor ? Value::unit() : Ret, In.Prov);
   if (!Finished.DiscardRet)
-    T.Frames.back().Stack.push_back(std::move(Ret));
+    T.Slots[T.Top++] = Ret; // RetBase < old Top, so capacity exists.
 }
 
-void Vm::step(ThreadExec &T) {
-  Frame &F = T.Frames.back();
-  const CompiledMethod &M = Prog.Methods[F.Method];
-  assert(F.Ip < M.Code.size() && "instruction pointer out of range");
-  const Instr &In = M.Code[F.Ip++];
-
-  switch (In.Code) {
-  case Op::PushInt:
-    F.Stack.push_back(Value::ofInt(Prog.IntPool[In.A]));
-    return;
-  case Op::PushFloat:
-    F.Stack.push_back(Value::ofFloat(Prog.FloatPool[In.A]));
-    return;
-  case Op::PushStr:
-    F.Stack.push_back(
-        Value::ofStr(Prog.Strings->text(Symbol{uint32_t(In.A)})));
-    return;
-  case Op::PushBool:
-    F.Stack.push_back(Value::ofBool(In.A != 0));
-    return;
-  case Op::PushNull:
-    F.Stack.push_back(Value::null());
-    return;
-  case Op::PushUnit:
-    F.Stack.push_back(Value::unit());
-    return;
-  case Op::LoadLocal:
-    F.Stack.push_back(F.Locals[In.A]);
-    return;
-  case Op::StoreLocal:
-    F.Locals[In.A] = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    return;
-  case Op::Dup:
-    F.Stack.push_back(F.Stack.back());
-    return;
-  case Op::Pop:
-    F.Stack.pop_back();
-    return;
-  case Op::LoadThis:
-    F.Stack.push_back(Value::ofObj(F.SelfLoc));
-    return;
-
-  case Op::GetField: {
-    Value ObjVal = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    if (!ObjVal.isObj())
-      return fail("field access on null");
-    const Value &FieldVal = Store.get(ObjVal.loc()).Fields[In.A];
-    // FIELD-ACC-E.
-    Recorder.recordGet(ctxOf(T), ObjVal.loc(), Symbol{uint32_t(In.B)},
-                       FieldVal, In.Prov);
-    F.Stack.push_back(FieldVal);
-    return;
-  }
-
-  case Op::SetField: {
-    Value NewVal = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    Value ObjVal = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    if (!ObjVal.isObj())
-      return fail("field assignment on null");
-    Store.get(ObjVal.loc()).Fields[In.A] = NewVal;
-    // FIELD-ASS-E.
-    Recorder.recordSet(ctxOf(T), ObjVal.loc(), Symbol{uint32_t(In.B)},
-                       NewVal, In.Prov);
-    F.Stack.push_back(std::move(NewVal));
-    return;
-  }
-
-  case Op::Call:
-    doCall(T, F, In);
-    return;
-  case Op::SuperCtor:
-    doSuperCtor(T, F, In);
-    return;
-  case Op::New:
-    doNew(T, F, In);
-    return;
-  case Op::Ret:
-    doRet(T, In);
-    return;
-
-  case Op::Jump:
-    F.Ip = static_cast<uint32_t>(In.A);
-    return;
-  case Op::JumpIfFalse: {
-    Value Cond = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    if (!Cond.truthy())
-      F.Ip = static_cast<uint32_t>(In.A);
-    return;
-  }
-  case Op::JumpIfTrue: {
-    Value Cond = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    if (Cond.truthy())
-      F.Ip = static_cast<uint32_t>(In.A);
-    return;
-  }
-
-  case Op::Binary:
-    doBinary(F, static_cast<BinOp>(In.A));
-    return;
-  case Op::Unary: {
-    Value V = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    if (static_cast<UnOp>(In.A) == UnOp::Not)
-      F.Stack.push_back(Value::ofBool(!V.truthy()));
-    else if (V.K == Value::Kind::Int)
-      F.Stack.push_back(Value::ofInt(-V.I));
-    else
-      F.Stack.push_back(Value::ofFloat(-V.F));
-    return;
-  }
-
-  case Op::Print: {
-    Value V = std::move(F.Stack.back());
-    F.Stack.pop_back();
-    renderForPrint(V);
-    return;
-  }
-
-  case Op::Spawn:
-    doSpawn(T, F, In);
-    return;
-  case Op::Builtin:
-    doBuiltin(F, static_cast<BuiltinKind>(In.A), uint32_t(In.B));
-    return;
-  }
-  fail("unknown opcode");
+// The interpreter slice, compiled once per dispatch tier from the shared
+// opcode bodies in VmInterpLoop.inc. The threaded tier is the production
+// path; the switch tier is the portable determinism oracle (and the only
+// tier on compilers without computed goto).
+#if defined(__GNUC__) || defined(__clang__)
+#define RPRISM_VM_SLICE_FN runSliceThreaded
+#define RPRISM_VM_THREADED 1
+#include "runtime/VmInterpLoop.inc"
+#undef RPRISM_VM_THREADED
+#undef RPRISM_VM_SLICE_FN
+#else
+uint64_t Vm::runSliceThreaded(ThreadExec &T, uint64_t Budget) {
+  return runSliceSwitch(T, Budget);
 }
+#endif
+
+#define RPRISM_VM_SLICE_FN runSliceSwitch
+#define RPRISM_VM_THREADED 0
+#include "runtime/VmInterpLoop.inc"
+#undef RPRISM_VM_THREADED
+#undef RPRISM_VM_SLICE_FN
 
 RunResult Vm::run() {
   // Main thread (tid 0).
@@ -672,14 +651,25 @@ RunResult Vm::run() {
   Recorder.addThread(MainInfo);
   AncestryHashes.push_back(MainInfo.AncestryHash);
 
+  // Lazy literal-id cache: compile-time symbols are all interned already,
+  // so the table size is fixed for the whole run.
+  LitStrIds.assign(Prog.Strings->size(), ~0u);
+  InputIds.reserve(Options.Inputs.size());
+  for (const std::string &Input : Options.Inputs)
+    InputIds.push_back(RtStrings.intern(Input).Id);
+
   ThreadExec Main;
   Main.Tid = 0;
   Threads.push_back(std::move(Main));
-  pushFrame(Threads.front(), Prog.MainMethod, NoLoc, {},
-            /*DiscardRet=*/true);
+  pushFrame(Threads.front(), Prog.MainMethod, NoLoc, /*ArgsBase=*/0,
+            /*RetBase=*/0, /*DiscardRet=*/true);
+
+  const bool UseThreaded =
+      ThreadedDispatchSupported && !threadedDispatchDisabled();
+  Telemetry::gaugeMax("vm.dispatch_tier", UseThreaded ? 1 : 0);
 
   bool StepLimit = false;
-  while (ErrorMsg.empty() && !StepLimit) {
+  while (!HasError && !StepLimit) {
     bool AnyAlive = false;
     // Index loop: doSpawn may append to Threads mid-round; new threads get
     // their first slice next round, deterministically.
@@ -689,15 +679,18 @@ RunResult Vm::run() {
       if (T.Done)
         continue;
       AnyAlive = true;
-      for (unsigned Q = 0;
-           Q != Options.Quantum && !T.Done && ErrorMsg.empty(); ++Q) {
-        if (++Steps > Options.MaxSteps) {
-          StepLimit = true;
-          break;
-        }
-        step(T);
+      if (Steps >= Options.MaxSteps) {
+        // Same observable as the per-instruction guard: Steps counts the
+        // attempted instruction that tripped the limit.
+        ++Steps;
+        StepLimit = true;
+        break;
       }
-      if (!ErrorMsg.empty() || StepLimit)
+      uint64_t Budget =
+          std::min<uint64_t>(Options.Quantum, Options.MaxSteps - Steps);
+      Steps += UseThreaded ? runSliceThreaded(T, Budget)
+                           : runSliceSwitch(T, Budget);
+      if (HasError)
         break;
     }
     if (!AnyAlive)
@@ -709,7 +702,7 @@ RunResult Vm::run() {
   if (StepLimit) {
     Result.Error = "step limit exceeded";
     Output += "!error: step limit exceeded\n";
-  } else if (!ErrorMsg.empty()) {
+  } else if (HasError) {
     Result.Error = ErrorMsg;
     Output += "!error: " + ErrorMsg + "\n";
   } else {
@@ -721,8 +714,10 @@ RunResult Vm::run() {
     Result.ExecTrace = Recorder.take();
   }
   Telemetry::counterAdd("vm.steps", Steps);
-  Telemetry::counterAdd("trace.entries_recorded",
-                        Result.ExecTrace.size());
+  Telemetry::counterAdd("vm.instructions", Steps);
+  Telemetry::counterAdd("trace.entries_recorded", Result.ExecTrace.size());
+  Telemetry::counterAdd("vm.entries_emitted", Result.ExecTrace.size());
+  Telemetry::counterAdd("vm.repr_memo_hits", Recorder.memoHits());
   return Result;
 }
 

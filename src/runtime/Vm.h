@@ -23,6 +23,14 @@
 /// Threads are scheduled round-robin with a fixed instruction quantum, so
 /// runs are bit-for-bit reproducible.
 ///
+/// The interpreter is built for trace-production throughput: values are
+/// 16-byte tagged scalars (strings live in a VM-private intern table and
+/// travel as 32-bit ids), frames share one contiguous per-thread slot
+/// array (arguments are passed by leaving them in place), and dispatch is
+/// token-threaded (computed goto) where the compiler supports it, with the
+/// plain-switch loop kept as the portable determinism oracle behind
+/// RPRISM_NO_THREADED_DISPATCH.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RPRISM_RUNTIME_VM_H
@@ -32,20 +40,28 @@
 #include "trace/Trace.h"
 
 #include <string>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
 namespace rprism {
 
-/// A runtime value. Strings are held by value: workload programs are small
-/// and value semantics keep the VM simple and safe.
+/// A runtime value: a kind tag plus an 8-byte payload. Strings are interned
+/// in the VM's private runtime string table and carried as dense ids, so
+/// copying a Value is always a 16-byte move — no allocation on push, local
+/// store, or argument pass. String ids are only meaningful against the run's
+/// own table; the trace layer re-interns the texts it records into the
+/// shared trace interner.
 struct Value {
   enum class Kind : uint8_t { Unit, Null, Int, Bool, Float, Str, Obj };
 
-  Kind K = Kind::Unit;
-  int64_t I = 0;   ///< Int payload; Bool uses 0/1; Obj uses the location.
-  double F = 0;
-  std::string S;
+  Kind K;
+  union {
+    int64_t I; ///< Int payload; Bool 0/1; Obj location; Str runtime-table id.
+    double F;  ///< Float payload.
+  };
+
+  Value() : K(Kind::Unit), I(0) {}
 
   static Value unit() { return {}; }
   static Value null() {
@@ -71,10 +87,11 @@ struct Value {
     V.F = F;
     return V;
   }
-  static Value ofStr(std::string S) {
+  /// \p StrId indexes the owning VM's runtime string table.
+  static Value ofStr(uint32_t StrId) {
     Value V;
     V.K = Kind::Str;
-    V.S = std::move(S);
+    V.I = StrId;
     return V;
   }
   static Value ofObj(uint32_t Loc) {
@@ -86,17 +103,25 @@ struct Value {
 
   bool isObj() const { return K == Kind::Obj; }
   uint32_t loc() const { return static_cast<uint32_t>(I); }
+  uint32_t strId() const { return static_cast<uint32_t>(I); }
   bool truthy() const { return K == Kind::Bool && I != 0; }
 };
+
+static_assert(sizeof(Value) == 16 && std::is_trivially_copyable_v<Value>,
+              "Value is a two-word tagged scalar; keep it allocation-free");
 
 /// A heap object.
 struct HeapObj {
   uint32_t ClassId = 0;
   uint32_t CreationSeq = 0; ///< n-th instance of its class in this run.
+  uint32_t Version = 0;     ///< Bumped on every field assignment.
   std::vector<Value> Fields;
 };
 
-/// The object store E of the operational semantics.
+/// The object store E of the operational semantics. Mutations are
+/// version-counted (per object and globally) so the trace recorder can
+/// memoize structural object representations: a memoized repr is valid
+/// while the versions it snapshotted are unchanged.
 class ObjectStore {
 public:
   explicit ObjectStore(size_t NumClasses) : PerClassCounts(NumClasses, 0) {}
@@ -111,13 +136,27 @@ public:
     return static_cast<uint32_t>(Objects.size() - 1);
   }
 
+  /// Assigns field \p Field of the object at \p Loc, bumping both the
+  /// object's and the store's mutation version.
+  void setField(uint32_t Loc, uint32_t Field, const Value &V) {
+    HeapObj &Obj = Objects[Loc];
+    Obj.Fields[Field] = V;
+    ++Obj.Version;
+    ++GlobalVersion;
+  }
+
   HeapObj &get(uint32_t Loc) { return Objects[Loc]; }
   const HeapObj &get(uint32_t Loc) const { return Objects[Loc]; }
   size_t size() const { return Objects.size(); }
 
+  /// Counts every field assignment in the run; snapshotting it validates
+  /// memoized representations of objects that may reference other objects.
+  uint64_t globalVersion() const { return GlobalVersion; }
+
 private:
   std::vector<HeapObj> Objects;
   std::vector<uint32_t> PerClassCounts;
+  uint64_t GlobalVersion = 0;
 };
 
 /// Tracing configuration — the analog of RPRISM's AspectJ pointcuts.

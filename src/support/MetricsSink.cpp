@@ -192,6 +192,10 @@ std::string rprism::renderProfileTable(const TelemetrySnapshot &Snap,
     Gauges.print(OS);
   }
 
+  if (double Rate = Snap.traceProductionRate(); Rate > 0)
+    OS << "\n-- trace production --\nvm-run entries/sec: "
+       << TablePrinter::fmtInt(static_cast<uint64_t>(Rate)) << '\n';
+
   for (const auto &[Name, Hist] : Snap.Histograms)
     if (Hist.total() != 0) {
       OS << '\n';

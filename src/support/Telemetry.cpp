@@ -75,6 +75,23 @@ uint64_t TelemetrySnapshot::counter(const std::string &Name) const {
   return It == Counters.end() ? 0 : It->second;
 }
 
+double TelemetrySnapshot::traceProductionRate() const {
+  uint64_t Emitted = counter("vm.entries_emitted");
+  if (Emitted == 0)
+    return 0;
+  // vm-run spans may nest under any stage path; sum every occurrence.
+  uint64_t Nanos = 0;
+  for (const SpanStat &S : Spans) {
+    const std::string &P = S.Path;
+    if (P == "vm-run" ||
+        (P.size() > 7 && P.compare(P.size() - 7, 7, "/vm-run") == 0))
+      Nanos += S.TotalNanos;
+  }
+  if (Nanos == 0)
+    return 0;
+  return static_cast<double>(Emitted) * 1e9 / static_cast<double>(Nanos);
+}
+
 Telemetry &Telemetry::get() {
   static Telemetry Instance;
   return Instance;

@@ -82,6 +82,11 @@ struct TelemetrySnapshot {
 
   const SpanStat *findSpan(const std::string &Path) const;
   uint64_t counter(const std::string &Name) const;
+
+  /// Trace-production throughput: vm.entries_emitted divided by the total
+  /// wall time of the vm-run span(s), in entries per second. 0 when the
+  /// run recorded no entries or no vm-run span.
+  double traceProductionRate() const;
   bool empty() const {
     return Spans.empty() && Counters.empty() && Gauges.empty() &&
            Histograms.empty();

@@ -77,6 +77,20 @@ void Trace::appendEntriesFrom(const Trace &Other) {
   Fps.append(Other.Fps.data(), Other.Fps.size());
 }
 
+void Trace::reserveEntries(size_t N) {
+  Tids.reserve(N);
+  Methods.reserve(N);
+  Selfs.reserve(N);
+  Kinds.reserve(N);
+  Names.reserve(N);
+  Targets.reserve(N);
+  Values.reserve(N);
+  ArgsBegins.reserve(N);
+  ArgsEnds.reserve(N);
+  ChildTids.reserve(N);
+  Provs.reserve(N);
+}
+
 uint64_t Trace::storageBytes() const {
   return Tids.byteSize() + Methods.byteSize() + Selfs.byteSize() +
          Kinds.byteSize() + Names.byteSize() + Targets.byteSize() +

@@ -306,6 +306,12 @@ struct Trace {
   /// field is ignored: the entry's eid is its index.
   void append(const TraceEntry &Entry);
 
+  /// Pre-sizes every entry column for \p N entries (recorders call this
+  /// with a bytecode-derived hint so steady-state recording never
+  /// reallocates early). Fps is excluded: computeFingerprints sizes it
+  /// once at finalize time.
+  void reserveEntries(size_t N);
+
   /// Appends every entry column of \p Other (side tables are not touched;
   /// used by segment reassembly, where segments share the side tables).
   void appendEntriesFrom(const Trace &Other);
