@@ -1,0 +1,103 @@
+//===- robustness/Retry.cpp - Configurable process-wide I/O retry policy --===//
+
+#include "robustness/Retry.h"
+
+#include <atomic>
+#include <cstdint>
+
+using namespace rprism;
+
+namespace {
+
+// Attempts in the high half, backoff micros in the low half: one atomic
+// load yields a coherent policy with no locking on the I/O hot path.
+constexpr uint64_t pack(const RetryPolicy &P) {
+  return (uint64_t{P.MaxAttempts} << 32) | P.BackoffMicros;
+}
+
+std::atomic<uint64_t> PackedIoPolicy{pack(RetryPolicy{})};
+
+/// Parses a full decimal uint32 from \p Text (no sign, no trailing junk).
+bool parseU32(const std::string &Text, uint32_t &Out) {
+  if (Text.empty() || Text.size() > 10)
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + (C - '0');
+  }
+  if (V > 0xffffffffu)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+} // namespace
+
+RetryPolicy rprism::ioRetryPolicy() {
+  uint64_t Packed = PackedIoPolicy.load(std::memory_order_relaxed);
+  RetryPolicy P;
+  P.MaxAttempts = static_cast<unsigned>(Packed >> 32);
+  P.BackoffMicros = static_cast<unsigned>(Packed & 0xffffffffu);
+  return P;
+}
+
+void rprism::setIoRetryPolicy(const RetryPolicy &Policy) {
+  PackedIoPolicy.store(pack(Policy), std::memory_order_relaxed);
+}
+
+bool rprism::parseRetryPolicy(const std::string &Spec, RetryPolicy &Out,
+                              std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  if (Spec.empty())
+    return Fail("empty retry-policy spec");
+
+  RetryPolicy Parsed = Out; // Unmentioned keys keep the caller's values.
+  bool SawAttempts = false;
+  bool SawBase = false;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Field = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+
+    size_t Eq = Field.find('=');
+    if (Eq == std::string::npos)
+      return Fail("retry-policy field '" + Field + "' is not key=value");
+    std::string Key = Field.substr(0, Eq);
+    std::string Value = Field.substr(Eq + 1);
+    uint32_t Num = 0;
+    if (!parseU32(Value, Num))
+      return Fail("retry-policy " + Key + " value '" + Value +
+                  "' is not a decimal integer");
+    if (Key == "attempts") {
+      if (SawAttempts)
+        return Fail("duplicate retry-policy key 'attempts'");
+      if (Num == 0)
+        return Fail("retry-policy attempts must be >= 1");
+      Parsed.MaxAttempts = Num;
+      SawAttempts = true;
+    } else if (Key == "base_ms") {
+      if (SawBase)
+        return Fail("duplicate retry-policy key 'base_ms'");
+      if (Num > 0xffffffffu / 1000)
+        return Fail("retry-policy base_ms too large");
+      Parsed.BackoffMicros = Num * 1000;
+      SawBase = true;
+    } else {
+      return Fail("unknown retry-policy key '" + Key + "'");
+    }
+    if (Comma == Spec.size())
+      break;
+  }
+
+  Out = Parsed;
+  return true;
+}

@@ -67,7 +67,10 @@ public:
   Vm(const CompiledProgram &ProgIn, const RunOptions &OptionsIn)
       : Prog(ProgIn), Options(OptionsIn), Store(ProgIn.Classes.size()),
         Recorder(ProgIn, Store, RtStrings, OptionsIn.Tracing,
-                 OptionsIn.TraceName) {}
+                 OptionsIn.TraceName) {
+    if (OptionsIn.Tracing.SegmentSink)
+      Recorder.attachSegmentSink(OptionsIn.Tracing.SegmentSink);
+  }
 
   RunResult run();
 

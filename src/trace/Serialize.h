@@ -41,14 +41,74 @@
 
 namespace rprism {
 
-/// Writes \p T to \p Path in the current format (v3). Returns false on I/O
-/// failure. By default the file carries the optional view-index sections
-/// (the trace's ViewIdx when current, else computed here), so a later
-/// `rprism diff` reconstructs the view web without scanning the entries;
-/// \p WithViewIndex = false omits them (the sections are optional — files
-/// load either way, and pre-index readers skip the unknown sections).
+/// Writes \p T to \p Path in the current default format (v3), or in the
+/// segmented v4 format when the RPRISM_TRACE_FORMAT environment variable
+/// is "v4". Returns false on I/O failure. By default the file carries the
+/// optional view-index sections (the trace's ViewIdx when current, else
+/// computed here), so a later `rprism diff` reconstructs the view web
+/// without scanning the entries; \p WithViewIndex = false omits them (the
+/// sections are optional — files load either way, and pre-index readers
+/// skip the unknown sections).
 bool writeTrace(const Trace &T, const std::string &Path,
                 bool WithViewIndex = true);
+
+/// Default entry count per segment of a v4 segmented trace file.
+inline constexpr size_t DefaultSegmentEntries = 1u << 16;
+
+/// Streaming writer for the segmented v4 trace format: a single file of
+/// fixed-entry-count segments, each carrying its own column slices,
+/// per-section FNV-1a checksums, fingerprint lane, side-table *deltas*
+/// (strings/threads newly seen since the previous seal, the argument-pool
+/// slice the segment's entries reference), and a view-index delta — closed
+/// by a footer segment directory and a fixed-size trailer. Because every
+/// segment checksums independently, salvage recovers every intact segment
+/// even when damage sits mid-column in an earlier one, and a recorder can
+/// seal segments while the run is still producing entries (side tables and
+/// the argument pool grow monotonically, so a sealed prefix never needs
+/// rewriting).
+///
+/// Usage: appendSegment() once per sealed entry range (ranges must be
+/// adjacent, starting at 0), then finalize() exactly once to write the
+/// directory. A file without finalize() has no footer; strict reads reject
+/// it, salvage reads chain-scan the sealed segments.
+class SegmentedTraceWriter {
+public:
+  explicit SegmentedTraceWriter(const std::string &Path,
+                                size_t SegmentEntries = DefaultSegmentEntries,
+                                bool WithViewIndex = true);
+  ~SegmentedTraceWriter();
+  SegmentedTraceWriter(const SegmentedTraceWriter &) = delete;
+  SegmentedTraceWriter &operator=(const SegmentedTraceWriter &) = delete;
+
+  bool ok() const;
+  size_t segmentEntries() const;
+  size_t entriesSealed() const;
+
+  /// Seals entries [\p Begin, \p End) of \p T as the next segment. \p Begin
+  /// must equal entriesSealed(). The fingerprint lane is persisted when
+  /// T.Fps covers the range AND it is trustworthy: either the trace is
+  /// fully fingerprinted (HasFingerprints) or the caller vouches for the
+  /// range with \p TrustRangeFps — streaming recorders fill exactly the
+  /// sealed range with computeFingerprintRange, which deliberately does
+  /// not set the whole-trace flag.
+  bool appendSegment(const Trace &T, size_t Begin, size_t End,
+                     bool TrustRangeFps = false);
+
+  /// Writes the footer directory + trailer and flushes. Returns overall
+  /// success; the writer accepts no further segments.
+  bool finalize();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Writes \p T to \p Path in the segmented v4 format (see
+/// SegmentedTraceWriter), splitting the entries into segments of
+/// \p SegmentEntries.
+bool writeTraceSegmented(const Trace &T, const std::string &Path,
+                         size_t SegmentEntries = DefaultSegmentEntries,
+                         bool WithViewIndex = true);
 
 /// Writes \p T in a historical stream format (\p Version must be 1 or 2;
 /// both share one layout). Kept so cross-format determinism and
@@ -66,6 +126,9 @@ struct TraceReadReport {
   uint64_t EntriesRecovered = 0;
   /// Entries the file declared but salvage could not recover.
   uint64_t EntriesDropped = 0;
+  /// Segments of a v4 file whose entries salvage could not recover
+  /// (damaged segments plus any suffix lost to side-table damage).
+  uint64_t SegmentsDropped = 0;
   /// The persisted view index was damaged and dropped; the trace loads
   /// without it and view webs rebuild from the columns.
   bool ViewIndexDropped = false;

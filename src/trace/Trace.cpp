@@ -43,9 +43,11 @@ TraceEntry Trace::entry(uint32_t Eid) const {
 
 void Trace::append(const TraceEntry &Entry) {
   // Any entry mutation makes a previously loaded/computed view index
-  // stale; drop it rather than serve a wrong partitioning.
+  // stale; drop it rather than serve a wrong partitioning. Same for the
+  // segment table: its ranges and lane digests describe the loaded bytes.
   if (ViewIdx.Present)
     ViewIdx.clear();
+  Segments.clear();
   Tids.push_back(Entry.Tid);
   Methods.push_back(Entry.Method);
   Selfs.push_back(Entry.Self);
@@ -63,6 +65,7 @@ void Trace::append(const TraceEntry &Entry) {
 void Trace::appendEntriesFrom(const Trace &Other) {
   if (ViewIdx.Present)
     ViewIdx.clear();
+  Segments.clear();
   Tids.append(Other.Tids.data(), Other.Tids.size());
   Methods.append(Other.Methods.data(), Other.Methods.size());
   Selfs.append(Other.Selfs.data(), Other.Selfs.size());
@@ -256,6 +259,14 @@ void Trace::computeFingerprints(ThreadPool *Pool) {
       Out[I] = entryFingerprint(static_cast<uint32_t>(I));
   }
   HasFingerprints = true;
+}
+
+void Trace::computeFingerprintRange(size_t Begin, size_t End) {
+  if (End > Fps.size())
+    Fps.resize(End);
+  uint64_t *Out = Fps.mutData();
+  for (size_t I = Begin; I < End; ++I)
+    Out[I] = entryFingerprint(static_cast<uint32_t>(I));
 }
 
 void rprism::fingerprintTracePair(Trace &Left, Trace &Right,

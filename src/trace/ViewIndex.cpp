@@ -36,20 +36,20 @@ struct FamilyScan {
 
 } // namespace
 
-ViewIndex rprism::computeViewIndex(const Trace &T) {
+ViewIndex rprism::computeViewIndexRange(const Trace &T, uint32_t Begin,
+                                        uint32_t End) {
   TelemetrySpan Span("view-index");
   const uint32_t *Tids = T.Tids.data();
   const Symbol *Methods = T.Methods.data();
   const uint8_t *Kinds = T.Kinds.data();
   const ObjRepr *Targets = T.Targets.data();
   const ObjRepr *Selfs = T.Selfs.data();
-  uint32_t N = static_cast<uint32_t>(T.size());
 
   // One fused pass, the same membership rules as the web builders: every
   // entry joins its thread and method views; target/active-object views
   // only when the event has a target / the context has a receiver.
   FamilyScan Families[NumViewFamilies];
-  for (uint32_t Eid = 0; Eid != N; ++Eid) {
+  for (uint32_t Eid = Begin; Eid != End; ++Eid) {
     Families[0].listFor(Tids[Eid]).push_back(Eid);
     Families[1].listFor(Methods[Eid].Id).push_back(Eid);
     if (eventHasTargetObject(static_cast<EventKind>(Kinds[Eid]),
@@ -76,6 +76,10 @@ ViewIndex rprism::computeViewIndex(const Trace &T) {
   }
   Idx.Present = true;
   return Idx;
+}
+
+ViewIndex rprism::computeViewIndex(const Trace &T) {
+  return computeViewIndexRange(T, 0, static_cast<uint32_t>(T.size()));
 }
 
 bool rprism::viewIndexIsValid(const ViewIndex &Idx, size_t NumEntries) {

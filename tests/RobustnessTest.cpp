@@ -24,6 +24,7 @@
 
 #include "cache/DiffCache.h"
 #include "robustness/FaultInjector.h"
+#include "robustness/Retry.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
 #include "support/Telemetry.h"
@@ -592,6 +593,329 @@ TEST(Salvage, IntactFilesReadIdenticallyWithSalvageOn) {
   EXPECT_FALSE(Report.ViewIndexDropped);
   EXPECT_EQ(Loaded->size(), T.size());
   EXPECT_TRUE(Loaded->ViewIdx.Present);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Segmented v4 salvage
+//===----------------------------------------------------------------------===//
+
+/// Parsed v4 file skeleton: the trailer's footer pointer plus one record
+/// per segment, straight off the written bytes (independent of the reader
+/// under test).
+struct SegDirRec {
+  uint64_t Offset = 0;     ///< Absolute offset of the segment header.
+  uint32_t BeginEid = 0;
+  uint32_t NumEntries = 0;
+};
+
+struct V4Layout {
+  uint64_t FooterOffset = 0;
+  std::vector<SegDirRec> Segments;
+  bool Ok = false;
+};
+
+V4Layout v4Layout(const std::vector<uint8_t> &Bytes) {
+  V4Layout L;
+  if (Bytes.size() < 32 + 24)
+    return L;
+  size_t Trailer = Bytes.size() - 24;
+  if (loadLE<uint32_t>(Bytes.data() + Trailer + 20) != 0x52505445u)
+    return L; // "RPTE"
+  L.FooterOffset = loadLE<uint64_t>(Bytes.data() + Trailer);
+  uint32_t NumSegments = loadLE<uint32_t>(Bytes.data() + Trailer + 16);
+  size_t Pos = static_cast<size_t>(L.FooterOffset) + 8;
+  for (uint32_t I = 0; I != NumSegments; ++I, Pos += 32) {
+    if (Pos + 32 > Bytes.size())
+      return L;
+    SegDirRec R;
+    R.Offset = loadLE<uint64_t>(Bytes.data() + Pos);
+    R.BeginEid = loadLE<uint32_t>(Bytes.data() + Pos + 24);
+    R.NumEntries = loadLE<uint32_t>(Bytes.data() + Pos + 28);
+    L.Segments.push_back(R);
+  }
+  L.Ok = true;
+  return L;
+}
+
+/// The section-table record for section \p Id of the segment headered at
+/// \p SegOffset; the returned Offset is absolute (payload offsets in a
+/// segment's table are relative to its header).
+SectionRec segSection(const std::vector<uint8_t> &Bytes, uint64_t SegOffset,
+                      uint32_t Id) {
+  SectionRec R;
+  uint32_t NumSections = loadLE<uint32_t>(Bytes.data() + SegOffset + 20);
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    size_t Pos = static_cast<size_t>(SegOffset) + 32 + size_t{I} * 32;
+    if (loadLE<uint32_t>(Bytes.data() + Pos) != Id)
+      continue;
+    R.Id = Id;
+    R.Offset = SegOffset + loadLE<uint64_t>(Bytes.data() + Pos + 8);
+    R.Length = loadLE<uint64_t>(Bytes.data() + Pos + 16);
+    R.RecordPos = Pos;
+    break;
+  }
+  return R;
+}
+
+/// The mid-column salvage gap the segmented format closes: a v3 file's
+/// section checksum covers the whole column, so one flipped byte anywhere
+/// in an entry column discredits the entire column — no prefix is
+/// trustworthy and salvage recovers nothing. This test pins that floor;
+/// the v4 counterpart below shows the same damage costing one segment.
+TEST(SalvageV4, V3MidColumnFlipRecoversNothing) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = workloadTrace(Strings);
+  ASSERT_GT(T.size(), 50u);
+  std::string Path = tempPath("v3_gap");
+  ASSERT_TRUE(writeTrace(T, Path));
+  std::vector<uint8_t> Bytes = readAll(Path);
+  std::vector<SectionRec> Table = sectionTable(Bytes);
+  auto It = std::find_if(Table.begin(), Table.end(),
+                         [](const SectionRec &R) { return R.Id == 16; });
+  ASSERT_TRUE(It != Table.end()); // SecValue
+  ASSERT_GT(It->Length, 0u);
+  Bytes[static_cast<size_t>(It->Offset + It->Length / 2)] ^= 0x40;
+  writeAll(Path, Bytes);
+
+  Expected<Trace> Strict = readTrace(Path, Strings);
+  ASSERT_FALSE(bool(Strict));
+  EXPECT_EQ(Strict.error().Code, "trace.section_checksum");
+
+  TraceReadReport Report;
+  ReadOptions Options;
+  Options.Salvage = true;
+  Options.Report = &Report;
+  Expected<Trace> Salvaged = readTrace(Path, Strings, Options);
+  ASSERT_TRUE(bool(Salvaged)) << Salvaged.error().render();
+  EXPECT_TRUE(Report.Salvaged);
+  EXPECT_EQ(Salvaged->size(), 0u);
+  EXPECT_EQ(Report.EntriesRecovered, 0u);
+  EXPECT_EQ(Report.EntriesDropped, T.size());
+  std::remove(Path.c_str());
+}
+
+TEST(SalvageV4, MidSegmentColumnFlipDropsOnlyThatSegment) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = workloadTrace(Strings);
+  ASSERT_GT(T.size(), 50u);
+  std::string Path = tempPath("v4_segflip");
+  ASSERT_TRUE(writeTraceSegmented(T, Path, /*SegmentEntries=*/16));
+  std::vector<uint8_t> Bytes = readAll(Path);
+  V4Layout L = v4Layout(Bytes);
+  ASSERT_TRUE(L.Ok);
+  ASSERT_GE(L.Segments.size(), 3u);
+
+  // Flip one byte inside a middle segment's Value column payload.
+  size_t Mid = L.Segments.size() / 2;
+  SectionRec Value = segSection(Bytes, L.Segments[Mid].Offset, 16);
+  ASSERT_GT(Value.Length, 0u);
+  Bytes[static_cast<size_t>(Value.Offset + Value.Length / 2)] ^= 0x40;
+  writeAll(Path, Bytes);
+
+  TelemetryWindow W;
+  Expected<Trace> Strict = readTrace(Path, Strings);
+  ASSERT_FALSE(bool(Strict));
+  EXPECT_EQ(Strict.error().Class, ErrClass::Corrupt);
+
+  TraceReadReport Report;
+  ReadOptions Options;
+  Options.Salvage = true;
+  Options.Report = &Report;
+  Expected<Trace> Salvaged = readTrace(Path, Strings, Options);
+  ASSERT_TRUE(bool(Salvaged)) << Salvaged.error().render();
+  EXPECT_TRUE(Report.Salvaged);
+  EXPECT_EQ(Report.SegmentsDropped, 1u);
+  uint32_t SegBegin = L.Segments[Mid].BeginEid;
+  uint32_t SegN = L.Segments[Mid].NumEntries;
+  EXPECT_EQ(Report.EntriesDropped, SegN);
+  EXPECT_EQ(Report.EntriesRecovered, Salvaged->size());
+  ASSERT_EQ(Salvaged->size(), T.size() - SegN);
+  // Per-segment checksums localize the damage: every entry before AND
+  // after the bad segment survives and renders identically (the recovered
+  // trace closes the hole, so later originals shift down by SegN).
+  for (uint32_t I = 0; I != Salvaged->size(); ++I) {
+    uint32_t Orig = I < SegBegin ? I : I + SegN;
+    ASSERT_EQ(Salvaged->renderEntry(I), T.renderEntry(Orig)) << I;
+  }
+  // A gap-toothed trace carries no segment map (eids shifted), so a later
+  // re-diff can't run-skip against it — correctness over speed.
+  EXPECT_TRUE(Salvaged->Segments.empty());
+  EXPECT_EQ(W.counter("robust.salvage.segments_dropped"), 1u);
+  EXPECT_GE(W.counter("robust.salvage.used"), 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(SalvageV4, TruncatedDirectoryChainScansEverySegment) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = workloadTrace(Strings);
+  std::string Path = tempPath("v4_tail");
+  ASSERT_TRUE(writeTraceSegmented(T, Path, /*SegmentEntries=*/16));
+  std::vector<uint8_t> Good = readAll(Path);
+  V4Layout L = v4Layout(Good);
+  ASSERT_TRUE(L.Ok);
+
+  // Cut inside the trailer, then inside the footer: either way the
+  // directory is gone but every segment body is intact.
+  for (size_t Cut : {Good.size() - 10, size_t(L.FooterOffset) + 12}) {
+    SCOPED_TRACE("cut at " + std::to_string(Cut));
+    std::vector<uint8_t> Bytes = Good;
+    Bytes.resize(Cut);
+    writeAll(Path, Bytes);
+
+    Expected<Trace> Strict = readTrace(Path, Strings);
+    ASSERT_FALSE(bool(Strict));
+    EXPECT_EQ(Strict.error().Class, ErrClass::Corrupt);
+
+    TraceReadReport Report;
+    ReadOptions Options;
+    Options.Salvage = true;
+    Options.Report = &Report;
+    Expected<Trace> Salvaged = readTrace(Path, Strings, Options);
+    ASSERT_TRUE(bool(Salvaged)) << Salvaged.error().render();
+    // The chain scan walks header-to-header and recovers everything; the
+    // read still reports salvage so callers know the file needs rewriting.
+    EXPECT_TRUE(Report.Salvaged);
+    EXPECT_EQ(Report.SegmentsDropped, 0u);
+    EXPECT_EQ(Report.EntriesDropped, 0u);
+    ASSERT_EQ(Salvaged->size(), T.size());
+    for (uint32_t I = 0; I != Salvaged->size(); ++I)
+      ASSERT_EQ(Salvaged->renderEntry(I), T.renderEntry(I)) << I;
+    // No verified directory, no segment map.
+    EXPECT_TRUE(Salvaged->Segments.empty());
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(SalvageV4, DamagedSideDeltaDropsSegmentAndSuffix) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = workloadTrace(Strings);
+  std::string Path = tempPath("v4_side");
+  ASSERT_TRUE(writeTraceSegmented(T, Path, /*SegmentEntries=*/16));
+  std::vector<uint8_t> Bytes = readAll(Path);
+  V4Layout L = v4Layout(Bytes);
+  ASSERT_TRUE(L.Ok);
+  ASSERT_GE(L.Segments.size(), 3u);
+
+  // Damage a middle segment's string delta. Side deltas are cumulative —
+  // later segments build on earlier ones — so unlike a column flip this
+  // costs the damaged segment AND its suffix.
+  size_t Mid = L.Segments.size() / 2;
+  SectionRec StrDelta = segSection(Bytes, L.Segments[Mid].Offset, 24);
+  ASSERT_GT(StrDelta.Length, 0u);
+  Bytes[static_cast<size_t>(StrDelta.Offset + StrDelta.Length / 2)] ^= 0x10;
+  writeAll(Path, Bytes);
+
+  ASSERT_FALSE(bool(readTrace(Path, Strings)));
+  TraceReadReport Report;
+  ReadOptions Options;
+  Options.Salvage = true;
+  Options.Report = &Report;
+  Expected<Trace> Salvaged = readTrace(Path, Strings, Options);
+  ASSERT_TRUE(bool(Salvaged)) << Salvaged.error().render();
+  EXPECT_TRUE(Report.Salvaged);
+  uint32_t Prefix = L.Segments[Mid].BeginEid;
+  EXPECT_EQ(Salvaged->size(), Prefix);
+  EXPECT_EQ(Report.EntriesDropped, T.size() - Prefix);
+  EXPECT_EQ(Report.SegmentsDropped, L.Segments.size() - Mid);
+  for (uint32_t I = 0; I != Salvaged->size(); ++I)
+    ASSERT_EQ(Salvaged->renderEntry(I), T.renderEntry(I)) << I;
+  std::remove(Path.c_str());
+}
+
+TEST(SalvageV4, AllSegmentsDamagedIsUnsalvageable) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = traceOf("class A { } main { var a = new A(); }", Strings);
+  std::string Path = tempPath("v4_allgone");
+  // One segment holds everything; damaging its Kind column leaves no
+  // intact segment, and salvage must refuse rather than return an empty
+  // trace that looks legitimately empty.
+  ASSERT_TRUE(writeTraceSegmented(T, Path, /*SegmentEntries=*/100000));
+  std::vector<uint8_t> Bytes = readAll(Path);
+  V4Layout L = v4Layout(Bytes);
+  ASSERT_TRUE(L.Ok);
+  ASSERT_EQ(L.Segments.size(), 1u);
+  SectionRec Kind = segSection(Bytes, L.Segments[0].Offset, 13);
+  ASSERT_GT(Kind.Length, 0u);
+  Bytes[static_cast<size_t>(Kind.Offset)] ^= 0xff;
+  writeAll(Path, Bytes);
+
+  ReadOptions Options;
+  Options.Salvage = true;
+  Expected<Trace> Salvaged = readTrace(Path, Strings, Options);
+  ASSERT_FALSE(bool(Salvaged));
+  EXPECT_EQ(Salvaged.error().Code, "trace.unsalvageable");
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Retry policy (the --retry-policy / RPRISM_RETRY_POLICY surface)
+//===----------------------------------------------------------------------===//
+
+TEST(RetryPolicy, ParseAcceptsEitherKeyAloneOrBoth) {
+  RetryPolicy P;
+  std::string Error;
+  ASSERT_TRUE(parseRetryPolicy("attempts=5", P, &Error)) << Error;
+  EXPECT_EQ(P.MaxAttempts, 5u);
+  EXPECT_EQ(P.BackoffMicros, 100u); // Unmentioned key keeps its value.
+  ASSERT_TRUE(parseRetryPolicy("base_ms=2", P, &Error)) << Error;
+  EXPECT_EQ(P.MaxAttempts, 5u);
+  EXPECT_EQ(P.BackoffMicros, 2000u);
+  ASSERT_TRUE(parseRetryPolicy("attempts=1,base_ms=0", P, &Error)) << Error;
+  EXPECT_EQ(P.MaxAttempts, 1u);
+  EXPECT_EQ(P.BackoffMicros, 0u);
+}
+
+TEST(RetryPolicy, MalformedSpecsAreAllOrNothing) {
+  RetryPolicy P;
+  P.MaxAttempts = 9;
+  P.BackoffMicros = 350;
+  const RetryPolicy Before = P;
+  for (const char *Bad :
+       {"", "attempts=0", "attempts=", "attempts=x", "attempts",
+        "bogus=1", "attempts=2,attempts=3", "base_ms=7,base_ms=8",
+        "attempts=2,", "attempts=2,,base_ms=1", "base_ms=4294968",
+        "attempts=99999999999"}) {
+    SCOPED_TRACE(Bad);
+    std::string Error;
+    EXPECT_FALSE(parseRetryPolicy(Bad, P, &Error));
+    EXPECT_FALSE(Error.empty());
+    // The mirror of the fault-spec contract: failure leaves P untouched.
+    EXPECT_EQ(P.MaxAttempts, Before.MaxAttempts);
+    EXPECT_EQ(P.BackoffMicros, Before.BackoffMicros);
+  }
+}
+
+TEST(RetryPolicy, ProcessWidePolicyRoundTripsAndGovernsLoads) {
+  const RetryPolicy Saved = ioRetryPolicy();
+  RetryPolicy Custom;
+  Custom.MaxAttempts = 7;
+  Custom.BackoffMicros = 250;
+  setIoRetryPolicy(Custom);
+  RetryPolicy Got = ioRetryPolicy();
+  EXPECT_EQ(Got.MaxAttempts, 7u);
+  EXPECT_EQ(Got.BackoffMicros, 250u);
+
+  // attempts=1 means "no retries": the transient open failure that the
+  // default policy absorbs (DegradationLadder.TransientOpenFailureIsRetried)
+  // now surfaces as a typed I/O error, and no retry is counted.
+  Trace T = traceOf("class A { } main { var a = new A(); }");
+  std::string Path = tempPath("retry_policy");
+  ASSERT_TRUE(writeTrace(T, Path));
+  RetryPolicy One;
+  One.MaxAttempts = 1;
+  One.BackoffMicros = 0;
+  setIoRetryPolicy(One);
+  TelemetryWindow W;
+  {
+    ScopedFaultInjection Arm(7);
+    FaultInjector::get().configure(FaultSite::FileOpen, 0.0, /*OneShotAt=*/0);
+    Expected<Trace> Loaded = readTrace(Path, nullptr);
+    ASSERT_FALSE(bool(Loaded));
+    EXPECT_EQ(Loaded.error().Class, ErrClass::Io);
+  }
+  EXPECT_EQ(W.counter("robust.io_retry"), 0u);
+  setIoRetryPolicy(Saved);
   std::remove(Path.c_str());
 }
 

@@ -10,13 +10,16 @@
 #include "support/Telemetry.h"
 #include "runtime/Vm.h"
 #include "trace/Serialize.h"
+#include "trace/ViewIndex.h"
 #include "workload/Corpus.h"
 #include "workload/Generator.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 using namespace rprism;
 
@@ -522,6 +525,331 @@ TEST(Serialize, SharedInternerMergesSymbolSpaces) {
   EXPECT_EQ(LoadedA->Methods.back(), LoadedB->Methods.back());
   std::remove(PathA.c_str());
   std::remove(PathB.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Segmented v4 serialization
+//===----------------------------------------------------------------------===//
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// A small multi-thread trace with arguments and field traffic: every v4
+/// section (deltas, columns, fingerprints, view index) comes out nonempty.
+Trace bumpTrace() {
+  return traceOf(R"(
+    class A { Int x; A(Int x) { this.x = x; }
+      Int bump() { this.x = this.x + 1; return this.x; } }
+    main { var a = new A(7); a.bump(); a.bump(); spawn a.bump(); }
+  )");
+}
+
+TEST(SerializeV4, MultiSegmentRoundTripsAcrossSegmentSizes) {
+  GeneratorOptions Options;
+  Options.OuterIters = 20;
+  Trace T = traceOf(generateProgram(Options));
+  ASSERT_GT(T.size(), 300u);
+  std::string Path = tempPath("v4_roundtrip");
+  for (size_t SegmentEntries : {1ul, 7ul, 64ul, 100000ul}) {
+    SCOPED_TRACE("segment entries " + std::to_string(SegmentEntries));
+    ASSERT_TRUE(writeTraceSegmented(T, Path, SegmentEntries));
+    // Fresh interner: segment 0's string delta re-interns the whole table
+    // in order, so symbol ids are preserved and the per-segment
+    // fingerprint lanes load verbatim.
+    Expected<Trace> Loaded = readTrace(Path, nullptr);
+    ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+    expectTracesEqual(T, *Loaded);
+    EXPECT_TRUE(Loaded->HasFingerprints);
+    for (uint32_t Eid = 0; Eid != Loaded->size(); ++Eid)
+      ASSERT_EQ(Loaded->fp(Eid), T.fp(Eid)) << Eid;
+    // A clean read of a directory-complete file carries the segment map
+    // (the re-diff run-skip input), one range per written segment.
+    size_t WantSegments =
+        (T.size() + SegmentEntries - 1) / SegmentEntries;
+    EXPECT_EQ(Loaded->Segments.size(), WantSegments);
+    EXPECT_EQ(viewsDiff(T, *Loaded).numDiffs(), 0u);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(SerializeV4, BusyInternerRemapsAndRefingerprints) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T = bumpTrace();
+  std::string Path = tempPath("v4_remap");
+  ASSERT_TRUE(writeTraceSegmented(T, Path, 4));
+  auto Busy = std::make_shared<StringInterner>();
+  Busy->intern("occupying-symbol-id-one");
+  Expected<Trace> Loaded = readTrace(Path, Busy);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  EXPECT_TRUE(Loaded->HasFingerprints);
+  ASSERT_EQ(T.size(), Loaded->size());
+  for (uint32_t Eid = 0; Eid != Loaded->size(); ++Eid) {
+    EXPECT_EQ(T.renderEntry(Eid), Loaded->renderEntry(Eid)) << Eid;
+    EXPECT_EQ(Loaded->fp(Eid), Loaded->entryFingerprint(Eid)) << Eid;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(SerializeV4, LoadedTraceRewritesToV3ByteIdentically) {
+  Trace T = bumpTrace();
+  std::string DirectV3 = tempPath("v4_direct_v3");
+  std::string V4Path = tempPath("v4_middle");
+  std::string ReV3 = tempPath("v4_re_v3");
+  ASSERT_TRUE(writeTrace(T, DirectV3));
+  ASSERT_TRUE(writeTraceSegmented(T, V4Path, 4));
+  Expected<Trace> Loaded = readTrace(V4Path, nullptr);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  // Round-tripping through the segmented format loses nothing: rewriting
+  // the loaded trace as v3 reproduces the direct v3 file byte for byte
+  // (same string table, same columns, same fingerprints, same view index).
+  ASSERT_TRUE(writeTrace(*Loaded, ReV3));
+  std::string Want = readFileBytes(DirectV3);
+  std::string Got = readFileBytes(ReV3);
+  ASSERT_FALSE(Want.empty());
+  EXPECT_TRUE(Want == Got) << "v3 bytes diverge after a v4 round trip";
+  std::remove(DirectV3.c_str());
+  std::remove(V4Path.c_str());
+  std::remove(ReV3.c_str());
+}
+
+TEST(SerializeV4, EmptyAndSingleEntryTracesRoundTrip) {
+  auto Strings = std::make_shared<StringInterner>();
+  Trace Empty;
+  Empty.Strings = Strings;
+  Empty.Name = "empty";
+  Empty.computeFingerprints();
+  std::string Path = tempPath("v4_tiny");
+  // An entry-less trace still writes one placeholder segment so the side
+  // tables (name, strings, threads) have somewhere to live.
+  ASSERT_TRUE(writeTraceSegmented(Empty, Path, 8));
+  Expected<Trace> LoadedEmpty = readTrace(Path, Strings);
+  ASSERT_TRUE(bool(LoadedEmpty)) << LoadedEmpty.error().render();
+  EXPECT_EQ(LoadedEmpty->size(), 0u);
+  EXPECT_EQ(LoadedEmpty->Name, "empty");
+
+  Trace One = singleEntryTrace(Strings);
+  ASSERT_TRUE(writeTraceSegmented(One, Path, 8));
+  Expected<Trace> LoadedOne = readTrace(Path, Strings);
+  ASSERT_TRUE(bool(LoadedOne)) << LoadedOne.error().render();
+  ASSERT_EQ(LoadedOne->size(), 1u);
+  EXPECT_EQ(LoadedOne->renderEntry(0u), One.renderEntry(0u));
+  EXPECT_EQ(LoadedOne->fp(0), One.fp(0));
+  std::remove(Path.c_str());
+}
+
+TEST(SerializeV4, EnvVarRoutesWriteTraceToSegmentedFormat) {
+  Trace T = traceOf("class A { } main { var a = new A(); }");
+  std::string Path = tempPath("v4_env");
+  // Restore the ambient value afterwards — the trace_test_v4 ctest leg
+  // runs this whole suite with the variable force-set.
+  const char *Prev = ::getenv("RPRISM_TRACE_FORMAT");
+  ::setenv("RPRISM_TRACE_FORMAT", "v4", 1);
+  bool Wrote = writeTrace(T, Path);
+  if (Prev)
+    ::setenv("RPRISM_TRACE_FORMAT", Prev, 1);
+  else
+    ::unsetenv("RPRISM_TRACE_FORMAT");
+  ASSERT_TRUE(Wrote);
+  std::string Bytes = readFileBytes(Path);
+  ASSERT_GE(Bytes.size(), 8u);
+  uint32_t Version = 0;
+  std::memcpy(&Version, Bytes.data() + 4, 4);
+  EXPECT_EQ(Version, 4u);
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  expectTracesEqual(T, *Loaded);
+  std::remove(Path.c_str());
+}
+
+TEST(SerializeV4, StreamingRecorderSinkMatchesBatchWrite) {
+  GeneratorOptions G;
+  G.OuterIters = 8;
+  std::string Source = generateProgram(G);
+  std::string StreamPath = tempPath("v4_stream");
+  auto Strings = std::make_shared<StringInterner>();
+  Trace T;
+  {
+    SegmentedTraceWriter Sink(StreamPath, /*SegmentEntries=*/8);
+    ASSERT_TRUE(Sink.ok());
+    RunOptions Options;
+    Options.Tracing.SegmentSink = &Sink;
+    T = traceOf(Source, Strings, Options);
+    ASSERT_GT(T.size(), 8u); // Genuinely multi-segment.
+    // The recorder sealed segments while the program ran and finalized
+    // the file when the trace was taken.
+    EXPECT_TRUE(Sink.ok());
+    EXPECT_EQ(Sink.entriesSealed(), T.size());
+  }
+  Expected<Trace> Streamed = readTrace(StreamPath, nullptr);
+  ASSERT_TRUE(bool(Streamed)) << Streamed.error().render();
+  expectTracesEqual(T, *Streamed);
+  EXPECT_TRUE(Streamed->HasFingerprints);
+  EXPECT_EQ(viewsDiff(T, *Streamed).numDiffs(), 0u);
+
+  // A batch rewrite of the finished trace at the same granularity loads
+  // equal (the files may differ in how side-table deltas split across
+  // segments, but the reassembled traces must not).
+  std::string BatchPath = tempPath("v4_batch");
+  ASSERT_TRUE(writeTraceSegmented(T, BatchPath, 8));
+  Expected<Trace> Batch = readTrace(BatchPath, nullptr);
+  ASSERT_TRUE(bool(Batch)) << Batch.error().render();
+  expectTracesEqual(*Streamed, *Batch);
+  std::remove(StreamPath.c_str());
+  std::remove(BatchPath.c_str());
+}
+
+TEST(SerializeV4, ViewIndexDeltaMergeMatchesBulkCompute) {
+  GeneratorOptions G;
+  G.OuterIters = 8;
+  G.NumThreads = 2;
+  Trace T = traceOf(generateProgram(G));
+  std::string Path = tempPath("v4_viewidx");
+  ASSERT_TRUE(writeTraceSegmented(T, Path, 16));
+  Expected<Trace> Loaded = readTrace(Path, nullptr);
+  ASSERT_TRUE(bool(Loaded)) << Loaded.error().render();
+  // The reader merges the per-segment view-index deltas; the merged index
+  // must equal a from-scratch computation over the reassembled columns.
+  ASSERT_TRUE(Loaded->ViewIdx.Present);
+  ViewIndex Want = computeViewIndex(*Loaded);
+  for (size_t F = 0; F != NumViewFamilies; ++F) {
+    SCOPED_TRACE("family " + std::to_string(F));
+    ASSERT_EQ(Loaded->ViewIdx.Keys[F].size(), Want.Keys[F].size());
+    EXPECT_EQ(std::memcmp(Loaded->ViewIdx.Keys[F].data(),
+                          Want.Keys[F].data(), Want.Keys[F].byteSize()),
+              0);
+    EXPECT_EQ(std::memcmp(Loaded->ViewIdx.Counts[F].data(),
+                          Want.Counts[F].data(), Want.Counts[F].byteSize()),
+              0);
+  }
+  ASSERT_EQ(Loaded->ViewIdx.Entries.size(), Want.Entries.size());
+  EXPECT_EQ(std::memcmp(Loaded->ViewIdx.Entries.data(), Want.Entries.data(),
+                        Want.Entries.byteSize()),
+            0);
+  std::remove(Path.c_str());
+}
+
+TEST(SerializeV4, FileDigestStablePerFormatDistinctAcrossFormats) {
+  Trace T = bumpTrace();
+  std::string V3Path = tempPath("digest_v3");
+  std::string V4Path = tempPath("digest_v4");
+  std::string V4Again = tempPath("digest_v4b");
+  ASSERT_TRUE(writeTrace(T, V3Path));
+  ASSERT_TRUE(writeTraceSegmented(T, V4Path, 8));
+  ASSERT_TRUE(writeTraceSegmented(T, V4Again, 8));
+  Expected<uint64_t> D3 = traceFileDigest(V3Path);
+  Expected<uint64_t> D4 = traceFileDigest(V4Path);
+  Expected<uint64_t> D4b = traceFileDigest(V4Again);
+  ASSERT_TRUE(bool(D3) && bool(D4) && bool(D4b));
+  EXPECT_EQ(*D4, *D4b) << "identical v4 writes must digest identically";
+  EXPECT_NE(*D3, *D4) << "format change must change the digest";
+  std::remove(V3Path.c_str());
+  std::remove(V4Path.c_str());
+  std::remove(V4Again.c_str());
+}
+
+TEST(SerializeV4, CrossFormatDiffDeterministicAcrossJobs) {
+  GeneratorOptions Base;
+  Base.OuterIters = 10;
+  Base.NumThreads = 2;
+  Base.Seed = 11;
+  GeneratorOptions Perturbed = Base;
+  Perturbed.Perturb = 1;
+  auto Gen = std::make_shared<StringInterner>();
+  Trace L = traceOf(generateProgram(Base), Gen);
+  Trace R = traceOf(generateProgram(Perturbed), Gen);
+  std::string L3 = tempPath("xfmt_l3"), R3 = tempPath("xfmt_r3");
+  std::string L4 = tempPath("xfmt_l4"), R4 = tempPath("xfmt_r4");
+  ASSERT_TRUE(writeTrace(L, L3));
+  ASSERT_TRUE(writeTrace(R, R3));
+  ASSERT_TRUE(writeTraceSegmented(L, L4, 32));
+  ASSERT_TRUE(writeTraceSegmented(R, R4, 32));
+
+  // One shared interner across all four loads, as a diff session would.
+  auto Shared = std::make_shared<StringInterner>();
+  Expected<Trace> LV3 = readTrace(L3, Shared), RV3 = readTrace(R3, Shared);
+  Expected<Trace> LV4 = readTrace(L4, Shared), RV4 = readTrace(R4, Shared);
+  ASSERT_TRUE(bool(LV3) && bool(RV3) && bool(LV4) && bool(RV4));
+
+  ViewsDiffOptions Opt;
+  Opt.Jobs = 1;
+  Opt.ParallelCutoffEntries = 0; // Exercise the pool on small traces too.
+  DiffResult Ref = viewsDiff(*LV3, *RV3, Opt);
+  std::string RefRender = Ref.render();
+
+  struct Pair {
+    const char *What;
+    const Trace *Lhs;
+    const Trace *Rhs;
+  } Pairs[] = {{"v3-v3", &*LV3, &*RV3},
+               {"v4-v4", &*LV4, &*RV4},
+               {"v3-v4", &*LV3, &*RV4}};
+  for (const Pair &P : Pairs)
+    for (unsigned Jobs : {1u, 4u, 0u}) {
+      SCOPED_TRACE(std::string(P.What) + " jobs=" + std::to_string(Jobs));
+      Opt.Jobs = Jobs;
+      DiffResult D = viewsDiff(*P.Lhs, *P.Rhs, Opt);
+      // The report and the work accounting must be identical across both
+      // formats and every worker count — segment-granular run skipping is
+      // not allowed to change what gets compared, only how it's found.
+      EXPECT_EQ(D.render(), RefRender);
+      EXPECT_EQ(D.Stats.CompareOps, Ref.Stats.CompareOps);
+      EXPECT_EQ(D.numLeftDiffs(), Ref.numLeftDiffs());
+      EXPECT_EQ(D.numRightDiffs(), Ref.numRightDiffs());
+    }
+  for (const std::string &Path : {L3, R3, L4, R4})
+    std::remove(Path.c_str());
+}
+
+TEST(SerializeV4, IdenticalPairDiffSkipsSegments) {
+  GeneratorOptions G;
+  G.OuterIters = 12;
+  Trace T = traceOf(generateProgram(G));
+  std::string V3Path = tempPath("skip_v3");
+  std::string V4Path = tempPath("skip_v4");
+  // The baseline must really be v3 (no segment map) even when the suite
+  // runs under the env-forced v4 ctest leg.
+  const char *Prev = ::getenv("RPRISM_TRACE_FORMAT");
+  ::unsetenv("RPRISM_TRACE_FORMAT");
+  bool WroteV3 = writeTrace(T, V3Path);
+  if (Prev)
+    ::setenv("RPRISM_TRACE_FORMAT", Prev, 1);
+  ASSERT_TRUE(WroteV3);
+  ASSERT_TRUE(writeTraceSegmented(T, V4Path, 64));
+  auto Shared = std::make_shared<StringInterner>();
+  Expected<Trace> A3 = readTrace(V3Path, Shared);
+  Expected<Trace> B3 = readTrace(V3Path, Shared);
+  Expected<Trace> A4 = readTrace(V4Path, Shared);
+  Expected<Trace> B4 = readTrace(V4Path, Shared);
+  ASSERT_TRUE(bool(A3) && bool(B3) && bool(A4) && bool(B4));
+  ASSERT_FALSE(A4->Segments.empty());
+
+  ViewsDiffOptions Opt;
+  Opt.Jobs = 1;
+  Telemetry::get().reset();
+  Telemetry::get().setEnabled(true);
+  DiffResult D3 = viewsDiff(*A3, *B3, Opt);
+  uint64_t SkipsV3 =
+      Telemetry::get().snapshot().counter("trace.segments_skipped");
+  DiffResult D4 = viewsDiff(*A4, *B4, Opt);
+  uint64_t SkipsTotal =
+      Telemetry::get().snapshot().counter("trace.segments_skipped");
+  Telemetry::get().setEnabled(false);
+  Telemetry::get().reset();
+
+  // v3 files carry no segment map, so nothing can be skipped; the v4 pair
+  // skips whole digest-equal segments — and still does the exact same
+  // amount of reported work.
+  EXPECT_EQ(SkipsV3, 0u);
+  EXPECT_GT(SkipsTotal, SkipsV3);
+  EXPECT_EQ(D3.numDiffs(), 0u);
+  EXPECT_EQ(D4.numDiffs(), 0u);
+  EXPECT_EQ(D3.Stats.CompareOps, D4.Stats.CompareOps);
+  std::remove(V3Path.c_str());
+  std::remove(V4Path.c_str());
 }
 
 //===----------------------------------------------------------------------===//

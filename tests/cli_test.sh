@@ -101,6 +101,39 @@ grep -q "fault-spec" "$WORK/badspec.txt" || fail "bad spec diagnostic missing"
 RPRISM_FAULT_SPEC='seed=7,file-open:0.0' "$RPRISM" trace-dump "$WORK/old.rpt" \
   > /dev/null 2>&1 || fail "no-op env fault spec broke trace-dump"
 
+# --- retry policy control (--retry-policy / RPRISM_RETRY_POLICY) -------------
+"$RPRISM" trace-dump "$WORK/old.rpt" --retry-policy 'attempts=5,base_ms=1' \
+  > /dev/null 2>"$WORK/retry.txt" || fail "valid --retry-policy broke trace-dump"
+grep -q "retry policy" "$WORK/retry.txt" || fail "--retry-policy not reported"
+set +e
+"$RPRISM" trace-dump "$WORK/old.rpt" --retry-policy 'attempts=0' \
+  > /dev/null 2>"$WORK/badretry.txt"
+[ $? -eq 2 ] || fail "malformed --retry-policy was not usage exit 2"
+set -e
+grep -q "retry-policy" "$WORK/badretry.txt" \
+  || fail "bad retry-policy diagnostic missing"
+# Env form parses through the same all-or-nothing path.
+RPRISM_RETRY_POLICY='attempts=2' "$RPRISM" trace-dump "$WORK/old.rpt" \
+  > /dev/null 2>&1 || fail "env retry policy broke trace-dump"
+set +e
+RPRISM_RETRY_POLICY='bogus' "$RPRISM" trace-dump "$WORK/old.rpt" \
+  > /dev/null 2>&1
+[ $? -eq 2 ] || fail "malformed env retry policy was not usage exit 2"
+set -e
+
+# --- segmented v4 trace format (RPRISM_TRACE_FORMAT=v4) ----------------------
+# The recorder streams segments to disk while the program runs; the file
+# must dump identically and diff clean against its v3 twin.
+RPRISM_TRACE_FORMAT=v4 "$RPRISM" run "$WORK/old.rp" --int-input 100 \
+  --trace "$WORK/old_v4.rpt" > /dev/null 2>&1 || fail "v4 traced run failed"
+"$RPRISM" trace-dump "$WORK/old_v4.rpt" | grep -q -- "--> Tax-1.new(10)" \
+  || fail "v4 trace-dump missing the init entry"
+DUMP_V3="$("$RPRISM" trace-dump "$WORK/old.rpt")"
+DUMP_V4="$("$RPRISM" trace-dump "$WORK/old_v4.rpt")"
+[ "$DUMP_V3" = "$DUMP_V4" ] || fail "v3 and v4 dumps of the same run differ"
+"$RPRISM" diff-traces "$WORK/old.rpt" "$WORK/old_v4.rpt" 2>/dev/null \
+  | grep -q "0 differences" || fail "v3-vs-v4 twin diff not clean"
+
 # --- analyze ----------------------------------------------------------------
 # No input-independent ok run exists for this bug (it always fires), so use
 # a small input where outputs coincidentally match? They never do; analyze

@@ -27,6 +27,7 @@
 #include "analysis/Regression.h"
 #include "cache/DiffCache.h"
 #include "robustness/FaultInjector.h"
+#include "robustness/Retry.h"
 #include "runtime/Compiler.h"
 #include "runtime/Vm.h"
 #include "support/MetricsSink.h"
@@ -43,6 +44,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace rprism;
@@ -78,9 +80,12 @@ int usage() {
       "  --trace-out F     write a per-thread timeline as Chrome\n"
       "                    trace-event JSON (open in Perfetto)\n"
       "\n"
-      "robustness (any subcommand; or RPRISM_FAULT_SPEC in the env):\n"
+      "robustness (any subcommand; or RPRISM_FAULT_SPEC /\n"
+      "            RPRISM_RETRY_POLICY in the env):\n"
       "  --fault-spec S    arm the fault injector, e.g.\n"
       "                    'seed=7,file-read:0.01,section-checksum:0@2'\n"
+      "  --retry-policy S  I/O retry policy for trace loads, e.g.\n"
+      "                    'attempts=5,base_ms=2'\n"
       "\n"
       "exit codes: 0 success, 1 failure, 2 usage error,\n"
       "            3 corrupt input, 4 I/O error, 5 perf regression\n",
@@ -145,6 +150,7 @@ struct Args {
   bool Profile = false;
   std::string TraceOut;
   std::string FaultSpec;
+  std::string RetryPolicySpec;
   /// Every --flag that appeared, for per-subcommand validation.
   std::vector<std::string> SeenFlags;
   bool Bad = false;
@@ -212,6 +218,8 @@ Args parseArgs(int Argc, char **Argv, int Start) {
       A.TraceOut = Next();
     } else if (Arg == "--fault-spec") {
       A.FaultSpec = Next();
+    } else if (Arg == "--retry-policy") {
+      A.RetryPolicySpec = Next();
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       A.Bad = true;
@@ -269,7 +277,8 @@ bool validateFlags(const std::string &Command, const Args &A) {
   bool Ok = true;
   for (const std::string &Flag : A.SeenFlags) {
     if (Flag == "--metrics-out" || Flag == "--profile" ||
-        Flag == "--trace-out" || Flag == "--fault-spec")
+        Flag == "--trace-out" || Flag == "--fault-spec" ||
+        Flag == "--retry-policy")
       continue;
     if (std::none_of(Allowed->begin(), Allowed->end(),
                      [&Flag](const char *F) { return Flag == F; })) {
@@ -294,11 +303,13 @@ compileFile(const std::string &Path, std::shared_ptr<StringInterner> Strings) {
 }
 
 RunResult runWith(const CompiledProgram &Prog, const Args &A,
-                  std::vector<std::string> Inputs, const char *Name) {
+                  std::vector<std::string> Inputs, const char *Name,
+                  SegmentedTraceWriter *SegmentSink = nullptr) {
   RunOptions Options;
   Options.Inputs = std::move(Inputs);
   Options.IntInputs = A.IntInputs;
   Options.TraceName = Name;
+  Options.Tracing.SegmentSink = SegmentSink;
   return runProgram(Prog, Options);
 }
 
@@ -308,14 +319,26 @@ int cmdRun(const Args &A) {
   auto Prog = compileFile(A.Positional[0], nullptr);
   if (!Prog)
     return fail(Prog.error());
-  RunResult Result = runWith(*Prog, A, A.Inputs, "run");
+
+  // Under RPRISM_TRACE_FORMAT=v4 the trace streams to disk *during* the
+  // run: the recorder seals full segments while the program executes and
+  // finalizes the file when the run ends — no post-run serialization pass.
+  const char *Fmt = std::getenv("RPRISM_TRACE_FORMAT");
+  bool StreamV4 = !A.TracePath.empty() && Fmt && std::strcmp(Fmt, "v4") == 0;
+  std::unique_ptr<SegmentedTraceWriter> Sink;
+  if (StreamV4)
+    Sink = std::make_unique<SegmentedTraceWriter>(A.TracePath);
+
+  RunResult Result = runWith(*Prog, A, A.Inputs, "run", Sink.get());
   std::fputs(Result.Output.c_str(), stdout);
   std::fprintf(stderr, "[%zu trace entries, %llu steps%s]\n",
                Result.ExecTrace.size(),
                static_cast<unsigned long long>(Result.Steps),
                Result.Completed ? "" : ", did not complete");
   if (!A.TracePath.empty()) {
-    if (!writeTrace(Result.ExecTrace, A.TracePath)) {
+    bool Written = StreamV4 ? Sink->ok()
+                            : writeTrace(Result.ExecTrace, A.TracePath);
+    if (!Written) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    A.TracePath.c_str());
       return 1;
@@ -656,6 +679,24 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     std::fprintf(stderr, "[fault injector armed: %s]\n", FaultSpec.c_str());
+  }
+
+  // I/O retry policy: same contract as the fault spec — the flag wins
+  // over RPRISM_RETRY_POLICY, and a bad spec is a usage error rather than
+  // a silently defaulted policy.
+  std::string RetrySpec = A.RetryPolicySpec;
+  if (RetrySpec.empty())
+    if (const char *Env = std::getenv("RPRISM_RETRY_POLICY"))
+      RetrySpec = Env;
+  if (!RetrySpec.empty()) {
+    RetryPolicy Policy;
+    std::string SpecError;
+    if (!parseRetryPolicy(RetrySpec, Policy, &SpecError)) {
+      std::fprintf(stderr, "error: %s\n", SpecError.c_str());
+      return 2;
+    }
+    setIoRetryPolicy(Policy);
+    std::fprintf(stderr, "[retry policy: %s]\n", RetrySpec.c_str());
   }
 
   // Telemetry is recorded only when an export was requested; otherwise

@@ -8,12 +8,14 @@
 /// \file
 /// Deterministic corruption fuzzer for the trace readers. Writes a small
 /// corpus of base traces (empty, single-entry, generated workloads) in
-/// every on-disk format (v1, v2, v3 with and without view index), then
-/// applies seeded mutations — truncation, bit flips, byte overwrites,
-/// section-table and header tampering, zeroed ranges, appended garbage —
-/// and requires every strict read, salvage read, and digest of the mutant
-/// to return cleanly. A crash, hang, or sanitizer report is the failure
-/// mode; any error return is a pass.
+/// every on-disk format (v1, v2, v3 with and without view index, and
+/// segmented v4 at two granularities), then applies seeded mutations —
+/// truncation, bit flips, byte overwrites, section-table and header
+/// tampering, zeroed ranges, appended garbage, plus the v4 boundary
+/// structures: trailer fields, footer-directory records, and segment
+/// headers — and requires every strict read, salvage read, and digest of
+/// the mutant to return cleanly. A crash, hang, or sanitizer report is
+/// the failure mode; any error return is a pass.
 ///
 /// Run under ASan+UBSan in CI:  trace_fuzz --seed 20260807 --iters 200
 ///
@@ -73,17 +75,34 @@ bool writeAll(const std::string &Path, const std::vector<uint8_t> &Bytes) {
   return Out.good();
 }
 
-/// Applies one seeded mutation to \p Bytes. Nine mutation kinds, chosen
-/// and parameterised by \p Rng; always leaves at least an empty file.
+/// Applies one seeded mutation to \p Bytes. Twelve mutation kinds, chosen
+/// and parameterised by \p Rng; always leaves at least an empty file. The
+/// last three target the segmented v4 framing (trailer, footer directory,
+/// segment headers) and degrade to a plain bit flip on non-v4 inputs.
 void mutate(std::vector<uint8_t> &Bytes, std::mt19937_64 &Rng) {
   auto Index = [&](size_t Bound) {
     return Bound ? static_cast<size_t>(Rng() % Bound) : 0;
+  };
+  auto FlipBit = [&] {
+    Bytes[Index(Bytes.size())] ^= uint8_t(1u << (Rng() % 8));
+  };
+  // The v4 footer offset when the file ends in a valid trailer, else 0.
+  auto V4Footer = [&]() -> uint64_t {
+    if (Bytes.size() < 56)
+      return 0;
+    uint32_t Magic;
+    std::memcpy(&Magic, Bytes.data() + Bytes.size() - 4, 4);
+    if (Magic != 0x52505445u) // "RPTE"
+      return 0;
+    uint64_t Off;
+    std::memcpy(&Off, Bytes.data() + Bytes.size() - 24, 8);
+    return Off + 32 <= Bytes.size() ? Off : 0;
   };
   if (Bytes.empty()) {
     Bytes.push_back(static_cast<uint8_t>(Rng()));
     return;
   }
-  switch (Rng() % 9) {
+  switch (Rng() % 12) {
   case 0: // Truncate to a random prefix (possibly empty).
     Bytes.resize(Index(Bytes.size() + 1));
     break;
@@ -142,6 +161,53 @@ void mutate(std::vector<uint8_t> &Bytes, std::mt19937_64 &Rng) {
         break;
       std::swap(Bytes[A + I], Bytes[B + I]);
     }
+    break;
+  }
+  case 9: { // v4 trailer tamper: footer offset, checksum, count, or magic.
+    if (Bytes.size() < 56) {
+      FlipBit();
+      break;
+    }
+    size_t Trailer = Bytes.size() - 24;
+    size_t Field = (Rng() % 3) * 8; // offset / checksum / count+magic
+    uint64_t Garbage = Rng();
+    std::memcpy(Bytes.data() + Trailer + Field, &Garbage, 8);
+    break;
+  }
+  case 10: { // v4 footer-directory record tamper.
+    uint64_t Footer = V4Footer();
+    if (!Footer) {
+      FlipBit();
+      break;
+    }
+    uint32_t NumSegments;
+    std::memcpy(&NumSegments, Bytes.data() + Footer + 4, 4);
+    size_t Records = Bytes.size() > Footer + 8
+                         ? std::min<size_t>(NumSegments,
+                                            (Bytes.size() - Footer - 8) / 32)
+                         : 0;
+    if (!Records) {
+      FlipBit();
+      break;
+    }
+    size_t Record = Footer + 8 + 32 * Index(Records);
+    size_t Field = (Rng() % 4) * 8; // offset / digests / eid range
+    uint64_t Garbage = Rng();
+    std::memcpy(Bytes.data() + Record + Field, &Garbage, 8);
+    break;
+  }
+  case 11: { // v4 segment-header tamper (first segment lives at byte 32).
+    uint64_t Footer = V4Footer();
+    if (!Footer || Footer < 64) {
+      FlipBit();
+      break;
+    }
+    // Walking the chain would need trusted PayloadBytes, so tamper the
+    // first header: magic/index, begin-eid, counts, or payload size —
+    // the last one derails the salvage chain scan's next-header jump.
+    size_t Field = (Rng() % 4) * 8;
+    uint64_t Garbage = Rng();
+    std::memcpy(Bytes.data() + 32 + Field, &Garbage, 8);
     break;
   }
   }
@@ -229,7 +295,17 @@ int main(int Argc, char **Argv) {
     auto WriteV2 = [](const Trace &T, const std::string &P) {
       return writeTraceLegacy(T, P, 2);
     };
-    for (auto *Write : {+WriteV3Index, +WriteV3Plain, +WriteV1, +WriteV2}) {
+    // Segmented v4 at two granularities: many small segments stress the
+    // per-segment framing, one big segment stresses the degenerate path.
+    auto WriteV4Small = [](const Trace &T, const std::string &P) {
+      return writeTraceSegmented(T, P, /*SegmentEntries=*/8);
+    };
+    auto WriteV4Big = [](const Trace &T, const std::string &P) {
+      return writeTraceSegmented(T, P, /*SegmentEntries=*/100000,
+                                 /*WithViewIndex=*/false);
+    };
+    for (auto *Write : {+WriteV3Index, +WriteV3Plain, +WriteV1, +WriteV2,
+                        +WriteV4Small, +WriteV4Big}) {
       if (!Write(Corpus[I], Path)) {
         std::fprintf(stderr, "fatal: cannot write base trace %zu\n", I);
         return 1;
